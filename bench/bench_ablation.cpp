@@ -1,0 +1,81 @@
+/// \file bench_ablation.cpp
+/// \brief Ablation of the Fig. 4 design choice the paper's Theorem 5
+///        analysis leans on: line (7) scans all unused partitions for the
+///        *largest* routable subset.  We replace it with
+///        first-available-partition and measure the cost in
+///        configurations and top switches — quantifying how much of the
+///        adaptive saving comes from the greedy subset selection itself.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "nbclos/adaptive/distributed.hpp"
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/util/stats.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  using nbclos::adaptive::PartitionPolicy;
+
+  std::cout << "Ablation — Fig. 4 line (7): largest-subset scan vs "
+               "first-available partition\n\n";
+  nbclos::TextTable table({"n", "r", "policy", "mean switches",
+                           "worst switches", "n^2"});
+  nbclos::Xoshiro256 rng(1234);
+  for (const auto& [n, r] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {4, 16}, {6, 36}, {8, 64}, {12, 144}}) {
+    const nbclos::adaptive::AdaptiveParams params{
+        n, r, nbclos::min_digit_width(r, n)};
+    // Same permutations for both policies.
+    std::vector<nbclos::Permutation> patterns;
+    for (int t = 0; t < 25; ++t) {
+      patterns.push_back(nbclos::random_permutation(n * r, rng));
+    }
+    patterns.push_back(nbclos::neighbor_funnel_permutation(n, r));
+    patterns.push_back(nbclos::shift_permutation(n * r, n));
+
+    for (const auto policy :
+         {PartitionPolicy::kLargestSubset, PartitionPolicy::kFirstAvailable}) {
+      nbclos::RunningStats stats;
+      std::uint32_t worst = 0;
+      for (const auto& pattern : patterns) {
+        const auto schedule =
+            nbclos::adaptive::distributed_route(params, pattern, policy);
+        stats.add(static_cast<double>(schedule.top_switches_used));
+        worst = std::max(worst, schedule.top_switches_used);
+      }
+      table.add(n, r,
+                std::string(policy == PartitionPolicy::kLargestSubset
+                                ? "largest-subset (paper)"
+                                : "first-available"),
+                nbclos::format_double(stats.mean(), 1), worst, n * n);
+    }
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  // Both policies must stay correct (the nonblocking guarantee comes
+  // from Lemma 5, not from the subset-size heuristic).
+  const nbclos::adaptive::AdaptiveParams params{4, 16, 2};
+  const nbclos::FoldedClos ft(
+      nbclos::FtreeParams{4, params.worst_case_top_switches(), 16});
+  bool correct = true;
+  for (int t = 0; t < 10; ++t) {
+    const auto pattern = nbclos::random_permutation(64, rng);
+    const auto schedule = nbclos::adaptive::distributed_route(
+        params, pattern, PartitionPolicy::kFirstAvailable);
+    correct = correct && !nbclos::has_contention(ft, schedule.to_paths(ft));
+  }
+  std::cout << "\nFirst-available schedules remain contention-free: "
+            << (correct ? "yes (correctness is Lemma 5's, not the "
+                          "heuristic's)"
+                        : "NO — bug!")
+            << "\nReading: the largest-subset scan is what converts "
+               "Lemma 6 into Theorem 5's\nswitch bound; dropping it "
+               "costs extra configurations on adversarial patterns\n"
+               "while staying correct.\n";
+  return correct ? 0 : 1;
+}

@@ -1,0 +1,68 @@
+/// \file bench_blocking.cpp
+/// \brief Figure-style experiment B: blocking probability of
+///        "rearrangeably nonblocking" fat-trees under distributed
+///        routing, versus the number of top-level switches m.
+///
+/// The paper's premise: networks that are nonblocking in the telephone
+/// sense (m >= n, centralized control) still block under distributed
+/// routing.  We quantify that: for random permutations, the probability
+/// that at least one link is shared, as m grows from n to n^2, for
+/// static and random routings — hitting exactly zero only at the
+/// Theorem 3 operating point.
+#include <iostream>
+#include <string>
+
+#include "nbclos/analysis/blocking.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  constexpr std::uint32_t kN = 3;
+  constexpr std::uint32_t kR = 12;
+  constexpr std::uint64_t kTrials = 400;
+
+  std::cout << "Fig-B — blocking probability vs top-level switches m "
+               "(ftree(" << kN << "+m, " << kR << "), " << kTrials
+            << " random permutations per point)\n\n";
+
+  nbclos::TextTable table({"m", "routing", "P(block)", "+-95%",
+                           "mean colliding pairs", "mean max link load"});
+  for (const std::uint32_t m : {3U, 4U, 5U, 6U, 7U, 8U, 9U}) {
+    const nbclos::FoldedClos ft(nbclos::FtreeParams{kN, m, kR});
+    nbclos::Xoshiro256 rng(1000 + m);
+
+    const nbclos::DModKRouting dmodk(ft);
+    const auto est_d = nbclos::estimate_blocking(
+        ft, nbclos::as_pattern_router(dmodk), kTrials, rng);
+    table.add(m, dmodk.name(), est_d.blocking_probability,
+              est_d.ci95_half_width, est_d.mean_colliding_pairs,
+              est_d.mean_max_link_load);
+
+    const nbclos::RandomFixedRouting random_fixed(ft, 42 + m);
+    const auto est_r = nbclos::estimate_blocking(
+        ft, nbclos::as_pattern_router(random_fixed), kTrials, rng);
+    table.add(m, random_fixed.name(), est_r.blocking_probability,
+              est_r.ci95_half_width, est_r.mean_colliding_pairs,
+              est_r.mean_max_link_load);
+
+    if (m >= kN * kN) {
+      const nbclos::YuanNonblockingRouting yuan(ft);
+      const auto est_y = nbclos::estimate_blocking(
+          ft, nbclos::as_pattern_router(yuan), kTrials, rng);
+      table.add(m, yuan.name(), est_y.blocking_probability,
+                est_y.ci95_half_width, est_y.mean_colliding_pairs,
+                est_y.mean_max_link_load);
+    }
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  std::cout << "\nReading: even at m = n^2 = 9 (full rearrangeable slack "
+               "plus more), static and\nrandom routings block most random "
+               "permutations; the Theorem 3 scheme at the\nsame m blocks "
+               "none.  Distributed control, not switch count, is the "
+               "binding\nconstraint — the paper's core observation.\n";
+  return 0;
+}

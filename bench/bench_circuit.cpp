@@ -1,0 +1,91 @@
+/// \file bench_circuit.cpp
+/// \brief Background experiment (§II): the classical telephone-world
+///        nonblocking conditions on Clos(n, m, r), measured under
+///        connect/disconnect churn with a centralized controller.
+///
+/// Sweeps m from n to 2n-1 for every strategy and reports call-blocking
+/// probability; the rows confirm
+///   * m = 2n-1: zero blocking, any strategy (strictly nonblocking,
+///     Clos 1953);
+///   * n <= m < 2n-1: strategies block at high occupancy — but
+///     rearrangement (Slepian–Duguid) rescues every call at m = n
+///     (rearrangeably nonblocking, Benes 1962);
+///   * packing blocks less than spreading (the wide-sense effect).
+/// This is the regime whose guarantees the paper shows do NOT transfer
+/// to distributed packet routing.
+#include <iostream>
+#include <string>
+
+#include "nbclos/circuit/clos_switch.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  constexpr std::uint32_t kN = 4;
+  constexpr std::uint32_t kR = 6;
+  constexpr std::uint64_t kSteps = 40000;
+
+  std::cout << "Telephone-world conditions on Clos(" << kN << ", m, " << kR
+            << ") — churn at ~full occupancy, " << kSteps << " steps\n\n";
+
+  nbclos::TextTable table({"m", "regime", "strategy", "attempts", "blocked",
+                           "P(block)"});
+  using nbclos::circuit::FitStrategy;
+  for (std::uint32_t m = kN; m <= 2 * kN - 1; ++m) {
+    const std::string regime = m == 2 * kN - 1 ? "m=2n-1 strict"
+                               : m == kN       ? "m=n rearrangeable"
+                                               : "between";
+    for (const auto strategy :
+         {FitStrategy::kFirstFit, FitStrategy::kPacking, FitStrategy::kRandom,
+          FitStrategy::kLeastUsed}) {
+      nbclos::circuit::ClosCircuitSwitch clos(kN, m, kR);
+      nbclos::Xoshiro256 rng(99 + m);
+      const auto result = nbclos::circuit::run_churn(
+          clos, strategy, kSteps, 1.0, /*rearrange=*/false, rng);
+      clos.validate();
+      table.add(m, regime, to_string(strategy), result.attempts,
+                result.blocked,
+                nbclos::format_double(result.blocking_probability(), 4));
+    }
+  }
+  // Rearrangement row: m = n, every blocked call re-routed by recoloring.
+  {
+    nbclos::circuit::ClosCircuitSwitch clos(kN, kN, kR);
+    nbclos::Xoshiro256 rng(7);
+    const auto result = nbclos::circuit::run_churn(
+        clos, FitStrategy::kFirstFit, kSteps, 1.0, /*rearrange=*/true, rng);
+    clos.validate();
+    table.add(kN, std::string("m=n + rearrange"), std::string("slepian-duguid"),
+              result.attempts, result.blocked,
+              nbclos::format_double(result.blocking_probability(), 4));
+    std::cout << "(rearrangement invoked "
+              << result.rearrangements_needed << " times)\n\n";
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  // Wide-sense probe: adversarial call sequences below the strict bound.
+  std::cout << "\nAdversarial call-sequence search (blocked state found "
+               "within 40 restarts x 500 steps?):\n";
+  nbclos::TextTable adversary({"m", "strategy", "blocked state found"});
+  nbclos::Xoshiro256 rng(2027);
+  for (const std::uint32_t m : {kN, 2 * kN - 2, 2 * kN - 1}) {
+    for (const auto strategy :
+         {FitStrategy::kPacking, FitStrategy::kLeastUsed}) {
+      const auto result = nbclos::circuit::adversary_search(
+          kN, m, kR, strategy, 40, 500, rng);
+      adversary.add(m, to_string(strategy),
+                    std::string(result.blocked_found ? "yes" : "no"));
+    }
+  }
+  adversary.print(std::cout);
+  if (csv) adversary.print_csv(std::cout);
+
+  std::cout << "\nReading: the classical conditions hold exactly — zero "
+               "blocking at m = 2n-1 and\nat m = n with rearrangement.  "
+               "The paper's point: these guarantees presuppose a\n"
+               "centralized controller; none of them survive distributed "
+               "packet routing\n(see bench_blocking / bench_throughput), "
+               "where the bar is m >= n^2 instead.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+/// \file bench_multipath.cpp
+/// \brief §IV-B: traffic-oblivious multi-path routing does not improve
+///        the nonblocking condition.  We audit Lemma 1 over the link
+///        *footprint* (union of candidate paths) for spread widths from 1
+///        to m, and measure how often random permutations actually
+///        collide when packets spread — better load balance, same
+///        worst-case blocking.
+#include <iostream>
+#include <string>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/multipath.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/util/table.hpp"
+
+namespace {
+
+/// Fraction of random permutations in which some pair of SD pairs has
+/// intersecting footprints (a collision the spreading cannot rule out:
+/// with oblivious spreading the colliding paths can be live at the same
+/// instant, so this is the blocking-relevant event).
+double footprint_collision_rate(const nbclos::FoldedClos& ft,
+                                nbclos::MultipathObliviousRouting& routing,
+                                int trials, nbclos::Xoshiro256& rng) {
+  int collided = 0;
+  for (int t = 0; t < trials; ++t) {
+    const auto pattern = nbclos::random_permutation(ft.leaf_count(), rng);
+    std::vector<std::uint32_t> load(ft.link_count(), 0);
+    bool hit = false;
+    for (const auto sd : pattern) {
+      for (const auto link : routing.link_footprint(sd)) {
+        if (++load[link.value] >= 2 &&
+            ft.kind_of(link) != nbclos::LinkKind::kLeafUp &&
+            ft.kind_of(link) != nbclos::LinkKind::kLeafDown) {
+          hit = true;
+        }
+      }
+    }
+    if (hit) ++collided;
+  }
+  return static_cast<double>(collided) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+  std::cout << "§IV-B — oblivious multi-path routing vs the nonblocking "
+               "condition\n\n";
+
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{3, 9, 12});
+  nbclos::Xoshiro256 rng(303);
+
+  nbclos::TextTable table({"spread width", "Lemma 1 violations (footprint)",
+                           "perm footprint-collision rate"});
+  for (const std::uint32_t width : {1U, 2U, 3U, 6U, 9U}) {
+    nbclos::MultipathObliviousRouting routing(
+        ft, width, nbclos::SpreadPolicy::kRoundRobin);
+    const auto violations = nbclos::lemma1_audit_footprints(
+        ft, [&](nbclos::SDPair sd) { return routing.link_footprint(sd); });
+    const double rate = footprint_collision_rate(ft, routing, 200, rng);
+    table.add(width, violations.size(), rate);
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  // The sharpest form of §IV-B: start from the *nonblocking* Theorem 3
+  // assignment and widen it.  Width 1 is exactly the (i,j) routing —
+  // zero violations; any width >= 2 re-introduces Lemma 1 violations.
+  std::cout << "\nWidening the Theorem 3 assignment itself:\n";
+  nbclos::TextTable widen({"spread width", "Lemma 1 violations (footprint)",
+                           "nonblocking"});
+  for (const std::uint32_t width : {1U, 2U, 3U, 9U}) {
+    nbclos::MultipathObliviousRouting routing(
+        ft, width, nbclos::SpreadPolicy::kRoundRobin, 1,
+        nbclos::CandidateBase::kYuan);
+    const auto violations = nbclos::lemma1_audit_footprints(
+        ft, [&](nbclos::SDPair sd) { return routing.link_footprint(sd); });
+    widen.add(width, violations.size(),
+              std::string(violations.empty() ? "yes" : "no"));
+  }
+  widen.print(std::cout);
+  if (csv) widen.print_csv(std::cout);
+
+  const nbclos::YuanNonblockingRouting yuan(ft);
+  std::cout << "\nTheorem 3 single-path routing on the same ftree(3+9, 12): "
+            << (nbclos::is_nonblocking_single_path(yuan)
+                    ? "0 Lemma 1 violations (nonblocking)"
+                    : "violations found (bug!)")
+            << "\nConclusion (paper): oblivious spreading cannot beat the "
+               "m >= n^2 condition;\nonly *adaptive* (pattern-aware) "
+               "routing can (Section V).\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+/// \file bench_table1.cpp
+/// \brief Reproduces the paper's Table I: sizes of nonblocking
+///        ftree(n+n^2, n+n^2) vs rearrangeable FT(m, 2) for practical
+///        switch radixes.  Cells where the paper's printed number differs
+///        from its own formulas are annotated.
+#include <iostream>
+#include <string>
+
+#include "nbclos/core/table_one.hpp"
+#include "nbclos/util/table.hpp"
+
+namespace {
+
+std::string cell(std::uint64_t ours, std::optional<std::uint64_t> paper) {
+  if (!paper.has_value()) return std::to_string(ours);
+  if (*paper == ours) return std::to_string(ours) + "  [= paper]";
+  return std::to_string(ours) + "  [paper prints " + std::to_string(*paper) +
+         "]";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+  std::cout << "Table I — size of nonblocking ftree(n+n^2, n+n^2) and "
+               "FT(m, 2)\n"
+            << "(nonblocking network: 2n^2+n switches, n^3+n^2 ports; "
+               "FT(m,2): 3m/2 switches, m^2/2 ports)\n\n";
+
+  nbclos::TextTable table({"switch radix", "NB switches", "NB ports",
+                           "FT(m,2) switches", "FT(m,2) ports"});
+  for (const auto& row : nbclos::table_one_published()) {
+    table.add_row({std::to_string(row.switch_radix),
+                   cell(row.nb_switches, row.paper_nb_switches),
+                   cell(row.nb_ports, row.paper_nb_ports),
+                   cell(row.ft_switches, row.paper_ft_switches),
+                   cell(row.ft_ports, row.paper_ft_ports)});
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  std::cout << "\nExtended rows (not in the paper):\n";
+  nbclos::TextTable extended({"switch radix", "n", "NB switches", "NB ports",
+                              "FT(m,2) switches", "FT(m,2) ports"});
+  for (const std::uint32_t radix : {56U, 72U, 90U, 110U}) {
+    const auto row = nbclos::table_one_row(radix);
+    extended.add(radix, (radix == 56U   ? 7U
+                         : radix == 72U ? 8U
+                         : radix == 90U ? 9U
+                                        : 10U),
+                 row.nb_switches, row.nb_ports, row.ft_switches, row.ft_ports);
+  }
+  extended.print(std::cout);
+  if (csv) extended.print_csv(std::cout);
+
+  std::cout << "\nNote: the 42-port row's published \"88\" switches and "
+               "\"884\" FT ports disagree\nwith the paper's own formulas "
+               "(2*6^2+6 = 78, 42^2/2 = 882); we reproduce the\nformulas "
+               "and flag the printed values.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+/// \file bench_theorem1.cpp
+/// \brief Theorem 1: with r <= 2n+1 (small top switches), a nonblocking
+///        ftree(n+m, r) supports at most 2(n+m) ports — i.e. at most
+///        twice the radix of its own bottom switches, so the construction
+///        is not cost-effective.
+///
+/// For each (n, r) in the small-top regime we compute the minimum m
+/// implied by the Lemma 2 capacity count, the resulting port count r*n,
+/// and the Theorem 1 ceiling 2(n+m); the table shows ports never exceed
+/// the ceiling and that the "ports per switch" ratio stays below 2.
+#include <iostream>
+#include <string>
+
+#include "nbclos/core/conditions.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+  std::cout << "Theorem 1 — port ceiling for small top switches "
+               "(r <= 2n+1)\n\n";
+  nbclos::TextTable table({"n", "r", "min m (count)", "ports r*n",
+                           "ceiling 2(n+m)", "ports/ceiling", "holds"});
+  bool all_hold = true;
+  for (std::uint32_t n = 1; n <= 8; ++n) {
+    for (std::uint32_t r = 2; r <= 2 * n + 1; r += (n >= 4 ? 2 : 1)) {
+      const auto min_m = nbclos::min_top_switches_deterministic(n, r);
+      const std::uint64_t ports = std::uint64_t{r} * n;
+      const auto ceiling = nbclos::port_upper_bound_small_r(
+          n, static_cast<std::uint32_t>(min_m));
+      const bool holds = ports <= ceiling;
+      all_hold = all_hold && holds;
+      table.add_row({std::to_string(n), std::to_string(r),
+                     std::to_string(min_m), std::to_string(ports),
+                     std::to_string(ceiling),
+                     nbclos::format_double(static_cast<double>(ports) /
+                                           static_cast<double>(ceiling)),
+                     holds ? "yes" : "NO"});
+    }
+  }
+  table.print(std::cout);
+  if (csv) table.print_csv(std::cout);
+
+  std::cout << "\nAll rows satisfy ports <= 2(n+m): "
+            << (all_hold ? "YES" : "NO — Theorem 1 violated!")
+            << "\nConclusion (paper): use large top switches (r >= 2n+1) "
+               "when building\nnonblocking folded-Clos networks.\n";
+  return all_hold ? 0 : 1;
+}

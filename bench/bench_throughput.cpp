@@ -1,0 +1,201 @@
+/// \file bench_throughput.cpp
+/// \brief Figure-style experiment A (the paper's motivation, refs [5][7]):
+///        delivered throughput under permutation traffic, across routings,
+///        in the packet-level simulator.
+///
+/// Series:
+///   * crossbar          — the ideal the paper wants to emulate;
+///   * nonblocking ftree — ftree(n+n^2, r) + Theorem 3 table routing;
+///   * d-mod-k ftree     — same topology, deployed-style static routing;
+///   * d-mod-k (m = n)   — the "rearrangeably nonblocking" budget fabric;
+///   * random per packet — oblivious spreading;
+///   * least-queue       — local adaptive packet steering.
+/// Expected shape: crossbar == nonblocking ftree (flat at offered load);
+/// static/oblivious schemes saturate well below 1.0 on adversarial
+/// permutations.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/sim/engine.hpp"
+#include "nbclos/util/table.hpp"
+
+namespace {
+
+using nbclos::sim::SimConfig;
+
+SimConfig base_config() {
+  SimConfig config;
+  config.warmup_cycles = 1500;
+  config.measure_cycles = 6000;
+  config.queue_capacity = 8;
+  config.seed = 11;
+  return config;
+}
+
+/// Adversarial permutation for D-mod-K with m = n: all n destinations of
+/// switch v share local number v mod n, so static destination-keyed
+/// routing funnels the whole switch through one uplink.
+nbclos::Permutation funnel_small_m(std::uint32_t n, std::uint32_t r) {
+  nbclos::Permutation pattern;
+  for (std::uint32_t v = 0; v < r; ++v) {
+    for (std::uint32_t k = 0; k < n; ++k) {
+      pattern.push_back({nbclos::LeafId{v * n + k},
+                         nbclos::LeafId{((v + 1 + k) % r) * n + (v % n)}});
+    }
+  }
+  return pattern;
+}
+
+/// Adversarial permutation for D-mod-K with m = n^2 = 16 on 32 leaves:
+/// each source switch v sends to both members of two mod-16 residue
+/// classes ({2v+4, 2v+20} and {2v+5, 2v+21} mod 32), so its four flows
+/// collapse onto two uplinks whenever the routing keys on dst mod m for
+/// m in {4, 16}.  The classes partition the leaves, so this is a full
+/// permutation, and every pair is cross-switch.
+nbclos::Permutation funnel_mod16() {
+  nbclos::Permutation pattern;
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    const std::uint32_t base = 2 * v;
+    // k ordering chosen so no source maps to itself.
+    pattern.push_back({nbclos::LeafId{v * 4 + 0},
+                       nbclos::LeafId{(base + 20) % 32}});
+    pattern.push_back({nbclos::LeafId{v * 4 + 1},
+                       nbclos::LeafId{(base + 4) % 32}});
+    pattern.push_back({nbclos::LeafId{v * 4 + 2},
+                       nbclos::LeafId{(base + 5) % 32}});
+    pattern.push_back({nbclos::LeafId{v * 4 + 3},
+                       nbclos::LeafId{(base + 21) % 32}});
+  }
+  return pattern;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+
+  constexpr std::uint32_t kN = 4;
+  constexpr std::uint32_t kR = 8;  // 32 terminals
+  const nbclos::FoldedClos nb_ft(nbclos::FtreeParams{kN, kN * kN, kR});
+  const nbclos::FoldedClos budget_ft(nbclos::FtreeParams{kN, kN, kR});
+  const auto nb_net = nbclos::build_network(nb_ft);
+  const auto budget_net = nbclos::build_network(budget_ft);
+  const auto xbar_net = nbclos::build_crossbar(kN * kR);
+
+  const nbclos::YuanNonblockingRouting yuan(nb_ft);
+  const auto yuan_table = nbclos::RoutingTable::materialize(yuan);
+
+  const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+
+  struct Series {
+    std::string name;
+    std::vector<double> throughput;
+    std::vector<double> latency;
+  };
+
+  const auto run_pattern = [&](const std::string& title,
+                               const nbclos::Permutation& pattern) {
+    nbclos::validate_permutation(pattern, kN * kR);
+    const auto traffic =
+        nbclos::sim::TrafficPattern::permutation(pattern, kN * kR);
+    std::vector<Series> series;
+
+    const auto run_series = [&](const std::string& name,
+                                const nbclos::Network& net,
+                                nbclos::sim::RoutingOracle& oracle) {
+      Series s{name, {}, {}};
+      for (const double load : loads) {
+        auto config = base_config();
+        config.injection_rate = load;
+        nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+        const auto result = sim.run();
+        s.throughput.push_back(result.accepted_throughput);
+        s.latency.push_back(result.mean_latency);
+      }
+      series.push_back(std::move(s));
+    };
+
+    {
+      nbclos::sim::CrossbarOracle oracle(kN * kR);
+      run_series("crossbar", xbar_net, oracle);
+    }
+    {
+      nbclos::sim::FtreeOracle oracle(nb_ft,
+                                      nbclos::sim::UplinkPolicy::kTable,
+                                      &yuan_table);
+      run_series("nonblocking ftree (m=n^2, Thm 3)", nb_net, oracle);
+    }
+    {
+      nbclos::sim::FtreeOracle oracle(nb_ft,
+                                      nbclos::sim::UplinkPolicy::kDModK);
+      run_series("d-mod-k ftree (m=n^2)", nb_net, oracle);
+    }
+    {
+      nbclos::sim::FtreeOracle oracle(budget_ft,
+                                      nbclos::sim::UplinkPolicy::kDModK);
+      run_series("d-mod-k ftree (m=n)", budget_net, oracle);
+    }
+    {
+      nbclos::sim::FtreeOracle oracle(nb_ft,
+                                      nbclos::sim::UplinkPolicy::kRandom,
+                                      nullptr, 77);
+      run_series("random-per-packet (m=n^2)", nb_net, oracle);
+    }
+    {
+      nbclos::sim::FtreeOracle oracle(nb_ft,
+                                      nbclos::sim::UplinkPolicy::kLeastQueue);
+      run_series("least-queue adaptive (m=n^2)", nb_net, oracle);
+    }
+
+    std::cout << title << "\n\n";
+    std::vector<std::string> headers{"routing \\ load"};
+    for (const double load : loads) {
+      headers.push_back(nbclos::format_double(load));
+    }
+    nbclos::TextTable table(headers);
+    for (const auto& s : series) {
+      std::vector<std::string> row{s.name};
+      for (const double x : s.throughput) {
+        row.push_back(nbclos::format_double(x));
+      }
+      table.add_row(std::move(row));
+    }
+    table.print(std::cout);
+    if (csv) table.print_csv(std::cout);
+
+    std::cout << "\nMean packet latency [cycles] at the same loads:\n";
+    nbclos::TextTable lat(headers);
+    for (const auto& s : series) {
+      std::vector<std::string> row{s.name};
+      for (const double x : s.latency) {
+        row.push_back(nbclos::format_double(x, 1));
+      }
+      lat.add_row(std::move(row));
+    }
+    lat.print(std::cout);
+    if (csv) lat.print_csv(std::cout);
+    std::cout << "\n";
+  };
+
+  run_pattern(
+      "Fig-A1 — accepted throughput [flits/cycle/terminal] vs offered "
+      "load,\nuplink-funnel permutation (adversarial for m = n static "
+      "routing), 32 terminals",
+      funnel_small_m(kN, kR));
+  run_pattern(
+      "Fig-A2 — same series on the mod-16 residue-funnel permutation "
+      "(adversarial\nfor m = n^2 static routing)",
+      funnel_mod16());
+
+  std::cout << "Expected shape (paper + refs [5][7]): the Theorem 3 fabric "
+               "tracks the crossbar\non BOTH patterns; every static "
+               "destination-keyed configuration has a permutation\nthat "
+               "collapses it (A1 kills m = n, A2 kills m = n^2); oblivious "
+               "spreading and\nlocal packet adaptivity recover part — but "
+               "not all — of the gap.  No static\nscheme below m = n^2 with "
+               "the (i,j) structure can escape this — that is\nTheorem 2.\n";
+  return 0;
+}

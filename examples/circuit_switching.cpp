@@ -1,0 +1,93 @@
+/// \file circuit_switching.cpp
+/// \brief The telephone-communication world the paper's §II surveys:
+///        circuit switching on Clos(n, m, r) with a centralized
+///        controller, demonstrating all three classical nonblocking
+///        regimes and why they need the controller.
+///
+/// Run: ./circuit_switching [n] [r]   (defaults n = 4, r = 6)
+#include <iostream>
+#include <string>
+
+#include "nbclos/circuit/clos_switch.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t n =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 4U;
+  const std::uint32_t r =
+      argc > 2 ? static_cast<std::uint32_t>(std::stoul(argv[2])) : 6U;
+
+  std::cout << "=== Circuit switching on Clos(" << n << ", m, " << r
+            << ") — centralized controller ===\n\n";
+
+  // 1. Strictly nonblocking: m = 2n-1 never blocks, whatever the
+  //    strategy or history (Clos 1953).
+  {
+    nbclos::circuit::ClosCircuitSwitch clos(n, 2 * n - 1, r);
+    nbclos::Xoshiro256 rng(1);
+    const auto result = nbclos::circuit::run_churn(
+        clos, nbclos::circuit::FitStrategy::kRandom, 30000, 1.0, false, rng);
+    std::cout << "m = 2n-1 = " << 2 * n - 1 << " (strict): "
+              << result.attempts << " calls, " << result.blocked
+              << " blocked\n";
+  }
+
+  // 2. Below the strict bound, greedy strategies block under churn...
+  {
+    nbclos::circuit::ClosCircuitSwitch clos(n, n, r);
+    nbclos::Xoshiro256 rng(2);
+    const auto result = nbclos::circuit::run_churn(
+        clos, nbclos::circuit::FitStrategy::kFirstFit, 30000, 1.0, false,
+        rng);
+    std::cout << "m = n = " << n << " (first-fit):  " << result.attempts
+              << " calls, " << result.blocked << " blocked (P = "
+              << nbclos::format_double(result.blocking_probability(), 3)
+              << ")\n";
+  }
+
+  // 3. ...but the same m = n fabric never blocks when the controller may
+  //    rearrange live circuits (Slepian-Duguid / Benes 1962).
+  {
+    nbclos::circuit::ClosCircuitSwitch clos(n, n, r);
+    nbclos::Xoshiro256 rng(3);
+    const auto result = nbclos::circuit::run_churn(
+        clos, nbclos::circuit::FitStrategy::kFirstFit, 30000, 1.0, true,
+        rng);
+    std::cout << "m = n = " << n << " (rearrange):  " << result.attempts
+              << " calls, " << result.blocked << " blocked, "
+              << result.rearrangements_needed << " rearrangements\n";
+  }
+
+  // 4. A single rearrangement, step by step: fill a small switch until
+  //    first-fit is stuck, then watch the recoloring place the call.
+  std::cout << "\nRearrangement walkthrough on Clos(2, 2, 3):\n";
+  nbclos::circuit::ClosCircuitSwitch clos(2, 2, 3);
+  const auto show = [&clos] {
+    for (const auto& c : clos.circuits()) {
+      std::cout << "  circuit " << c.id << ": in " << c.input_port
+                << " -> out " << c.output_port << " via middle " << c.middle
+                << "\n";
+    }
+  };
+  (void)clos.connect(0, 2, nbclos::circuit::FitStrategy::kFirstFit);
+  (void)clos.connect(1, 4, nbclos::circuit::FitStrategy::kFirstFit);
+  (void)clos.connect(2, 0, nbclos::circuit::FitStrategy::kFirstFit);
+  std::cout << "after three first-fit calls:\n";
+  show();
+  const auto blocked = clos.connect(3, 5, nbclos::circuit::FitStrategy::kFirstFit);
+  std::cout << "connect(3 -> 5) without rearrangement: "
+            << (blocked ? "placed" : "BLOCKED") << "\n";
+  if (!blocked) {
+    const auto id = clos.connect_with_rearrangement(3, 5);
+    std::cout << "connect_with_rearrangement(3 -> 5): "
+              << (id ? "placed" : "failed") << "\n";
+    show();
+  }
+  clos.validate();
+
+  std::cout << "\nThe paper's departure point: all of the above assumes one "
+               "controller seeing\nevery call.  With distributed control "
+               "(each switch routing independently),\nnone of these bounds "
+               "apply — that regime needs m >= n^2 (Theorem 2).\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+/// \file design_cluster.cpp
+/// \brief Cluster-interconnect sizing tool: given the switch radix you
+///        can buy, what nonblocking fabrics can you build and what do
+///        they cost?  This is the engineering question the paper's §IV
+///        discussion and Table I answer.
+///
+/// Run: ./design_cluster [radix] [target_ports]
+///      (defaults: radix 42, target 2000 ports)
+#include <iostream>
+#include <string>
+
+#include "nbclos/core/designer.hpp"
+#include "nbclos/core/table_one.hpp"
+#include "nbclos/topology/mport_ntree.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const std::uint32_t radix =
+      argc > 1 ? static_cast<std::uint32_t>(std::stoul(argv[1])) : 42U;
+  const std::uint64_t target_ports =
+      argc > 2 ? std::stoull(argv[2]) : 2000ULL;
+
+  std::cout << "=== Nonblocking fabric design for radix-" << radix
+            << " switches ===\n\n";
+
+  // 1. All two-level designs that fit this radix.
+  std::cout << "Two-level designs ftree(n+n^2, n+n^2) with n+n^2 <= "
+            << radix << ":\n";
+  nbclos::TextTable designs(
+      {"n", "radix used", "ports", "switches", "links", "ports/switch"});
+  for (const auto& d : nbclos::enumerate_designs(radix)) {
+    designs.add(d.n, d.switch_radix, d.ports, d.switches, d.links,
+                nbclos::format_double(static_cast<double>(d.ports) /
+                                      static_cast<double>(d.switches)));
+  }
+  designs.print(std::cout);
+
+  const auto best = nbclos::design_for_radix(radix);
+  if (!best) {
+    std::cout << "Radix too small for any nonblocking design (need >= 6).\n";
+    return 1;
+  }
+
+  // 2. Comparison with the rearrangeable m-port 2-tree of the same radix
+  //    (Table I's second family) — cheaper, but blocking under
+  //    distributed control.
+  std::cout << "\nComparison with rearrangeable FT(" << radix << ", 2):\n";
+  nbclos::TextTable cmp({"fabric", "ports", "switches",
+                         "nonblocking (distributed control)"});
+  cmp.add(std::string("ftree(") + std::to_string(best->n) + "+" +
+              std::to_string(best->n * best->n) + ", " +
+              std::to_string(best->switch_radix) + ")",
+          best->ports, best->switches, std::string("yes (Theorem 3)"));
+  if (radix % 2 == 0) {
+    const auto ft = nbclos::mport_ntree_size(radix, 2);
+    cmp.add(std::string("FT(") + std::to_string(radix) + ", 2)",
+            ft.node_count, ft.switch_count,
+            std::string("no (rearrangeable only)"));
+  }
+  cmp.print(std::cout);
+
+  // 3. Scale up: recursive multi-level designs until the port target is
+  //    met (§IV: always replace *top* switches, per Theorem 1).
+  std::cout << "\nScaling to >= " << target_ports
+            << " ports by recursive construction:\n";
+  nbclos::TextTable levels({"levels", "ports", "switches", "meets target"});
+  for (std::uint32_t level = 2; level <= 6; ++level) {
+    const auto d = nbclos::recursive_design(best->n, level);
+    const bool met = d.ports >= target_ports;
+    levels.add(level, d.ports, d.switches, std::string(met ? "yes" : "no"));
+    if (met) break;
+  }
+  levels.print(std::cout);
+
+  std::cout << "\nRule of thumb (paper): ~2N radix-N switches buy ~N^1.5 "
+               "truly nonblocking ports;\neach extra level multiplies "
+               "ports by n at ~n^2 times the switch count.\n";
+  return 0;
+}

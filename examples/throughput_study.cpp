@@ -1,0 +1,107 @@
+/// \file throughput_study.cpp
+/// \brief Packet-level demonstration of the paper's motivating claim:
+///        a folded-Clos that is "nonblocking" only in the telephone sense
+///        delivers far less than a crossbar under distributed routing,
+///        while the Theorem 3 fabric matches the crossbar exactly.
+///
+/// Run: ./throughput_study [load]   (default 0.9 flits/cycle/terminal)
+#include <iostream>
+#include <string>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/sim/engine.hpp"
+#include "nbclos/util/table.hpp"
+
+int main(int argc, char** argv) {
+  const double load = argc > 1 ? std::stod(argv[1]) : 0.9;
+
+  constexpr std::uint32_t kN = 4;
+  constexpr std::uint32_t kR = 8;
+  const std::uint32_t terminals = kN * kR;
+
+  // The adversarial permutation: each source switch targets both members
+  // of two mod-16 residue classes, so destination-keyed static routing
+  // (top = dst mod m, for m = 4 or 16) funnels its four flows onto two
+  // uplinks, while the Theorem 3 (i,j) routing keeps them disjoint.
+  nbclos::Permutation pattern;
+  for (std::uint32_t v = 0; v < kR; ++v) {
+    const std::uint32_t base = 2 * v;
+    pattern.push_back(
+        {nbclos::LeafId{v * kN + 0}, nbclos::LeafId{(base + 20) % 32}});
+    pattern.push_back(
+        {nbclos::LeafId{v * kN + 1}, nbclos::LeafId{(base + 4) % 32}});
+    pattern.push_back(
+        {nbclos::LeafId{v * kN + 2}, nbclos::LeafId{(base + 5) % 32}});
+    pattern.push_back(
+        {nbclos::LeafId{v * kN + 3}, nbclos::LeafId{(base + 21) % 32}});
+  }
+  nbclos::validate_permutation(pattern, terminals);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, terminals);
+
+  nbclos::sim::SimConfig config;
+  config.injection_rate = load;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  config.seed = 3;
+
+  nbclos::TextTable table({"fabric + routing", "accepted throughput",
+                           "mean latency", "p99 latency", "saturated"});
+  const auto report = [&](const std::string& name,
+                          const nbclos::sim::SimResult& result) {
+    table.add(name, nbclos::format_double(result.accepted_throughput),
+              nbclos::format_double(result.mean_latency, 1),
+              nbclos::format_double(result.p99_latency, 1),
+              std::string(result.saturated() ? "yes" : "no"));
+  };
+
+  {
+    const auto net = nbclos::build_crossbar(terminals);
+    nbclos::sim::CrossbarOracle oracle(terminals);
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    report("ideal crossbar", sim.run());
+  }
+  {
+    const nbclos::FoldedClos ft(nbclos::FtreeParams{kN, kN * kN, kR});
+    const auto net = nbclos::build_network(ft);
+    const nbclos::YuanNonblockingRouting routing(ft);
+    const auto routes = nbclos::RoutingTable::materialize(routing);
+    nbclos::sim::FtreeOracle oracle(ft, nbclos::sim::UplinkPolicy::kTable,
+                                    &routes);
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    report("nonblocking ftree (Theorem 3, m=n^2)", sim.run());
+  }
+  {
+    const nbclos::FoldedClos ft(nbclos::FtreeParams{kN, kN * kN, kR});
+    const auto net = nbclos::build_network(ft);
+    nbclos::sim::FtreeOracle oracle(ft, nbclos::sim::UplinkPolicy::kDModK);
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    report("same ftree, static d-mod-k", sim.run());
+  }
+  {
+    const nbclos::FoldedClos ft(nbclos::FtreeParams{kN, kN, kR});
+    const auto net = nbclos::build_network(ft);
+    nbclos::sim::FtreeOracle oracle(ft, nbclos::sim::UplinkPolicy::kDModK);
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    report("rearrangeable ftree (m=n), d-mod-k", sim.run());
+  }
+  {
+    const nbclos::FoldedClos ft(nbclos::FtreeParams{kN, kN * kN, kR});
+    const auto net = nbclos::build_network(ft);
+    nbclos::sim::FtreeOracle oracle(ft,
+                                    nbclos::sim::UplinkPolicy::kLeastQueue);
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    report("same ftree, least-queue adaptive", sim.run());
+  }
+
+  std::cout << "Adversarial permutation, offered load "
+            << nbclos::format_double(load) << " flits/cycle/terminal, "
+            << terminals << " terminals:\n\n";
+  table.print(std::cout);
+  std::cout << "\nThe Theorem 3 fabric is the only fat-tree configuration "
+               "that keeps crossbar\nthroughput under distributed control — "
+               "the paper's definition of nonblocking\nin computer "
+               "communication environments.\n";
+  return 0;
+}

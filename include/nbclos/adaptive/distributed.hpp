@@ -1,0 +1,74 @@
+/// \file distributed.hpp
+/// \brief The distributed realization of NONBLOCKINGADAPTIVE (§V).
+///
+/// The paper: "local adaptive routing algorithms ... can be realized in
+/// a distributed manner by implementing the routing logic in each of the
+/// input switches ... the algorithm does not require global information
+/// to be shared among different switches."  This header makes that
+/// concrete: SwitchLocalScheduler is one input switch's control logic —
+/// it accepts only SD pairs whose sources live in that switch and emits
+/// their assignments with no other input.  distributed_route() runs r
+/// independent schedulers and merges; tests assert the merge is
+/// identical to the monolithic NonblockingAdaptiveRouter, which is
+/// exactly the paper's claim that merging needs no coordination.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "nbclos/adaptive/router.hpp"
+
+namespace nbclos::adaptive {
+
+/// Which partition the inner loop of Fig. 4 consumes next — an ablation
+/// knob around line (7).  The paper scans all unused partitions for the
+/// largest routable subset; kFirstAvailable takes the lowest-index unused
+/// partition instead (cheaper, but loses the Lemma 6 guarantee that the
+/// first peel of a configuration is large).
+enum class PartitionPolicy : std::uint8_t {
+  kLargestSubset,   ///< the paper's greedy (default)
+  kFirstAvailable,  ///< ignore subset sizes, take partitions in order
+};
+
+/// Fig. 4's greedy for the SD pairs of ONE source switch: allocate
+/// configurations, fill partitions per the chosen policy.  Exposed so the
+/// monolithic router and the distributed schedulers share one
+/// implementation.  Returns assignments aligned with `pairs`; direct
+/// (same-switch destination) pairs get `direct = true`.
+/// \pre every pair's source lies in bottom switch `switch_id`;
+///      destinations are distinct (permutation restriction).
+[[nodiscard]] std::vector<Assignment> schedule_one_switch(
+    const AdaptiveParams& params, std::uint32_t switch_id,
+    std::span<const SDPair> pairs,
+    PartitionPolicy policy = PartitionPolicy::kLargestSubset);
+
+/// One input switch's distributed control logic.
+class SwitchLocalScheduler {
+ public:
+  SwitchLocalScheduler(AdaptiveParams params, std::uint32_t switch_id)
+      : params_(params), switch_id_(switch_id) {
+    NBCLOS_REQUIRE(switch_id < params.r, "switch id out of range");
+  }
+
+  [[nodiscard]] std::uint32_t switch_id() const noexcept { return switch_id_; }
+
+  /// Schedule this switch's local traffic; throws if any pair's source
+  /// is foreign (a distributed switch never sees foreign traffic).
+  [[nodiscard]] std::vector<Assignment> schedule(
+      std::span<const SDPair> local_pairs) const {
+    return schedule_one_switch(params_, switch_id_, local_pairs);
+  }
+
+ private:
+  AdaptiveParams params_;
+  std::uint32_t switch_id_;
+};
+
+/// Run r independent SwitchLocalSchedulers over a permutation and merge
+/// their outputs — no cross-switch information flows.  The result is
+/// byte-identical to NonblockingAdaptiveRouter::route (tested).
+[[nodiscard]] AdaptiveSchedule distributed_route(
+    const AdaptiveParams& params, const std::vector<SDPair>& pattern,
+    PartitionPolicy policy = PartitionPolicy::kLargestSubset);
+
+}  // namespace nbclos::adaptive

@@ -1,0 +1,47 @@
+/// \file lemma6.hpp
+/// \brief Lemma 6: the combinatorial engine behind Theorem 5.
+///
+/// For any k distinct numbers written with c+1 base-n digits
+/// `d_c d_{c-1} ... d_0`, there exists a digit position i such that at
+/// least k^(1/(2(c+1))) of the numbers have pairwise-different d_0, or
+/// pairwise-different (d_i - d_0) mod n.  These two criteria are exactly
+/// the partition keys of partitions 0 and i, so Lemma 6 lower-bounds how
+/// many SD pairs the greedy can peel off per configuration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbclos/util/digits.hpp"
+
+namespace nbclos::adaptive {
+
+/// Result of the Lemma 6 selection.
+struct Lemma6Selection {
+  /// Which criterion matched: partition index (0 => distinct d_0;
+  /// i >= 1 => distinct (d_i - d_0) mod n).
+  std::uint32_t partition = 0;
+  /// Indices (into the input span) of numbers with pairwise-distinct keys.
+  std::vector<std::size_t> indices;
+};
+
+/// The key Lemma 6 evaluates for a number under criterion `partition`:
+/// partition 0 -> d_0; partition i >= 1 -> (d_i - d_0) mod n.
+[[nodiscard]] std::uint32_t lemma6_key(const DigitCodec& codec,
+                                       std::uint64_t value,
+                                       std::uint32_t partition);
+
+/// Find the criterion with the most pairwise-distinct keys among the
+/// given (distinct) numbers, returning one representative per key value.
+/// \param codec  base-n codec of width c+1
+/// \param values distinct numbers, each < codec.capacity()
+/// Guaranteed (Lemma 6): result.indices.size() >= k^(1/(2(c+1))) where
+/// k = values.size() and c+1 = codec.width().
+[[nodiscard]] Lemma6Selection lemma6_select(const DigitCodec& codec,
+                                            std::span<const std::uint64_t> values);
+
+/// The analytic lower bound k^(1/(2(c+1))) of Lemma 6.
+[[nodiscard]] double lemma6_bound(std::size_t k, std::uint32_t c);
+
+}  // namespace nbclos::adaptive

@@ -1,0 +1,82 @@
+/// \file partitions.hpp
+/// \brief Partition machinery of the paper's local adaptive routing (§V).
+///
+/// For ftree(n+m, r) pick the smallest c with r <= n^c.  Bottom switches
+/// carry c base-n digits; leaf nodes carry c+1 digits
+/// `s_{c-1} ... s_0 p` where p is the node's local number.  A
+/// *configuration* is a group of (c+1)*n top-level switches, divided into
+/// c+1 *partitions* of n switches each.  Within a partition, the routing
+/// of an SD pair depends only on its destination:
+///   * partition 0 ("first partition"): destination goes to partition
+///     switch `p`;
+///   * partition k, 1 <= k <= c: destination goes to partition switch
+///     `(s_{k-1} - p) mod n`.
+/// Lemma 4 shows each partition's routing is Class DIFF: two different
+/// destinations in the same bottom switch always map to different
+/// partition switches, so SD pairs from different source switches can
+/// never contend (Lemma 3).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/util/digits.hpp"
+
+namespace nbclos::adaptive {
+
+/// Digit parameters for the adaptive scheme on ftree(n+m, r).
+struct AdaptiveParams {
+  std::uint32_t n = 0;  ///< leaf ports per bottom switch (digit radix)
+  std::uint32_t r = 0;  ///< bottom switches
+  std::uint32_t c = 0;  ///< smallest c with r <= n^c
+
+  /// Derive params from a topology.  \pre n >= 2.
+  [[nodiscard]] static AdaptiveParams from(const FoldedClos& ftree);
+
+  /// Partitions per configuration: c + 1.
+  [[nodiscard]] std::uint32_t partitions_per_config() const noexcept {
+    return c + 1;
+  }
+  /// Top switches per configuration: (c+1) * n.
+  [[nodiscard]] std::uint32_t switches_per_config() const noexcept {
+    return (c + 1) * n;
+  }
+  /// Worst-case top switches the greedy ever needs: each configuration
+  /// routes at least one SD pair per source switch, so at most n
+  /// configurations are used: n * (c+1) * n.
+  [[nodiscard]] std::uint32_t worst_case_top_switches() const noexcept {
+    return n * switches_per_config();
+  }
+};
+
+/// The partition-local switch index ("key") a destination maps to inside
+/// partition `k` (0-based; 0 is the paper's first partition).
+/// \pre k <= params.c, dst < params.r * params.n.
+[[nodiscard]] std::uint32_t partition_key(const AdaptiveParams& params,
+                                          std::uint32_t k, LeafId dst);
+
+/// Global top-switch index for (configuration, partition, key).
+[[nodiscard]] inline std::uint32_t top_switch_index(
+    const AdaptiveParams& params, std::uint32_t configuration,
+    std::uint32_t k, std::uint32_t key) {
+  return configuration * params.switches_per_config() + k * params.n + key;
+}
+
+/// Largest routable subset (Lemma 5): among SD pairs from one switch, a
+/// subset fits partition k iff all its destinations have distinct keys.
+/// Returns indices into `pairs` — the first pair seen for each distinct
+/// key, so the result's size equals the number of distinct keys.
+[[nodiscard]] std::vector<std::size_t> largest_routable_subset(
+    const AdaptiveParams& params, std::uint32_t k,
+    std::span<const SDPair> pairs);
+
+/// Class DIFF check (Lemma 3 / Lemma 4): a destination->switch map is
+/// Class DIFF iff any two *different* destinations in the same bottom
+/// switch map to different switches.  Verifies partition k's routing by
+/// exhaustive scan over all destination pairs; returns true iff it holds.
+[[nodiscard]] bool is_class_diff_partition(const AdaptiveParams& params,
+                                           std::uint32_t k);
+
+}  // namespace nbclos::adaptive

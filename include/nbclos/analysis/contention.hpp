@@ -1,0 +1,78 @@
+/// \file contention.hpp
+/// \brief Link contention measurement and the Lemma 1 link audit.
+///
+/// Contention (paper §III): a communication pattern causes contention
+/// under a routing when two of its SD pairs are routed through one
+/// directed link.  LinkLoadMap counts per-link path loads; the audit
+/// utilities check Lemma 1's iff-condition — "every link carries traffic
+/// either from one source or to one destination" — over *all* SD pairs a
+/// routing can ever produce.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nbclos/routing/single_path.hpp"
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+/// Per-link path counters for one routed pattern.
+class LinkLoadMap {
+ public:
+  explicit LinkLoadMap(const FoldedClos& ftree)
+      : ftree_(&ftree), load_(ftree.link_count(), 0) {}
+
+  void add_path(const FtreePath& path);
+  void add_paths(const std::vector<FtreePath>& paths);
+
+  [[nodiscard]] std::uint32_t load(LinkId link) const {
+    NBCLOS_REQUIRE(link.value < load_.size(), "link id out of range");
+    return load_[link.value];
+  }
+  /// Number of links carrying two or more paths.
+  [[nodiscard]] std::uint32_t contended_links() const;
+  /// Number of colliding path pairs, summed over links: sum C(load, 2).
+  [[nodiscard]] std::uint64_t colliding_pairs() const;
+  [[nodiscard]] std::uint32_t max_load() const;
+  [[nodiscard]] bool contention_free() const { return contended_links() == 0; }
+
+ private:
+  const FoldedClos* ftree_;
+  std::vector<std::uint32_t> load_;
+};
+
+/// Convenience: does this pattern cause contention under these paths?
+[[nodiscard]] bool has_contention(const FoldedClos& ftree,
+                                  const std::vector<FtreePath>& paths);
+
+/// One Lemma 1 violation: a link carrying traffic from >= 2 sources AND
+/// to >= 2 destinations.
+struct LinkAuditViolation {
+  LinkId link;
+  std::uint32_t distinct_sources = 0;
+  std::uint32_t distinct_destinations = 0;
+};
+
+/// Audit a single-path deterministic routing against Lemma 1 by routing
+/// every one of the r(r-1)n^2 cross SD pairs (plus same-switch pairs) and
+/// checking every link.  Empty result  <=>  the routing is nonblocking
+/// (Lemma 1 is an iff).
+[[nodiscard]] std::vector<LinkAuditViolation> lemma1_audit(
+    const SinglePathRouting& routing);
+
+/// Lemma 1 verdict for a single-path deterministic routing.
+[[nodiscard]] inline bool is_nonblocking_single_path(
+    const SinglePathRouting& routing) {
+  return lemma1_audit(routing).empty();
+}
+
+/// Audit an arbitrary per-SD link footprint (used for oblivious
+/// multipath, where Lemma 1 must hold over the union of candidate paths).
+/// `footprint(sd)` returns the links packets of `sd` may traverse.
+[[nodiscard]] std::vector<LinkAuditViolation> lemma1_audit_footprints(
+    const FoldedClos& ftree,
+    const std::function<std::vector<LinkId>(SDPair)>& footprint);
+
+}  // namespace nbclos

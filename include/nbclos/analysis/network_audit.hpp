@@ -1,0 +1,72 @@
+/// \file network_audit.hpp
+/// \brief Topology-agnostic generalization of Lemma 1 and the contention
+///        checker, over arbitrary Network graphs.
+///
+/// Lemma 1's proof never uses fat-tree structure: for *any* topology with
+/// single-path deterministic routing, the network is nonblocking iff
+/// every channel carries traffic from one source or to one destination
+/// (both directions of the argument only need that any two SD pairs with
+/// distinct sources and distinct destinations form a permutation).  This
+/// header provides that audit for Network graphs, plus per-channel load
+/// counting — the tools the multi-level recursive fabric (§IV) is
+/// verified with.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nbclos/topology/ids.hpp"
+#include "nbclos/topology/network.hpp"
+
+namespace nbclos {
+
+/// A route through a Network: the channels a packet traverses, in order.
+using ChannelPath = std::vector<std::uint32_t>;
+
+/// Routing function over terminals of a Network (terminal *indices*, i.e.
+/// positions in net.terminals(), so callers can keep leaf numbering).
+using NetworkRouteFn = std::function<ChannelPath(SDPair)>;
+
+/// Per-channel load counting for a set of routed paths.
+class ChannelLoadMap {
+ public:
+  explicit ChannelLoadMap(const Network& net)
+      : load_(net.channel_count(), 0) {}
+
+  void add_path(const ChannelPath& path) {
+    for (const auto c : path) ++load_.at(c);
+  }
+
+  [[nodiscard]] std::uint32_t load(std::uint32_t channel) const {
+    return load_.at(channel);
+  }
+  [[nodiscard]] std::uint32_t contended_channels() const;
+  [[nodiscard]] std::uint64_t colliding_pairs() const;
+  [[nodiscard]] bool contention_free() const {
+    return contended_channels() == 0;
+  }
+
+ private:
+  std::vector<std::uint32_t> load_;
+};
+
+/// True when two or more of the given paths share a channel.
+[[nodiscard]] bool network_has_contention(const Network& net,
+                                          const std::vector<ChannelPath>& paths);
+
+/// Generalized Lemma 1 audit: route every ordered pair of distinct
+/// terminals and check that each channel carries traffic from one source
+/// or to one destination.  Returns the violating channel ids (empty ==
+/// the routing is nonblocking on this network).
+[[nodiscard]] std::vector<std::uint32_t> network_lemma1_audit(
+    const Network& net, const NetworkRouteFn& route);
+
+/// Validate that a path is well-formed: consecutive channels chain
+/// (dst of one == src of next), it starts at the source terminal and
+/// ends at the destination terminal.  Throws on violation.
+void validate_channel_path(const Network& net, std::uint32_t src_terminal,
+                           std::uint32_t dst_terminal,
+                           const ChannelPath& path);
+
+}  // namespace nbclos

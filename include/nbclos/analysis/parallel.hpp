@@ -1,0 +1,42 @@
+/// \file parallel.hpp
+/// \brief Thread-parallel experiment drivers.
+///
+/// Monte-Carlo verification is embarrassingly parallel, but two things
+/// must be engineered for: (1) stateful routers (multipath, adaptive)
+/// cannot be shared across threads, so workers build their own via a
+/// factory; (2) results must not depend on the pool's thread count, so
+/// trials are split into a *fixed* number of chunks with seeds derived
+/// from the master seed, and partials are merged in chunk order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "nbclos/analysis/blocking.hpp"
+#include "nbclos/analysis/verifier.hpp"
+#include "nbclos/util/thread_pool.hpp"
+
+namespace nbclos {
+
+/// Build a worker-private PatternRouter from a chunk seed.
+using PatternRouterFactory =
+    std::function<PatternRouter(std::uint64_t chunk_seed)>;
+
+/// Parallel estimate_blocking: `trials` random permutations split over
+/// `chunks` deterministic chunks evaluated on `pool`.  The estimate is
+/// identical for any pool size (chunk seeds and merge order are fixed).
+[[nodiscard]] BlockingEstimate estimate_blocking_parallel(
+    const FoldedClos& ftree, const PatternRouterFactory& make_router,
+    std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
+    std::uint32_t chunks = 16);
+
+/// Parallel randomized nonblocking verification: returns nonblocking ==
+/// true iff no chunk found a counterexample; otherwise one
+/// counterexample (from the lowest-index failing chunk, so the result is
+/// deterministic).
+[[nodiscard]] VerifyResult verify_random_parallel(
+    const FoldedClos& ftree, const PatternRouterFactory& make_router,
+    std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
+    std::uint32_t chunks = 16);
+
+}  // namespace nbclos

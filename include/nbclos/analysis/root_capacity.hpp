@@ -1,0 +1,56 @@
+/// \file root_capacity.hpp
+/// \brief Lemma 2: how many SD pairs can one top-level switch carry?
+///
+/// In the single-top-switch subgraph ftree(n+1, r), a set of SD pairs is
+/// *feasible* when every uplink and every downlink carries traffic either
+/// from one source or to one destination.  Lemma 2 upper-bounds the
+/// largest feasible set by r(r-1) when r >= 2n+1 and by 2nr when
+/// r <= 2n+1.  We provide:
+///   * the analytic bound;
+///   * an exact maximizer (`root_capacity_exact`) based on a per-link
+///     mode decomposition — each uplink is either in *source mode* (all
+///     its pairs share one source) or *destination mode* (all its pairs
+///     target one destination node), and symmetrically for downlinks;
+///     after normalizing designated nodes to local index 0 (a per-switch
+///     relabeling argument, see the implementation comment) the optimum
+///     decomposes per downlink given the uplink modes, so exhaustive
+///     search over uplink modes is exact in O(r^r * r^2);
+///   * a subset brute force (`root_capacity_bruteforce`) that checks the
+///     mode model on tiny instances by searching raw SD-pair subsets;
+///   * the always-feasible witness of size r(r-1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/topology/ids.hpp"
+
+namespace nbclos {
+
+/// Lemma 2's analytic bound: r(r-1) if r >= 2n+1, else 2nr.
+[[nodiscard]] std::uint64_t root_capacity_bound(std::uint32_t n,
+                                                std::uint32_t r);
+
+/// Exact maximum feasible SD-pair count through one top switch.
+/// \pre r <= 8 (search is O(r^r * r^2)).
+[[nodiscard]] std::uint64_t root_capacity_exact(std::uint32_t n,
+                                                std::uint32_t r);
+
+/// Exact maximum by raw subset search over all r(r-1)n^2 SD pairs with
+/// feasibility pruning.  \pre r(r-1)n^2 <= 30.  Used to validate the
+/// mode model.
+[[nodiscard]] std::uint64_t root_capacity_bruteforce(std::uint32_t n,
+                                                     std::uint32_t r);
+
+/// The witness achieving r(r-1): one designated source and one designated
+/// destination per switch, all cross pairs between them.  Always feasible.
+[[nodiscard]] std::vector<SDPair> root_capacity_witness(std::uint32_t n,
+                                                        std::uint32_t r);
+
+/// Feasibility check used by tests and the brute force: every uplink and
+/// downlink of the one-top-switch subgraph carries pairs sharing a source
+/// or sharing a destination.
+[[nodiscard]] bool root_set_feasible(std::uint32_t n, std::uint32_t r,
+                                     const std::vector<SDPair>& pairs);
+
+}  // namespace nbclos

@@ -1,0 +1,81 @@
+/// \file verifier.hpp
+/// \brief Empirical nonblocking verification (Definition 2).
+///
+/// A network + routing is nonblocking when *no* permutation causes link
+/// contention.  The verifier attacks that universally-quantified claim
+/// three ways:
+///   * exhaustive enumeration of all full permutations (tiny networks —
+///     this is a proof for the instance);
+///   * uniform random sampling (statistical evidence at scale);
+///   * adversarial hill-climbing that mutates a permutation by swapping
+///     destinations to maximize colliding pairs (finds counterexamples
+///     random sampling misses, e.g. for D-mod-K style routings).
+///
+/// The router under test is abstracted as a function from a permutation
+/// to its paths, so deterministic, adaptive, and centralized schemes all
+/// fit one interface.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+class SinglePathRouting;
+
+/// Route a whole pattern at once (adaptive routers need the pattern).
+using PatternRouter =
+    std::function<std::vector<FtreePath>(const Permutation&)>;
+
+/// Wrap a SinglePathRouting as a PatternRouter.
+[[nodiscard]] PatternRouter as_pattern_router(const SinglePathRouting& routing);
+
+struct VerifyResult {
+  bool nonblocking = false;  ///< no counterexample found within the budget
+  std::uint64_t permutations_checked = 0;
+  std::optional<Permutation> counterexample;  ///< a blocked permutation
+  std::uint64_t counterexample_collisions = 0;
+};
+
+/// Exhaustively check every full permutation.  \pre leaf_count <= 10.
+/// A `nonblocking == true` result is a proof for this instance.
+[[nodiscard]] VerifyResult verify_exhaustive(const FoldedClos& ftree,
+                                             const PatternRouter& router);
+
+/// Check `trials` uniformly random full permutations.
+[[nodiscard]] VerifyResult verify_random(const FoldedClos& ftree,
+                                         const PatternRouter& router,
+                                         std::uint64_t trials,
+                                         Xoshiro256& rng);
+
+/// Adversarial search: hill-climb from random starts, swapping pairs of
+/// destinations; keeps a mutation when it does not decrease the number
+/// of colliding path pairs.  Returns the worst permutation found.
+struct AdversarialOptions {
+  std::uint32_t restarts = 8;
+  std::uint32_t steps_per_restart = 2000;
+};
+
+[[nodiscard]] VerifyResult verify_adversarial(const FoldedClos& ftree,
+                                              const PatternRouter& router,
+                                              const AdversarialOptions& options,
+                                              Xoshiro256& rng);
+
+/// Worst permutation found by a full hill-climb that MAXIMIZES colliding
+/// path pairs (unlike verify_adversarial it never stops early), measuring
+/// how badly a blocking routing can be made to perform.
+struct WorstCaseResult {
+  Permutation permutation;        ///< the worst pattern found
+  std::uint64_t collisions = 0;   ///< its colliding path pairs
+  std::uint64_t evaluations = 0;  ///< permutations scored
+};
+
+[[nodiscard]] WorstCaseResult worst_case_search(
+    const FoldedClos& ftree, const PatternRouter& router,
+    const AdversarialOptions& options, Xoshiro256& rng);
+
+}  // namespace nbclos

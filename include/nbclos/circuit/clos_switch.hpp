@@ -1,0 +1,154 @@
+/// \file clos_switch.hpp
+/// \brief The telephone-communication world: circuit switching on
+///        Clos(n, m, r) with a centralized controller.
+///
+/// This module makes the paper's §II background executable — the regime
+/// in which the classical nonblocking conditions were proved and against
+/// which the paper defines its computer-communication notion:
+///   * strictly nonblocking  (Clos 1953):  m >= 2n-1 — any free middle
+///     always exists, independent of history and strategy;
+///   * wide-sense nonblocking (Benes):     strategy-dependent (we provide
+///     packing/first-fit/random/least-used strategies to experiment);
+///   * rearrangeably nonblocking (Benes 1962): m >= n — always realizable
+///     if existing circuits may move (implemented via bipartite edge
+///     coloring, the Slepian–Duguid argument).
+///
+/// A connection occupies one first-stage link (input switch -> middle)
+/// and one second-stage link (middle -> output switch) exclusively —
+/// circuit semantics, unlike the packet world in nbclos::sim.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos::circuit {
+
+/// How the controller picks among free middle switches.
+enum class FitStrategy : std::uint8_t {
+  kFirstFit,   ///< lowest-index free middle
+  kRandom,     ///< uniform over free middles
+  kPacking,    ///< most-loaded free middle (Benes' wide-sense heuristic)
+  kLeastUsed,  ///< least-loaded free middle (spreading)
+};
+
+[[nodiscard]] std::string to_string(FitStrategy strategy);
+
+/// A live circuit.
+struct Circuit {
+  std::uint32_t id = 0;
+  std::uint32_t input_port = 0;
+  std::uint32_t output_port = 0;
+  std::uint32_t middle = 0;
+};
+
+class ClosCircuitSwitch {
+ public:
+  /// Clos(n, m, r): r input switches with n ports, m middles, r output
+  /// switches with n ports.
+  ClosCircuitSwitch(std::uint32_t n, std::uint32_t m, std::uint32_t r,
+                    std::uint64_t seed = 1);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t m() const noexcept { return m_; }
+  [[nodiscard]] std::uint32_t r() const noexcept { return r_; }
+  [[nodiscard]] std::uint32_t port_count() const noexcept { return n_ * r_; }
+
+  [[nodiscard]] bool input_port_busy(std::uint32_t port) const;
+  [[nodiscard]] bool output_port_busy(std::uint32_t port) const;
+  [[nodiscard]] std::size_t active_circuits() const noexcept {
+    return active_count_;
+  }
+
+  /// Try to establish input_port -> output_port without disturbing
+  /// existing circuits.  Returns the circuit id, or nullopt if every
+  /// middle has its first- or second-stage link busy (blocked).
+  /// \pre both ports idle.
+  [[nodiscard]] std::optional<std::uint32_t> connect(std::uint32_t input_port,
+                                                     std::uint32_t output_port,
+                                                     FitStrategy strategy);
+
+  /// Establish the circuit, rearranging existing circuits if necessary
+  /// (Slepian–Duguid via bipartite edge coloring).  Returns the circuit
+  /// id, or nullopt only when even rearrangement cannot help (some
+  /// switch already carries more circuits than m — impossible for
+  /// m >= n).  Existing circuits may change middles but never drop.
+  [[nodiscard]] std::optional<std::uint32_t> connect_with_rearrangement(
+      std::uint32_t input_port, std::uint32_t output_port);
+
+  /// Tear down a circuit.  \pre id is active.
+  void disconnect(std::uint32_t id);
+
+  [[nodiscard]] std::optional<Circuit> circuit(std::uint32_t id) const;
+  [[nodiscard]] std::vector<Circuit> circuits() const;
+
+  /// Internal-consistency audit: every active circuit holds exactly its
+  /// two stage links and no link is double-booked.  Throws on violation.
+  void validate() const;
+
+ private:
+  [[nodiscard]] std::optional<std::uint32_t> pick_middle(
+      std::uint32_t in_switch, std::uint32_t out_switch, FitStrategy strategy);
+  void occupy(const Circuit& circuit);
+  void release(const Circuit& circuit);
+
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint32_t r_;
+  Xoshiro256 rng_;
+
+  static constexpr std::int64_t kFree = -1;
+  // first_[i][j]: circuit id using link input-switch i -> middle j.
+  std::vector<std::vector<std::int64_t>> first_;
+  // second_[j][k]: circuit id using link middle j -> output-switch k.
+  std::vector<std::vector<std::int64_t>> second_;
+  std::vector<std::uint32_t> middle_load_;  ///< circuits per middle
+
+  std::vector<std::optional<Circuit>> circuits_;  ///< indexed by id
+  std::vector<std::int64_t> input_port_circuit_;
+  std::vector<std::int64_t> output_port_circuit_;
+  std::size_t active_count_ = 0;
+};
+
+/// Connect/disconnect churn driver: at each step, with probability
+/// proportional to free ports, picks a random idle input/output pair and
+/// attempts to connect; otherwise disconnects a random active circuit.
+struct ChurnResult {
+  std::uint64_t attempts = 0;
+  std::uint64_t blocked = 0;
+  std::uint64_t rearrangements_needed = 0;  ///< only with rearrangement
+  [[nodiscard]] double blocking_probability() const {
+    return attempts == 0 ? 0.0
+                         : static_cast<double>(blocked) /
+                               static_cast<double>(attempts);
+  }
+};
+
+/// \param target_occupancy fraction of ports to keep busy (0, 1].
+/// \param use_rearrangement route blocked calls via
+///        connect_with_rearrangement instead of counting them blocked.
+[[nodiscard]] ChurnResult run_churn(ClosCircuitSwitch& clos,
+                                    FitStrategy strategy, std::uint64_t steps,
+                                    double target_occupancy,
+                                    bool use_rearrangement, Xoshiro256& rng);
+
+/// Adversarial call-sequence search: random sequences of connects and
+/// targeted disconnects, restarted many times, hunting for a state in
+/// which some connect request blocks.  Distinguishes wide-sense behaviour
+/// below the strict bound: a strategy survives the adversary at a given
+/// m iff no blocking state was found within the budget (not a proof —
+/// but packing routinely survives budgets that kill spreading).
+struct AdversarySearchResult {
+  bool blocked_found = false;
+  std::uint64_t sequences_tried = 0;
+  std::uint64_t calls_placed = 0;
+};
+
+[[nodiscard]] AdversarySearchResult adversary_search(
+    std::uint32_t n, std::uint32_t m, std::uint32_t r, FitStrategy strategy,
+    std::uint32_t restarts, std::uint32_t steps_per_restart, Xoshiro256& rng);
+
+}  // namespace nbclos::circuit

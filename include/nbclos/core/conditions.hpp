@@ -1,0 +1,58 @@
+/// \file conditions.hpp
+/// \brief The paper's nonblocking conditions as executable predicates and
+///        bounds (Theorems 1, 2, 5).
+#pragma once
+
+#include <cstdint>
+
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+/// Is this the "large top switch" regime (r >= 2n+1) where nonblocking
+/// construction is cost-effective (Theorem 1's complement)?
+[[nodiscard]] constexpr bool large_top_regime(std::uint32_t n,
+                                              std::uint32_t r) noexcept {
+  return r >= 2 * n + 1;
+}
+
+/// Theorem 1: when r <= 2n+1, a nonblocking ftree(n+m, r) under any
+/// single-path deterministic routing supports at most 2(n+m) ports.
+[[nodiscard]] constexpr std::uint64_t port_upper_bound_small_r(
+    std::uint32_t n, std::uint32_t m) noexcept {
+  return 2ULL * (n + m);
+}
+
+/// Lower bound on top switches for a nonblocking ftree with single-path
+/// deterministic routing: n^2 when r >= 2n+1 (Theorem 2); otherwise the
+/// Lemma 2 counting bound ceil(r(r-1)n^2 / 2nr) = ceil((r-1)n / 2).
+[[nodiscard]] constexpr std::uint64_t min_top_switches_deterministic(
+    std::uint32_t n, std::uint32_t r) noexcept {
+  if (large_top_regime(n, r)) return std::uint64_t{n} * n;
+  return (std::uint64_t{r - 1} * n + 1) / 2;
+}
+
+/// Theorem 2/3 combined: is ftree(n+m, r) nonblocking-constructible with
+/// single-path deterministic routing?  (Tight: m >= n^2 suffices via the
+/// Theorem 3 routing and is necessary when r >= 2n+1.)
+[[nodiscard]] constexpr bool deterministic_nonblocking_feasible(
+    const FtreeParams& params) noexcept {
+  return std::uint64_t{params.m} >= std::uint64_t{params.n} * params.n;
+}
+
+/// Theorem 5's asymptotic exponent for local adaptive routing: the
+/// number of top switches needed is O(n^(2 - 1/(2(c+1)))).
+[[nodiscard]] constexpr double adaptive_exponent(std::uint32_t c) noexcept {
+  return 2.0 - 1.0 / (2.0 * (static_cast<double>(c) + 1.0));
+}
+
+/// The simple (non-asymptotic) adaptive bound derived in §V: at most
+/// n/(c+2) configurations of (c+1)n switches — fewer than n^2 switches.
+[[nodiscard]] constexpr std::uint64_t adaptive_simple_bound(
+    std::uint32_t n, std::uint32_t c) noexcept {
+  // ceil(n / (c+2)) configurations, (c+1)*n switches each.
+  const std::uint64_t configs = (std::uint64_t{n} + c + 1) / (c + 2);
+  return configs * (c + 1) * n;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,59 @@
+/// \file designer.hpp
+/// \brief Design-space exploration: "given switches of radix R, what
+///        nonblocking fabrics can I build, and what do they cost?"
+///        (the engineering question Table I and §IV's discussion answer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+/// Cost/size summary of one two-level nonblocking design
+/// ftree(n + n^2, r) built from same-radix switches (r = n + n^2).
+struct TwoLevelDesign {
+  std::uint32_t n = 0;             ///< leaf ports per bottom switch
+  std::uint32_t switch_radix = 0;  ///< n + n^2 (both levels, same radix)
+  FtreeParams params;              ///< the ftree(n+n^2, n+n^2) instance
+  std::uint64_t ports = 0;         ///< n^3 + n^2
+  std::uint64_t switches = 0;      ///< 2n^2 + n
+  std::uint64_t links = 0;         ///< bidirectional links, incl. leaf links
+};
+
+/// The design for a given n (radix = n + n^2).  \pre n >= 2.
+[[nodiscard]] TwoLevelDesign two_level_design(std::uint32_t n);
+
+/// Largest design whose switches fit the given radix: the biggest n with
+/// n + n^2 <= radix.  nullopt when radix < 6 (n would be < 2).
+[[nodiscard]] std::optional<TwoLevelDesign> design_for_radix(
+    std::uint32_t radix);
+
+/// Multi-level recursive design (§IV discussion): level L+1 replaces
+/// each top-level switch with a level-L nonblocking network, following
+/// the paper's guidance (Theorem 1) to grow the *top*, never the bottom.
+/// Recurrences, with P(2) = n^3+n^2 and S(2) = 2n^2+n:
+///   P(L+1) = n * P(L)          (ports)
+///   S(L+1) = P(L) + n^2 * S(L) (bottom switches + n^2 replaced tops)
+/// Note: for L = 3 this yields 2n^4 + 2n^3 + n^2 switches; the paper's
+/// prose prints 2n^4 + 3n^3 + n^2 — see EXPERIMENTS.md for the
+/// discrepancy discussion (our benches report both).
+struct RecursiveDesign {
+  std::uint32_t n = 0;
+  std::uint32_t levels = 0;
+  std::uint32_t switch_radix = 0;  ///< n + n^2 everywhere
+  std::uint64_t ports = 0;
+  std::uint64_t switches = 0;
+};
+
+/// \pre n >= 2, levels >= 2; throws on overflow.
+[[nodiscard]] RecursiveDesign recursive_design(std::uint32_t n,
+                                               std::uint32_t levels);
+
+/// All two-level designs with radix at most `max_radix`, ascending n.
+[[nodiscard]] std::vector<TwoLevelDesign> enumerate_designs(
+    std::uint32_t max_radix);
+
+}  // namespace nbclos

@@ -1,0 +1,63 @@
+/// \file fabric.hpp
+/// \brief NonblockingFabric — the library's end-to-end facade.
+///
+/// Bundles the topology (ftree(n+n^2, r)), the paper's optimal
+/// single-path nonblocking routing (Theorem 3), certification (the
+/// Lemma 1 link audit, which is an if-and-only-if proof for the
+/// instance), empirical verification, and conversion to a simulator
+/// Network.  This is the object a downstream user instantiates to get a
+/// "crossbar-equivalent" fabric built from small switches.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "nbclos/analysis/verifier.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/topology/network.hpp"
+
+namespace nbclos {
+
+class NonblockingFabric {
+ public:
+  /// Build ftree(n + n^2, r).  By default r = n + n^2 (uniform switch
+  /// radix, as in Table I); any r >= 2 is allowed.  \pre n >= 2.
+  explicit NonblockingFabric(std::uint32_t n,
+                             std::optional<std::uint32_t> r = std::nullopt);
+
+  [[nodiscard]] const FoldedClos& topology() const noexcept { return ftree_; }
+  [[nodiscard]] const SinglePathRouting& routing() const noexcept {
+    return routing_;
+  }
+  [[nodiscard]] std::uint32_t port_count() const noexcept {
+    return ftree_.leaf_count();
+  }
+
+  /// Route one SD pair (fixed path, Theorem 3 scheme).
+  [[nodiscard]] FtreePath route(SDPair sd) const { return routing_.route(sd); }
+
+  /// Route a permutation; guaranteed contention-free.
+  [[nodiscard]] std::vector<FtreePath> route_pattern(
+      const Permutation& pattern) const {
+    return routing_.route_all(pattern);
+  }
+
+  /// Certify nonblocking-ness via the Lemma 1 audit over all SD pairs —
+  /// a machine-checked proof for this instance (not sampling).
+  [[nodiscard]] bool certify() const;
+
+  /// Statistical spot-check over random permutations.
+  [[nodiscard]] VerifyResult verify_random(std::uint64_t trials,
+                                           std::uint64_t seed) const;
+
+  /// Simulator-ready network graph (channel ids == LinkIds).
+  [[nodiscard]] Network to_network() const { return build_network(ftree_); }
+
+ private:
+  FoldedClos ftree_;
+  YuanNonblockingRouting routing_;
+};
+
+}  // namespace nbclos

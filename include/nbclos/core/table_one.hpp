@@ -1,0 +1,42 @@
+/// \file table_one.hpp
+/// \brief Reproduction of the paper's Table I: sizes of the nonblocking
+///        ftree(n+n^2, n+n^2) versus the rearrangeable FT(m, 2), for
+///        practical switch radixes (20, 30, 42 ports).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nbclos/core/designer.hpp"
+
+namespace nbclos {
+
+/// One row of Table I.  `paper_*` fields hold the values printed in the
+/// paper when the radix is one of the published rows; our computed values
+/// sit alongside so mismatches (two apparent typos in the published
+/// table) are visible rather than silently "reproduced".
+struct TableOneRow {
+  std::uint32_t switch_radix = 0;
+
+  // Nonblocking ftree(n+n^2, n+n^2) (ours / paper's print).
+  std::uint64_t nb_switches = 0;
+  std::uint64_t nb_ports = 0;
+  std::optional<std::uint64_t> paper_nb_switches;
+  std::optional<std::uint64_t> paper_nb_ports;
+
+  // Rearrangeable FT(radix, 2) comparison (ours / paper's print).
+  std::uint64_t ft_switches = 0;
+  std::uint64_t ft_ports = 0;
+  std::optional<std::uint64_t> paper_ft_switches;
+  std::optional<std::uint64_t> paper_ft_ports;
+};
+
+/// Compute a Table I row for an arbitrary even radix >= 6.
+[[nodiscard]] TableOneRow table_one_row(std::uint32_t radix);
+
+/// The paper's published rows (20-, 30-, 42-port switches), with the
+/// paper's printed numbers attached for comparison.
+[[nodiscard]] std::vector<TableOneRow> table_one_published();
+
+}  // namespace nbclos

@@ -1,0 +1,69 @@
+/// \file baselines.hpp
+/// \brief Deterministic single-path routings used by deployed fat-tree
+///        systems, as comparison points for the paper's scheme.
+///
+/// * DModK — "destination mod k": top switch = dst leaf id mod m.  This
+///   is the classic InfiniBand / OpenSM-style static fat-tree routing
+///   (every path to a given destination converges on one top switch), the
+///   scheme whose permutation behaviour refs [5][7] measured.
+/// * DModKSwitch — coarser variant keyed by destination *switch*.
+/// * SModK — source-keyed mirror image of DModK.
+/// * RandomFixed — a uniformly random but fixed per-SD assignment (what
+///   "random routing tables" give you), seeded and reproducible.
+#pragma once
+
+#include <vector>
+
+#include "nbclos/routing/single_path.hpp"
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos {
+
+class DModKRouting final : public SinglePathRouting {
+ public:
+  using SinglePathRouting::SinglePathRouting;
+  [[nodiscard]] std::string name() const override { return "d-mod-k"; }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair sd) const override {
+    return TopId{sd.dst.value % ftree().m()};
+  }
+};
+
+class DModKSwitchRouting final : public SinglePathRouting {
+ public:
+  using SinglePathRouting::SinglePathRouting;
+  [[nodiscard]] std::string name() const override { return "dswitch-mod-k"; }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair sd) const override {
+    return TopId{ftree().switch_of(sd.dst).value % ftree().m()};
+  }
+};
+
+class SModKRouting final : public SinglePathRouting {
+ public:
+  using SinglePathRouting::SinglePathRouting;
+  [[nodiscard]] std::string name() const override { return "s-mod-k"; }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair sd) const override {
+    return TopId{sd.src.value % ftree().m()};
+  }
+};
+
+/// Fixed random assignment: a reproducible table mapping every cross SD
+/// pair to an independently uniform top switch.
+class RandomFixedRouting final : public SinglePathRouting {
+ public:
+  RandomFixedRouting(const FoldedClos& ftree, std::uint64_t seed);
+  [[nodiscard]] std::string name() const override { return "random-fixed"; }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair sd) const override;
+
+ private:
+  std::vector<std::uint32_t> table_;  ///< indexed by src*leaf_count + dst
+};
+
+}  // namespace nbclos

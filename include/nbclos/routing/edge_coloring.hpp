@@ -1,0 +1,55 @@
+/// \file edge_coloring.hpp
+/// \brief Centralized (global-adaptive) permutation routing via bipartite
+///        edge coloring — the telephone-world comparator.
+///
+/// With a centralized controller, ftree(n+m, r) is rearrangeably
+/// nonblocking for m >= n (Benes 1962).  The constructive proof is a
+/// bipartite edge coloring: model the permutation as a multigraph with
+/// source switches on the left, destination switches on the right, and
+/// one edge per cross SD pair.  Every vertex has degree <= n (a switch
+/// hosts n leaves), and by König's theorem the edges can be properly
+/// colored with max-degree colors; assigning color c -> top switch c
+/// yields contention-free routes.
+///
+/// The paper uses this scheme as the baseline that distributed control
+/// cannot implement: it needs the whole pattern at once.  We implement it
+/// to (a) check our verifier against a known-nonblocking scheme and
+/// (b) quantify the price of distributed control (m = n versus m = n^2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+/// Properly edge-color a bipartite multigraph given as (left, right) endpoint
+/// pairs, using at most max-degree colors (König).  Returns one color per
+/// edge.  Exposed for direct testing.
+/// \param left_count  number of left vertices
+/// \param right_count number of right vertices
+/// \param edges       (left, right) endpoint index pairs
+[[nodiscard]] std::vector<std::uint32_t> bipartite_edge_coloring(
+    std::uint32_t left_count, std::uint32_t right_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges);
+
+class CentralizedRearrangeableRouter {
+ public:
+  explicit CentralizedRearrangeableRouter(const FoldedClos& ftree)
+      : ftree_(&ftree) {}
+
+  [[nodiscard]] std::string name() const { return "centralized-coloring"; }
+  [[nodiscard]] const FoldedClos& ftree() const noexcept { return *ftree_; }
+
+  /// Contention-free routes for a permutation.  Throws precondition_error
+  /// if the pattern is not a permutation or if it needs more colors than
+  /// m (cannot happen when m >= n).
+  [[nodiscard]] std::vector<FtreePath> route(
+      const std::vector<SDPair>& permutation) const;
+
+ private:
+  const FoldedClos* ftree_;
+};
+
+}  // namespace nbclos

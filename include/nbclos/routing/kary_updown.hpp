@@ -1,0 +1,64 @@
+/// \file kary_updown.hpp
+/// \brief Nearest-common-ancestor (up/down) routing on k-ary n-trees —
+///        the routing discipline of real fat-tree interconnects
+///        (Petrini & Vanneschi; InfiniBand-style destination-based
+///        variants), used here to exercise the generic Network/simulator
+///        stack on the paper's broader topology family.
+///
+/// A packet climbs from its source's edge switch to the lowest level
+/// whose position digits can still be steered to match the destination
+/// (the NCA level), then descends deterministically.  Upward digit
+/// choices are free — that freedom is exactly where fat-tree adaptivity
+/// lives; we provide a destination-keyed deterministic choice (the
+/// D-mod-K analogue) and a uniformly random one.
+#pragma once
+
+#include <cstdint>
+
+#include "nbclos/analysis/network_audit.hpp"
+#include "nbclos/topology/network.hpp"
+#include "nbclos/util/digits.hpp"
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos {
+
+class KaryTreeRouter {
+ public:
+  /// \param net must be the graph produced by build_kary_ntree(k, h).
+  KaryTreeRouter(const Network& net, std::uint32_t k, std::uint32_t h);
+
+  [[nodiscard]] std::uint32_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint32_t h() const noexcept { return h_; }
+  [[nodiscard]] std::uint32_t terminal_count() const noexcept {
+    return terminals_;
+  }
+
+  /// Switch levels the route must climb (0 = same edge switch).
+  [[nodiscard]] std::uint32_t nca_level(std::uint32_t src,
+                                        std::uint32_t dst) const;
+
+  /// Deterministic route: upward digits are set to the destination's
+  /// switch digits immediately (destination-based convergence, like
+  /// D-mod-K on two-level fat-trees).
+  [[nodiscard]] ChannelPath route(SDPair sd) const;
+
+  /// Random upward digits (oblivious spreading); descent deterministic.
+  [[nodiscard]] ChannelPath route_random(SDPair sd, Xoshiro256& rng) const;
+
+ private:
+  [[nodiscard]] ChannelPath route_impl(
+      SDPair sd, const std::function<std::uint32_t(std::uint32_t)>& up_digit)
+      const;
+  [[nodiscard]] std::uint32_t switch_vertex(std::uint32_t level,
+                                            std::uint32_t pos) const;
+  [[nodiscard]] std::uint32_t channel_between(std::uint32_t from,
+                                              std::uint32_t to) const;
+
+  const Network* net_;
+  std::uint32_t k_;
+  std::uint32_t h_;
+  std::uint32_t terminals_;
+  std::uint32_t per_level_;  ///< k^(h-1) switches per level
+};
+
+}  // namespace nbclos

@@ -1,0 +1,70 @@
+/// \file multipath.hpp
+/// \brief Traffic-oblivious multi-path deterministic routing (paper §IV-B).
+///
+/// Packets of one SD pair are spread over a fixed candidate set of top
+/// switches, by round-robin, random draw, or hashing — all independent of
+/// the traffic pattern.  The paper shows such schemes obey the same
+/// nonblocking condition (m >= n^2) as single-path routing: because the
+/// moment a particular path is used is unpredictable, Lemma 1 must hold
+/// over the *union* of candidate paths.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos {
+
+enum class SpreadPolicy : std::uint8_t {
+  kRoundRobin,  ///< packet t of an SD pair uses candidate t mod |C|
+  kRandom,      ///< each packet draws a candidate uniformly
+  kHash,        ///< candidate chosen by hashing (sd, packet index)
+};
+
+[[nodiscard]] std::string to_string(SpreadPolicy policy);
+
+/// Which fixed candidate fan each SD pair spreads over.
+enum class CandidateBase : std::uint8_t {
+  kSum,   ///< candidate k of (s,d) is top (s + d + k) mod m
+  kYuan,  ///< candidate k is top (i*n + j + k) mod m — widens the
+          ///< Theorem 3 assignment, so width 1 is exactly the
+          ///< nonblocking routing and any width >= 2 breaks Lemma 1
+};
+
+class MultipathObliviousRouting {
+ public:
+  /// Spread every cross SD pair over `width` candidate top switches —
+  /// a fixed, pattern-independent fan.  width = m gives full spreading.
+  MultipathObliviousRouting(const FoldedClos& ftree, std::uint32_t width,
+                            SpreadPolicy policy, std::uint64_t seed = 1,
+                            CandidateBase base = CandidateBase::kSum);
+
+  [[nodiscard]] const FoldedClos& ftree() const noexcept { return *ftree_; }
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] SpreadPolicy policy() const noexcept { return policy_; }
+  [[nodiscard]] std::string name() const;
+
+  /// The fixed candidate set for an SD pair (cross pairs only).
+  [[nodiscard]] std::vector<TopId> candidates(SDPair sd) const;
+
+  /// Path used by the `packet_index`-th packet of this SD pair.  For
+  /// kRandom the draw consumes this object's internal generator, so the
+  /// sequence is reproducible from the seed but stateful.
+  [[nodiscard]] FtreePath path_for_packet(SDPair sd, std::uint64_t packet_index);
+
+  /// Union of links that packets of this SD pair may ever traverse — the
+  /// object Lemma 1 constrains for oblivious multipath schemes.
+  [[nodiscard]] std::vector<LinkId> link_footprint(SDPair sd) const;
+
+ private:
+  const FoldedClos* ftree_;
+  std::uint32_t width_;
+  SpreadPolicy policy_;
+  CandidateBase base_ = CandidateBase::kSum;
+  mutable Xoshiro256 rng_;
+};
+
+}  // namespace nbclos

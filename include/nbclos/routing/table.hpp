@@ -1,0 +1,55 @@
+/// \file table.hpp
+/// \brief Materialized per-SD routing tables.
+///
+/// A RoutingTable stores an explicit top-switch assignment for a set of
+/// SD pairs.  Two uses: (1) snapshot any SinglePathRouting so the packet
+/// simulator can do O(1) lookups, and (2) hold pattern-specific
+/// assignments produced by the adaptive/centralized routers, which are
+/// functions of the traffic pattern rather than the SD pair alone.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nbclos/routing/single_path.hpp"
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos {
+
+class RoutingTable {
+ public:
+  explicit RoutingTable(const FoldedClos& ftree) : ftree_(&ftree) {}
+
+  [[nodiscard]] const FoldedClos& ftree() const noexcept { return *ftree_; }
+
+  /// Record the top switch for a cross SD pair (overwrites).
+  void set(SDPair sd, TopId top);
+
+  /// Lookup; nullopt if the pair was never assigned (direct pairs are
+  /// never stored — ask the topology instead).
+  [[nodiscard]] std::optional<TopId> lookup(SDPair sd) const;
+
+  /// Path for an SD pair: direct if same switch, else the stored
+  /// assignment.  Throws if a cross pair has no assignment.
+  [[nodiscard]] FtreePath path(SDPair sd) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  /// Snapshot a routing algorithm over *all* r(r-1)n^2 cross SD pairs.
+  [[nodiscard]] static RoutingTable materialize(const SinglePathRouting& routing);
+
+  /// Build from explicit per-pattern paths (e.g. adaptive output).
+  [[nodiscard]] static RoutingTable from_paths(
+      const FoldedClos& ftree, const std::vector<FtreePath>& paths);
+
+  /// Highest assigned top-switch index + 1 (0 when empty) — the number of
+  /// top switches the assignment actually requires.
+  [[nodiscard]] std::uint32_t top_switches_used() const;
+
+ private:
+  const FoldedClos* ftree_;
+  std::unordered_map<SDPair, std::uint32_t> table_;
+};
+
+}  // namespace nbclos

@@ -1,0 +1,43 @@
+/// \file yuan_nonblocking.hpp
+/// \brief The paper's optimal nonblocking single-path routing (Theorem 3).
+///
+/// In ftree(n + n^2, r) the n^2 top switches are numbered (i, j) with
+/// 0 <= i, j < n.  SD pair (s = (v, i), d = (w, j)) is routed through top
+/// switch (i, j), i.e. the top switch indexed by the *local* numbers of
+/// the source and destination within their bottom switches.  Theorem 3
+/// proves every uplink then carries traffic from exactly one source and
+/// every downlink to exactly one destination, so by Lemma 1 the network
+/// is nonblocking for every permutation.
+#pragma once
+
+#include "nbclos/routing/single_path.hpp"
+
+namespace nbclos {
+
+class YuanNonblockingRouting final : public SinglePathRouting {
+ public:
+  /// \pre ftree.m() >= ftree.n()^2 (the nonblocking condition, Theorem 2).
+  explicit YuanNonblockingRouting(const FoldedClos& ftree)
+      : SinglePathRouting(ftree) {
+    NBCLOS_REQUIRE(std::uint64_t{ftree.m()} >=
+                       std::uint64_t{ftree.n()} * ftree.n(),
+                   "Yuan routing requires m >= n^2 top switches");
+  }
+
+  [[nodiscard]] std::string name() const override { return "yuan-nonblocking"; }
+
+  /// The (i, j) top switch as a flat index i*n + j.
+  [[nodiscard]] static TopId top_index(std::uint32_t n, std::uint32_t i,
+                                       std::uint32_t j) {
+    NBCLOS_REQUIRE(i < n && j < n, "top coordinates out of range");
+    return TopId{i * n + j};
+  }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair sd) const override {
+    const auto& ft = ftree();
+    return top_index(ft.n(), ft.local_of(sd.src), ft.local_of(sd.dst));
+  }
+};
+
+}  // namespace nbclos

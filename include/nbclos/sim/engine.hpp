@@ -1,0 +1,125 @@
+/// \file engine.hpp
+/// \brief Cycle-driven packet simulator over a Network.
+///
+/// Model (BookSim-style store-and-forward at packet granularity):
+///   * every channel moves one flit per cycle, so a packet of S flits
+///     occupies a channel for S cycles per hop;
+///   * each channel has an output queue at its source vertex holding
+///     packets waiting to transmit (capacity-limited at switches,
+///     unbounded at terminal sources, which model the NIC's send queue);
+///   * routing is decided when a packet arrives at a vertex, by a
+///     RoutingOracle that may only inspect local queue occupancy —
+///     distributed control, as the paper requires;
+///   * when a packet finishes a hop but the chosen next queue is full it
+///     stalls on the channel (credit-style backpressure).
+/// Per cycle: arrivals -> transmission starts -> injection.  All
+/// iteration orders are fixed, so runs are bit-reproducible from seeds.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "nbclos/sim/oracle.hpp"
+#include "nbclos/sim/traffic.hpp"
+#include "nbclos/topology/network.hpp"
+#include "nbclos/util/stats.hpp"
+
+namespace nbclos::sim {
+
+struct SimConfig {
+  double injection_rate = 0.1;   ///< offered load, flits/cycle/terminal
+  std::uint32_t packet_size = 1; ///< flits per packet
+  std::uint32_t queue_capacity = 8;  ///< packets per switch output queue
+  std::uint64_t warmup_cycles = 2000;
+  std::uint64_t measure_cycles = 8000;
+  std::uint64_t seed = 42;
+};
+
+struct SimResult {
+  double offered_load = 0.0;          ///< config injection rate
+  double accepted_throughput = 0.0;   ///< delivered flits/terminal/cycle
+  double mean_latency = 0.0;          ///< cycles, measured packets only
+  double p99_latency = 0.0;
+  std::uint64_t injected_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  double mean_switch_queue_depth = 0.0;  ///< time-average over switch queues
+  /// Fairness: per-SOURCE-terminal accepted throughput extremes over the
+  /// measurement window (flits/cycle).  A big min/max gap means some
+  /// flows starve — typical for static routings on funnel patterns.
+  double min_flow_throughput = 0.0;
+  double max_flow_throughput = 0.0;
+  /// accepted < 95% of offered — the network is saturated at this load.
+  [[nodiscard]] bool saturated() const {
+    return accepted_throughput < 0.95 * offered_load;
+  }
+};
+
+class PacketSim {
+ public:
+  /// All references must outlive the simulator.
+  PacketSim(const Network& net, RoutingOracle& oracle,
+            const TrafficPattern& traffic, SimConfig config);
+
+  /// Run warmup + measurement; returns aggregate results.
+  [[nodiscard]] SimResult run();
+
+ private:
+  struct ChannelState {
+    std::deque<Packet> queue;      ///< waiting at the source vertex
+    bool in_flight_valid = false;
+    Packet in_flight;
+    std::uint64_t arrival_cycle = 0;
+  };
+
+  void step_arrivals();
+  void step_transmissions();
+  void step_injection();
+  void deliver(const Packet& packet);
+
+  const Network* net_;
+  RoutingOracle* oracle_;
+  const TrafficPattern* traffic_;
+  SimConfig config_;
+
+  std::vector<ChannelState> channels_;
+  std::vector<std::uint32_t> queue_depth_;  ///< mirrors queue sizes (SimView)
+  // Per-queue round-robin arbitration state (see step_arrivals).
+  std::vector<std::vector<std::uint32_t>> arrival_candidates_;
+  std::vector<std::uint32_t> arrival_targets_;
+  std::vector<std::uint32_t> rr_last_winner_;
+  std::vector<std::uint32_t> terminal_vertices_;
+  std::vector<bool> is_terminal_source_queue_;  ///< per channel
+
+  Xoshiro256 rng_{42};
+  std::uint64_t now_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  std::vector<std::uint64_t> flow_sequence_;  ///< per source terminal
+
+  bool measuring_ = false;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_measured_flits_ = 0;
+  std::vector<std::uint64_t> delivered_per_source_;  ///< measured flits
+  std::uint64_t delivered_packets_ = 0;
+  RunningStats latency_;
+  std::vector<double> latencies_;  ///< for p99
+  RunningStats queue_depth_samples_;
+};
+
+/// Convenience: sweep injection rates and return one SimResult per rate.
+[[nodiscard]] std::vector<SimResult> load_sweep(
+    const Network& net, RoutingOracle& oracle, const TrafficPattern& traffic,
+    const SimConfig& base, const std::vector<double>& rates);
+
+/// Binary-search the saturation throughput: the highest offered load the
+/// network still accepts (accepted >= 95% of offered).  Returns the last
+/// sustainable load found within `iterations` bisection steps over
+/// [0, 1].  The oracle's internal randomness advances across probes, so
+/// pass a freshly-seeded oracle for reproducible results.
+[[nodiscard]] double find_saturation_load(const Network& net,
+                                          RoutingOracle& oracle,
+                                          const TrafficPattern& traffic,
+                                          const SimConfig& base,
+                                          std::uint32_t iterations = 6);
+
+}  // namespace nbclos::sim

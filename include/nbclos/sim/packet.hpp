@@ -1,0 +1,20 @@
+/// \file packet.hpp
+/// \brief The unit of traffic in the packet simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace nbclos::sim {
+
+struct Packet {
+  std::uint64_t id = 0;
+  std::uint32_t src_terminal = 0;  ///< network vertex id of the source
+  std::uint32_t dst_terminal = 0;  ///< network vertex id of the destination
+  std::uint32_t size_flits = 1;    ///< serialization delay per link, cycles
+  std::uint64_t injected_cycle = 0;
+  /// Sequence number within its (src, dst) flow — lets oblivious
+  /// multipath oracles spread deterministically.
+  std::uint64_t flow_sequence = 0;
+};
+
+}  // namespace nbclos::sim

@@ -1,0 +1,52 @@
+/// \file traffic.hpp
+/// \brief Traffic patterns for the packet simulator.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos::sim {
+
+/// Destination selection per injected packet.  Permutation traffic fixes
+/// one destination per source (the paper's communication model); uniform
+/// and hotspot draw per packet.
+class TrafficPattern {
+ public:
+  /// Fixed destination per source from a permutation; sources absent
+  /// from the permutation inject nothing.
+  [[nodiscard]] static TrafficPattern permutation(const Permutation& pattern,
+                                                  std::uint32_t terminal_count);
+  /// Uniform random destination (excluding self).
+  [[nodiscard]] static TrafficPattern uniform(std::uint32_t terminal_count);
+  /// With probability `fraction` target the hotspot terminal, otherwise
+  /// uniform.
+  [[nodiscard]] static TrafficPattern hotspot(std::uint32_t terminal_count,
+                                              std::uint32_t hotspot_terminal,
+                                              double fraction);
+
+  [[nodiscard]] std::string name() const { return name_; }
+  [[nodiscard]] std::uint32_t terminal_count() const noexcept {
+    return terminal_count_;
+  }
+
+  /// Destination for the next packet from `src`; nullopt = src is silent.
+  [[nodiscard]] std::optional<std::uint32_t> destination(std::uint32_t src,
+                                                         Xoshiro256& rng) const;
+
+ private:
+  enum class Kind : std::uint8_t { kPermutation, kUniform, kHotspot };
+
+  Kind kind_ = Kind::kUniform;
+  std::uint32_t terminal_count_ = 0;
+  std::string name_;
+  std::vector<std::int64_t> fixed_destination_;  ///< -1 = silent
+  std::uint32_t hotspot_terminal_ = 0;
+  double hotspot_fraction_ = 0.0;
+};
+
+}  // namespace nbclos::sim

@@ -1,0 +1,96 @@
+/// \file clos.hpp
+/// \brief The classic three-stage unidirectional Clos(n, m, r) network and
+///        its logical equivalence with ftree(n+m, r).
+///
+/// Clos(n, m, r):
+///   * r input switches (n x m),
+///   * m middle switches (r x r),
+///   * r output switches (m x n),
+/// with one unidirectional link from every input switch to every middle
+/// switch and from every middle switch to every output switch.
+///
+/// The paper (Section I) observes Clos(n, m, r) is logically equivalent to
+/// ftree(n+m, r): folding merges input switch i with output switch i.
+/// This class exists to make that equivalence executable — tests map
+/// connections through the Clos network onto ftree paths and verify the
+/// contention structure is identical.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+/// A unidirectional connection request: input port -> output port.
+struct ClosConnection {
+  std::uint32_t input_port = 0;   ///< 0 .. r*n-1
+  std::uint32_t output_port = 0;  ///< 0 .. r*n-1
+  friend constexpr auto operator<=>(const ClosConnection&,
+                                    const ClosConnection&) = default;
+};
+
+/// A routed connection: which middle switch carries it.
+struct ClosRoute {
+  ClosConnection connection;
+  std::uint32_t middle = 0;  ///< 0 .. m-1
+};
+
+class ThreeStageClos {
+ public:
+  ThreeStageClos(std::uint32_t n, std::uint32_t m, std::uint32_t r);
+
+  [[nodiscard]] std::uint32_t n() const noexcept { return n_; }
+  [[nodiscard]] std::uint32_t m() const noexcept { return m_; }
+  [[nodiscard]] std::uint32_t r() const noexcept { return r_; }
+  [[nodiscard]] std::uint32_t port_count() const noexcept { return n_ * r_; }
+
+  [[nodiscard]] std::uint32_t input_switch_of(std::uint32_t input_port) const {
+    NBCLOS_REQUIRE(input_port < port_count(), "input port out of range");
+    return input_port / n_;
+  }
+  [[nodiscard]] std::uint32_t output_switch_of(std::uint32_t output_port) const {
+    NBCLOS_REQUIRE(output_port < port_count(), "output port out of range");
+    return output_port / n_;
+  }
+
+  // Internal directed links: first stage (input switch i -> middle j) has
+  // id i*m + j; second stage (middle j -> output switch k) has id
+  // r*m + j*r + k.
+  [[nodiscard]] std::uint32_t first_stage_link(std::uint32_t input_switch,
+                                               std::uint32_t middle) const;
+  [[nodiscard]] std::uint32_t second_stage_link(std::uint32_t middle,
+                                                std::uint32_t output_switch) const;
+  [[nodiscard]] std::uint32_t internal_link_count() const noexcept {
+    return 2 * r_ * m_;
+  }
+
+  /// Internal links used by a routed connection (always exactly two).
+  [[nodiscard]] std::vector<std::uint32_t> links_of(const ClosRoute& route) const;
+
+  /// Count internal link conflicts among a set of routed connections
+  /// (pairs of routes sharing a link).  A conflict-free set is what the
+  /// telephone world calls a realized "assignment".
+  [[nodiscard]] std::uint64_t conflict_count(
+      const std::vector<ClosRoute>& routes) const;
+
+  // --- equivalence with ftree(n+m, r) -----------------------------------
+  /// The folded network this Clos corresponds to.
+  [[nodiscard]] FtreeParams folded_params() const noexcept {
+    return FtreeParams{n_, m_, r_};
+  }
+  /// Map a Clos connection + middle choice to the corresponding ftree
+  /// path (input port p -> leaf p, output port q -> leaf q, middle j ->
+  /// top switch j).  Same-switch connections fold to direct paths.
+  [[nodiscard]] FtreePath to_ftree_path(const ClosRoute& route,
+                                        const FoldedClos& ftree) const;
+
+ private:
+  std::uint32_t n_;
+  std::uint32_t m_;
+  std::uint32_t r_;
+};
+
+}  // namespace nbclos

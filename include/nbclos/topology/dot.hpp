@@ -1,0 +1,26 @@
+/// \file dot.hpp
+/// \brief Graphviz (DOT) export of Network graphs — for documentation,
+///        debugging, and eyeballing that a constructed fabric matches
+///        the paper's figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nbclos/topology/network.hpp"
+
+namespace nbclos {
+
+struct DotOptions {
+  bool merge_bidirectional = true;  ///< draw channel pairs as one edge
+  bool rank_by_level = true;        ///< same-rank clusters per level
+  std::string graph_name = "nbclos";
+};
+
+/// Write the network as a DOT digraph (or graph when merging
+/// bidirectional channel pairs).  Terminals are boxes, switches circles,
+/// labeled "t<idx>" / "s<level>.<idx>".
+void write_dot(std::ostream& os, const Network& net,
+               const DotOptions& options = {});
+
+}  // namespace nbclos

@@ -1,0 +1,144 @@
+/// \file fat_tree.hpp
+/// \brief The two-level folded-Clos topology ftree(n+m, r) — the central
+///        object of the paper.
+///
+/// ftree(n+m, r) has:
+///   * `r` bottom-level switches of radix n+m (n leaf ports, m uplinks),
+///   * `m` top-level switches of radix r (one link per bottom switch),
+///   * `r * n` leaf nodes.
+/// All links are bidirectional; for contention analysis we model each
+/// direction as its own directed link (uplink vs downlink), because a
+/// full-duplex link only contends per direction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/topology/ids.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+/// Parameters of ftree(n+m, r).
+struct FtreeParams {
+  std::uint32_t n = 0;  ///< leaf ports per bottom switch
+  std::uint32_t m = 0;  ///< number of top-level switches (uplinks per bottom)
+  std::uint32_t r = 0;  ///< number of bottom-level switches
+
+  friend constexpr bool operator==(const FtreeParams&,
+                                   const FtreeParams&) = default;
+};
+
+/// Which of the four directed-link families a LinkId belongs to.
+enum class LinkKind : std::uint8_t {
+  kLeafUp,    ///< leaf -> bottom switch
+  kUp,        ///< bottom switch -> top switch
+  kDown,      ///< top switch -> bottom switch
+  kLeafDown,  ///< bottom switch -> leaf
+};
+
+/// A route through the ftree.  Either a direct route (src and dst share a
+/// bottom switch; no top switch involved) or a cross route through
+/// exactly one top switch.
+struct FtreePath {
+  SDPair sd;
+  bool direct = false;
+  TopId top;  ///< meaningful only when !direct
+
+  friend constexpr bool operator==(const FtreePath&, const FtreePath&) = default;
+};
+
+/// Immutable description of one ftree(n+m, r) instance plus all index
+/// arithmetic: id <-> (switch, local) mappings and directed-link ids.
+class FoldedClos {
+ public:
+  explicit FoldedClos(FtreeParams params);
+
+  [[nodiscard]] const FtreeParams& params() const noexcept { return params_; }
+  [[nodiscard]] std::uint32_t n() const noexcept { return params_.n; }
+  [[nodiscard]] std::uint32_t m() const noexcept { return params_.m; }
+  [[nodiscard]] std::uint32_t r() const noexcept { return params_.r; }
+
+  [[nodiscard]] std::uint32_t leaf_count() const noexcept {
+    return params_.r * params_.n;
+  }
+  [[nodiscard]] std::uint32_t bottom_count() const noexcept { return params_.r; }
+  [[nodiscard]] std::uint32_t top_count() const noexcept { return params_.m; }
+  [[nodiscard]] std::uint32_t switch_count() const noexcept {
+    return params_.r + params_.m;
+  }
+  /// Radix (port count) of a bottom switch: n leaf ports + m uplinks.
+  [[nodiscard]] std::uint32_t bottom_radix() const noexcept {
+    return params_.n + params_.m;
+  }
+  /// Radix of a top switch: one port per bottom switch.
+  [[nodiscard]] std::uint32_t top_radix() const noexcept { return params_.r; }
+
+  // --- leaf numbering: leaf (v, k) = v * n + k -------------------------
+  [[nodiscard]] LeafId leaf(BottomId v, std::uint32_t k) const {
+    NBCLOS_REQUIRE(v.value < r() && k < n(), "leaf coordinates out of range");
+    return LeafId{v.value * n() + k};
+  }
+  [[nodiscard]] BottomId switch_of(LeafId leaf) const {
+    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    return BottomId{leaf.value / n()};
+  }
+  /// Local node number within its bottom switch (the paper's `p`).
+  [[nodiscard]] std::uint32_t local_of(LeafId leaf) const {
+    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    return leaf.value % n();
+  }
+
+  // --- directed link ids ----------------------------------------------
+  // Layout: [leaf-up | up | down | leaf-down] contiguous blocks.
+  [[nodiscard]] std::uint32_t link_count() const noexcept {
+    return 2 * leaf_count() + 2 * params_.r * params_.m;
+  }
+  [[nodiscard]] LinkId leaf_up_link(LeafId leaf) const {
+    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    return LinkId{leaf.value};
+  }
+  [[nodiscard]] LinkId up_link(BottomId v, TopId t) const {
+    NBCLOS_REQUIRE(v.value < r() && t.value < m(), "up-link out of range");
+    return LinkId{leaf_count() + v.value * m() + t.value};
+  }
+  [[nodiscard]] LinkId down_link(TopId t, BottomId v) const {
+    NBCLOS_REQUIRE(v.value < r() && t.value < m(), "down-link out of range");
+    return LinkId{leaf_count() + r() * m() + t.value * r() + v.value};
+  }
+  [[nodiscard]] LinkId leaf_down_link(LeafId leaf) const {
+    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    return LinkId{leaf_count() + 2 * r() * m() + leaf.value};
+  }
+  [[nodiscard]] LinkKind kind_of(LinkId link) const;
+
+  // --- paths -----------------------------------------------------------
+  /// A direct path (valid only when src and dst share a bottom switch).
+  [[nodiscard]] FtreePath direct_path(SDPair sd) const;
+  /// A cross path through the given top switch (src and dst must be in
+  /// different bottom switches).
+  [[nodiscard]] FtreePath cross_path(SDPair sd, TopId top) const;
+  /// Whether an SD pair needs a top-level switch.
+  [[nodiscard]] bool needs_top(SDPair sd) const {
+    return switch_of(sd.src) != switch_of(sd.dst);
+  }
+
+  /// The directed links traversed by a path, in order.
+  [[nodiscard]] std::vector<LinkId> links_of(const FtreePath& path) const;
+
+  /// Number of SD pairs that must cross a top switch: r*(r-1)*n^2.
+  [[nodiscard]] std::uint64_t cross_pair_count() const noexcept {
+    const std::uint64_t rr = params_.r;
+    const std::uint64_t nn = params_.n;
+    return rr * (rr - 1) * nn * nn;
+  }
+
+  /// Structural self-check: verifies link-id bijectivity and leaf
+  /// round-trips; throws invariant_error on failure.  Intended for tests.
+  void validate() const;
+
+ private:
+  FtreeParams params_;
+};
+
+}  // namespace nbclos

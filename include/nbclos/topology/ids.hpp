@@ -1,0 +1,61 @@
+/// \file ids.hpp
+/// \brief Strongly-typed identifiers for folded-Clos entities.
+///
+/// The paper indexes three entity families: leaf nodes (`r*n` of them),
+/// bottom-level switches (`r`), and top-level switches (`m`).  We wrap the
+/// raw indices in distinct types so a leaf id cannot be passed where a
+/// switch id is expected; all are trivially-copyable value types.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+
+namespace nbclos {
+
+/// Index of a leaf node (a communication endpoint), 0 .. r*n-1.
+struct LeafId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(LeafId, LeafId) = default;
+};
+
+/// Index of a bottom-level (edge) switch, 0 .. r-1.
+struct BottomId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(BottomId, BottomId) = default;
+};
+
+/// Index of a top-level (core) switch, 0 .. m-1.
+struct TopId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(TopId, TopId) = default;
+};
+
+/// Index of a *directed* link in the ftree; see FoldedClos for the layout.
+struct LinkId {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(LinkId, LinkId) = default;
+};
+
+/// A source-destination pair — the unit of communication in the paper.
+struct SDPair {
+  LeafId src;
+  LeafId dst;
+  friend constexpr auto operator<=>(const SDPair&, const SDPair&) = default;
+};
+
+}  // namespace nbclos
+
+template <>
+struct std::hash<nbclos::LeafId> {
+  std::size_t operator()(nbclos::LeafId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<nbclos::SDPair> {
+  std::size_t operator()(const nbclos::SDPair& sd) const noexcept {
+    return (static_cast<std::size_t>(sd.src.value) << 32) ^ sd.dst.value;
+  }
+};

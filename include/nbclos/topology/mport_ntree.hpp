@@ -1,0 +1,38 @@
+/// \file mport_ntree.hpp
+/// \brief m-port n-trees FT(m, h) (Lin, Chung, Huang 2004) — the
+///        rearrangeably-nonblocking fat-tree family the paper compares
+///        against in Table I.
+///
+/// An m-port n-tree (we write the height as `h` to avoid clashing with
+/// the paper's `n` = leaf ports) is built entirely from m-port switches:
+///   * processing nodes:  2 * (m/2)^h
+///   * switches:          (2h - 1) * (m/2)^(h-1)
+/// For h = 2 this is exactly ftree(m/2 + m/2, m): m bottom switches with
+/// m/2 leaf ports and m/2 uplinks, and m/2 top switches of radix m —
+/// supporting m^2/2 ports with 3m/2 switches, as quoted in the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+/// Cost/size figures for FT(m, h).
+struct MportNtreeSize {
+  std::uint32_t switch_radix = 0;   ///< m
+  std::uint32_t height = 0;         ///< h (levels of switches)
+  std::uint64_t node_count = 0;     ///< processing (leaf) nodes
+  std::uint64_t switch_count = 0;   ///< total switches
+};
+
+/// Compute the size of FT(m, h).  \pre m even, m >= 4, h >= 1.
+[[nodiscard]] MportNtreeSize mport_ntree_size(std::uint32_t m,
+                                              std::uint32_t h);
+
+/// The h = 2 member as a concrete folded-Clos: ftree(m/2 + m/2, m).
+/// This is the paper's Table I comparator FT(m, 2).
+[[nodiscard]] FoldedClos mport_2tree(std::uint32_t m);
+
+}  // namespace nbclos

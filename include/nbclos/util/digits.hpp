@@ -1,0 +1,95 @@
+/// \file digits.hpp
+/// \brief Fixed-width base-n digit codec.
+///
+/// The paper's adaptive routing (Section V) numbers the r bottom switches
+/// with c base-n digits and the r*n leaf nodes with c+1 base-n digits
+/// `s_{c-1} ... s_0 p`.  This codec converts between the integer id and
+/// its digit vector, with digit 0 being the least significant ("first
+/// digit" in the paper's wording, i.e. the local node number p for node
+/// ids).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+/// Encode/decode integers as fixed-width base-`radix` digit strings.
+class DigitCodec {
+ public:
+  /// \param radix the base n (>= 2)
+  /// \param width number of digits c (>= 1)
+  DigitCodec(std::uint32_t radix, std::uint32_t width)
+      : radix_(radix), width_(width) {
+    NBCLOS_REQUIRE(radix >= 2, "radix must be >= 2");
+    NBCLOS_REQUIRE(width >= 1, "width must be >= 1");
+    std::uint64_t cap = 1;
+    for (std::uint32_t i = 0; i < width; ++i) {
+      NBCLOS_REQUIRE(cap <= UINT64_MAX / radix, "digit space overflow");
+      cap *= radix;
+    }
+    capacity_ = cap;
+  }
+
+  [[nodiscard]] std::uint32_t radix() const noexcept { return radix_; }
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  /// Number of representable values, radix^width.
+  [[nodiscard]] std::uint64_t capacity() const noexcept { return capacity_; }
+
+  /// Digit i (0 = least significant).  \pre value < capacity().
+  [[nodiscard]] std::uint32_t digit(std::uint64_t value,
+                                    std::uint32_t i) const {
+    NBCLOS_REQUIRE(value < capacity_, "value out of digit range");
+    NBCLOS_REQUIRE(i < width_, "digit index out of range");
+    for (std::uint32_t k = 0; k < i; ++k) value /= radix_;
+    return static_cast<std::uint32_t>(value % radix_);
+  }
+
+  /// All digits, least significant first.
+  [[nodiscard]] std::vector<std::uint32_t> digits(std::uint64_t value) const {
+    NBCLOS_REQUIRE(value < capacity_, "value out of digit range");
+    std::vector<std::uint32_t> out(width_);
+    for (std::uint32_t i = 0; i < width_; ++i) {
+      out[i] = static_cast<std::uint32_t>(value % radix_);
+      value /= radix_;
+    }
+    return out;
+  }
+
+  /// Inverse of digits(): compose a value from digits (LSB first).
+  [[nodiscard]] std::uint64_t compose(
+      const std::vector<std::uint32_t>& digits) const {
+    NBCLOS_REQUIRE(digits.size() == width_, "digit count mismatch");
+    std::uint64_t value = 0;
+    for (std::uint32_t i = width_; i-- > 0;) {
+      NBCLOS_REQUIRE(digits[i] < radix_, "digit out of range");
+      value = value * radix_ + digits[i];
+    }
+    return value;
+  }
+
+ private:
+  std::uint32_t radix_;
+  std::uint32_t width_;
+  std::uint64_t capacity_;
+};
+
+/// Smallest c >= 1 such that r <= n^c — the paper's constant c for
+/// ftree(n+m, r).  \pre n >= 2.
+[[nodiscard]] inline std::uint32_t min_digit_width(std::uint64_t r,
+                                                   std::uint32_t n) {
+  NBCLOS_REQUIRE(n >= 2, "n must be >= 2");
+  NBCLOS_REQUIRE(r >= 1, "r must be >= 1");
+  std::uint32_t c = 1;
+  std::uint64_t cap = n;
+  while (cap < r) {
+    NBCLOS_REQUIRE(cap <= UINT64_MAX / n, "overflow computing n^c");
+    cap *= n;
+    ++c;
+  }
+  return c;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,78 @@
+/// \file stats.hpp
+/// \brief Streaming statistics used by the experiment harnesses:
+///        Welford running moments, min/max tracking, normal-approximation
+///        confidence intervals, and a fixed-bin histogram.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nbclos {
+
+/// Numerically-stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  /// Merge another accumulator (parallel reduction; Chan et al. update).
+  void merge(const RunningStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return mean_ * static_cast<double>(count_); }
+
+  /// Half-width of the ~95% normal-approximation confidence interval.
+  [[nodiscard]] double ci95_half_width() const noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); samples outside the range land in
+/// saturating edge bins.  Used for latency distributions in the simulator.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  [[nodiscard]] double bin_lo(std::size_t i) const noexcept;
+  [[nodiscard]] double bin_hi(std::size_t i) const noexcept;
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Value below which the given fraction of samples fall (linear
+  /// interpolation within the containing bin).  \pre 0 <= q <= 1.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Least-squares fit of y = a * x^b through points (x_i, y_i) in log space.
+/// Returns {a, b}.  Used to measure the empirical exponent in Theorem 5.
+struct PowerFit {
+  double coefficient;  ///< a
+  double exponent;     ///< b
+  double r_squared;    ///< goodness of fit in log space
+};
+
+[[nodiscard]] PowerFit fit_power_law(const std::vector<double>& x,
+                                     const std::vector<double>& y);
+
+}  // namespace nbclos

@@ -1,0 +1,73 @@
+/// \file table.hpp
+/// \brief Aligned ASCII table and CSV emission for experiment harnesses.
+///
+/// Every bench binary prints its results twice: a human-readable aligned
+/// table (mirroring the paper's table layout) and, optionally, CSV on a
+/// separate stream for downstream plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nbclos {
+
+/// Column-aligned text table builder.
+class TextTable {
+ public:
+  /// Create a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Append a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format arbitrary streamable values into a row.
+  template <typename... Ts>
+  void add(const Ts&... values) {
+    add_row({format_cell(values)...});
+  }
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+  /// Render with box-drawing separators and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& value);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision, trimming trailing zeros.
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Render "measured (paper: expected)" comparison cells used in
+/// EXPERIMENTS.md style output.
+[[nodiscard]] std::string versus(double measured, double paper,
+                                 int precision = 3);
+
+}  // namespace nbclos
+
+#include <sstream>
+
+namespace nbclos {
+
+template <typename T>
+std::string TextTable::format_cell(const T& value) {
+  if constexpr (std::is_same_v<T, std::string>) {
+    return value;
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_double(static_cast<double>(value));
+  } else {
+    std::ostringstream os;
+    os << value;
+    return os.str();
+  }
+}
+
+}  // namespace nbclos

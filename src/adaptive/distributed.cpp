@@ -1,0 +1,126 @@
+#include "nbclos/adaptive/distributed.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nbclos::adaptive {
+
+std::vector<Assignment> schedule_one_switch(const AdaptiveParams& params,
+                                            std::uint32_t switch_id,
+                                            std::span<const SDPair> pairs,
+                                            PartitionPolicy policy) {
+  NBCLOS_REQUIRE(switch_id < params.r, "switch id out of range");
+  const std::uint32_t leaf_count = params.n * params.r;
+
+  std::vector<Assignment> assignments(pairs.size());
+  std::vector<std::size_t> remaining;  // indices of cross-switch pairs
+  std::unordered_set<std::uint32_t> destinations;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto sd = pairs[i];
+    NBCLOS_REQUIRE(sd.src.value < leaf_count && sd.dst.value < leaf_count,
+                   "leaf id out of range");
+    NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+    NBCLOS_REQUIRE(sd.src.value / params.n == switch_id,
+                   "pair's source is not in this switch");
+    NBCLOS_REQUIRE(destinations.insert(sd.dst.value).second,
+                   "destination used more than once");
+    assignments[i].sd = sd;
+    if (sd.dst.value / params.n == switch_id) {
+      assignments[i].direct = true;
+    } else {
+      remaining.push_back(i);
+    }
+  }
+
+  // Fig. 4 lines (3)-(12): configurations one at a time; within each,
+  // repeatedly route the largest subset on an unused partition.
+  std::uint32_t config = 0;
+  while (!remaining.empty()) {
+    std::vector<bool> partition_used(params.partitions_per_config(), false);
+    std::uint32_t partitions_left = params.partitions_per_config();
+    while (!remaining.empty() && partitions_left > 0) {
+      std::vector<SDPair> live;
+      live.reserve(remaining.size());
+      for (const auto idx : remaining) live.push_back(pairs[idx]);
+      std::uint32_t best_partition = 0;
+      std::vector<std::size_t> best_subset;
+      for (std::uint32_t k = 0; k < params.partitions_per_config(); ++k) {
+        if (partition_used[k]) continue;
+        auto subset = largest_routable_subset(params, k, live);
+        if (subset.size() > best_subset.size()) {
+          best_partition = k;
+          best_subset = std::move(subset);
+        }
+        if (policy == PartitionPolicy::kFirstAvailable &&
+            !best_subset.empty()) {
+          break;  // ablation: take the first unused partition as-is
+        }
+      }
+      NBCLOS_ASSERT(!best_subset.empty());
+      std::vector<bool> taken(remaining.size(), false);
+      for (const auto local : best_subset) {
+        const std::size_t idx = remaining[local];
+        auto& slot = assignments[idx];
+        slot.configuration = config;
+        slot.partition = best_partition;
+        slot.key = partition_key(params, best_partition, pairs[idx].dst);
+        slot.top_switch =
+            top_switch_index(params, config, best_partition, slot.key);
+        slot.direct = false;
+        taken[local] = true;
+      }
+      std::vector<std::size_t> next;
+      next.reserve(remaining.size() - best_subset.size());
+      for (std::size_t local = 0; local < remaining.size(); ++local) {
+        if (!taken[local]) next.push_back(remaining[local]);
+      }
+      remaining = std::move(next);
+      partition_used[best_partition] = true;
+      --partitions_left;
+    }
+    ++config;
+  }
+  return assignments;
+}
+
+AdaptiveSchedule distributed_route(const AdaptiveParams& params,
+                                   const std::vector<SDPair>& pattern,
+                                   PartitionPolicy policy) {
+  const std::uint32_t leaf_count = params.n * params.r;
+  // Global permutation validation (sources); per-switch schedulers check
+  // the rest.  A real deployment has this guaranteed by construction —
+  // one NIC cannot source two flows of one permutation.
+  std::unordered_set<std::uint32_t> sources;
+  std::vector<std::vector<std::size_t>> by_switch(params.r);
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    NBCLOS_REQUIRE(pattern[i].src.value < leaf_count, "leaf id out of range");
+    NBCLOS_REQUIRE(sources.insert(pattern[i].src.value).second,
+                   "pattern reuses a source: not a permutation");
+    by_switch[pattern[i].src.value / params.n].push_back(i);
+  }
+
+  AdaptiveSchedule schedule;
+  schedule.params = params;
+  schedule.assignments.resize(pattern.size());
+  std::uint32_t totalconf = 0;
+  for (std::uint32_t sw = 0; sw < params.r; ++sw) {
+    // Each switch's scheduler sees only its own SD pairs.
+    std::vector<SDPair> local;
+    local.reserve(by_switch[sw].size());
+    for (const auto idx : by_switch[sw]) local.push_back(pattern[idx]);
+    const auto local_assignments =
+        schedule_one_switch(params, sw, local, policy);
+    for (std::size_t j = 0; j < local_assignments.size(); ++j) {
+      schedule.assignments[by_switch[sw][j]] = local_assignments[j];
+      if (!local_assignments[j].direct) {
+        totalconf =
+            std::max(totalconf, local_assignments[j].configuration + 1);
+      }
+    }
+  }
+  schedule.configurations_used = totalconf;
+  schedule.top_switches_used = totalconf * params.switches_per_config();
+  return schedule;
+}
+
+}  // namespace nbclos::adaptive

@@ -1,0 +1,44 @@
+#include "nbclos/adaptive/lemma6.hpp"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace nbclos::adaptive {
+
+std::uint32_t lemma6_key(const DigitCodec& codec, std::uint64_t value,
+                         std::uint32_t partition) {
+  NBCLOS_REQUIRE(partition < codec.width(), "criterion index out of range");
+  const std::uint32_t d0 = codec.digit(value, 0);
+  if (partition == 0) return d0;
+  const std::uint32_t di = codec.digit(value, partition);
+  return (di + codec.radix() - d0) % codec.radix();
+}
+
+Lemma6Selection lemma6_select(const DigitCodec& codec,
+                              std::span<const std::uint64_t> values) {
+  NBCLOS_REQUIRE(!values.empty(), "need at least one number");
+  Lemma6Selection best;
+  for (std::uint32_t part = 0; part < codec.width(); ++part) {
+    std::vector<bool> key_taken(codec.radix(), false);
+    std::vector<std::size_t> picked;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      const std::uint32_t key = lemma6_key(codec, values[i], part);
+      if (!key_taken[key]) {
+        key_taken[key] = true;
+        picked.push_back(i);
+      }
+    }
+    if (picked.size() > best.indices.size()) {
+      best.partition = part;
+      best.indices = std::move(picked);
+    }
+  }
+  return best;
+}
+
+double lemma6_bound(std::size_t k, std::uint32_t c) {
+  return std::pow(static_cast<double>(k),
+                  1.0 / (2.0 * (static_cast<double>(c) + 1.0)));
+}
+
+}  // namespace nbclos::adaptive

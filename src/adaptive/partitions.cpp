@@ -1,0 +1,57 @@
+#include "nbclos/adaptive/partitions.hpp"
+
+namespace nbclos::adaptive {
+
+AdaptiveParams AdaptiveParams::from(const FoldedClos& ftree) {
+  NBCLOS_REQUIRE(ftree.n() >= 2,
+                 "adaptive scheme needs n >= 2 (base-n digits)");
+  AdaptiveParams params;
+  params.n = ftree.n();
+  params.r = ftree.r();
+  params.c = min_digit_width(ftree.r(), ftree.n());
+  return params;
+}
+
+std::uint32_t partition_key(const AdaptiveParams& params, std::uint32_t k,
+                            LeafId dst) {
+  NBCLOS_REQUIRE(k <= params.c, "partition index out of range");
+  NBCLOS_REQUIRE(dst.value < params.r * params.n, "leaf id out of range");
+  const std::uint32_t p = dst.value % params.n;  // local node number
+  if (k == 0) return p;
+  const std::uint32_t switch_id = dst.value / params.n;
+  const DigitCodec codec(params.n, params.c);
+  const std::uint32_t digit = codec.digit(switch_id, k - 1);  // s_{k-1}
+  return (digit + params.n - p % params.n) % params.n;        // (s_{k-1}-p) mod n
+}
+
+std::vector<std::size_t> largest_routable_subset(
+    const AdaptiveParams& params, std::uint32_t k,
+    std::span<const SDPair> pairs) {
+  std::vector<bool> key_taken(params.n, false);
+  std::vector<std::size_t> subset;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const std::uint32_t key = partition_key(params, k, pairs[i].dst);
+    if (!key_taken[key]) {
+      key_taken[key] = true;
+      subset.push_back(i);
+    }
+  }
+  return subset;
+}
+
+bool is_class_diff_partition(const AdaptiveParams& params, std::uint32_t k) {
+  // Two distinct destinations in the same bottom switch must map to
+  // different partition switches.
+  for (std::uint32_t sw = 0; sw < params.r; ++sw) {
+    std::vector<bool> seen(params.n, false);
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      const LeafId dst{sw * params.n + p};
+      const std::uint32_t key = partition_key(params, k, dst);
+      if (seen[key]) return false;
+      seen[key] = true;
+    }
+  }
+  return true;
+}
+
+}  // namespace nbclos::adaptive

@@ -1,0 +1,39 @@
+#include "nbclos/adaptive/router.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nbclos/adaptive/distributed.hpp"
+
+namespace nbclos::adaptive {
+
+std::vector<FtreePath> AdaptiveSchedule::to_paths(
+    const FoldedClos& ftree) const {
+  NBCLOS_REQUIRE(ftree.n() == params.n && ftree.r() == params.r,
+                 "topology does not match schedule parameters");
+  NBCLOS_REQUIRE(ftree.m() >= top_switches_used,
+                 "not enough top switches for this schedule");
+  std::vector<FtreePath> paths;
+  paths.reserve(assignments.size());
+  for (const auto& a : assignments) {
+    paths.push_back(a.direct ? ftree.direct_path(a.sd)
+                             : ftree.cross_path(a.sd, TopId{a.top_switch}));
+  }
+  return paths;
+}
+
+AdaptiveSchedule NonblockingAdaptiveRouter::route(
+    const std::vector<SDPair>& pattern) const {
+  // Validate the full permutation property up front (Definition 1); the
+  // per-switch scheduling itself is the distributed algorithm.
+  const std::uint32_t leaf_count = params_.n * params_.r;
+  std::unordered_set<std::uint32_t> destinations;
+  for (const auto sd : pattern) {
+    NBCLOS_REQUIRE(sd.dst.value < leaf_count, "leaf id out of range");
+    NBCLOS_REQUIRE(destinations.insert(sd.dst.value).second,
+                   "pattern reuses a destination: not a permutation");
+  }
+  return distributed_route(params_, pattern);
+}
+
+}  // namespace nbclos::adaptive

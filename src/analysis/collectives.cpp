@@ -1,0 +1,23 @@
+#include "nbclos/analysis/collectives.hpp"
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+std::vector<Permutation> all_to_all_phases(std::uint32_t leaf_count) {
+  NBCLOS_REQUIRE(leaf_count >= 2, "need at least two endpoints");
+  std::vector<Permutation> phases;
+  phases.reserve(leaf_count - 1);
+  for (std::uint32_t offset = 1; offset < leaf_count; ++offset) {
+    phases.push_back(shift_permutation(leaf_count, offset));
+  }
+  return phases;
+}
+
+std::vector<Permutation> ring_exchange_phases(std::uint32_t leaf_count) {
+  NBCLOS_REQUIRE(leaf_count >= 3, "ring needs at least three endpoints");
+  return {shift_permutation(leaf_count, 1),
+          shift_permutation(leaf_count, leaf_count - 1)};
+}
+
+}  // namespace nbclos

@@ -1,0 +1,127 @@
+#include "nbclos/analysis/contention.hpp"
+
+#include <algorithm>
+
+namespace nbclos {
+
+void LinkLoadMap::add_path(const FtreePath& path) {
+  for (const auto link : ftree_->links_of(path)) {
+    ++load_[link.value];
+  }
+}
+
+void LinkLoadMap::add_paths(const std::vector<FtreePath>& paths) {
+  for (const auto& path : paths) add_path(path);
+}
+
+std::uint32_t LinkLoadMap::contended_links() const {
+  std::uint32_t count = 0;
+  for (const auto l : load_) {
+    if (l >= 2) ++count;
+  }
+  return count;
+}
+
+std::uint64_t LinkLoadMap::colliding_pairs() const {
+  std::uint64_t pairs = 0;
+  for (const auto l : load_) {
+    pairs += std::uint64_t{l} * (l - 1) / 2;
+  }
+  return pairs;
+}
+
+std::uint32_t LinkLoadMap::max_load() const {
+  std::uint32_t max_load = 0;
+  for (const auto l : load_) max_load = std::max(max_load, l);
+  return max_load;
+}
+
+bool has_contention(const FoldedClos& ftree,
+                    const std::vector<FtreePath>& paths) {
+  LinkLoadMap map(ftree);
+  map.add_paths(paths);
+  return !map.contention_free();
+}
+
+namespace {
+
+/// Per-link source/destination tracker used by the audits.  We only need
+/// to distinguish "zero", "exactly one value", and "two or more", so two
+/// sentinel-coded words per link suffice — the full-network audit touches
+/// r(r-1)n^2 * 4 link visits and must stay cache-friendly.
+class SourceDestTracker {
+ public:
+  explicit SourceDestTracker(std::uint32_t link_count)
+      : src_(link_count, kEmpty), dst_(link_count, kEmpty),
+        src_many_(link_count, 0), dst_many_(link_count, 0) {}
+
+  void visit(LinkId link, SDPair sd) {
+    note(src_, src_many_, link.value, sd.src.value);
+    note(dst_, dst_many_, link.value, sd.dst.value);
+  }
+
+  /// Links where both the source set and destination set have >= 2
+  /// members — Lemma 1 violations.
+  [[nodiscard]] std::vector<LinkAuditViolation> violations() const {
+    std::vector<LinkAuditViolation> out;
+    for (std::uint32_t l = 0; l < src_.size(); ++l) {
+      if (src_many_[l] && dst_many_[l]) {
+        out.push_back(LinkAuditViolation{LinkId{l}, 2, 2});
+      }
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+
+  static void note(std::vector<std::uint32_t>& first,
+                   std::vector<std::uint8_t>& many, std::uint32_t link,
+                   std::uint32_t value) {
+    if (first[link] == kEmpty) {
+      first[link] = value;
+    } else if (first[link] != value) {
+      many[link] = 1;
+    }
+  }
+
+  std::vector<std::uint32_t> src_;
+  std::vector<std::uint32_t> dst_;
+  std::vector<std::uint8_t> src_many_;
+  std::vector<std::uint8_t> dst_many_;
+};
+
+}  // namespace
+
+std::vector<LinkAuditViolation> lemma1_audit(const SinglePathRouting& routing) {
+  const auto& ft = routing.ftree();
+  SourceDestTracker tracker(ft.link_count());
+  for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
+    for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
+      if (s == d) continue;
+      const SDPair sd{LeafId{s}, LeafId{d}};
+      for (const auto link : ft.links_of(routing.route(sd))) {
+        tracker.visit(link, sd);
+      }
+    }
+  }
+  return tracker.violations();
+}
+
+std::vector<LinkAuditViolation> lemma1_audit_footprints(
+    const FoldedClos& ftree,
+    const std::function<std::vector<LinkId>(SDPair)>& footprint) {
+  SourceDestTracker tracker(ftree.link_count());
+  for (std::uint32_t s = 0; s < ftree.leaf_count(); ++s) {
+    for (std::uint32_t d = 0; d < ftree.leaf_count(); ++d) {
+      if (s == d) continue;
+      const SDPair sd{LeafId{s}, LeafId{d}};
+      for (const auto link : footprint(sd)) {
+        tracker.visit(link, sd);
+      }
+    }
+  }
+  return tracker.violations();
+}
+
+}  // namespace nbclos

@@ -1,0 +1,114 @@
+#include "nbclos/analysis/parallel.hpp"
+
+#include <cmath>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+namespace {
+
+/// Per-chunk trial counts: distribute `trials` over `chunks` as evenly
+/// as possible (first `trials % chunks` chunks get one extra).
+std::vector<std::uint64_t> chunk_sizes(std::uint64_t trials,
+                                       std::uint32_t chunks) {
+  NBCLOS_REQUIRE(chunks >= 1, "need at least one chunk");
+  std::vector<std::uint64_t> sizes(chunks, trials / chunks);
+  for (std::uint32_t c = 0; c < trials % chunks; ++c) ++sizes[c];
+  return sizes;
+}
+
+std::uint64_t chunk_seed(std::uint64_t master, std::uint32_t chunk) {
+  SplitMix64 sm(master ^ (0xA5A5A5A5ULL + chunk));
+  return sm.next();
+}
+
+}  // namespace
+
+BlockingEstimate estimate_blocking_parallel(
+    const FoldedClos& ftree, const PatternRouterFactory& make_router,
+    std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
+    std::uint32_t chunks) {
+  NBCLOS_REQUIRE(trials > 0, "need at least one trial");
+  const auto sizes = chunk_sizes(trials, chunks);
+
+  struct Partial {
+    std::uint64_t blocked = 0;
+    double sum_collisions = 0.0;
+    double sum_max_load = 0.0;
+  };
+  std::vector<Partial> partials(chunks);
+
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    if (sizes[c] == 0) continue;
+    pool.submit([&, c] {
+      Xoshiro256 rng(chunk_seed(seed, c));
+      const auto router = make_router(chunk_seed(seed, c) ^ 0xC0FFEE);
+      Partial partial;
+      for (std::uint64_t t = 0; t < sizes[c]; ++t) {
+        const auto pattern = random_permutation(ftree.leaf_count(), rng);
+        LinkLoadMap map(ftree);
+        map.add_paths(router(pattern));
+        const auto collisions = map.colliding_pairs();
+        if (collisions > 0) ++partial.blocked;
+        partial.sum_collisions += static_cast<double>(collisions);
+        partial.sum_max_load += static_cast<double>(map.max_load());
+      }
+      partials[c] = partial;
+    });
+  }
+  pool.wait_idle();
+
+  BlockingEstimate est;
+  est.trials = trials;
+  double sum_collisions = 0.0;
+  double sum_max_load = 0.0;
+  for (const auto& partial : partials) {  // fixed merge order
+    est.blocked += partial.blocked;
+    sum_collisions += partial.sum_collisions;
+    sum_max_load += partial.sum_max_load;
+  }
+  const auto count = static_cast<double>(trials);
+  est.blocking_probability = static_cast<double>(est.blocked) / count;
+  est.mean_colliding_pairs = sum_collisions / count;
+  est.mean_max_link_load = sum_max_load / count;
+  const double p = est.blocking_probability;
+  est.ci95_half_width = 1.96 * std::sqrt(p * (1.0 - p) / count);
+  return est;
+}
+
+VerifyResult verify_random_parallel(const FoldedClos& ftree,
+                                    const PatternRouterFactory& make_router,
+                                    std::uint64_t trials, std::uint64_t seed,
+                                    ThreadPool& pool, std::uint32_t chunks) {
+  const auto sizes = chunk_sizes(trials, chunks);
+  std::vector<VerifyResult> partials(chunks);
+  for (std::uint32_t c = 0; c < chunks; ++c) {
+    if (sizes[c] == 0) {
+      partials[c].nonblocking = true;
+      continue;
+    }
+    pool.submit([&, c] {
+      Xoshiro256 rng(chunk_seed(seed, c));
+      const auto router = make_router(chunk_seed(seed, c) ^ 0xC0FFEE);
+      partials[c] = verify_random(ftree, router, sizes[c], rng);
+    });
+  }
+  pool.wait_idle();
+
+  VerifyResult result;
+  result.nonblocking = true;
+  for (const auto& partial : partials) {  // lowest failing chunk wins
+    result.permutations_checked += partial.permutations_checked;
+    if (result.nonblocking && !partial.nonblocking) {
+      result.nonblocking = false;
+      result.counterexample = partial.counterexample;
+      result.counterexample_collisions = partial.counterexample_collisions;
+    }
+  }
+  return result;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,186 @@
+#include "nbclos/analysis/root_capacity.hpp"
+
+#include <algorithm>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+std::uint64_t root_capacity_bound(std::uint32_t n, std::uint32_t r) {
+  NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
+  if (r >= 2 * n + 1) return std::uint64_t{r} * (r - 1);
+  return std::uint64_t{2} * n * r;
+}
+
+namespace {
+
+/// Uplink mode: source mode (`kSrc`, designated source = local node 0 of
+/// the switch) or destination mode pointing at switch w (designated
+/// destination = local node 0 of w).  Encoded as: kSrc = r, else the
+/// target switch index w != v.
+///
+/// Normalization argument (why designating local node 0 everywhere is
+/// WLOG): feasibility and the pair count only reference *equality* of
+/// source/destination nodes, never their identities, and contributions
+/// from different (uplink, downlink) slots involve distinct (s, d) node
+/// pairs, so relabeling nodes within each switch maps any optimal
+/// solution to one where every designated node has local index 0 without
+/// changing the count.
+struct ModeSearch {
+  std::uint32_t n;
+  std::uint32_t r;
+  std::vector<std::uint32_t> up_mode;  // per switch: r == kSrc, else target w
+
+  [[nodiscard]] std::uint64_t best_total() {
+    return recurse(0);
+  }
+
+ private:
+  std::uint64_t recurse(std::uint32_t v) {
+    if (v == r) return evaluate();
+    std::uint64_t best = 0;
+    up_mode[v] = r;  // source mode
+    best = std::max(best, recurse(v + 1));
+    for (std::uint32_t w = 0; w < r; ++w) {
+      if (w == v) continue;
+      up_mode[v] = w;  // destination mode toward (w, 0)
+      best = std::max(best, recurse(v + 1));
+    }
+    return best;
+  }
+
+  /// With uplink modes fixed, each downlink w independently picks its
+  /// best mode: destination mode (aggregate node (w,0)) or source mode
+  /// designated (v', 0) for the best v'.
+  [[nodiscard]] std::uint64_t evaluate() const {
+    std::uint64_t total = 0;
+    for (std::uint32_t w = 0; w < r; ++w) {
+      // Option A: downlink w in destination mode.  Every source-mode
+      // uplink v contributes pair ((v,0),(w,0)); every destination-mode
+      // uplink targeting w contributes n pairs ((v,*),(w,0)).
+      std::uint64_t dest_mode = 0;
+      for (std::uint32_t v = 0; v < r; ++v) {
+        if (v == w) continue;
+        if (up_mode[v] == r) {
+          dest_mode += 1;
+        } else if (up_mode[v] == w) {
+          dest_mode += n;
+        }
+      }
+      // Option B: downlink w in source mode designated (v',0): only
+      // pairs from (v',0).  If uplink v' is in source mode, (v',0) may
+      // fan out to all n destinations in w; if uplink v' is in
+      // destination mode targeting w, only ((v',0),(w,0)) fits both.
+      std::uint64_t src_mode = 0;
+      for (std::uint32_t v = 0; v < r; ++v) {
+        if (v == w) continue;
+        const std::uint64_t contribution =
+            (up_mode[v] == r) ? n : (up_mode[v] == w ? 1 : 0);
+        src_mode = std::max(src_mode, contribution);
+      }
+      total += std::max(dest_mode, src_mode);
+    }
+    return total;
+  }
+};
+
+}  // namespace
+
+std::uint64_t root_capacity_exact(std::uint32_t n, std::uint32_t r) {
+  NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
+  NBCLOS_REQUIRE(r <= 8, "mode search capped at r = 8");
+  ModeSearch search{n, r, std::vector<std::uint32_t>(r, 0)};
+  return search.best_total();
+}
+
+bool root_set_feasible(std::uint32_t n, std::uint32_t r,
+                       const std::vector<SDPair>& pairs) {
+  // Track per uplink/downlink whether all pairs share a source or share a
+  // destination.
+  constexpr std::uint32_t kEmpty = UINT32_MAX;
+  struct LinkState {
+    std::uint32_t src = kEmpty;
+    std::uint32_t dst = kEmpty;
+    bool src_same = true;
+    bool dst_same = true;
+  };
+  std::vector<LinkState> up(r);
+  std::vector<LinkState> down(r);
+  const auto note = [](LinkState& state, const SDPair sd) {
+    if (state.src == kEmpty) {
+      state.src = sd.src.value;
+      state.dst = sd.dst.value;
+      return true;
+    }
+    if (state.src != sd.src.value) state.src_same = false;
+    if (state.dst != sd.dst.value) state.dst_same = false;
+    return state.src_same || state.dst_same;
+  };
+  for (const auto sd : pairs) {
+    const std::uint32_t v = sd.src.value / n;
+    const std::uint32_t w = sd.dst.value / n;
+    NBCLOS_REQUIRE(v < r && w < r, "leaf id out of range");
+    NBCLOS_REQUIRE(v != w, "root capacity concerns cross pairs only");
+    if (!note(up[v], sd)) return false;
+    if (!note(down[w], sd)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+struct BruteForce {
+  std::uint32_t n;
+  std::uint32_t r;
+  std::vector<SDPair> all_pairs;
+  std::vector<SDPair> chosen;
+  std::uint64_t best = 0;
+
+  void run() { recurse(0); }
+
+  void recurse(std::size_t index) {
+    best = std::max(best, static_cast<std::uint64_t>(chosen.size()));
+    if (index == all_pairs.size()) return;
+    // Bound: even taking every remaining pair cannot beat best.
+    if (chosen.size() + (all_pairs.size() - index) <= best) return;
+    // Include, if still feasible.
+    chosen.push_back(all_pairs[index]);
+    if (root_set_feasible(n, r, chosen)) recurse(index + 1);
+    chosen.pop_back();
+    // Exclude.
+    recurse(index + 1);
+  }
+};
+
+}  // namespace
+
+std::uint64_t root_capacity_bruteforce(std::uint32_t n, std::uint32_t r) {
+  NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
+  const std::uint64_t pair_count =
+      std::uint64_t{r} * (r - 1) * n * n;
+  NBCLOS_REQUIRE(pair_count <= 30, "brute force capped at 30 SD pairs");
+  BruteForce search{n, r, {}, {}, 0};
+  for (std::uint32_t s = 0; s < n * r; ++s) {
+    for (std::uint32_t d = 0; d < n * r; ++d) {
+      if (s / n == d / n) continue;
+      search.all_pairs.push_back({LeafId{s}, LeafId{d}});
+    }
+  }
+  search.run();
+  return search.best;
+}
+
+std::vector<SDPair> root_capacity_witness(std::uint32_t n, std::uint32_t r) {
+  NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
+  std::vector<SDPair> pairs;
+  pairs.reserve(std::size_t{r} * (r - 1));
+  for (std::uint32_t v = 0; v < r; ++v) {
+    for (std::uint32_t w = 0; w < r; ++w) {
+      if (v == w) continue;
+      pairs.push_back({LeafId{v * n + 0}, LeafId{w * n + 0}});
+    }
+  }
+  return pairs;
+}
+
+}  // namespace nbclos

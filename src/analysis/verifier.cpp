@@ -1,0 +1,164 @@
+#include "nbclos/analysis/verifier.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/routing/single_path.hpp"
+
+namespace nbclos {
+
+PatternRouter as_pattern_router(const SinglePathRouting& routing) {
+  return [&routing](const Permutation& pattern) {
+    return routing.route_all(pattern);
+  };
+}
+
+namespace {
+
+std::uint64_t collisions_of(const FoldedClos& ftree,
+                            const std::vector<FtreePath>& paths) {
+  LinkLoadMap map(ftree);
+  map.add_paths(paths);
+  return map.colliding_pairs();
+}
+
+}  // namespace
+
+VerifyResult verify_exhaustive(const FoldedClos& ftree,
+                               const PatternRouter& router) {
+  VerifyResult result;
+  result.nonblocking = true;
+  result.permutations_checked = for_each_permutation(
+      ftree.leaf_count(), [&](const Permutation& pattern) {
+        if (!result.nonblocking) return;  // counterexample already found
+        const auto collisions = collisions_of(ftree, router(pattern));
+        if (collisions > 0) {
+          result.nonblocking = false;
+          result.counterexample = pattern;
+          result.counterexample_collisions = collisions;
+        }
+      });
+  return result;
+}
+
+VerifyResult verify_random(const FoldedClos& ftree,
+                           const PatternRouter& router, std::uint64_t trials,
+                           Xoshiro256& rng) {
+  VerifyResult result;
+  result.nonblocking = true;
+  for (std::uint64_t t = 0; t < trials; ++t) {
+    const auto pattern = random_permutation(ftree.leaf_count(), rng);
+    ++result.permutations_checked;
+    const auto collisions = collisions_of(ftree, router(pattern));
+    if (collisions > 0) {
+      result.nonblocking = false;
+      result.counterexample = pattern;
+      result.counterexample_collisions = collisions;
+      return result;
+    }
+  }
+  return result;
+}
+
+WorstCaseResult worst_case_search(const FoldedClos& ftree,
+                                  const PatternRouter& router,
+                                  const AdversarialOptions& options,
+                                  Xoshiro256& rng) {
+  WorstCaseResult result;
+  const std::uint32_t leafs = ftree.leaf_count();
+  const auto to_pattern = [](const std::vector<std::uint32_t>& t) {
+    Permutation p;
+    p.reserve(t.size());
+    for (std::uint32_t s = 0; s < t.size(); ++s) {
+      if (t[s] != s) p.push_back({LeafId{s}, LeafId{t[s]}});
+    }
+    return p;
+  };
+
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    std::vector<std::uint32_t> target(leafs);
+    std::iota(target.begin(), target.end(), 0U);
+    shuffle(target.begin(), target.end(), rng);
+    auto pattern = to_pattern(target);
+    std::uint64_t best = collisions_of(ftree, router(pattern));
+    ++result.evaluations;
+    for (std::uint32_t step = 0; step < options.steps_per_restart; ++step) {
+      const auto i = static_cast<std::uint32_t>(rng.below(leafs));
+      const auto j = static_cast<std::uint32_t>(rng.below(leafs));
+      if (i == j) continue;
+      std::swap(target[i], target[j]);
+      const auto candidate = to_pattern(target);
+      const auto collisions = collisions_of(ftree, router(candidate));
+      ++result.evaluations;
+      if (collisions >= best) {
+        best = collisions;
+        pattern = std::move(candidate);
+      } else {
+        std::swap(target[i], target[j]);  // revert
+      }
+    }
+    if (best > result.collisions || result.permutation.empty()) {
+      result.collisions = best;
+      result.permutation = pattern;
+    }
+  }
+  return result;
+}
+
+VerifyResult verify_adversarial(const FoldedClos& ftree,
+                                const PatternRouter& router,
+                                const AdversarialOptions& options,
+                                Xoshiro256& rng) {
+  VerifyResult result;
+  result.nonblocking = true;
+  const std::uint32_t leafs = ftree.leaf_count();
+
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    // State: a full target vector; mutation swaps two targets.  The
+    // vector form keeps the permutation property invariant by
+    // construction.
+    std::vector<std::uint32_t> target(leafs);
+    std::iota(target.begin(), target.end(), 0U);
+    shuffle(target.begin(), target.end(), rng);
+
+    const auto to_pattern = [](const std::vector<std::uint32_t>& t) {
+      Permutation p;
+      p.reserve(t.size());
+      for (std::uint32_t s = 0; s < t.size(); ++s) {
+        if (t[s] != s) p.push_back({LeafId{s}, LeafId{t[s]}});
+      }
+      return p;
+    };
+
+    auto pattern = to_pattern(target);
+    std::uint64_t best = collisions_of(ftree, router(pattern));
+    ++result.permutations_checked;
+
+    for (std::uint32_t step = 0;
+         step < options.steps_per_restart && best == 0; ++step) {
+      const auto i = static_cast<std::uint32_t>(rng.below(leafs));
+      const auto j = static_cast<std::uint32_t>(rng.below(leafs));
+      if (i == j) continue;
+      std::swap(target[i], target[j]);
+      const auto candidate = to_pattern(target);
+      const auto collisions = collisions_of(ftree, router(candidate));
+      ++result.permutations_checked;
+      if (collisions >= best) {
+        best = collisions;
+        pattern = candidate;
+      } else {
+        std::swap(target[i], target[j]);  // revert
+      }
+    }
+    if (best > 0) {
+      result.nonblocking = false;
+      result.counterexample = pattern;
+      result.counterexample_collisions = best;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,328 @@
+#include "nbclos/circuit/clos_switch.hpp"
+
+#include <algorithm>
+
+#include "nbclos/routing/edge_coloring.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::circuit {
+
+std::string to_string(FitStrategy strategy) {
+  switch (strategy) {
+    case FitStrategy::kFirstFit: return "first-fit";
+    case FitStrategy::kRandom: return "random";
+    case FitStrategy::kPacking: return "packing";
+    case FitStrategy::kLeastUsed: return "least-used";
+  }
+  return "unknown";
+}
+
+ClosCircuitSwitch::ClosCircuitSwitch(std::uint32_t n, std::uint32_t m,
+                                     std::uint32_t r, std::uint64_t seed)
+    : n_(n), m_(m), r_(r), rng_(seed),
+      first_(r, std::vector<std::int64_t>(m, kFree)),
+      second_(m, std::vector<std::int64_t>(r, kFree)), middle_load_(m, 0),
+      input_port_circuit_(std::size_t{n} * r, kFree),
+      output_port_circuit_(std::size_t{n} * r, kFree) {
+  NBCLOS_REQUIRE(n >= 1 && m >= 1 && r >= 2, "invalid Clos parameters");
+}
+
+bool ClosCircuitSwitch::input_port_busy(std::uint32_t port) const {
+  NBCLOS_REQUIRE(port < port_count(), "input port out of range");
+  return input_port_circuit_[port] != kFree;
+}
+
+bool ClosCircuitSwitch::output_port_busy(std::uint32_t port) const {
+  NBCLOS_REQUIRE(port < port_count(), "output port out of range");
+  return output_port_circuit_[port] != kFree;
+}
+
+std::optional<std::uint32_t> ClosCircuitSwitch::pick_middle(
+    std::uint32_t in_switch, std::uint32_t out_switch, FitStrategy strategy) {
+  std::vector<std::uint32_t> free;
+  for (std::uint32_t j = 0; j < m_; ++j) {
+    if (first_[in_switch][j] == kFree && second_[j][out_switch] == kFree) {
+      free.push_back(j);
+    }
+  }
+  if (free.empty()) return std::nullopt;
+  switch (strategy) {
+    case FitStrategy::kFirstFit:
+      return free.front();
+    case FitStrategy::kRandom:
+      return free[rng_.below(free.size())];
+    case FitStrategy::kPacking: {
+      // Most-loaded free middle: keeps spare middles empty for the
+      // requests that will need them — Benes' wide-sense heuristic.
+      auto best = free.front();
+      for (const auto j : free) {
+        if (middle_load_[j] > middle_load_[best]) best = j;
+      }
+      return best;
+    }
+    case FitStrategy::kLeastUsed: {
+      auto best = free.front();
+      for (const auto j : free) {
+        if (middle_load_[j] < middle_load_[best]) best = j;
+      }
+      return best;
+    }
+  }
+  return std::nullopt;
+}
+
+void ClosCircuitSwitch::occupy(const Circuit& circuit) {
+  const std::uint32_t in_switch = circuit.input_port / n_;
+  const std::uint32_t out_switch = circuit.output_port / n_;
+  NBCLOS_ASSERT(first_[in_switch][circuit.middle] == kFree);
+  NBCLOS_ASSERT(second_[circuit.middle][out_switch] == kFree);
+  first_[in_switch][circuit.middle] = circuit.id;
+  second_[circuit.middle][out_switch] = circuit.id;
+  ++middle_load_[circuit.middle];
+}
+
+void ClosCircuitSwitch::release(const Circuit& circuit) {
+  const std::uint32_t in_switch = circuit.input_port / n_;
+  const std::uint32_t out_switch = circuit.output_port / n_;
+  NBCLOS_ASSERT(first_[in_switch][circuit.middle] == circuit.id);
+  NBCLOS_ASSERT(second_[circuit.middle][out_switch] == circuit.id);
+  first_[in_switch][circuit.middle] = kFree;
+  second_[circuit.middle][out_switch] = kFree;
+  --middle_load_[circuit.middle];
+}
+
+std::optional<std::uint32_t> ClosCircuitSwitch::connect(
+    std::uint32_t input_port, std::uint32_t output_port,
+    FitStrategy strategy) {
+  NBCLOS_REQUIRE(!input_port_busy(input_port), "input port already in use");
+  NBCLOS_REQUIRE(!output_port_busy(output_port), "output port already in use");
+  const auto middle =
+      pick_middle(input_port / n_, output_port / n_, strategy);
+  if (!middle.has_value()) return std::nullopt;
+  Circuit circuit;
+  circuit.id = static_cast<std::uint32_t>(circuits_.size());
+  circuit.input_port = input_port;
+  circuit.output_port = output_port;
+  circuit.middle = *middle;
+  occupy(circuit);
+  input_port_circuit_[input_port] = circuit.id;
+  output_port_circuit_[output_port] = circuit.id;
+  circuits_.push_back(circuit);
+  ++active_count_;
+  return circuit.id;
+}
+
+std::optional<std::uint32_t> ClosCircuitSwitch::connect_with_rearrangement(
+    std::uint32_t input_port, std::uint32_t output_port) {
+  // Fast path: no rearrangement needed.
+  if (const auto id = connect(input_port, output_port, FitStrategy::kFirstFit)) {
+    return id;
+  }
+  // Slepian–Duguid: recolor the whole active set plus the new request.
+  // Gather active circuits as bipartite edges (input switch, output
+  // switch); per-switch degree <= n <= m, so a proper m-coloring exists.
+  std::vector<Circuit> all = circuits();
+  Circuit fresh;
+  fresh.id = static_cast<std::uint32_t>(circuits_.size());
+  fresh.input_port = input_port;
+  fresh.output_port = output_port;
+  all.push_back(fresh);
+
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  edges.reserve(all.size());
+  for (const auto& c : all) {
+    edges.emplace_back(c.input_port / n_, c.output_port / n_);
+  }
+  const auto colors = bipartite_edge_coloring(r_, r_, edges);
+  for (const auto color : colors) {
+    if (color >= m_) return std::nullopt;  // degree exceeded m: impossible
+  }
+  // Apply: release every old circuit, reassign middles per the coloring.
+  for (const auto& c : all) {
+    if (c.id != fresh.id) release(c);
+  }
+  for (std::size_t e = 0; e < all.size(); ++e) {
+    auto& c = all[e];
+    c.middle = colors[e];
+    occupy(c);
+    if (c.id == fresh.id) {
+      input_port_circuit_[input_port] = c.id;
+      output_port_circuit_[output_port] = c.id;
+      circuits_.push_back(c);
+      ++active_count_;
+    } else {
+      circuits_[c.id] = c;  // record possibly-new middle
+    }
+  }
+  return fresh.id;
+}
+
+void ClosCircuitSwitch::disconnect(std::uint32_t id) {
+  NBCLOS_REQUIRE(id < circuits_.size() && circuits_[id].has_value(),
+                 "circuit id not active");
+  const Circuit circuit = *circuits_[id];
+  release(circuit);
+  input_port_circuit_[circuit.input_port] = kFree;
+  output_port_circuit_[circuit.output_port] = kFree;
+  circuits_[id] = std::nullopt;
+  --active_count_;
+}
+
+std::optional<Circuit> ClosCircuitSwitch::circuit(std::uint32_t id) const {
+  if (id >= circuits_.size()) return std::nullopt;
+  return circuits_[id];
+}
+
+std::vector<Circuit> ClosCircuitSwitch::circuits() const {
+  std::vector<Circuit> out;
+  out.reserve(active_count_);
+  for (const auto& c : circuits_) {
+    if (c.has_value()) out.push_back(*c);
+  }
+  return out;
+}
+
+void ClosCircuitSwitch::validate() const {
+  std::vector<std::vector<std::int64_t>> first(
+      r_, std::vector<std::int64_t>(m_, kFree));
+  std::vector<std::vector<std::int64_t>> second(
+      m_, std::vector<std::int64_t>(r_, kFree));
+  std::size_t count = 0;
+  for (const auto& c : circuits_) {
+    if (!c.has_value()) continue;
+    ++count;
+    const std::uint32_t i = c->input_port / n_;
+    const std::uint32_t k = c->output_port / n_;
+    NBCLOS_ASSERT(first[i][c->middle] == kFree);
+    NBCLOS_ASSERT(second[c->middle][k] == kFree);
+    first[i][c->middle] = c->id;
+    second[c->middle][k] = c->id;
+    NBCLOS_ASSERT(input_port_circuit_[c->input_port] == c->id);
+    NBCLOS_ASSERT(output_port_circuit_[c->output_port] == c->id);
+  }
+  NBCLOS_ASSERT(count == active_count_);
+  NBCLOS_ASSERT(first == first_);
+  NBCLOS_ASSERT(second == second_);
+}
+
+ChurnResult run_churn(ClosCircuitSwitch& clos, FitStrategy strategy,
+                      std::uint64_t steps, double target_occupancy,
+                      bool use_rearrangement, Xoshiro256& rng) {
+  NBCLOS_REQUIRE(target_occupancy > 0.0 && target_occupancy <= 1.0,
+                 "occupancy must be in (0, 1]");
+  ChurnResult result;
+  const std::uint32_t ports = clos.port_count();
+  std::vector<std::uint32_t> active_ids;
+
+  const auto pick_idle = [&](const auto& busy_fn) -> std::optional<std::uint32_t> {
+    // Rejection-sample an idle port; fall back to scan when crowded.
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      const auto p = static_cast<std::uint32_t>(rng.below(ports));
+      if (!busy_fn(p)) return p;
+    }
+    std::vector<std::uint32_t> idle;
+    for (std::uint32_t p = 0; p < ports; ++p) {
+      if (!busy_fn(p)) idle.push_back(p);
+    }
+    if (idle.empty()) return std::nullopt;
+    return idle[rng.below(idle.size())];
+  };
+
+  const auto target_active =
+      static_cast<std::size_t>(target_occupancy * ports);
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    // Birth-death process with hysteresis around the occupancy target:
+    // below target, arrivals dominate; at/above it, departures dominate.
+    // Arrivals stay probabilistic even when under-occupied so a blocked
+    // state always drains instead of hammering the same request forever.
+    const double arrival_bias =
+        clos.active_circuits() < target_active ? 0.8 : 0.2;
+    const bool want_connect =
+        active_ids.empty() ||
+        (clos.active_circuits() < ports && rng.bernoulli(arrival_bias));
+    if (want_connect) {
+      const auto in = pick_idle(
+          [&](std::uint32_t p) { return clos.input_port_busy(p); });
+      const auto out = pick_idle(
+          [&](std::uint32_t p) { return clos.output_port_busy(p); });
+      if (!in || !out) continue;
+      ++result.attempts;
+      if (use_rearrangement) {
+        const std::size_t before = clos.active_circuits();
+        const auto direct =
+            clos.connect(*in, *out, FitStrategy::kFirstFit);
+        if (direct) {
+          active_ids.push_back(*direct);
+        } else {
+          ++result.rearrangements_needed;
+          const auto id = clos.connect_with_rearrangement(*in, *out);
+          if (id) {
+            active_ids.push_back(*id);
+          } else {
+            ++result.blocked;
+          }
+        }
+        (void)before;
+      } else {
+        const auto id = clos.connect(*in, *out, strategy);
+        if (id) {
+          active_ids.push_back(*id);
+        } else {
+          ++result.blocked;
+        }
+      }
+    } else if (!active_ids.empty()) {
+      const auto idx = rng.below(active_ids.size());
+      clos.disconnect(active_ids[idx]);
+      active_ids[idx] = active_ids.back();
+      active_ids.pop_back();
+    }
+  }
+  return result;
+}
+
+AdversarySearchResult adversary_search(std::uint32_t n, std::uint32_t m,
+                                       std::uint32_t r, FitStrategy strategy,
+                                       std::uint32_t restarts,
+                                       std::uint32_t steps_per_restart,
+                                       Xoshiro256& rng) {
+  AdversarySearchResult result;
+  for (std::uint32_t restart = 0; restart < restarts; ++restart) {
+    ++result.sequences_tried;
+    ClosCircuitSwitch clos(n, m, r, rng());
+    std::vector<std::uint32_t> active;
+    for (std::uint32_t step = 0; step < steps_per_restart; ++step) {
+      // Bias toward filling, with occasional targeted teardown — the
+      // classical adversaries against greedy strategies alternate
+      // fills and selective removals to fragment the middles.
+      const bool teardown = !active.empty() && rng.bernoulli(0.35);
+      if (teardown) {
+        const auto idx = rng.below(active.size());
+        clos.disconnect(active[idx]);
+        active[idx] = active.back();
+        active.pop_back();
+        continue;
+      }
+      // Random idle pair (skip when saturated).
+      std::vector<std::uint32_t> idle_in;
+      std::vector<std::uint32_t> idle_out;
+      for (std::uint32_t p = 0; p < clos.port_count(); ++p) {
+        if (!clos.input_port_busy(p)) idle_in.push_back(p);
+        if (!clos.output_port_busy(p)) idle_out.push_back(p);
+      }
+      if (idle_in.empty() || idle_out.empty()) continue;
+      const auto in = idle_in[rng.below(idle_in.size())];
+      const auto out = idle_out[rng.below(idle_out.size())];
+      ++result.calls_placed;
+      const auto id = clos.connect(in, out, strategy);
+      if (!id.has_value()) {
+        result.blocked_found = true;
+        return result;
+      }
+      active.push_back(*id);
+    }
+  }
+  return result;
+}
+
+}  // namespace nbclos::circuit

@@ -1,0 +1,68 @@
+#include "nbclos/core/designer.hpp"
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+TwoLevelDesign two_level_design(std::uint32_t n) {
+  NBCLOS_REQUIRE(n >= 2, "design needs n >= 2");
+  const std::uint64_t n64 = n;
+  TwoLevelDesign design;
+  design.n = n;
+  design.switch_radix = narrow<std::uint32_t>(n64 + n64 * n64);
+  design.params = FtreeParams{/*n=*/n, /*m=*/narrow<std::uint32_t>(n64 * n64),
+                              /*r=*/design.switch_radix};
+  design.ports = n64 * n64 * n64 + n64 * n64;       // r * n = (n^2+n) n
+  design.switches = 2 * n64 * n64 + n64;            // r bottoms + n^2 tops
+  // Bidirectional links: one per leaf plus r*m between the levels.
+  design.links = design.ports + std::uint64_t{design.params.r} * design.params.m;
+  return design;
+}
+
+std::optional<TwoLevelDesign> design_for_radix(std::uint32_t radix) {
+  std::uint32_t best_n = 0;
+  for (std::uint32_t n = 2;; ++n) {
+    const std::uint64_t needed = std::uint64_t{n} + std::uint64_t{n} * n;
+    if (needed > radix) break;
+    best_n = n;
+  }
+  if (best_n == 0) return std::nullopt;
+  return two_level_design(best_n);
+}
+
+RecursiveDesign recursive_design(std::uint32_t n, std::uint32_t levels) {
+  NBCLOS_REQUIRE(n >= 2, "design needs n >= 2");
+  NBCLOS_REQUIRE(levels >= 2, "recursive design starts at two levels");
+  const auto base = two_level_design(n);
+  std::uint64_t ports = base.ports;
+  std::uint64_t switches = base.switches;
+  const std::uint64_t n64 = n;
+  for (std::uint32_t level = 3; level <= levels; ++level) {
+    // P(L+1) = n P(L); S(L+1) = P(L) + n^2 S(L).
+    NBCLOS_REQUIRE(switches <= UINT64_MAX / (n64 * n64) - ports / (n64 * n64) - 1,
+                   "switch count overflow");
+    const std::uint64_t next_switches = ports + n64 * n64 * switches;
+    NBCLOS_REQUIRE(ports <= UINT64_MAX / n64, "port count overflow");
+    ports *= n64;
+    switches = next_switches;
+  }
+  RecursiveDesign design;
+  design.n = n;
+  design.levels = levels;
+  design.switch_radix = base.switch_radix;
+  design.ports = ports;
+  design.switches = switches;
+  return design;
+}
+
+std::vector<TwoLevelDesign> enumerate_designs(std::uint32_t max_radix) {
+  std::vector<TwoLevelDesign> designs;
+  for (std::uint32_t n = 2;; ++n) {
+    const std::uint64_t radix = std::uint64_t{n} + std::uint64_t{n} * n;
+    if (radix > max_radix) break;
+    designs.push_back(two_level_design(n));
+  }
+  return designs;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,34 @@
+#include "nbclos/core/fabric.hpp"
+
+#include "nbclos/analysis/contention.hpp"
+
+namespace nbclos {
+
+namespace {
+
+FtreeParams fabric_params(std::uint32_t n, std::optional<std::uint32_t> r) {
+  NBCLOS_REQUIRE(n >= 2, "fabric needs n >= 2");
+  const std::uint64_t m = std::uint64_t{n} * n;
+  const std::uint64_t radix = n + m;
+  return FtreeParams{n, narrow<std::uint32_t>(m),
+                     r.value_or(narrow<std::uint32_t>(radix))};
+}
+
+}  // namespace
+
+NonblockingFabric::NonblockingFabric(std::uint32_t n,
+                                     std::optional<std::uint32_t> r)
+    : ftree_(fabric_params(n, r)), routing_(ftree_) {}
+
+bool NonblockingFabric::certify() const {
+  return is_nonblocking_single_path(routing_);
+}
+
+VerifyResult NonblockingFabric::verify_random(std::uint64_t trials,
+                                              std::uint64_t seed) const {
+  Xoshiro256 rng(seed);
+  return ::nbclos::verify_random(ftree_, as_pattern_router(routing_), trials,
+                                 rng);
+}
+
+}  // namespace nbclos

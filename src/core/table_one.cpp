@@ -1,0 +1,52 @@
+#include "nbclos/core/table_one.hpp"
+
+#include "nbclos/topology/mport_ntree.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+TableOneRow table_one_row(std::uint32_t radix) {
+  NBCLOS_REQUIRE(radix >= 6, "need radix >= 6 (n >= 2)");
+  TableOneRow row;
+  row.switch_radix = radix;
+
+  const auto design = design_for_radix(radix);
+  NBCLOS_ASSERT(design.has_value());
+  row.nb_switches = design->switches;
+  row.nb_ports = design->ports;
+
+  if (radix >= 4 && radix % 2 == 0) {
+    const auto ft = mport_ntree_size(radix, 2);
+    row.ft_switches = ft.switch_count;
+    row.ft_ports = ft.node_count;
+  }
+  return row;
+}
+
+std::vector<TableOneRow> table_one_published() {
+  // The printed values from the paper's Table I.  Rows: 20, 30, 42-port
+  // switches.  Two cells disagree with the paper's own formulae
+  // (2n^2+n switches, m^2/2 ports): the 42-port row prints 88 switches
+  // where 2*6^2+6 = 78, and FT(42,2) prints 884 ports where 42^2/2 = 882.
+  struct Published {
+    std::uint32_t radix;
+    std::uint64_t nb_switches, nb_ports, ft_switches, ft_ports;
+  };
+  constexpr Published kPublished[] = {
+      {20, 36, 80, 30, 200},
+      {30, 55, 150, 45, 450},
+      {42, 88, 252, 63, 884},
+  };
+  std::vector<TableOneRow> rows;
+  for (const auto& pub : kPublished) {
+    auto row = table_one_row(pub.radix);
+    row.paper_nb_switches = pub.nb_switches;
+    row.paper_nb_ports = pub.nb_ports;
+    row.paper_ft_switches = pub.ft_switches;
+    row.paper_ft_ports = pub.ft_ports;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace nbclos

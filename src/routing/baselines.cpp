@@ -1,0 +1,23 @@
+#include "nbclos/routing/baselines.hpp"
+
+namespace nbclos {
+
+RandomFixedRouting::RandomFixedRouting(const FoldedClos& ft,
+                                       std::uint64_t seed)
+    : SinglePathRouting(ft) {
+  const std::uint64_t leafs = ft.leaf_count();
+  table_.resize(leafs * leafs, 0);
+  Xoshiro256 rng(seed);
+  for (std::uint64_t s = 0; s < leafs; ++s) {
+    for (std::uint64_t d = 0; d < leafs; ++d) {
+      table_[s * leafs + d] = static_cast<std::uint32_t>(rng.below(ft.m()));
+    }
+  }
+}
+
+TopId RandomFixedRouting::top_for(SDPair sd) const {
+  const std::uint64_t leafs = ftree().leaf_count();
+  return TopId{table_[std::uint64_t{sd.src.value} * leafs + sd.dst.value]};
+}
+
+}  // namespace nbclos

@@ -1,0 +1,138 @@
+#include "nbclos/routing/edge_coloring.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+std::vector<std::uint32_t> bipartite_edge_coloring(
+    std::uint32_t left_count, std::uint32_t right_count,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& edges) {
+  // Compute the maximum degree — the number of colors we are allowed.
+  std::vector<std::uint32_t> deg_left(left_count, 0);
+  std::vector<std::uint32_t> deg_right(right_count, 0);
+  for (const auto& [u, v] : edges) {
+    NBCLOS_REQUIRE(u < left_count && v < right_count, "edge out of range");
+    ++deg_left[u];
+    ++deg_right[v];
+  }
+  std::uint32_t max_degree = 1;
+  for (const auto d : deg_left) max_degree = std::max(max_degree, d);
+  for (const auto d : deg_right) max_degree = std::max(max_degree, d);
+
+  constexpr std::int64_t kNone = -1;
+  // color_at[vertex][c] = edge index colored c at that vertex, or kNone.
+  // Left vertices occupy rows [0, left_count), right rows after that.
+  const std::size_t rows = std::size_t{left_count} + right_count;
+  std::vector<std::vector<std::int64_t>> color_at(
+      rows, std::vector<std::int64_t>(max_degree, kNone));
+  std::vector<std::uint32_t> color(edges.size(), 0);
+
+  const auto first_free = [&](std::size_t row) {
+    for (std::uint32_t c = 0; c < max_degree; ++c) {
+      if (color_at[row][c] == kNone) return c;
+    }
+    NBCLOS_ASSERT(false);  // degree bound guarantees a free color
+    return max_degree;
+  };
+  const auto left_row = [](std::uint32_t u) { return std::size_t{u}; };
+  const auto right_row = [left_count](std::uint32_t v) {
+    return std::size_t{left_count} + v;
+  };
+
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const std::size_t u = left_row(edges[e].first);
+    const std::size_t v = right_row(edges[e].second);
+    const std::uint32_t a = first_free(u);
+    const std::uint32_t b = first_free(v);
+    if (a != b && color_at[v][a] != kNone) {
+      // Kempe chain: walk the a/b alternating path starting at v, then
+      // swap colors a<->b along it.  The chain cannot reach u (classical
+      // König argument: u is missing color a, and the chain enters left
+      // vertices only on a-colored edges).
+      std::vector<std::size_t> chain_edges;
+      std::size_t vertex = v;
+      std::uint32_t want = a;
+      while (color_at[vertex][want] != kNone) {
+        const auto idx = static_cast<std::size_t>(color_at[vertex][want]);
+        chain_edges.push_back(idx);
+        const std::size_t lu = left_row(edges[idx].first);
+        const std::size_t rv = right_row(edges[idx].second);
+        vertex = (vertex == lu) ? rv : lu;
+        NBCLOS_ASSERT(vertex != u);  // König: chain never hits u
+        want = (want == a) ? b : a;
+      }
+      // Two-pass flip so slot writes never clobber a slot we still need.
+      for (const auto idx : chain_edges) {
+        const std::uint32_t old_color = color[idx];
+        color_at[left_row(edges[idx].first)][old_color] = kNone;
+        color_at[right_row(edges[idx].second)][old_color] = kNone;
+      }
+      for (const auto idx : chain_edges) {
+        const std::uint32_t new_color = (color[idx] == a) ? b : a;
+        color[idx] = new_color;
+        color_at[left_row(edges[idx].first)][new_color] =
+            static_cast<std::int64_t>(idx);
+        color_at[right_row(edges[idx].second)][new_color] =
+            static_cast<std::int64_t>(idx);
+      }
+      NBCLOS_ASSERT(color_at[v][a] == kNone);
+      NBCLOS_ASSERT(color_at[u][a] == kNone);
+    }
+    color[e] = a;
+    color_at[u][a] = static_cast<std::int64_t>(e);
+    color_at[v][a] = static_cast<std::int64_t>(e);
+  }
+  return color;
+}
+
+std::vector<FtreePath> CentralizedRearrangeableRouter::route(
+    const std::vector<SDPair>& permutation) const {
+  const auto& ft = *ftree_;
+  // Validate the permutation property (Definition 1).
+  std::unordered_set<std::uint32_t> sources;
+  std::unordered_set<std::uint32_t> destinations;
+  for (const auto sd : permutation) {
+    NBCLOS_REQUIRE(sd.src.value < ft.leaf_count() &&
+                       sd.dst.value < ft.leaf_count(),
+                   "leaf id out of range");
+    NBCLOS_REQUIRE(sources.insert(sd.src.value).second,
+                   "pattern reuses a source: not a permutation");
+    NBCLOS_REQUIRE(destinations.insert(sd.dst.value).second,
+                   "pattern reuses a destination: not a permutation");
+  }
+
+  // Bipartite multigraph over bottom switches; edges = cross pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+  std::vector<std::size_t> edge_to_pattern;
+  for (std::size_t i = 0; i < permutation.size(); ++i) {
+    const auto sd = permutation[i];
+    NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+    if (!ft.needs_top(sd)) continue;
+    edges.emplace_back(ft.switch_of(sd.src).value, ft.switch_of(sd.dst).value);
+    edge_to_pattern.push_back(i);
+  }
+  const auto colors = bipartite_edge_coloring(ft.r(), ft.r(), edges);
+
+  std::vector<std::uint32_t> color_of_pattern(permutation.size(), 0);
+  std::vector<bool> is_cross(permutation.size(), false);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    NBCLOS_REQUIRE(colors[e] < ft.m(),
+                   "permutation needs more top switches than available");
+    color_of_pattern[edge_to_pattern[e]] = colors[e];
+    is_cross[edge_to_pattern[e]] = true;
+  }
+  std::vector<FtreePath> paths;
+  paths.reserve(permutation.size());
+  for (std::size_t i = 0; i < permutation.size(); ++i) {
+    const auto sd = permutation[i];
+    paths.push_back(is_cross[i]
+                        ? ft.cross_path(sd, TopId{color_of_pattern[i]})
+                        : ft.direct_path(sd));
+  }
+  return paths;
+}
+
+}  // namespace nbclos

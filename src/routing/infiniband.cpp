@@ -1,0 +1,94 @@
+#include "nbclos/routing/infiniband.hpp"
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+InfinibandFabric::InfinibandFabric(const FoldedClos& ftree)
+    : ftree_(&ftree), map_{ftree.params()} {
+  NBCLOS_REQUIRE(std::uint64_t{ftree.m()} >= std::uint64_t{ftree.n()} * ftree.n(),
+                 "multiple-LID Theorem 3 programming needs m >= n^2");
+  const std::uint32_t n = ftree.n();
+  const std::uint32_t lids = lid_count();
+
+  // Bottom-switch LFTs: for LID (d, i) at switch v —
+  //   * d attached here: deliver on the leaf-down port;
+  //   * otherwise climb to top switch (i, j = local(d)).
+  lft_bottom_.assign(ftree.bottom_count(),
+                     std::vector<std::uint32_t>(lids, 0));
+  for (std::uint32_t v = 0; v < ftree.bottom_count(); ++v) {
+    for (std::uint32_t lid = 0; lid < lids; ++lid) {
+      const LeafId d{lid / n};
+      const std::uint32_t i = lid % n;
+      if (ftree.switch_of(d).value == v) {
+        lft_bottom_[v][lid] = ftree.leaf_down_link(d).value;
+      } else {
+        const TopId top{i * n + ftree.local_of(d)};
+        lft_bottom_[v][lid] = ftree.up_link(BottomId{v}, top).value;
+      }
+    }
+  }
+  // Top-switch LFTs: descend toward the destination's bottom switch.
+  lft_top_.assign(ftree.top_count(), std::vector<std::uint32_t>(lids, 0));
+  for (std::uint32_t t = 0; t < ftree.top_count(); ++t) {
+    for (std::uint32_t lid = 0; lid < lids; ++lid) {
+      const LeafId d{lid / n};
+      lft_top_[t][lid] = ftree.down_link(TopId{t}, ftree.switch_of(d)).value;
+    }
+  }
+}
+
+Lid InfinibandFabric::lid_for(SDPair sd) const {
+  NBCLOS_REQUIRE(sd.src.value < ftree_->leaf_count() &&
+                     sd.dst.value < ftree_->leaf_count(),
+                 "leaf id out of range");
+  return Lid{sd.dst.value * ftree_->n() + ftree_->local_of(sd.src)};
+}
+
+LeafId InfinibandFabric::leaf_of(Lid lid) const {
+  NBCLOS_REQUIRE(lid.value < lid_count(), "LID out of range");
+  return LeafId{lid.value / ftree_->n()};
+}
+
+std::uint32_t InfinibandFabric::index_of(Lid lid) const {
+  NBCLOS_REQUIRE(lid.value < lid_count(), "LID out of range");
+  return lid.value % ftree_->n();
+}
+
+std::uint32_t InfinibandFabric::forward(std::uint32_t vertex, Lid lid) const {
+  NBCLOS_REQUIRE(lid.value < lid_count(), "LID out of range");
+  if (map_.is_bottom(vertex)) {
+    return lft_bottom_[map_.bottom_of(vertex).value][lid.value];
+  }
+  NBCLOS_REQUIRE(map_.is_top(vertex), "vertex is not a switch");
+  return lft_top_[map_.top_of(vertex).value][lid.value];
+}
+
+ChannelPath InfinibandFabric::forward_path(SDPair sd) const {
+  NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+  const Lid lid = lid_for(sd);
+  ChannelPath path;
+  path.push_back(ftree_->leaf_up_link(sd.src).value);
+  std::uint32_t vertex = map_.bottom(ftree_->switch_of(sd.src));
+  // Forward by LFT until the packet leaves on a leaf-down channel.
+  for (int hop = 0; hop < 4; ++hop) {
+    const auto channel = forward(vertex, lid);
+    path.push_back(channel);
+    if (ftree_->kind_of(LinkId{channel}) == LinkKind::kLeafDown) return path;
+    // Next vertex per the ftree channel layout.
+    const auto kind = ftree_->kind_of(LinkId{channel});
+    if (kind == LinkKind::kUp) {
+      const std::uint32_t rel = channel - ftree_->leaf_count();
+      vertex = map_.top(TopId{rel % ftree_->m()});
+    } else {
+      NBCLOS_ASSERT(kind == LinkKind::kDown);
+      const std::uint32_t rel =
+          channel - ftree_->leaf_count() - ftree_->r() * ftree_->m();
+      vertex = map_.bottom(BottomId{rel % ftree_->r()});
+    }
+  }
+  NBCLOS_ASSERT(false);  // a well-formed LFT always delivers within 3 hops
+  return path;
+}
+
+}  // namespace nbclos

@@ -1,0 +1,101 @@
+#include "nbclos/routing/kary_updown.hpp"
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+KaryTreeRouter::KaryTreeRouter(const Network& net, std::uint32_t k,
+                               std::uint32_t h)
+    : net_(&net), k_(k), h_(h) {
+  NBCLOS_REQUIRE(k >= 2 && h >= 1, "invalid k-ary n-tree parameters");
+  std::uint64_t terminals = 1;
+  for (std::uint32_t i = 0; i < h; ++i) terminals *= k;
+  terminals_ = narrow<std::uint32_t>(terminals);
+  per_level_ = terminals_ / k;
+  NBCLOS_REQUIRE(net.vertex_count() == terminals_ + h * per_level_,
+                 "network does not match k-ary n-tree shape");
+}
+
+std::uint32_t KaryTreeRouter::switch_vertex(std::uint32_t level,
+                                            std::uint32_t pos) const {
+  NBCLOS_ASSERT(level < h_ && pos < per_level_);
+  return terminals_ + level * per_level_ + pos;
+}
+
+std::uint32_t KaryTreeRouter::channel_between(std::uint32_t from,
+                                              std::uint32_t to) const {
+  const auto channel = net_->find_channel(from, to);
+  NBCLOS_ASSERT(channel.has_value());
+  return *channel;
+}
+
+std::uint32_t KaryTreeRouter::nca_level(std::uint32_t src,
+                                        std::uint32_t dst) const {
+  NBCLOS_REQUIRE(src < terminals_ && dst < terminals_, "terminal range");
+  const std::uint32_t ws = src / k_;
+  const std::uint32_t wd = dst / k_;
+  if (ws == wd) return 0;
+  if (h_ == 1) return 0;
+  const DigitCodec codec(k_, h_ - 1);
+  std::uint32_t top = 0;
+  for (std::uint32_t i = 0; i < h_ - 1; ++i) {
+    if (codec.digit(ws, i) != codec.digit(wd, i)) top = i + 1;
+  }
+  return top;
+}
+
+ChannelPath KaryTreeRouter::route_impl(
+    SDPair sd,
+    const std::function<std::uint32_t(std::uint32_t)>& up_digit) const {
+  NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+  const std::uint32_t src = sd.src.value;
+  const std::uint32_t dst = sd.dst.value;
+  NBCLOS_REQUIRE(src < terminals_ && dst < terminals_, "terminal range");
+
+  ChannelPath path;
+  const std::uint32_t climb = nca_level(src, dst);
+  std::uint32_t vertex = switch_vertex(0, src / k_);
+  path.push_back(channel_between(src, vertex));
+  if (climb > 0) {
+    const DigitCodec codec(k_, h_ - 1);
+    auto digits = codec.digits(src / k_);
+    const auto dest_digits = codec.digits(dst / k_);
+    // Ascend: at level l the position digit l is free.
+    for (std::uint32_t l = 0; l < climb; ++l) {
+      digits[l] = up_digit(l);
+      const auto pos = static_cast<std::uint32_t>(codec.compose(digits));
+      const auto next = switch_vertex(l + 1, pos);
+      path.push_back(channel_between(vertex, next));
+      vertex = next;
+    }
+    // Descend: fix digit l-1 to the destination's digit at each step.
+    for (std::uint32_t l = climb; l > 0; --l) {
+      digits[l - 1] = dest_digits[l - 1];
+      const auto pos = static_cast<std::uint32_t>(codec.compose(digits));
+      const auto next = switch_vertex(l - 1, pos);
+      path.push_back(channel_between(vertex, next));
+      vertex = next;
+    }
+    NBCLOS_ASSERT(vertex == switch_vertex(0, dst / k_));
+  }
+  path.push_back(channel_between(vertex, dst));
+  return path;
+}
+
+ChannelPath KaryTreeRouter::route(SDPair sd) const {
+  // Destination-keyed ascent: converge on the destination's digits
+  // immediately (the D-mod-K analogue on k-ary n-trees).
+  const DigitCodec codec(k_, h_ == 1 ? 1 : h_ - 1);
+  const std::uint32_t wd = sd.dst.value / k_;
+  return route_impl(sd, [&codec, wd](std::uint32_t l) {
+    return codec.digit(wd, l);
+  });
+}
+
+ChannelPath KaryTreeRouter::route_random(SDPair sd, Xoshiro256& rng) const {
+  return route_impl(sd, [this, &rng](std::uint32_t) {
+    return static_cast<std::uint32_t>(rng.below(k_));
+  });
+}
+
+}  // namespace nbclos

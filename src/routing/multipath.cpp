@@ -1,0 +1,91 @@
+#include "nbclos/routing/multipath.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace nbclos {
+
+std::string to_string(SpreadPolicy policy) {
+  switch (policy) {
+    case SpreadPolicy::kRoundRobin: return "round-robin";
+    case SpreadPolicy::kRandom: return "random";
+    case SpreadPolicy::kHash: return "hash";
+  }
+  return "unknown";
+}
+
+MultipathObliviousRouting::MultipathObliviousRouting(const FoldedClos& ft,
+                                                     std::uint32_t width,
+                                                     SpreadPolicy policy,
+                                                     std::uint64_t seed,
+                                                     CandidateBase base)
+    : ftree_(&ft), width_(width), policy_(policy), base_(base), rng_(seed) {
+  NBCLOS_REQUIRE(width >= 1, "spread width must be >= 1");
+  NBCLOS_REQUIRE(width <= ft.m(), "spread width exceeds top switch count");
+  if (base == CandidateBase::kYuan) {
+    NBCLOS_REQUIRE(std::uint64_t{ft.m()} >= std::uint64_t{ft.n()} * ft.n(),
+                   "Yuan candidate base needs m >= n^2");
+  }
+}
+
+std::string MultipathObliviousRouting::name() const {
+  return std::string("multipath-") +
+         (base_ == CandidateBase::kYuan ? "yuan-" : "") + to_string(policy_) +
+         "-w" + std::to_string(width_);
+}
+
+std::vector<TopId> MultipathObliviousRouting::candidates(SDPair sd) const {
+  NBCLOS_REQUIRE(ftree_->needs_top(sd), "direct pairs have no candidates");
+  std::vector<TopId> out;
+  out.reserve(width_);
+  const std::uint32_t base =
+      base_ == CandidateBase::kYuan
+          ? ftree_->local_of(sd.src) * ftree_->n() + ftree_->local_of(sd.dst)
+          : (sd.src.value + sd.dst.value) % ftree_->m();
+  for (std::uint32_t k = 0; k < width_; ++k) {
+    out.push_back(TopId{(base + k) % ftree_->m()});
+  }
+  return out;
+}
+
+FtreePath MultipathObliviousRouting::path_for_packet(
+    SDPair sd, std::uint64_t packet_index) {
+  NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+  if (!ftree_->needs_top(sd)) return ftree_->direct_path(sd);
+  const auto cands = candidates(sd);
+  std::size_t pick = 0;
+  switch (policy_) {
+    case SpreadPolicy::kRoundRobin:
+      pick = static_cast<std::size_t>(packet_index % cands.size());
+      break;
+    case SpreadPolicy::kRandom:
+      pick = static_cast<std::size_t>(rng_.below(cands.size()));
+      break;
+    case SpreadPolicy::kHash: {
+      // SplitMix64 finalizer over (src, dst, packet_index).
+      SplitMix64 h((std::uint64_t{sd.src.value} << 32) ^ sd.dst.value ^
+                   (packet_index * 0x9E3779B97F4A7C15ULL));
+      pick = static_cast<std::size_t>(h.next() % cands.size());
+      break;
+    }
+  }
+  return ftree_->cross_path(sd, cands[pick]);
+}
+
+std::vector<LinkId> MultipathObliviousRouting::link_footprint(SDPair sd) const {
+  NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+  std::vector<LinkId> links;
+  if (!ftree_->needs_top(sd)) {
+    const auto path = ftree_->direct_path(sd);
+    return ftree_->links_of(path);
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto top : candidates(sd)) {
+    for (const auto link : ftree_->links_of(ftree_->cross_path(sd, top))) {
+      if (seen.insert(link.value).second) links.push_back(link);
+    }
+  }
+  return links;
+}
+
+}  // namespace nbclos

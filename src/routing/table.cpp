@@ -1,0 +1,57 @@
+#include "nbclos/routing/table.hpp"
+
+#include <algorithm>
+
+namespace nbclos {
+
+void RoutingTable::set(SDPair sd, TopId top) {
+  NBCLOS_REQUIRE(ftree_->needs_top(sd), "direct pairs are not stored");
+  NBCLOS_REQUIRE(top.value < ftree_->m(), "top switch out of range");
+  table_[sd] = top.value;
+}
+
+std::optional<TopId> RoutingTable::lookup(SDPair sd) const {
+  const auto it = table_.find(sd);
+  if (it == table_.end()) return std::nullopt;
+  return TopId{it->second};
+}
+
+FtreePath RoutingTable::path(SDPair sd) const {
+  if (!ftree_->needs_top(sd)) return ftree_->direct_path(sd);
+  const auto top = lookup(sd);
+  NBCLOS_REQUIRE(top.has_value(), "no route recorded for SD pair");
+  return ftree_->cross_path(sd, *top);
+}
+
+RoutingTable RoutingTable::materialize(const SinglePathRouting& routing) {
+  const auto& ft = routing.ftree();
+  RoutingTable table(ft);
+  table.table_.reserve(ft.cross_pair_count());
+  for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
+    for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
+      const SDPair sd{LeafId{s}, LeafId{d}};
+      if (s == d || !ft.needs_top(sd)) continue;
+      table.set(sd, routing.route(sd).top);
+    }
+  }
+  return table;
+}
+
+RoutingTable RoutingTable::from_paths(const FoldedClos& ftree,
+                                      const std::vector<FtreePath>& paths) {
+  RoutingTable table(ftree);
+  for (const auto& p : paths) {
+    if (!p.direct) table.set(p.sd, p.top);
+  }
+  return table;
+}
+
+std::uint32_t RoutingTable::top_switches_used() const {
+  std::uint32_t used = 0;
+  for (const auto& [sd, top] : table_) {
+    used = std::max(used, top + 1);
+  }
+  return used;
+}
+
+}  // namespace nbclos

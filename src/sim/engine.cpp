@@ -1,0 +1,245 @@
+#include "nbclos/sim/engine.hpp"
+
+#include <algorithm>
+
+namespace nbclos::sim {
+
+PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
+                     const TrafficPattern& traffic, SimConfig config)
+    : net_(&net), oracle_(&oracle), traffic_(&traffic), config_(config),
+      channels_(net.channel_count()), queue_depth_(net.channel_count(), 0),
+      rng_(config.seed) {
+  NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
+  NBCLOS_REQUIRE(config.injection_rate >= 0.0 && config.injection_rate <= 1.0,
+                 "injection rate must be in [0, 1] flits/cycle");
+  NBCLOS_REQUIRE(config.packet_size >= 1, "packets need at least one flit");
+  NBCLOS_REQUIRE(config.queue_capacity >= 1, "queues need capacity >= 1");
+  terminal_vertices_ = net.terminals();
+  NBCLOS_REQUIRE(traffic.terminal_count() == terminal_vertices_.size(),
+                 "traffic pattern size does not match network");
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    NBCLOS_REQUIRE(terminal_vertices_[t] == t,
+                   "terminals must be vertices [0, T) (library builders "
+                   "guarantee this)");
+  }
+  flow_sequence_.assign(terminal_vertices_.size(), 0);
+  delivered_per_source_.assign(terminal_vertices_.size(), 0);
+  arrival_candidates_.resize(net.channel_count());
+  rr_last_winner_.assign(net.channel_count(), 0);
+  // A channel whose source vertex is a terminal is that terminal's NIC
+  // send queue: unbounded, so offered load is never silently dropped.
+  is_terminal_source_queue_.assign(net.channel_count(), false);
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    is_terminal_source_queue_[c] =
+        net.vertex(net.channel(c).src).kind == VertexKind::kTerminal;
+  }
+}
+
+void PacketSim::deliver(const Packet& packet) {
+  ++delivered_packets_;
+  if (!measuring_) return;
+  // Throughput counts every delivery inside the measurement window —
+  // at saturation the window mostly drains warmup backlog, and filtering
+  // it out would underestimate the sustainable rate.
+  delivered_measured_flits_ += packet.size_flits;
+  // Terminal vertex ids equal their index in terminal_vertices_ for
+  // every builder in this library (terminals are added first).
+  delivered_per_source_[packet.src_terminal] += packet.size_flits;
+  // Latency, by contrast, is only meaningful for packets that both
+  // entered and left within measured, warmed-up conditions.
+  if (packet.injected_cycle >= config_.warmup_cycles) {
+    const auto latency = static_cast<double>(now_ - packet.injected_cycle);
+    latency_.add(latency);
+    latencies_.push_back(latency);
+  }
+}
+
+void PacketSim::step_arrivals() {
+  const SimView view(*net_, queue_depth_);
+  // Two-phase arrival with per-queue round-robin arbitration.  With a
+  // fixed service order the lowest-id input wins every freed slot of a
+  // contended queue and its siblings starve — an arbitration artifact,
+  // not a network property.  Phase 1 collects, per target queue, the
+  // channels whose head packet wants it; phase 2 admits them in circular
+  // id order starting after the queue's previous winner.
+  arrival_targets_.clear();
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    auto& ch = channels_[c];
+    if (!ch.in_flight_valid || ch.arrival_cycle > now_) continue;
+    const std::uint32_t at = net_->channel(c).dst;
+    if (net_->vertex(at).kind == VertexKind::kTerminal) {
+      NBCLOS_ASSERT(at == ch.in_flight.dst_terminal);
+      deliver(ch.in_flight);
+      ch.in_flight_valid = false;
+      continue;
+    }
+    // Route at the switch; the oracle is re-consulted on every retry,
+    // so adaptive policies can steer around persistent congestion.
+    const auto next = oracle_->next_channel(view, at, ch.in_flight);
+    NBCLOS_ASSERT(net_->channel(next).src == at);
+    auto& waiting = arrival_candidates_[next];
+    if (waiting.empty()) arrival_targets_.push_back(next);
+    waiting.push_back(c);
+  }
+  for (const auto target : arrival_targets_) {
+    auto& waiting = arrival_candidates_[target];
+    // Serve in circular order starting after the last winner (credits
+    // permitting); losers stall on their channels (backpressure).
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < waiting.size(); ++i) {
+      if (waiting[i] > rr_last_winner_[target]) {
+        start = i;
+        break;
+      }
+    }
+    for (std::size_t i = 0;
+         i < waiting.size() && queue_depth_[target] < config_.queue_capacity;
+         ++i) {
+      const auto c = waiting[(start + i) % waiting.size()];
+      auto& ch = channels_[c];
+      channels_[target].queue.push_back(ch.in_flight);
+      ++queue_depth_[target];
+      ch.in_flight_valid = false;
+      rr_last_winner_[target] = c;
+    }
+    waiting.clear();
+  }
+}
+
+void PacketSim::step_transmissions() {
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    auto& ch = channels_[c];
+    if (ch.in_flight_valid || ch.queue.empty()) continue;
+    ch.in_flight = ch.queue.front();
+    ch.queue.pop_front();
+    if (!is_terminal_source_queue_[c]) --queue_depth_[c];
+    ch.in_flight_valid = true;
+    ch.arrival_cycle = now_ + ch.in_flight.size_flits;
+  }
+}
+
+void PacketSim::step_injection() {
+  const double packet_rate =
+      config_.injection_rate / static_cast<double>(config_.packet_size);
+  const SimView view(*net_, queue_depth_);
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    if (!rng_.bernoulli(packet_rate)) continue;
+    const auto dst = traffic_->destination(t, rng_);
+    if (!dst.has_value()) continue;
+    Packet packet;
+    packet.id = next_packet_id_++;
+    packet.src_terminal = terminal_vertices_[t];
+    packet.dst_terminal = terminal_vertices_[*dst];
+    packet.size_flits = config_.packet_size;
+    packet.injected_cycle = now_;
+    packet.flow_sequence = flow_sequence_[t]++;
+    const auto channel =
+        oracle_->next_channel(view, terminal_vertices_[t], packet);
+    // Terminal source queues are unbounded: depth is not tracked against
+    // capacity, matching an infinite NIC send queue.
+    channels_[channel].queue.push_back(packet);
+    ++injected_;
+  }
+}
+
+SimResult PacketSim::run() {
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  for (now_ = 0; now_ < total; ++now_) {
+    measuring_ = now_ >= config_.warmup_cycles;
+    step_arrivals();
+    step_transmissions();
+    step_injection();
+    if (measuring_) {
+      // Sample switch queue depths (terminal source queues excluded).
+      std::uint64_t sum = 0;
+      std::uint64_t count = 0;
+      for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+        if (is_terminal_source_queue_[c]) continue;
+        sum += queue_depth_[c];
+        ++count;
+      }
+      if (count > 0) {
+        queue_depth_samples_.add(static_cast<double>(sum) /
+                                 static_cast<double>(count));
+      }
+    }
+  }
+
+  SimResult result;
+  result.offered_load = config_.injection_rate;
+  result.injected_packets = injected_;
+  result.delivered_packets = delivered_packets_;
+  result.accepted_throughput =
+      static_cast<double>(delivered_measured_flits_) /
+      (static_cast<double>(config_.measure_cycles) *
+       static_cast<double>(terminal_vertices_.size()));
+  result.mean_latency = latency_.mean();
+  if (!latencies_.empty()) {
+    auto sorted = latencies_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(sorted.size() - 1));
+    result.p99_latency = sorted[idx];
+  }
+  result.mean_switch_queue_depth = queue_depth_samples_.mean();
+  // Fairness extremes over sources that injected anything.
+  bool first_flow = true;
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    if (flow_sequence_[t] == 0) continue;
+    const double rate = static_cast<double>(delivered_per_source_[t]) /
+                        static_cast<double>(config_.measure_cycles);
+    if (first_flow) {
+      result.min_flow_throughput = rate;
+      result.max_flow_throughput = rate;
+      first_flow = false;
+    } else {
+      result.min_flow_throughput = std::min(result.min_flow_throughput, rate);
+      result.max_flow_throughput = std::max(result.max_flow_throughput, rate);
+    }
+  }
+  return result;
+}
+
+double find_saturation_load(const Network& net, RoutingOracle& oracle,
+                            const TrafficPattern& traffic,
+                            const SimConfig& base, std::uint32_t iterations) {
+  double lo = 0.0;
+  double hi = 1.0;
+  // Check full load first: nonblocking fabrics sustain it and we can
+  // return without bisection error.
+  {
+    SimConfig config = base;
+    config.injection_rate = 1.0;
+    PacketSim sim(net, oracle, traffic, config);
+    if (!sim.run().saturated()) return 1.0;
+  }
+  for (std::uint32_t i = 0; i < iterations; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    SimConfig config = base;
+    config.injection_rate = mid;
+    PacketSim sim(net, oracle, traffic, config);
+    if (sim.run().saturated()) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+std::vector<SimResult> load_sweep(const Network& net, RoutingOracle& oracle,
+                                  const TrafficPattern& traffic,
+                                  const SimConfig& base,
+                                  const std::vector<double>& rates) {
+  std::vector<SimResult> results;
+  results.reserve(rates.size());
+  for (const double rate : rates) {
+    SimConfig config = base;
+    config.injection_rate = rate;
+    PacketSim sim(net, oracle, traffic, config);
+    results.push_back(sim.run());
+  }
+  return results;
+}
+
+}  // namespace nbclos::sim

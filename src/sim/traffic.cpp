@@ -1,0 +1,71 @@
+#include "nbclos/sim/traffic.hpp"
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::sim {
+
+TrafficPattern TrafficPattern::permutation(const Permutation& pattern,
+                                           std::uint32_t terminal_count) {
+  validate_permutation(pattern, terminal_count);
+  TrafficPattern t;
+  t.kind_ = Kind::kPermutation;
+  t.terminal_count_ = terminal_count;
+  t.name_ = "permutation";
+  t.fixed_destination_.assign(terminal_count, -1);
+  for (const auto sd : pattern) {
+    t.fixed_destination_[sd.src.value] = sd.dst.value;
+  }
+  return t;
+}
+
+TrafficPattern TrafficPattern::uniform(std::uint32_t terminal_count) {
+  NBCLOS_REQUIRE(terminal_count >= 2, "need at least two terminals");
+  TrafficPattern t;
+  t.kind_ = Kind::kUniform;
+  t.terminal_count_ = terminal_count;
+  t.name_ = "uniform";
+  return t;
+}
+
+TrafficPattern TrafficPattern::hotspot(std::uint32_t terminal_count,
+                                       std::uint32_t hotspot_terminal,
+                                       double fraction) {
+  NBCLOS_REQUIRE(terminal_count >= 2, "need at least two terminals");
+  NBCLOS_REQUIRE(hotspot_terminal < terminal_count, "hotspot out of range");
+  NBCLOS_REQUIRE(fraction >= 0.0 && fraction <= 1.0, "fraction in [0,1]");
+  TrafficPattern t;
+  t.kind_ = Kind::kHotspot;
+  t.terminal_count_ = terminal_count;
+  t.name_ = "hotspot";
+  t.hotspot_terminal_ = hotspot_terminal;
+  t.hotspot_fraction_ = fraction;
+  return t;
+}
+
+std::optional<std::uint32_t> TrafficPattern::destination(
+    std::uint32_t src, Xoshiro256& rng) const {
+  NBCLOS_REQUIRE(src < terminal_count_, "source out of range");
+  switch (kind_) {
+    case Kind::kPermutation: {
+      const auto dst = fixed_destination_[src];
+      if (dst < 0) return std::nullopt;
+      return static_cast<std::uint32_t>(dst);
+    }
+    case Kind::kUniform: {
+      auto dst = static_cast<std::uint32_t>(rng.below(terminal_count_ - 1));
+      if (dst >= src) ++dst;  // skip self
+      return dst;
+    }
+    case Kind::kHotspot: {
+      if (src != hotspot_terminal_ && rng.bernoulli(hotspot_fraction_)) {
+        return hotspot_terminal_;
+      }
+      auto dst = static_cast<std::uint32_t>(rng.below(terminal_count_ - 1));
+      if (dst >= src) ++dst;
+      return dst;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace nbclos::sim

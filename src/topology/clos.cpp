@@ -1,0 +1,58 @@
+#include "nbclos/topology/clos.hpp"
+
+#include <unordered_map>
+
+namespace nbclos {
+
+ThreeStageClos::ThreeStageClos(std::uint32_t n, std::uint32_t m,
+                               std::uint32_t r)
+    : n_(n), m_(m), r_(r) {
+  NBCLOS_REQUIRE(n >= 1 && m >= 1 && r >= 2, "invalid Clos parameters");
+  NBCLOS_REQUIRE(std::uint64_t{2} * r * m <= UINT32_MAX, "Clos too large");
+}
+
+std::uint32_t ThreeStageClos::first_stage_link(std::uint32_t input_switch,
+                                               std::uint32_t middle) const {
+  NBCLOS_REQUIRE(input_switch < r_ && middle < m_, "link index out of range");
+  return input_switch * m_ + middle;
+}
+
+std::uint32_t ThreeStageClos::second_stage_link(
+    std::uint32_t middle, std::uint32_t output_switch) const {
+  NBCLOS_REQUIRE(output_switch < r_ && middle < m_, "link index out of range");
+  return r_ * m_ + middle * r_ + output_switch;
+}
+
+std::vector<std::uint32_t> ThreeStageClos::links_of(
+    const ClosRoute& route) const {
+  NBCLOS_REQUIRE(route.middle < m_, "middle switch out of range");
+  const std::uint32_t in_sw = input_switch_of(route.connection.input_port);
+  const std::uint32_t out_sw = output_switch_of(route.connection.output_port);
+  return {first_stage_link(in_sw, route.middle),
+          second_stage_link(route.middle, out_sw)};
+}
+
+std::uint64_t ThreeStageClos::conflict_count(
+    const std::vector<ClosRoute>& routes) const {
+  std::unordered_map<std::uint32_t, std::uint64_t> load;
+  for (const auto& route : routes) {
+    for (const auto link : links_of(route)) ++load[link];
+  }
+  std::uint64_t conflicts = 0;
+  for (const auto& [link, count] : load) {
+    conflicts += count * (count - 1) / 2;
+  }
+  return conflicts;
+}
+
+FtreePath ThreeStageClos::to_ftree_path(const ClosRoute& route,
+                                        const FoldedClos& ftree) const {
+  NBCLOS_REQUIRE(ftree.params() == folded_params(),
+                 "ftree does not match this Clos network");
+  const SDPair sd{LeafId{route.connection.input_port},
+                  LeafId{route.connection.output_port}};
+  if (!ftree.needs_top(sd)) return ftree.direct_path(sd);
+  return ftree.cross_path(sd, TopId{route.middle});
+}
+
+}  // namespace nbclos

@@ -1,0 +1,53 @@
+#include "nbclos/topology/dot.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <set>
+#include <vector>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+void write_dot(std::ostream& os, const Network& net,
+               const DotOptions& options) {
+  NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
+  const char* kind = options.merge_bidirectional ? "graph" : "digraph";
+  const char* edge = options.merge_bidirectional ? " -- " : " -> ";
+  os << kind << " \"" << options.graph_name << "\" {\n"
+     << "  rankdir=BT;\n  node [fontsize=10];\n";
+
+  std::map<std::uint32_t, std::vector<std::uint32_t>> by_level;
+  for (std::uint32_t v = 0; v < net.vertex_count(); ++v) {
+    by_level[net.vertex(v).level].push_back(v);
+  }
+  for (const auto& [level, vertices] : by_level) {
+    if (options.rank_by_level) os << "  { rank=same; ";
+    for (const auto v : vertices) {
+      const auto& vertex = net.vertex(v);
+      if (vertex.kind == VertexKind::kTerminal) {
+        os << "v" << v << " [shape=box,label=\"t" << vertex.index_in_level
+           << "\"]; ";
+      } else {
+        os << "v" << v << " [shape=circle,label=\"s" << vertex.level << "."
+           << vertex.index_in_level << "\"]; ";
+      }
+    }
+    if (options.rank_by_level) os << "}";
+    os << "\n";
+  }
+
+  std::set<std::pair<std::uint32_t, std::uint32_t>> drawn;
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    const auto& ch = net.channel(c);
+    if (options.merge_bidirectional) {
+      const auto key = std::minmax(ch.src, ch.dst);
+      if (!drawn.insert({key.first, key.second}).second) continue;
+    }
+    os << "  v" << ch.src << edge << "v" << ch.dst << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace nbclos

@@ -1,0 +1,28 @@
+#include "nbclos/topology/mport_ntree.hpp"
+
+namespace nbclos {
+
+MportNtreeSize mport_ntree_size(std::uint32_t m, std::uint32_t h) {
+  NBCLOS_REQUIRE(m >= 4 && m % 2 == 0, "m-port n-tree needs even m >= 4");
+  NBCLOS_REQUIRE(h >= 1, "height must be >= 1");
+  const std::uint64_t half = m / 2;
+  std::uint64_t half_pow_hm1 = 1;  // (m/2)^(h-1)
+  for (std::uint32_t i = 1; i < h; ++i) {
+    NBCLOS_REQUIRE(half_pow_hm1 <= UINT64_MAX / half, "size overflow");
+    half_pow_hm1 *= half;
+  }
+  NBCLOS_REQUIRE(half_pow_hm1 <= UINT64_MAX / (2 * half), "size overflow");
+  MportNtreeSize size;
+  size.switch_radix = m;
+  size.height = h;
+  size.node_count = 2 * half * half_pow_hm1;            // 2 (m/2)^h
+  size.switch_count = (2 * std::uint64_t{h} - 1) * half_pow_hm1;
+  return size;
+}
+
+FoldedClos mport_2tree(std::uint32_t m) {
+  NBCLOS_REQUIRE(m >= 4 && m % 2 == 0, "m-port 2-tree needs even m >= 4");
+  return FoldedClos(FtreeParams{/*n=*/m / 2, /*m=*/m / 2, /*r=*/m});
+}
+
+}  // namespace nbclos

@@ -1,0 +1,184 @@
+#include "nbclos/topology/network.hpp"
+
+#include <algorithm>
+
+#include "nbclos/util/digits.hpp"
+
+namespace nbclos {
+
+std::uint32_t Network::add_vertex(VertexKind kind, std::uint32_t level,
+                                  std::uint32_t index_in_level) {
+  NBCLOS_REQUIRE(!finalized_, "network already finalized");
+  vertices_.push_back(Vertex{kind, level, index_in_level});
+  return static_cast<std::uint32_t>(vertices_.size() - 1);
+}
+
+std::uint32_t Network::add_channel(std::uint32_t src, std::uint32_t dst) {
+  NBCLOS_REQUIRE(!finalized_, "network already finalized");
+  NBCLOS_REQUIRE(src < vertices_.size() && dst < vertices_.size(),
+                 "channel endpoint out of range");
+  NBCLOS_REQUIRE(src != dst, "self-loop channel");
+  channels_.push_back(NetChannel{src, dst});
+  return static_cast<std::uint32_t>(channels_.size() - 1);
+}
+
+void Network::finalize() {
+  NBCLOS_REQUIRE(!finalized_, "network already finalized");
+  const auto build_csr = [this](bool outgoing) {
+    Csr csr;
+    csr.offsets.assign(vertices_.size() + 1, 0);
+    for (const auto& ch : channels_) {
+      ++csr.offsets[(outgoing ? ch.src : ch.dst) + 1];
+    }
+    for (std::size_t v = 0; v < vertices_.size(); ++v) {
+      csr.offsets[v + 1] += csr.offsets[v];
+    }
+    csr.items.resize(channels_.size());
+    std::vector<std::uint32_t> cursor(csr.offsets.begin(),
+                                      csr.offsets.end() - 1);
+    for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+      const auto v = outgoing ? channels_[c].src : channels_[c].dst;
+      csr.items[cursor[v]++] = c;
+    }
+    return csr;
+  };
+  out_ = build_csr(true);
+  in_ = build_csr(false);
+  finalized_ = true;
+}
+
+std::span<const std::uint32_t> Network::out_channels(std::uint32_t v) const {
+  NBCLOS_REQUIRE(finalized_, "network not finalized");
+  NBCLOS_REQUIRE(v < vertices_.size(), "vertex id out of range");
+  return out_.row(v);
+}
+
+std::span<const std::uint32_t> Network::in_channels(std::uint32_t v) const {
+  NBCLOS_REQUIRE(finalized_, "network not finalized");
+  NBCLOS_REQUIRE(v < vertices_.size(), "vertex id out of range");
+  return in_.row(v);
+}
+
+std::optional<std::uint32_t> Network::find_channel(std::uint32_t src,
+                                                   std::uint32_t dst) const {
+  for (const auto c : out_channels(src)) {
+    if (channels_[c].dst == dst) return c;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint32_t> Network::terminals() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t v = 0; v < vertices_.size(); ++v) {
+    if (vertices_[v].kind == VertexKind::kTerminal) out.push_back(v);
+  }
+  return out;
+}
+
+Network build_network(const FoldedClos& ftree) {
+  Network net;
+  const FtreeNetworkMap map{ftree.params()};
+  for (std::uint32_t leaf = 0; leaf < ftree.leaf_count(); ++leaf) {
+    const auto v = net.add_vertex(VertexKind::kTerminal, 0, leaf);
+    NBCLOS_ASSERT(v == map.terminal(LeafId{leaf}));
+  }
+  for (std::uint32_t b = 0; b < ftree.bottom_count(); ++b) {
+    const auto v = net.add_vertex(VertexKind::kSwitch, 1, b);
+    NBCLOS_ASSERT(v == map.bottom(BottomId{b}));
+  }
+  for (std::uint32_t t = 0; t < ftree.top_count(); ++t) {
+    const auto v = net.add_vertex(VertexKind::kSwitch, 2, t);
+    NBCLOS_ASSERT(v == map.top(TopId{t}));
+  }
+  // Channels in LinkId order so that channel id == FoldedClos LinkId.
+  for (std::uint32_t leaf = 0; leaf < ftree.leaf_count(); ++leaf) {
+    const auto c = net.add_channel(map.terminal(LeafId{leaf}),
+                                   map.bottom(ftree.switch_of(LeafId{leaf})));
+    NBCLOS_ASSERT(c == ftree.leaf_up_link(LeafId{leaf}).value);
+  }
+  for (std::uint32_t b = 0; b < ftree.bottom_count(); ++b) {
+    for (std::uint32_t t = 0; t < ftree.top_count(); ++t) {
+      const auto c = net.add_channel(map.bottom(BottomId{b}), map.top(TopId{t}));
+      NBCLOS_ASSERT(c == ftree.up_link(BottomId{b}, TopId{t}).value);
+    }
+  }
+  for (std::uint32_t t = 0; t < ftree.top_count(); ++t) {
+    for (std::uint32_t b = 0; b < ftree.bottom_count(); ++b) {
+      const auto c = net.add_channel(map.top(TopId{t}), map.bottom(BottomId{b}));
+      NBCLOS_ASSERT(c == ftree.down_link(TopId{t}, BottomId{b}).value);
+    }
+  }
+  for (std::uint32_t leaf = 0; leaf < ftree.leaf_count(); ++leaf) {
+    const auto c = net.add_channel(map.bottom(ftree.switch_of(LeafId{leaf})),
+                                   map.terminal(LeafId{leaf}));
+    NBCLOS_ASSERT(c == ftree.leaf_down_link(LeafId{leaf}).value);
+  }
+  net.finalize();
+  return net;
+}
+
+Network build_crossbar(std::uint32_t ports) {
+  NBCLOS_REQUIRE(ports >= 2, "crossbar needs at least two ports");
+  Network net;
+  for (std::uint32_t p = 0; p < ports; ++p) {
+    net.add_vertex(VertexKind::kTerminal, 0, p);
+  }
+  const auto sw = net.add_vertex(VertexKind::kSwitch, 1, 0);
+  for (std::uint32_t p = 0; p < ports; ++p) net.add_channel(p, sw);
+  for (std::uint32_t p = 0; p < ports; ++p) net.add_channel(sw, p);
+  net.finalize();
+  return net;
+}
+
+Network build_kary_ntree(std::uint32_t k, std::uint32_t h) {
+  NBCLOS_REQUIRE(k >= 2, "k-ary n-tree needs k >= 2");
+  NBCLOS_REQUIRE(h >= 1, "k-ary n-tree needs h >= 1");
+  std::uint64_t terminals = 1;
+  for (std::uint32_t i = 0; i < h; ++i) terminals *= k;
+  const std::uint64_t per_level = terminals / k;  // k^(h-1)
+  NBCLOS_REQUIRE(terminals + h * per_level <= UINT32_MAX, "tree too large");
+
+  Network net;
+  // Terminals: ids [0, k^h).
+  for (std::uint32_t t = 0; t < terminals; ++t) {
+    net.add_vertex(VertexKind::kTerminal, 0, t);
+  }
+  // Switch (level l, position w) -> vertex id terminals + l*per_level + w.
+  const auto switch_vertex = [&](std::uint32_t level, std::uint32_t pos) {
+    return static_cast<std::uint32_t>(terminals + level * per_level + pos);
+  };
+  for (std::uint32_t l = 0; l < h; ++l) {
+    for (std::uint32_t w = 0; w < per_level; ++w) {
+      const auto v = net.add_vertex(VertexKind::kSwitch, l + 1, w);
+      NBCLOS_ASSERT(v == switch_vertex(l, w));
+    }
+  }
+  // Terminal p attaches to level-0 switch floor(p / k), both directions.
+  for (std::uint32_t p = 0; p < terminals; ++p) {
+    const auto sw = switch_vertex(0, p / k);
+    net.add_channel(p, sw);
+    net.add_channel(sw, p);
+  }
+  // Switch (l, w) connects upward to (l+1, w') where the base-k digit
+  // strings of w and w' agree except possibly in digit l.
+  if (h >= 2) {
+    const DigitCodec codec(k, h - 1);
+    for (std::uint32_t l = 0; l + 1 < h; ++l) {
+      for (std::uint32_t w = 0; w < per_level; ++w) {
+        auto digits = codec.digits(w);
+        for (std::uint32_t d = 0; d < k; ++d) {
+          digits[l] = d;
+          const auto w_up =
+              static_cast<std::uint32_t>(codec.compose(digits));
+          net.add_channel(switch_vertex(l, w), switch_vertex(l + 1, w_up));
+          net.add_channel(switch_vertex(l + 1, w_up), switch_vertex(l, w));
+        }
+        digits[l] = codec.digit(w, l);  // restore for clarity
+      }
+    }
+  }
+  net.finalize();
+  return net;
+}
+
+}  // namespace nbclos

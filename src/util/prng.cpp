@@ -1,0 +1,28 @@
+#include "nbclos/util/prng.hpp"
+
+#ifdef __SIZEOF_INT128__
+__extension__ typedef unsigned __int128 nbclos_uint128;
+#else
+#error "xoshiro bounded draw requires 128-bit multiply"
+#endif
+
+namespace nbclos {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) noexcept {
+  // Lemire's nearly-divisionless bounded generation with full rejection,
+  // giving an exactly uniform result for any bound > 0.
+  std::uint64_t x = (*this)();
+  nbclos_uint128 m = static_cast<nbclos_uint128>(x) * bound;
+  auto low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = (*this)();
+      m = static_cast<nbclos_uint128>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+}  // namespace nbclos

@@ -1,0 +1,146 @@
+#include "nbclos/adaptive/distributed.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+
+namespace nbclos::adaptive {
+namespace {
+
+AdaptiveParams make_params(std::uint32_t n, std::uint32_t r) {
+  return AdaptiveParams{n, r, min_digit_width(r, n)};
+}
+
+TEST(Distributed, LocalSchedulerRejectsForeignTraffic) {
+  const auto params = make_params(3, 9);
+  const SwitchLocalScheduler scheduler(params, 2);
+  // Source leaf 0 lives in switch 0, not 2.
+  const std::vector<SDPair> foreign{{LeafId{0}, LeafId{10}}};
+  EXPECT_THROW((void)scheduler.schedule(foreign), precondition_error);
+}
+
+TEST(Distributed, LocalSchedulerHandlesItsOwnTraffic) {
+  const auto params = make_params(3, 9);
+  const SwitchLocalScheduler scheduler(params, 2);
+  const std::vector<SDPair> local{
+      {LeafId{6}, LeafId{10}}, {LeafId{7}, LeafId{14}},
+      {LeafId{8}, LeafId{7}},  // same-switch: direct
+  };
+  const auto assignments = scheduler.schedule(local);
+  ASSERT_EQ(assignments.size(), 3U);
+  EXPECT_FALSE(assignments[0].direct);
+  EXPECT_FALSE(assignments[1].direct);
+  EXPECT_TRUE(assignments[2].direct);
+}
+
+TEST(Distributed, MergeEqualsMonolithicRouter) {
+  // The §V claim: per-switch independent scheduling + merge == global
+  // algorithm.  Exact equality of every assignment field.
+  Xoshiro256 rng(88);
+  for (const auto& [n, r] :
+       std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {2, 4}, {3, 9}, {4, 16}, {3, 20}}) {
+    const auto params = make_params(n, r);
+    const NonblockingAdaptiveRouter router(params);
+    for (int trial = 0; trial < 10; ++trial) {
+      const auto pattern = random_permutation(n * r, rng);
+      const auto global = router.route(pattern);
+      const auto merged = distributed_route(params, pattern);
+      ASSERT_EQ(global.assignments.size(), merged.assignments.size());
+      EXPECT_EQ(global.configurations_used, merged.configurations_used);
+      EXPECT_EQ(global.top_switches_used, merged.top_switches_used);
+      for (std::size_t i = 0; i < global.assignments.size(); ++i) {
+        const auto& a = global.assignments[i];
+        const auto& b = merged.assignments[i];
+        EXPECT_EQ(a.sd, b.sd);
+        EXPECT_EQ(a.direct, b.direct);
+        EXPECT_EQ(a.configuration, b.configuration);
+        EXPECT_EQ(a.partition, b.partition);
+        EXPECT_EQ(a.key, b.key);
+        EXPECT_EQ(a.top_switch, b.top_switch);
+      }
+    }
+  }
+}
+
+TEST(Distributed, SchedulersDoNotNeedEachOther) {
+  // Stronger independence property: scheduling switch A's pairs gives
+  // the same result whether or not switch B has traffic at all.
+  const auto params = make_params(3, 9);
+  const SwitchLocalScheduler scheduler(params, 0);
+  const std::vector<SDPair> pairs{{LeafId{0}, LeafId{5}},
+                                  {LeafId{1}, LeafId{8}}};
+  const auto alone = scheduler.schedule(pairs);
+
+  // Embed the same pairs in a big permutation and route globally.
+  Permutation pattern = pairs;
+  pattern.push_back({LeafId{3}, LeafId{12}});
+  pattern.push_back({LeafId{9}, LeafId{22}});
+  pattern.push_back({LeafId{14}, LeafId{2}});
+  const auto merged = distributed_route(params, pattern);
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(merged.assignments[i].top_switch, alone[i].top_switch);
+    EXPECT_EQ(merged.assignments[i].partition, alone[i].partition);
+  }
+}
+
+TEST(Distributed, MergedScheduleIsContentionFree) {
+  const auto params = make_params(4, 16);
+  const FoldedClos ft(
+      FtreeParams{params.n, params.worst_case_top_switches(), params.r});
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto pattern = random_permutation(ft.leaf_count(), rng);
+    const auto schedule = distributed_route(params, pattern);
+    EXPECT_FALSE(has_contention(ft, schedule.to_paths(ft)));
+  }
+}
+
+TEST(Distributed, FirstAvailablePolicyStaysContentionFree) {
+  // Correctness comes from Lemma 5, not the subset-size heuristic: the
+  // ablated policy must still produce contention-free schedules.
+  const auto params = make_params(3, 9);
+  const FoldedClos ft(
+      FtreeParams{params.n, params.worst_case_top_switches(), params.r});
+  Xoshiro256 rng(21);
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto pattern = random_permutation(ft.leaf_count(), rng);
+    const auto schedule = distributed_route(
+        params, pattern, PartitionPolicy::kFirstAvailable);
+    EXPECT_FALSE(has_contention(ft, schedule.to_paths(ft)));
+  }
+}
+
+TEST(Distributed, FirstAvailableNeverBeatsLargestSubset) {
+  // The paper's greedy dominates the ablated policy in switch usage on
+  // every pattern (it peels at least as many pairs per partition).
+  const auto params = make_params(4, 16);
+  Xoshiro256 rng(22);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pattern = random_permutation(params.n * params.r, rng);
+    const auto paper =
+        distributed_route(params, pattern, PartitionPolicy::kLargestSubset);
+    const auto ablated =
+        distributed_route(params, pattern, PartitionPolicy::kFirstAvailable);
+    EXPECT_LE(paper.configurations_used, ablated.configurations_used);
+  }
+}
+
+TEST(Distributed, DetectsSourceReuse) {
+  const auto params = make_params(2, 4);
+  EXPECT_THROW((void)distributed_route(
+                   params, {{LeafId{0}, LeafId{4}}, {LeafId{0}, LeafId{6}}}),
+               precondition_error);
+}
+
+TEST(Distributed, LocalSchedulerDetectsDestinationReuseWithinSwitch) {
+  const auto params = make_params(2, 4);
+  const SwitchLocalScheduler scheduler(params, 0);
+  const std::vector<SDPair> bad{{LeafId{0}, LeafId{4}},
+                                {LeafId{1}, LeafId{4}}};
+  EXPECT_THROW((void)scheduler.schedule(bad), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::adaptive

@@ -1,0 +1,96 @@
+#include "nbclos/adaptive/lemma6.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos::adaptive {
+namespace {
+
+TEST(Lemma6Key, MatchesDefinition) {
+  const DigitCodec codec(5, 3);  // digits d_2 d_1 d_0, base 5
+  const std::uint64_t value = 3 + 1 * 5 + 4 * 25;  // d_0=3 d_1=1 d_2=4
+  EXPECT_EQ(lemma6_key(codec, value, 0), 3U);
+  EXPECT_EQ(lemma6_key(codec, value, 1), (1 + 5 - 3) % 5);
+  EXPECT_EQ(lemma6_key(codec, value, 2), (4 + 5 - 3) % 5);
+  EXPECT_THROW((void)lemma6_key(codec, value, 3), precondition_error);
+}
+
+TEST(Lemma6Bound, Formula) {
+  EXPECT_DOUBLE_EQ(lemma6_bound(16, 1), 2.0);     // 16^(1/4)
+  EXPECT_DOUBLE_EQ(lemma6_bound(64, 2), 2.0);     // 64^(1/6)
+  EXPECT_DOUBLE_EQ(lemma6_bound(1, 5), 1.0);
+}
+
+TEST(Lemma6Select, SelectedKeysAreDistinct) {
+  const DigitCodec codec(4, 3);
+  const std::vector<std::uint64_t> values{0, 5, 21, 42, 63, 17, 33};
+  const auto sel = lemma6_select(codec, values);
+  std::set<std::uint32_t> keys;
+  for (const auto idx : sel.indices) {
+    keys.insert(lemma6_key(codec, values[idx], sel.partition));
+  }
+  EXPECT_EQ(keys.size(), sel.indices.size());
+}
+
+TEST(Lemma6Select, MeetsTheBoundOnRandomSets) {
+  // Lemma 6: for any k distinct numbers there is a criterion selecting
+  // at least k^(1/(2(c+1))) of them.  Randomized adversary over many
+  // draws.
+  Xoshiro256 rng(8);
+  for (const std::uint32_t n : {2U, 3U, 4U, 5U}) {
+    for (const std::uint32_t width : {2U, 3U, 4U}) {
+      const DigitCodec codec(n, width);
+      for (int trial = 0; trial < 40; ++trial) {
+        // Sample distinct values.
+        std::set<std::uint64_t> sampled;
+        const auto want = 1 + rng.below(codec.capacity());
+        while (sampled.size() < want &&
+               sampled.size() < codec.capacity()) {
+          sampled.insert(rng.below(codec.capacity()));
+        }
+        const std::vector<std::uint64_t> values(sampled.begin(),
+                                                sampled.end());
+        const auto sel = lemma6_select(codec, values);
+        const double bound = lemma6_bound(values.size(), width - 1);
+        EXPECT_GE(static_cast<double>(sel.indices.size()) + 1e-9, bound)
+            << "n=" << n << " width=" << width << " k=" << values.size();
+      }
+    }
+  }
+}
+
+TEST(Lemma6Select, MeetsBoundOnWorstCaseConstantD0) {
+  // All numbers share d_0 = 0 so partition 0 selects only one; some
+  // higher digit must then discriminate.
+  const DigitCodec codec(4, 3);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t hi = 0; hi < 16; ++hi) values.push_back(hi * 4);
+  const auto sel = lemma6_select(codec, values);
+  EXPECT_GT(sel.partition, 0U);
+  EXPECT_GE(static_cast<double>(sel.indices.size()),
+            lemma6_bound(values.size(), 2));
+  EXPECT_EQ(sel.indices.size(), 4U);  // best criterion saturates radix
+}
+
+TEST(Lemma6Select, FullDigitSpaceSaturatesRadix) {
+  const DigitCodec codec(3, 2);
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 0; v < codec.capacity(); ++v) values.push_back(v);
+  const auto sel = lemma6_select(codec, values);
+  EXPECT_EQ(sel.indices.size(), 3U);  // a criterion can select at most n
+}
+
+TEST(Lemma6Select, SingleValue) {
+  const DigitCodec codec(2, 2);
+  const std::vector<std::uint64_t> values{3};
+  const auto sel = lemma6_select(codec, values);
+  ASSERT_EQ(sel.indices.size(), 1U);
+  EXPECT_EQ(sel.indices[0], 0U);
+}
+
+}  // namespace
+}  // namespace nbclos::adaptive

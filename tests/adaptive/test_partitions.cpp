@@ -1,0 +1,131 @@
+#include "nbclos/adaptive/partitions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nbclos::adaptive {
+namespace {
+
+TEST(AdaptiveParams, DerivesSmallestC) {
+  const FoldedClos ft1(FtreeParams{3, 9, 9});   // r = n^2
+  EXPECT_EQ(AdaptiveParams::from(ft1).c, 2U);
+  const FoldedClos ft2(FtreeParams{3, 9, 12});  // n^2 < r <= n^3
+  EXPECT_EQ(AdaptiveParams::from(ft2).c, 3U);
+  const FoldedClos ft3(FtreeParams{4, 16, 4});  // r = n
+  EXPECT_EQ(AdaptiveParams::from(ft3).c, 1U);
+}
+
+TEST(AdaptiveParams, RejectsNBelowTwo) {
+  const FoldedClos ft(FtreeParams{1, 1, 2});
+  EXPECT_THROW((void)AdaptiveParams::from(ft), precondition_error);
+}
+
+TEST(AdaptiveParams, ConfigurationArithmetic) {
+  const AdaptiveParams params{4, 16, 2};
+  EXPECT_EQ(params.partitions_per_config(), 3U);
+  EXPECT_EQ(params.switches_per_config(), 12U);
+  EXPECT_EQ(params.worst_case_top_switches(), 48U);
+}
+
+TEST(PartitionKey, FirstPartitionKeysOnLocalNumber) {
+  // Partition 0: destination (v, p) -> switch p.
+  const AdaptiveParams params{3, 9, 2};
+  for (std::uint32_t v = 0; v < params.r; ++v) {
+    for (std::uint32_t p = 0; p < params.n; ++p) {
+      EXPECT_EQ(partition_key(params, 0, LeafId{v * params.n + p}), p);
+    }
+  }
+}
+
+TEST(PartitionKey, SecondPartitionMatchesPaperFormula) {
+  // Partition 1 (the paper's second partition): switch i carries
+  // destinations with s_0 = (i + p) mod n, i.e. key = (s_0 - p) mod n.
+  const AdaptiveParams params{3, 9, 2};
+  for (std::uint32_t s0 = 0; s0 < 3; ++s0) {
+    for (std::uint32_t p = 0; p < 3; ++p) {
+      const LeafId dst{s0 * params.n + p};  // switch s0 (single digit s_0)
+      EXPECT_EQ(partition_key(params, 1, dst), (s0 + 3 - p) % 3);
+    }
+  }
+}
+
+TEST(PartitionKey, HigherPartitionsUseHigherDigits) {
+  // n = 2, c = 3 (r = 8): switch digits s_2 s_1 s_0.
+  const AdaptiveParams params{2, 8, 3};
+  const std::uint32_t sw = 0b101;  // s_2=1, s_1=0, s_0=1
+  const LeafId dst{sw * 2 + 1};    // p = 1
+  EXPECT_EQ(partition_key(params, 1, dst), (1 + 2 - 1) % 2);  // s_0 - p
+  EXPECT_EQ(partition_key(params, 2, dst), (0 + 2 - 1) % 2);  // s_1 - p
+  EXPECT_EQ(partition_key(params, 3, dst), (1 + 2 - 1) % 2);  // s_2 - p
+}
+
+TEST(PartitionKey, RejectsOutOfRange) {
+  const AdaptiveParams params{2, 4, 2};
+  EXPECT_THROW((void)partition_key(params, 3, LeafId{0}), precondition_error);
+  EXPECT_THROW((void)partition_key(params, 0, LeafId{8}), precondition_error);
+}
+
+TEST(ClassDiff, EveryPartitionIsClassDiff) {
+  // Lemma 4: in every partition, different destinations in one switch map
+  // to different top switches.
+  for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {2, 4}, {2, 8}, {3, 9}, {3, 27}, {4, 16}, {5, 30}, {3, 12}}) {
+    const AdaptiveParams params{n, r, min_digit_width(r, n)};
+    for (std::uint32_t k = 0; k <= params.c; ++k) {
+      EXPECT_TRUE(is_class_diff_partition(params, k))
+          << "n=" << n << " r=" << r << " k=" << k;
+    }
+  }
+}
+
+TEST(ClassDiff, KeysWithinSwitchAreAPermutationOfZeroToN) {
+  // Stronger form of Lemma 4: within one bottom switch, the n keys of a
+  // partition are exactly {0, ..., n-1}.
+  const AdaptiveParams params{4, 20, 3};
+  for (std::uint32_t k = 0; k <= params.c; ++k) {
+    for (std::uint32_t sw = 0; sw < params.r; ++sw) {
+      std::set<std::uint32_t> keys;
+      for (std::uint32_t p = 0; p < params.n; ++p) {
+        keys.insert(partition_key(params, k, LeafId{sw * params.n + p}));
+      }
+      EXPECT_EQ(keys.size(), params.n);
+      EXPECT_EQ(*keys.rbegin(), params.n - 1);
+    }
+  }
+}
+
+TEST(LargestRoutableSubset, PicksOnePairPerDistinctKey) {
+  const AdaptiveParams params{3, 9, 2};
+  // Destinations with local numbers 0, 0, 1 -> partition 0 keys 0, 0, 1:
+  // subset keeps first of each key.
+  const std::vector<SDPair> pairs{
+      {LeafId{0}, LeafId{3}},   // dst (1,0) key 0
+      {LeafId{1}, LeafId{6}},   // dst (2,0) key 0
+      {LeafId{2}, LeafId{7}},   // dst (2,1) key 1
+  };
+  const auto subset = largest_routable_subset(params, 0, pairs);
+  ASSERT_EQ(subset.size(), 2U);
+  EXPECT_EQ(subset[0], 0U);
+  EXPECT_EQ(subset[1], 2U);
+}
+
+TEST(LargestRoutableSubset, FullSwitchAlwaysFitsSomePartitionEntirely) {
+  // Lemma 5 + Lemma 4 corollary: the n destinations of one target switch
+  // have n distinct partition-0 keys, so they fit one partition.
+  const AdaptiveParams params{4, 16, 2};
+  std::vector<SDPair> pairs;
+  for (std::uint32_t p = 0; p < params.n; ++p) {
+    pairs.push_back({LeafId{p}, LeafId{2 * params.n + p}});
+  }
+  EXPECT_EQ(largest_routable_subset(params, 0, pairs).size(), params.n);
+}
+
+TEST(LargestRoutableSubset, EmptyInputGivesEmptySubset) {
+  const AdaptiveParams params{2, 4, 2};
+  EXPECT_TRUE(
+      largest_routable_subset(params, 0, std::vector<SDPair>{}).empty());
+}
+
+}  // namespace
+}  // namespace nbclos::adaptive

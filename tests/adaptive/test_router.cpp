@@ -1,0 +1,245 @@
+#include "nbclos/adaptive/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/core/conditions.hpp"
+
+namespace nbclos::adaptive {
+namespace {
+
+/// Topology with enough top switches for any schedule of these params.
+FoldedClos roomy_ftree(const AdaptiveParams& params) {
+  return FoldedClos(
+      FtreeParams{params.n, params.worst_case_top_switches(), params.r});
+}
+
+AdaptiveParams make_params(std::uint32_t n, std::uint32_t r) {
+  return AdaptiveParams{n, r, min_digit_width(r, n)};
+}
+
+TEST(AdaptiveRouter, EveryPermutationIsContentionFree) {
+  // Theorem 4 on random permutations over several shapes.
+  Xoshiro256 rng(404);
+  for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {2, 4}, {2, 7}, {3, 9}, {3, 12}, {4, 16}, {5, 26}}) {
+    const auto params = make_params(n, r);
+    const auto ft = roomy_ftree(params);
+    const NonblockingAdaptiveRouter router(params);
+    for (int trial = 0; trial < 30; ++trial) {
+      const auto pattern = random_permutation(ft.leaf_count(), rng);
+      const auto schedule = router.route(pattern);
+      const auto paths = schedule.to_paths(ft);
+      EXPECT_FALSE(has_contention(ft, paths))
+          << "n=" << n << " r=" << r << " trial=" << trial;
+    }
+  }
+}
+
+TEST(AdaptiveRouter, ExhaustivelyNonblockingOnTinyInstance) {
+  // All 720 permutations of 6 leaves (n=2, r=3).
+  const auto params = make_params(2, 3);
+  const auto ft = roomy_ftree(params);
+  const NonblockingAdaptiveRouter router(params);
+  std::uint64_t checked = for_each_permutation(
+      ft.leaf_count(), [&](const Permutation& pattern) {
+        const auto schedule = router.route(pattern);
+        ASSERT_FALSE(has_contention(ft, schedule.to_paths(ft)));
+      });
+  EXPECT_EQ(checked, 720U);
+}
+
+TEST(AdaptiveRouter, WorstCasePatternsAreContentionFree) {
+  const auto params = make_params(4, 16);
+  const auto ft = roomy_ftree(params);
+  const NonblockingAdaptiveRouter router(params);
+  for (const auto& pattern :
+       {shift_permutation(ft.leaf_count(), 1),
+        shift_permutation(ft.leaf_count(), ft.n()),
+        reverse_permutation(ft.leaf_count()),
+        bit_reversal_permutation(ft.leaf_count()),
+        tornado_permutation(ft.n(), ft.r()),
+        neighbor_funnel_permutation(ft.n(), ft.r())}) {
+    const auto schedule = router.route(pattern);
+    EXPECT_FALSE(has_contention(ft, schedule.to_paths(ft)));
+  }
+}
+
+TEST(AdaptiveRouter, StaysWithinTheConfigurationBound) {
+  // §V accounting: every configuration absorbs at least c+2 SD pairs per
+  // source switch, so the greedy needs at most ceil(n/(c+2))
+  // configurations — adaptive_simple_bound() switches.
+  Xoshiro256 rng(99);
+  for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {4, 16}, {5, 25}, {6, 36}, {8, 64}}) {
+    const auto params = make_params(n, r);
+    const NonblockingAdaptiveRouter router(params);
+    std::uint32_t worst = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto pattern = random_permutation(n * r, rng);
+      worst = std::max(worst, router.route(pattern).top_switches_used);
+    }
+    EXPECT_LE(worst, adaptive_simple_bound(n, params.c))
+        << "n=" << n << " r=" << r;
+  }
+}
+
+TEST(AdaptiveRouter, BeatsDeterministicWhenCeilingsAlign) {
+  // The paper's "< n^2 switches" headline, on shapes where n is a
+  // multiple of c+2 so the ceiling in the bound does not bite.
+  Xoshiro256 rng(7);
+  for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {4, 16}, {8, 64}}) {
+    const auto params = make_params(n, r);
+    ASSERT_EQ(n % (params.c + 2), 0U);
+    const NonblockingAdaptiveRouter router(params);
+    std::uint32_t worst = 0;
+    for (int trial = 0; trial < 20; ++trial) {
+      const auto pattern = random_permutation(n * r, rng);
+      worst = std::max(worst, router.route(pattern).top_switches_used);
+    }
+    EXPECT_LT(worst, n * n) << "n=" << n << " r=" << r;
+  }
+}
+
+TEST(AdaptiveRouter, AssignmentsRespectPartitionKeyFormula) {
+  const auto params = make_params(3, 9);
+  const NonblockingAdaptiveRouter router(params);
+  const auto pattern = shift_permutation(params.n * params.r, 5);
+  const auto schedule = router.route(pattern);
+  for (const auto& a : schedule.assignments) {
+    if (a.direct) continue;
+    EXPECT_EQ(a.key, partition_key(params, a.partition, a.sd.dst));
+    EXPECT_EQ(a.top_switch,
+              top_switch_index(params, a.configuration, a.partition, a.key));
+    EXPECT_LE(a.partition, params.c);
+    EXPECT_LT(a.configuration, schedule.configurations_used);
+  }
+}
+
+TEST(AdaptiveRouter, SameSwitchPairsAreDirect) {
+  const auto params = make_params(3, 9);
+  const NonblockingAdaptiveRouter router(params);
+  const Permutation pattern{{LeafId{0}, LeafId{1}}, {LeafId{1}, LeafId{2}},
+                            {LeafId{2}, LeafId{0}}};
+  const auto schedule = router.route(pattern);
+  for (const auto& a : schedule.assignments) EXPECT_TRUE(a.direct);
+  EXPECT_EQ(schedule.configurations_used, 0U);
+  EXPECT_EQ(schedule.top_switches_used, 0U);
+}
+
+TEST(AdaptiveRouter, PartitionsNeverReusedWithinConfiguration) {
+  // Fig. 4 marks a partition used after routing LSET on it; two LSETs of
+  // one source switch must never share (configuration, partition).
+  const auto params = make_params(2, 8);  // c = 3, few keys per partition
+  const NonblockingAdaptiveRouter router(params);
+  Xoshiro256 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pattern = random_permutation(params.n * params.r, rng);
+    const auto schedule = router.route(pattern);
+    // Map (source switch, config, partition) -> used keys; keys must be
+    // unique per slot (contention-free inside the partition).
+    std::map<std::tuple<std::uint32_t, std::uint32_t, std::uint32_t>,
+             std::set<std::uint32_t>>
+        used;
+    for (const auto& a : schedule.assignments) {
+      if (a.direct) continue;
+      const auto sw = a.sd.src.value / params.n;
+      auto& keys = used[{sw, a.configuration, a.partition}];
+      EXPECT_TRUE(keys.insert(a.key).second)
+          << "duplicate key in one partition slot";
+    }
+  }
+}
+
+TEST(AdaptiveRouter, ValidatesPermutationProperty) {
+  const auto params = make_params(2, 4);
+  const NonblockingAdaptiveRouter router(params);
+  EXPECT_THROW(
+      (void)router.route({{LeafId{0}, LeafId{4}}, {LeafId{0}, LeafId{6}}}),
+      precondition_error);
+  EXPECT_THROW(
+      (void)router.route({{LeafId{0}, LeafId{4}}, {LeafId{1}, LeafId{4}}}),
+      precondition_error);
+  EXPECT_THROW((void)router.route({{LeafId{0}, LeafId{0}}}),
+               precondition_error);
+  EXPECT_THROW((void)router.route({{LeafId{0}, LeafId{99}}}),
+               precondition_error);
+}
+
+TEST(AdaptiveRouter, EmptyPatternIsTrivial) {
+  const auto params = make_params(2, 4);
+  const NonblockingAdaptiveRouter router(params);
+  const auto schedule = router.route({});
+  EXPECT_EQ(schedule.configurations_used, 0U);
+  EXPECT_TRUE(schedule.assignments.empty());
+}
+
+TEST(AdaptiveRouter, ToPathsRejectsUndersizedTopology) {
+  const auto params = make_params(2, 8);
+  const NonblockingAdaptiveRouter router(params);
+  const auto pattern = shift_permutation(params.n * params.r, 2);
+  const auto schedule = router.route(pattern);
+  ASSERT_GT(schedule.top_switches_used, 1U);
+  const FoldedClos tiny(FtreeParams{params.n, 1, params.r});
+  EXPECT_THROW((void)schedule.to_paths(tiny), precondition_error);
+}
+
+TEST(AdaptiveRouter, AdaptivityChangesRoutesAcrossPatterns) {
+  // The same SD pair may take different paths in different patterns —
+  // the definition of adaptive routing (§III).
+  const auto params = make_params(3, 9);
+  const NonblockingAdaptiveRouter router(params);
+  const SDPair probe{LeafId{0}, LeafId{5}};  // dst (switch 1, p = 2)
+  // Pattern A: probe alone — greedy lands it on partition 0 (key = p).
+  const auto a = router.route({probe});
+  // Pattern B: siblings whose destinations all share p = 2, so partition
+  // 0 can absorb only one pair while partition 1's keys (s_0 - p) mod n
+  // are all distinct — the greedy therefore routes the trio, probe
+  // included, on partition 1.
+  const auto b = router.route({{LeafId{1}, LeafId{8}},   // dst (2, 2)
+                               {LeafId{2}, LeafId{11}},  // dst (3, 2)
+                               probe});
+  std::uint32_t top_a = 0;
+  std::uint32_t top_b = 0;
+  for (const auto& asg : a.assignments) {
+    if (asg.sd == probe) top_a = asg.top_switch;
+  }
+  for (const auto& asg : b.assignments) {
+    if (asg.sd == probe) top_b = asg.top_switch;
+  }
+  // Not guaranteed different for every instance, but for this concrete
+  // one the greedy puts the probe in a different partition slot.
+  EXPECT_NE(top_a, top_b);
+}
+
+class AdaptiveShapeTest
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(AdaptiveShapeTest, ScheduleIsCompleteAndContentionFree) {
+  const auto [n, r] = GetParam();
+  const auto params = make_params(n, r);
+  const auto ft = roomy_ftree(params);
+  const NonblockingAdaptiveRouter router(params);
+  Xoshiro256 rng(n * 31 + r);
+  const auto pattern = random_permutation(ft.leaf_count(), rng);
+  const auto schedule = router.route(pattern);
+  ASSERT_EQ(schedule.assignments.size(), pattern.size());
+  EXPECT_FALSE(has_contention(ft, schedule.to_paths(ft)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AdaptiveShapeTest,
+    ::testing::Values(std::pair{2U, 3U}, std::pair{2U, 16U},
+                      std::pair{3U, 27U}, std::pair{4U, 20U},
+                      std::pair{5U, 25U}, std::pair{6U, 40U},
+                      std::pair{7U, 50U}));
+
+}  // namespace
+}  // namespace nbclos::adaptive

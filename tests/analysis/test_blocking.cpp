@@ -1,0 +1,74 @@
+#include "nbclos/analysis/blocking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Blocking, NonblockingSchemeHasZeroProbability) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const YuanNonblockingRouting routing(ft);
+  Xoshiro256 rng(21);
+  const auto est = estimate_blocking(ft, as_pattern_router(routing), 200, rng);
+  EXPECT_EQ(est.blocked, 0U);
+  EXPECT_EQ(est.blocking_probability, 0.0);
+  EXPECT_EQ(est.mean_colliding_pairs, 0.0);
+  EXPECT_LE(est.mean_max_link_load, 1.0);
+  EXPECT_EQ(est.trials, 200U);
+}
+
+TEST(Blocking, UndersizedNetworkBlocksAlmostAlways) {
+  // m = 1: every cross pair shares the single top switch.
+  const FoldedClos ft(FtreeParams{3, 1, 6});
+  const DModKRouting routing(ft);
+  Xoshiro256 rng(22);
+  const auto est = estimate_blocking(ft, as_pattern_router(routing), 100, rng);
+  EXPECT_GT(est.blocking_probability, 0.9);
+  EXPECT_GT(est.mean_colliding_pairs, 1.0);
+  EXPECT_GT(est.mean_max_link_load, 1.5);
+}
+
+TEST(Blocking, ProbabilityDecreasesWithMoreTopSwitches) {
+  Xoshiro256 rng(23);
+  double last = 1.1;
+  for (const std::uint32_t m : {1U, 2U, 4U, 8U}) {
+    const FoldedClos ft(FtreeParams{2, m, 5});
+    const DModKRouting routing(ft);
+    const auto est =
+        estimate_blocking(ft, as_pattern_router(routing), 300, rng);
+    EXPECT_LE(est.blocking_probability, last + 0.05)
+        << "m=" << m;  // monotone modulo noise
+    last = est.blocking_probability;
+  }
+}
+
+TEST(Blocking, ConfidenceIntervalShrinksWithTrials) {
+  const FoldedClos ft(FtreeParams{2, 2, 5});
+  const DModKRouting routing(ft);
+  Xoshiro256 rng(24);
+  const auto small =
+      estimate_blocking(ft, as_pattern_router(routing), 50, rng);
+  const auto large =
+      estimate_blocking(ft, as_pattern_router(routing), 2000, rng);
+  // Zero-width intervals happen when p hits 0 or 1 exactly; this
+  // instance blocks often but not always at 50 trials.
+  if (small.blocking_probability > 0.0 && small.blocking_probability < 1.0 &&
+      large.blocking_probability > 0.0 && large.blocking_probability < 1.0) {
+    EXPECT_GT(small.ci95_half_width, large.ci95_half_width);
+  }
+}
+
+TEST(Blocking, RejectsZeroTrials) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const DModKRouting routing(ft);
+  Xoshiro256 rng(25);
+  EXPECT_THROW(
+      (void)estimate_blocking(ft, as_pattern_router(routing), 0, rng),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

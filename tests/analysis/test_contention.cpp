@@ -1,0 +1,135 @@
+#include "nbclos/analysis/contention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/multipath.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(LinkLoadMap, CountsPathsPerLink) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  LinkLoadMap map(ft);
+  const SDPair a{LeafId{0}, LeafId{2}};
+  const SDPair b{LeafId{1}, LeafId{3}};
+  map.add_path(ft.cross_path(a, TopId{0}));
+  map.add_path(ft.cross_path(b, TopId{0}));  // shares uplink 0->top0
+  EXPECT_EQ(map.load(ft.up_link(BottomId{0}, TopId{0})), 2U);
+  EXPECT_EQ(map.load(ft.up_link(BottomId{0}, TopId{1})), 0U);
+  EXPECT_EQ(map.max_load(), 2U);
+  EXPECT_EQ(map.contended_links(), 2U);  // shared uplink and downlink
+  EXPECT_EQ(map.colliding_pairs(), 2U);
+  EXPECT_FALSE(map.contention_free());
+}
+
+TEST(LinkLoadMap, DisjointPathsAreContentionFree) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  LinkLoadMap map(ft);
+  map.add_path(ft.cross_path({LeafId{0}, LeafId{2}}, TopId{0}));
+  map.add_path(ft.cross_path({LeafId{1}, LeafId{4}}, TopId{1}));
+  EXPECT_TRUE(map.contention_free());
+  EXPECT_EQ(map.colliding_pairs(), 0U);
+  EXPECT_EQ(map.max_load(), 1U);
+}
+
+TEST(LinkLoadMap, SharedDownlinkDetected) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  // Different source switches, same destination switch, same top.
+  std::vector<FtreePath> paths{
+      ft.cross_path({LeafId{0}, LeafId{4}}, TopId{1}),
+      ft.cross_path({LeafId{2}, LeafId{5}}, TopId{1}),
+  };
+  EXPECT_TRUE(has_contention(ft, paths));
+  LinkLoadMap map(ft);
+  map.add_paths(paths);
+  EXPECT_EQ(map.load(ft.down_link(TopId{1}, BottomId{2})), 2U);
+  EXPECT_EQ(map.contended_links(), 1U);  // only the downlink is shared
+}
+
+TEST(LinkLoadMap, DirectPathsOnlyTouchLeafLinks) {
+  const FoldedClos ft(FtreeParams{3, 2, 2});
+  LinkLoadMap map(ft);
+  map.add_path(ft.direct_path({LeafId{0}, LeafId{1}}));
+  EXPECT_EQ(map.load(ft.leaf_up_link(LeafId{0})), 1U);
+  EXPECT_EQ(map.load(ft.leaf_down_link(LeafId{1})), 1U);
+  for (std::uint32_t t = 0; t < ft.m(); ++t) {
+    for (std::uint32_t b = 0; b < ft.r(); ++b) {
+      EXPECT_EQ(map.load(ft.up_link(BottomId{b}, TopId{t})), 0U);
+      EXPECT_EQ(map.load(ft.down_link(TopId{t}, BottomId{b})), 0U);
+    }
+  }
+}
+
+TEST(Lemma1Audit, PassesForTheoremThreeRouting) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const YuanNonblockingRouting routing(ft);
+  EXPECT_TRUE(lemma1_audit(routing).empty());
+}
+
+TEST(Lemma1Audit, FlagsDModK) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const DModKRouting routing(ft);
+  const auto violations = lemma1_audit(routing);
+  EXPECT_FALSE(violations.empty());
+  // Every reported link genuinely carries >= 2 sources and >= 2 dests.
+  for (const auto& v : violations) {
+    EXPECT_GE(v.distinct_sources, 2U);
+    EXPECT_GE(v.distinct_destinations, 2U);
+    // D-mod-K violations are on uplinks (downlinks converge on one dest
+    // per top switch... but dswitch-aggregation means several dests share
+    // a downlink too, so just check the link id is internal).
+    const auto kind = ft.kind_of(v.link);
+    EXPECT_TRUE(kind == LinkKind::kUp || kind == LinkKind::kDown);
+  }
+}
+
+TEST(Lemma1Audit, FootprintVariantMatchesSinglePathOnWidthOne) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  MultipathObliviousRouting multipath(ft, 1, SpreadPolicy::kRoundRobin);
+  const auto violations = lemma1_audit_footprints(
+      ft, [&](SDPair sd) { return multipath.link_footprint(sd); });
+  // Width-1 spread with base (s+d) mod m is neither source- nor
+  // destination-keyed, so it violates Lemma 1 somewhere.
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Lemma1Audit, FullWidthMultipathViolatesEverywhere) {
+  // Spreading every pair over all m uplinks makes every uplink carry
+  // many sources and many destinations.
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  MultipathObliviousRouting multipath(ft, ft.m(), SpreadPolicy::kRandom);
+  const auto violations = lemma1_audit_footprints(
+      ft, [&](SDPair sd) { return multipath.link_footprint(sd); });
+  EXPECT_EQ(violations.size(), 2U * ft.r() * ft.m());
+}
+
+TEST(Lemma1Audit, IffDirectionBlockingImpliesViolation) {
+  // Lemma 1 is an iff: a routing with no violations is nonblocking, and
+  // a violation yields a 2-pair permutation with contention.  Construct
+  // that permutation from a violating link for D-mod-K.
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const DModKRouting routing(ft);
+  ASSERT_FALSE(is_nonblocking_single_path(routing));
+  // Find two SD pairs with distinct sources and dests sharing a link.
+  bool found = false;
+  for (std::uint32_t s1 = 0; s1 < ft.leaf_count() && !found; ++s1) {
+    for (std::uint32_t d1 = 0; d1 < ft.leaf_count() && !found; ++d1) {
+      if (s1 == d1) continue;
+      for (std::uint32_t s2 = 0; s2 < ft.leaf_count() && !found; ++s2) {
+        for (std::uint32_t d2 = 0; d2 < ft.leaf_count() && !found; ++d2) {
+          if (s2 == d2 || s1 == s2 || d1 == d2) continue;
+          const Permutation p{{LeafId{s1}, LeafId{d1}},
+                              {LeafId{s2}, LeafId{d2}}};
+          if (has_contention(ft, routing.route_all(p))) found = true;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nbclos

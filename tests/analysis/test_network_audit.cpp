@@ -1,0 +1,94 @@
+#include "nbclos/analysis/network_audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+/// Route function over a build_network() ftree using a SinglePathRouting.
+NetworkRouteFn ftree_route_fn(const FoldedClos& ft,
+                              const SinglePathRouting& routing) {
+  return [&ft, &routing](SDPair sd) {
+    ChannelPath path;
+    for (const auto link : ft.links_of(routing.route(sd))) {
+      path.push_back(link.value);  // channel id == LinkId by construction
+    }
+    return path;
+  };
+}
+
+TEST(ChannelLoad, CountsAndCollisions) {
+  const auto net = build_crossbar(4);
+  ChannelLoadMap map(net);
+  map.add_path({0, 4 + 1});
+  map.add_path({2, 4 + 1});  // shares the downlink to terminal 1
+  EXPECT_EQ(map.load(0), 1U);
+  EXPECT_EQ(map.load(5), 2U);
+  EXPECT_EQ(map.contended_channels(), 1U);
+  EXPECT_EQ(map.colliding_pairs(), 1U);
+  EXPECT_FALSE(map.contention_free());
+}
+
+TEST(ChannelLoad, NetworkHasContentionHelper) {
+  const auto net = build_crossbar(4);
+  EXPECT_FALSE(network_has_contention(net, {{0, 5}, {1, 6}}));
+  EXPECT_TRUE(network_has_contention(net, {{0, 5}, {1, 5}}));
+}
+
+TEST(NetworkAudit, AgreesWithFtreeAuditOnNonblockingRouting) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const auto net = build_network(ft);
+  const YuanNonblockingRouting routing(ft);
+  EXPECT_TRUE(network_lemma1_audit(net, ftree_route_fn(ft, routing)).empty());
+}
+
+TEST(NetworkAudit, AgreesWithFtreeAuditOnBlockingRouting) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const auto net = build_network(ft);
+  const DModKRouting routing(ft);
+  const auto generic = network_lemma1_audit(net, ftree_route_fn(ft, routing));
+  EXPECT_FALSE(generic.empty());
+  // Same violating links as the ftree-specific audit.
+  const auto specific = lemma1_audit(routing);
+  ASSERT_EQ(generic.size(), specific.size());
+  for (std::size_t i = 0; i < generic.size(); ++i) {
+    EXPECT_EQ(generic[i], specific[i].link.value);
+  }
+}
+
+TEST(NetworkAudit, CrossbarIsAlwaysNonblocking) {
+  const auto net = build_crossbar(6);
+  const auto route = [](SDPair sd) {
+    return ChannelPath{sd.src.value, 6 + sd.dst.value};
+  };
+  EXPECT_TRUE(network_lemma1_audit(net, route).empty());
+}
+
+TEST(ValidatePath, AcceptsChainedPath) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const auto net = build_network(ft);
+  const SDPair sd{LeafId{0}, LeafId{4}};
+  ChannelPath path;
+  for (const auto link : ft.links_of(ft.cross_path(sd, TopId{1}))) {
+    path.push_back(link.value);
+  }
+  EXPECT_NO_THROW(validate_channel_path(net, 0, 4, path));
+}
+
+TEST(ValidatePath, RejectsBrokenPaths) {
+  const auto net = build_crossbar(4);
+  EXPECT_THROW(validate_channel_path(net, 0, 1, {}), precondition_error);
+  // Starts at wrong terminal.
+  EXPECT_THROW(validate_channel_path(net, 1, 1, {0, 5}), precondition_error);
+  // Ends at wrong terminal.
+  EXPECT_THROW(validate_channel_path(net, 0, 2, {0, 5}), precondition_error);
+  // Channels do not chain (two uplinks in a row).
+  EXPECT_THROW(validate_channel_path(net, 0, 1, {0, 1}), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

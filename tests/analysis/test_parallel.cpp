@@ -1,0 +1,104 @@
+#include "nbclos/analysis/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+PatternRouterFactory dmodk_factory(const FoldedClos& ft) {
+  return [&ft](std::uint64_t) -> PatternRouter {
+    // D-mod-K is stateless; a shared-const router per worker is fine.
+    return [&ft](const Permutation& pattern) {
+      const DModKRouting routing(ft);
+      return routing.route_all(pattern);
+    };
+  };
+}
+
+TEST(ParallelAnalysis, MatchesSerialBlockedCountsDeterministically) {
+  const FoldedClos ft(FtreeParams{2, 2, 5});
+  ThreadPool pool2(2);
+  ThreadPool pool4(4);
+  const auto a = estimate_blocking_parallel(ft, dmodk_factory(ft), 400, 99,
+                                            pool2, 8);
+  const auto b = estimate_blocking_parallel(ft, dmodk_factory(ft), 400, 99,
+                                            pool4, 8);
+  // Identical regardless of pool size: same chunk seeds, same merge order.
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_DOUBLE_EQ(a.mean_colliding_pairs, b.mean_colliding_pairs);
+  EXPECT_DOUBLE_EQ(a.mean_max_link_load, b.mean_max_link_load);
+  EXPECT_EQ(a.trials, 400U);
+}
+
+TEST(ParallelAnalysis, DifferentSeedsDiffer) {
+  const FoldedClos ft(FtreeParams{2, 2, 5});
+  ThreadPool pool(2);
+  const auto a =
+      estimate_blocking_parallel(ft, dmodk_factory(ft), 300, 1, pool, 8);
+  const auto b =
+      estimate_blocking_parallel(ft, dmodk_factory(ft), 300, 2, pool, 8);
+  EXPECT_NE(a.mean_colliding_pairs, b.mean_colliding_pairs);
+}
+
+TEST(ParallelAnalysis, BlockingSchemeShowsHighProbability) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  ThreadPool pool(3);
+  const auto est =
+      estimate_blocking_parallel(ft, dmodk_factory(ft), 200, 7, pool);
+  EXPECT_GT(est.blocking_probability, 0.9);
+}
+
+TEST(ParallelAnalysis, VerifyRandomParallelPassesNonblockingScheme) {
+  const FoldedClos ft(FtreeParams{3, 9, 8});
+  const YuanNonblockingRouting routing(ft);
+  ThreadPool pool(4);
+  const auto factory = [&routing](std::uint64_t) -> PatternRouter {
+    return [&routing](const Permutation& pattern) {
+      return routing.route_all(pattern);
+    };
+  };
+  const auto result = verify_random_parallel(ft, factory, 200, 5, pool, 8);
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_EQ(result.permutations_checked, 200U);
+}
+
+TEST(ParallelAnalysis, VerifyRandomParallelFindsCounterexample) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  ThreadPool pool(4);
+  const auto result =
+      verify_random_parallel(ft, dmodk_factory(ft), 100, 5, pool, 4);
+  EXPECT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  const DModKRouting routing(ft);
+  LinkLoadMap map(ft);
+  map.add_paths(routing.route_all(*result.counterexample));
+  EXPECT_FALSE(map.contention_free());
+}
+
+TEST(ParallelAnalysis, CounterexampleIsDeterministicAcrossPoolSizes) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  ThreadPool pool1(1);
+  ThreadPool pool4(4);
+  const auto a =
+      verify_random_parallel(ft, dmodk_factory(ft), 100, 5, pool1, 4);
+  const auto b =
+      verify_random_parallel(ft, dmodk_factory(ft), 100, 5, pool4, 4);
+  ASSERT_TRUE(a.counterexample.has_value());
+  ASSERT_TRUE(b.counterexample.has_value());
+  EXPECT_EQ(*a.counterexample, *b.counterexample);
+}
+
+TEST(ParallelAnalysis, RejectsZeroTrials) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  ThreadPool pool(2);
+  EXPECT_THROW((void)estimate_blocking_parallel(ft, dmodk_factory(ft), 0, 1,
+                                                pool),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,151 @@
+#include "nbclos/analysis/permutations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Permutations, ValidateAcceptsLegalPatterns) {
+  EXPECT_NO_THROW(validate_permutation({{LeafId{0}, LeafId{1}}}, 4));
+  EXPECT_NO_THROW(validate_permutation({}, 4));
+  EXPECT_NO_THROW(validate_permutation(
+      {{LeafId{0}, LeafId{1}}, {LeafId{1}, LeafId{0}}}, 2));
+}
+
+TEST(Permutations, ValidateRejectsIllegalPatterns) {
+  EXPECT_THROW(validate_permutation({{LeafId{0}, LeafId{0}}}, 4),
+               precondition_error);
+  EXPECT_THROW(validate_permutation({{LeafId{0}, LeafId{4}}}, 4),
+               precondition_error);
+  EXPECT_THROW(validate_permutation(
+                   {{LeafId{0}, LeafId{1}}, {LeafId{0}, LeafId{2}}}, 4),
+               precondition_error);
+  EXPECT_THROW(validate_permutation(
+                   {{LeafId{0}, LeafId{2}}, {LeafId{1}, LeafId{2}}}, 4),
+               precondition_error);
+}
+
+TEST(Permutations, RandomPermutationIsValidAndNearFull) {
+  Xoshiro256 rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto p = random_permutation(20, rng);
+    validate_permutation(p, 20);
+    EXPECT_GE(p.size(), 15U);  // at most a few fixed points dropped
+  }
+}
+
+TEST(Permutations, RandomPermutationCoversAllTargetsOverTrials) {
+  Xoshiro256 rng(2);
+  std::set<std::uint32_t> seen_dsts;
+  for (int trial = 0; trial < 50; ++trial) {
+    for (const auto sd : random_permutation(6, rng)) {
+      seen_dsts.insert(sd.dst.value);
+    }
+  }
+  EXPECT_EQ(seen_dsts.size(), 6U);
+}
+
+TEST(Permutations, PartialPermutationRespectsCount) {
+  Xoshiro256 rng(3);
+  const auto p = random_partial_permutation(30, 10, rng);
+  validate_permutation(p, 30);
+  EXPECT_LE(p.size(), 10U);
+  EXPECT_GE(p.size(), 8U);
+  EXPECT_THROW((void)random_partial_permutation(5, 6, rng),
+               precondition_error);
+}
+
+TEST(Permutations, ShiftHasFullSizeAndCorrectTargets) {
+  const auto p = shift_permutation(8, 3);
+  validate_permutation(p, 8);
+  ASSERT_EQ(p.size(), 8U);
+  for (const auto sd : p) {
+    EXPECT_EQ(sd.dst.value, (sd.src.value + 3) % 8);
+  }
+  EXPECT_THROW((void)shift_permutation(8, 0), precondition_error);
+  EXPECT_THROW((void)shift_permutation(8, 8), precondition_error);
+}
+
+TEST(Permutations, ReverseDropsMiddleFixedPoint) {
+  const auto odd = reverse_permutation(7);
+  validate_permutation(odd, 7);
+  EXPECT_EQ(odd.size(), 6U);  // leaf 3 maps to itself
+  const auto even = reverse_permutation(8);
+  EXPECT_EQ(even.size(), 8U);
+}
+
+TEST(Permutations, BitReversalInvolution) {
+  const auto p = bit_reversal_permutation(16);
+  validate_permutation(p, 16);
+  // Bit reversal is an involution: src->dst implies dst->src.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  for (const auto sd : p) pairs.insert({sd.src.value, sd.dst.value});
+  for (const auto& [s, d] : pairs) {
+    EXPECT_TRUE(pairs.contains({d, s}));
+  }
+  EXPECT_THROW((void)bit_reversal_permutation(12), precondition_error);
+}
+
+TEST(Permutations, ButterflyFlipsOneBit) {
+  const auto p = butterfly_permutation(8, 1);
+  validate_permutation(p, 8);
+  ASSERT_EQ(p.size(), 8U);
+  for (const auto sd : p) {
+    EXPECT_EQ(sd.src.value ^ sd.dst.value, 2U);
+  }
+  EXPECT_THROW((void)butterfly_permutation(8, 3), precondition_error);
+}
+
+TEST(Permutations, TornadoCrossesSwitches) {
+  const auto p = tornado_permutation(3, 6);
+  validate_permutation(p, 18);
+  EXPECT_EQ(p.size(), 18U);
+  for (const auto sd : p) {
+    EXPECT_NE(sd.src.value / 3, sd.dst.value / 3);
+    EXPECT_EQ(sd.dst.value / 3, (sd.src.value / 3 + 3) % 6);
+  }
+}
+
+TEST(Permutations, TornadoDegeneratesGracefully) {
+  // r = 2: half = 1, neighbor switch.
+  const auto p = tornado_permutation(2, 2);
+  validate_permutation(p, 4);
+  EXPECT_EQ(p.size(), 4U);
+}
+
+TEST(Permutations, NeighborFunnelPairsWholeSwitches) {
+  const auto p = neighbor_funnel_permutation(2, 4);
+  validate_permutation(p, 8);
+  EXPECT_EQ(p.size(), 8U);
+  for (const auto sd : p) {
+    EXPECT_EQ(sd.dst.value / 2, (sd.src.value / 2 + 1) % 4);
+    EXPECT_EQ(sd.dst.value % 2, 1 - sd.src.value % 2);
+  }
+}
+
+TEST(Permutations, ExhaustiveEnumerationCount) {
+  std::uint64_t seen = 0;
+  const auto visited = for_each_permutation(4, [&](const Permutation& p) {
+    validate_permutation(p, 4);
+    ++seen;
+  });
+  EXPECT_EQ(visited, 24U);
+  EXPECT_EQ(seen, 24U);
+  EXPECT_THROW(for_each_permutation(11, [](const Permutation&) {}),
+               precondition_error);
+}
+
+TEST(Permutations, ExhaustiveEnumerationIncludesIdentityAsEmpty) {
+  bool saw_empty = false;
+  for_each_permutation(3, [&](const Permutation& p) {
+    if (p.empty()) saw_empty = true;
+  });
+  EXPECT_TRUE(saw_empty);  // the identity drops all fixed points
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,107 @@
+#include "nbclos/analysis/root_capacity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(RootCapacityBound, PiecewiseFormula) {
+  // r >= 2n+1: r(r-1).
+  EXPECT_EQ(root_capacity_bound(1, 3), 6U);
+  EXPECT_EQ(root_capacity_bound(2, 5), 20U);
+  EXPECT_EQ(root_capacity_bound(2, 8), 56U);
+  // r <= 2n+1: 2nr.
+  EXPECT_EQ(root_capacity_bound(2, 4), 16U);
+  EXPECT_EQ(root_capacity_bound(3, 4), 24U);
+  // At r = 2n+1 both formulas agree: r(r-1) = (2n+1)2n = 2nr.
+  for (std::uint32_t n = 1; n <= 6; ++n) {
+    const std::uint32_t r = 2 * n + 1;
+    EXPECT_EQ(std::uint64_t{r} * (r - 1), std::uint64_t{2} * n * r);
+    EXPECT_EQ(root_capacity_bound(n, r), std::uint64_t{2} * n * r);
+  }
+}
+
+TEST(RootSetFeasible, AcceptsSingleSourcePerUplink) {
+  // Witness: designated source/dest per switch.
+  for (std::uint32_t n : {1U, 2U, 3U}) {
+    for (std::uint32_t r : {2U, 3U, 5U}) {
+      EXPECT_TRUE(root_set_feasible(n, r, root_capacity_witness(n, r)))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(RootSetFeasible, RejectsMixedLink) {
+  // Two pairs from switch 0 with different sources and different dests:
+  // the uplink carries neither one source nor one destination.
+  const std::vector<SDPair> bad{{LeafId{0}, LeafId{4}},
+                                {LeafId{1}, LeafId{7}}};
+  EXPECT_FALSE(root_set_feasible(2, 4, bad));
+  // Same two sources to one destination: fine (uplink single-dest).
+  const std::vector<SDPair> ok{{LeafId{0}, LeafId{4}},
+                               {LeafId{1}, LeafId{4}}};
+  EXPECT_TRUE(root_set_feasible(2, 4, ok));
+}
+
+TEST(RootSetFeasible, RejectsSameSwitchPairs) {
+  EXPECT_THROW(
+      (void)root_set_feasible(2, 3, {{LeafId{0}, LeafId{1}}}),
+      precondition_error);
+}
+
+TEST(RootCapacityWitness, SizeIsRTimesRMinusOne) {
+  const auto witness = root_capacity_witness(3, 5);
+  EXPECT_EQ(witness.size(), 20U);
+}
+
+TEST(RootCapacityExact, MatchesBruteForceOnTinyInstances) {
+  // The mode-decomposition search must agree with raw subset search.
+  for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
+           {1, 2}, {1, 3}, {1, 4}, {2, 2}, {2, 3}, {1, 5}}) {
+    EXPECT_EQ(root_capacity_exact(n, r), root_capacity_bruteforce(n, r))
+        << "n=" << n << " r=" << r;
+  }
+}
+
+TEST(RootCapacityExact, NeverExceedsLemma2Bound) {
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    for (std::uint32_t r = 2; r <= 7; ++r) {
+      EXPECT_LE(root_capacity_exact(n, r), root_capacity_bound(n, r))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(RootCapacityExact, AtLeastTheWitness) {
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    for (std::uint32_t r = 2; r <= 7; ++r) {
+      EXPECT_GE(root_capacity_exact(n, r), std::uint64_t{r} * (r - 1))
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(RootCapacityExact, LargeRRegimeIsExactlyRRm1) {
+  // When r >= 2n+1 the Lemma 2 bound r(r-1) is tight (witness meets it).
+  EXPECT_EQ(root_capacity_exact(1, 4), 12U);
+  EXPECT_EQ(root_capacity_exact(2, 6), 30U);
+  EXPECT_EQ(root_capacity_exact(3, 7), 42U);
+}
+
+TEST(RootCapacityExact, N1EveryPairFits) {
+  // With one leaf per switch every uplink trivially has one source and
+  // every downlink one destination: all r(r-1) pairs fit.
+  for (std::uint32_t r = 2; r <= 6; ++r) {
+    EXPECT_EQ(root_capacity_exact(1, r), std::uint64_t{r} * (r - 1));
+  }
+}
+
+TEST(RootCapacityExact, GuardsAgainstHugeSearch) {
+  EXPECT_THROW((void)root_capacity_exact(2, 9), precondition_error);
+  EXPECT_THROW((void)root_capacity_bruteforce(2, 5), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,136 @@
+#include "nbclos/analysis/verifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/edge_coloring.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Verifier, ExhaustiveProvesNonblockingInstance) {
+  const FoldedClos ft(FtreeParams{2, 4, 3});
+  const YuanNonblockingRouting routing(ft);
+  const auto result = verify_exhaustive(ft, as_pattern_router(routing));
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_FALSE(result.counterexample.has_value());
+  EXPECT_EQ(result.permutations_checked, 720U);
+}
+
+TEST(Verifier, ExhaustiveFindsCounterexampleForBlockingRouting) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});  // m < n^2: must block
+  const DModKRouting routing(ft);
+  const auto result = verify_exhaustive(ft, as_pattern_router(routing));
+  EXPECT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_GT(result.counterexample_collisions, 0U);
+  // The counterexample actually blocks.
+  EXPECT_TRUE(has_contention(ft, routing.route_all(*result.counterexample)));
+}
+
+TEST(Verifier, RandomAcceptsNonblockingScheme) {
+  const FoldedClos ft(FtreeParams{3, 9, 7});
+  const YuanNonblockingRouting routing(ft);
+  Xoshiro256 rng(10);
+  const auto result = verify_random(ft, as_pattern_router(routing), 100, rng);
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_EQ(result.permutations_checked, 100U);
+}
+
+TEST(Verifier, RandomCatchesHeavilyBlockingScheme) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  const DModKRouting routing(ft);
+  Xoshiro256 rng(11);
+  const auto result = verify_random(ft, as_pattern_router(routing), 100, rng);
+  EXPECT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  validate_permutation(*result.counterexample, ft.leaf_count());
+}
+
+TEST(Verifier, AdversarialBeatsRandomOnRareBlocking) {
+  // ftree(2+4, 4), d-mod-k: blocking exists (Lemma 1 fails) but is rare
+  // under uniform sampling on this small instance; the hill climber must
+  // find it within a modest budget.
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  ASSERT_FALSE(is_nonblocking_single_path(routing));
+  Xoshiro256 rng(12);
+  const auto result = verify_adversarial(
+      ft, as_pattern_router(routing), AdversarialOptions{10, 1000}, rng);
+  EXPECT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(has_contention(ft, routing.route_all(*result.counterexample)));
+}
+
+TEST(Verifier, AdversarialStaysCleanOnNonblockingScheme) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const YuanNonblockingRouting routing(ft);
+  Xoshiro256 rng(13);
+  const auto result = verify_adversarial(
+      ft, as_pattern_router(routing), AdversarialOptions{3, 200}, rng);
+  EXPECT_TRUE(result.nonblocking);
+}
+
+TEST(Verifier, WorksWithPatternLevelRouters) {
+  // The PatternRouter abstraction also fits the centralized scheme,
+  // which has no per-SD fixed path.
+  const FoldedClos ft(FtreeParams{2, 2, 4});  // m = n: rearrangeable
+  const CentralizedRearrangeableRouter router(ft);
+  const auto route_fn = [&router](const Permutation& p) {
+    return router.route(p);
+  };
+  const auto result = verify_exhaustive(ft, route_fn);
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_EQ(result.permutations_checked, 40320U);  // 8!
+}
+
+TEST(Verifier, WorstCaseSearchEscalatesCollisions) {
+  // The maximizer should find patterns substantially worse than a random
+  // draw for an undersized network.
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  const DModKRouting routing(ft);
+  Xoshiro256 rng(33);
+  // Baseline: average collisions of random permutations.
+  double random_mean = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    LinkLoadMap map(ft);
+    map.add_paths(routing.route_all(random_permutation(ft.leaf_count(), rng)));
+    random_mean += static_cast<double>(map.colliding_pairs());
+  }
+  random_mean /= 30.0;
+  const auto worst = worst_case_search(ft, as_pattern_router(routing),
+                                       AdversarialOptions{4, 800}, rng);
+  EXPECT_GT(static_cast<double>(worst.collisions), random_mean);
+  // The reported permutation really produces the reported collisions.
+  LinkLoadMap map(ft);
+  map.add_paths(routing.route_all(worst.permutation));
+  EXPECT_EQ(map.colliding_pairs(), worst.collisions);
+  validate_permutation(worst.permutation, ft.leaf_count());
+}
+
+TEST(Verifier, WorstCaseSearchFindsZeroForNonblockingScheme) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const YuanNonblockingRouting routing(ft);
+  Xoshiro256 rng(34);
+  const auto worst = worst_case_search(ft, as_pattern_router(routing),
+                                       AdversarialOptions{3, 300}, rng);
+  EXPECT_EQ(worst.collisions, 0U);
+  EXPECT_GT(worst.evaluations, 0U);
+}
+
+TEST(Verifier, CountsPermutationsInAdversarialMode) {
+  const FoldedClos ft(FtreeParams{2, 4, 3});
+  const YuanNonblockingRouting routing(ft);
+  Xoshiro256 rng(14);
+  const AdversarialOptions options{2, 50};
+  const auto result =
+      verify_adversarial(ft, as_pattern_router(routing), options, rng);
+  // 2 restarts x (1 initial + <= 50 steps); i == j steps don't evaluate.
+  EXPECT_GE(result.permutations_checked, 2U);
+  EXPECT_LE(result.permutations_checked, 102U);
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,213 @@
+#include "nbclos/circuit/clos_switch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/util/check.hpp"
+
+using nbclos::precondition_error;
+
+namespace nbclos::circuit {
+namespace {
+
+TEST(ClosCircuit, ConnectDisconnectBookkeeping) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  EXPECT_EQ(clos.active_circuits(), 0U);
+  const auto id = clos.connect(0, 4, FitStrategy::kFirstFit);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_TRUE(clos.input_port_busy(0));
+  EXPECT_TRUE(clos.output_port_busy(4));
+  EXPECT_FALSE(clos.input_port_busy(1));
+  EXPECT_EQ(clos.active_circuits(), 1U);
+  clos.validate();
+
+  const auto circuit = clos.circuit(*id);
+  ASSERT_TRUE(circuit.has_value());
+  EXPECT_EQ(circuit->input_port, 0U);
+  EXPECT_EQ(circuit->output_port, 4U);
+
+  clos.disconnect(*id);
+  EXPECT_FALSE(clos.input_port_busy(0));
+  EXPECT_FALSE(clos.output_port_busy(4));
+  EXPECT_EQ(clos.active_circuits(), 0U);
+  clos.validate();
+}
+
+TEST(ClosCircuit, RejectsBusyPorts) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  ASSERT_TRUE(clos.connect(0, 4, FitStrategy::kFirstFit).has_value());
+  EXPECT_THROW((void)clos.connect(0, 5, FitStrategy::kFirstFit),
+               precondition_error);
+  EXPECT_THROW((void)clos.connect(1, 4, FitStrategy::kFirstFit),
+               precondition_error);
+}
+
+TEST(ClosCircuit, FirstFitPicksLowestFreeMiddle) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  const auto a = clos.connect(0, 2, FitStrategy::kFirstFit);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(clos.circuit(*a)->middle, 0U);
+  // Same input switch: middle 0's first-stage link busy -> next middle.
+  const auto b = clos.connect(1, 4, FitStrategy::kFirstFit);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(clos.circuit(*b)->middle, 1U);
+}
+
+TEST(ClosCircuit, BlocksWhenNoMiddleFree) {
+  // Clos(2, 2, 3): m = 2 < 2n-1 = 3.  Occupy both middles from input
+  // switch 0 and toward output switch 2, then a third call from/to those
+  // switches cannot be placed.
+  ClosCircuitSwitch clos(2, 2, 3);
+  ASSERT_TRUE(clos.connect(0, 2, FitStrategy::kFirstFit).has_value());
+  ASSERT_TRUE(clos.connect(1, 3, FitStrategy::kFirstFit).has_value());
+  // Input switch 0 has no free first-stage links left... it also has no
+  // free ports; use input switch 1 toward output switch 1 (ports 2,3 are
+  // outputs of switch 1): occupy second stage instead.
+  clos.validate();
+  // Output switch 1 (ports 2..3) now has both second-stage links busy.
+  const auto blocked = clos.connect(2, 0, FitStrategy::kFirstFit);
+  EXPECT_TRUE(blocked.has_value());  // uses middle free for (in=1, out=0)
+  clos.validate();
+}
+
+TEST(ClosCircuit, StrictlyNonblockingAtClosBound) {
+  // m = 2n-1: no churn sequence may ever block, any strategy (Clos 1953).
+  for (const auto strategy :
+       {FitStrategy::kFirstFit, FitStrategy::kRandom, FitStrategy::kPacking,
+        FitStrategy::kLeastUsed}) {
+    ClosCircuitSwitch clos(3, 5, 4);
+    Xoshiro256 rng(42);
+    const auto result =
+        run_churn(clos, strategy, 4000, 1.0, /*rearrange=*/false, rng);
+    EXPECT_EQ(result.blocked, 0U) << to_string(strategy);
+    EXPECT_GT(result.attempts, 100U);
+    clos.validate();
+  }
+}
+
+TEST(ClosCircuit, BlocksBelowClosBoundUnderChurn) {
+  // m = n: rearrangeable but not strictly/wide-sense nonblocking; heavy
+  // churn at full occupancy finds blocked calls quickly.
+  ClosCircuitSwitch clos(3, 3, 4);
+  Xoshiro256 rng(7);
+  const auto result = run_churn(clos, FitStrategy::kFirstFit, 4000, 1.0,
+                                /*rearrange=*/false, rng);
+  EXPECT_GT(result.blocked, 0U);
+  clos.validate();
+}
+
+TEST(ClosCircuit, RearrangementNeverBlocksAtBenesBound) {
+  // m = n with rearrangement: Slepian–Duguid says every call placeable.
+  ClosCircuitSwitch clos(3, 3, 4);
+  Xoshiro256 rng(11);
+  const auto result = run_churn(clos, FitStrategy::kFirstFit, 4000, 1.0,
+                                /*rearrange=*/true, rng);
+  EXPECT_EQ(result.blocked, 0U);
+  EXPECT_GT(result.rearrangements_needed, 0U);  // it was actually exercised
+  clos.validate();
+}
+
+TEST(ClosCircuit, RearrangementKeepsExistingCircuits) {
+  ClosCircuitSwitch clos(2, 2, 3);
+  // Fill until first-fit would block, then rearrange-connect.
+  std::vector<std::uint32_t> ids;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 100 && clos.active_circuits() < 6; ++i) {
+    const auto in = static_cast<std::uint32_t>(rng.below(6));
+    const auto out = static_cast<std::uint32_t>(rng.below(6));
+    if (clos.input_port_busy(in) || clos.output_port_busy(out)) continue;
+    const auto before = clos.circuits();
+    const auto id = clos.connect_with_rearrangement(in, out);
+    ASSERT_TRUE(id.has_value());
+    // All previously-active circuits still active, same endpoints.
+    for (const auto& old : before) {
+      const auto now = clos.circuit(old.id);
+      ASSERT_TRUE(now.has_value());
+      EXPECT_EQ(now->input_port, old.input_port);
+      EXPECT_EQ(now->output_port, old.output_port);
+    }
+    clos.validate();
+  }
+  EXPECT_EQ(clos.active_circuits(), 6U);  // full permutation realized
+}
+
+TEST(ClosCircuit, PackingStrategyConcentratesLoad) {
+  ClosCircuitSwitch clos(4, 7, 6);
+  // Connections from distinct input/output switches: packing keeps
+  // filling middle 0 as long as its links are free.
+  const auto a = clos.connect(0, 4, FitStrategy::kPacking);   // sw 0 -> 1
+  const auto b = clos.connect(8, 12, FitStrategy::kPacking);  // sw 2 -> 3
+  const auto c = clos.connect(16, 20, FitStrategy::kPacking); // sw 4 -> 5
+  ASSERT_TRUE(a && b && c);
+  EXPECT_EQ(clos.circuit(*b)->middle, clos.circuit(*a)->middle);
+  EXPECT_EQ(clos.circuit(*c)->middle, clos.circuit(*a)->middle);
+}
+
+TEST(ClosCircuit, LeastUsedStrategySpreadsLoad) {
+  ClosCircuitSwitch clos(4, 7, 6);
+  const auto a = clos.connect(0, 4, FitStrategy::kLeastUsed);
+  const auto b = clos.connect(8, 12, FitStrategy::kLeastUsed);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(clos.circuit(*b)->middle, clos.circuit(*a)->middle);
+}
+
+TEST(ClosCircuit, AdversaryNeverBlocksAtStrictBound) {
+  // m = 2n-1: no call sequence whatsoever can block (Clos 1953); the
+  // adversary must come home empty-handed for every strategy.
+  Xoshiro256 rng(60);
+  for (const auto strategy :
+       {FitStrategy::kFirstFit, FitStrategy::kRandom, FitStrategy::kPacking,
+        FitStrategy::kLeastUsed}) {
+    const auto result =
+        adversary_search(3, 5, 4, strategy, 20, 400, rng);
+    EXPECT_FALSE(result.blocked_found) << to_string(strategy);
+    EXPECT_GT(result.calls_placed, 1000U);
+  }
+}
+
+TEST(ClosCircuit, AdversaryBlocksSpreadingBelowStrictBound) {
+  // m = 2n-2 with the least-used (spreading) strategy: the adversary
+  // fragments the middles and finds a blocking state.
+  Xoshiro256 rng(61);
+  const auto result = adversary_search(3, 4, 4, FitStrategy::kLeastUsed,
+                                       60, 600, rng);
+  EXPECT_TRUE(result.blocked_found);
+}
+
+TEST(ClosCircuit, AdversaryBlocksEveryStrategyAtBenesBound) {
+  // m = n is only rearrangeably nonblocking: without rearrangement even
+  // packing can be driven into a blocking state.
+  Xoshiro256 rng(62);
+  for (const auto strategy :
+       {FitStrategy::kFirstFit, FitStrategy::kPacking}) {
+    const auto result =
+        adversary_search(3, 3, 4, strategy, 60, 600, rng);
+    EXPECT_TRUE(result.blocked_found) << to_string(strategy);
+  }
+}
+
+TEST(ClosCircuit, ValidateCatchesNothingOnFreshSwitch) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  EXPECT_NO_THROW(clos.validate());
+}
+
+TEST(ClosCircuit, DisconnectRejectsBadIds) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  EXPECT_THROW(clos.disconnect(0), precondition_error);
+  const auto id = clos.connect(0, 4, FitStrategy::kFirstFit);
+  clos.disconnect(*id);
+  EXPECT_THROW(clos.disconnect(*id), precondition_error);  // double free
+}
+
+TEST(ClosCircuit, ChurnRespectsOccupancyValidation) {
+  ClosCircuitSwitch clos(2, 3, 3);
+  Xoshiro256 rng(1);
+  EXPECT_THROW((void)run_churn(clos, FitStrategy::kFirstFit, 10, 0.0, false,
+                               rng),
+               precondition_error);
+  EXPECT_THROW((void)run_churn(clos, FitStrategy::kFirstFit, 10, 1.5, false,
+                               rng),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::circuit

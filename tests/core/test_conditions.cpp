@@ -1,0 +1,95 @@
+#include "nbclos/core/conditions.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/root_capacity.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Conditions, LargeTopRegimeBoundary) {
+  EXPECT_FALSE(large_top_regime(3, 6));
+  EXPECT_TRUE(large_top_regime(3, 7));   // r = 2n+1
+  EXPECT_TRUE(large_top_regime(3, 8));
+}
+
+TEST(Conditions, PortUpperBoundSmallR) {
+  // Theorem 1: at most 2(n+m) ports when r <= 2n+1.
+  EXPECT_EQ(port_upper_bound_small_r(4, 16), 40U);
+  EXPECT_EQ(port_upper_bound_small_r(2, 4), 12U);
+}
+
+TEST(Conditions, PortBoundHoldsAtTheBoundary) {
+  // For any n and r = 2n+1 with m = min required, ports r*n <= 2(n+m):
+  // consistency between Theorems 1 and 2's counting.
+  for (std::uint32_t n = 1; n <= 8; ++n) {
+    const std::uint32_t r = 2 * n + 1;
+    const auto m = min_top_switches_deterministic(n, r);
+    EXPECT_LE(std::uint64_t{r} * n,
+              port_upper_bound_small_r(n, static_cast<std::uint32_t>(m)));
+  }
+}
+
+TEST(Conditions, MinTopSwitchesLargeR) {
+  // Theorem 2: m >= n^2 when r >= 2n+1.
+  EXPECT_EQ(min_top_switches_deterministic(4, 9), 16U);
+  EXPECT_EQ(min_top_switches_deterministic(5, 11), 25U);
+  EXPECT_EQ(min_top_switches_deterministic(2, 100), 4U);
+}
+
+TEST(Conditions, MinTopSwitchesSmallR) {
+  // r <= 2n+1: ceil((r-1)n/2) from Lemma 2 counting.
+  EXPECT_EQ(min_top_switches_deterministic(3, 4), 5U);   // ceil(9/2)
+  EXPECT_EQ(min_top_switches_deterministic(2, 4), 3U);   // ceil(6/2)
+  EXPECT_EQ(min_top_switches_deterministic(4, 2), 2U);   // ceil(4/2)
+}
+
+TEST(Conditions, MinTopSwitchesContinuousAtBoundary) {
+  // At r = 2n+1 the two formulas agree: ceil((2n)n/2) = n^2.
+  for (std::uint32_t n = 1; n <= 10; ++n) {
+    const std::uint32_t r = 2 * n + 1;
+    EXPECT_EQ(min_top_switches_deterministic(n, r), std::uint64_t{n} * n);
+    EXPECT_EQ(min_top_switches_deterministic(n, r - 1),
+              (std::uint64_t{r - 2} * n + 1) / 2);
+  }
+}
+
+TEST(Conditions, DeterministicFeasibility) {
+  EXPECT_TRUE(deterministic_nonblocking_feasible(FtreeParams{3, 9, 10}));
+  EXPECT_TRUE(deterministic_nonblocking_feasible(FtreeParams{3, 12, 10}));
+  EXPECT_FALSE(deterministic_nonblocking_feasible(FtreeParams{3, 8, 10}));
+}
+
+TEST(Conditions, AdaptiveExponent) {
+  EXPECT_DOUBLE_EQ(adaptive_exponent(1), 1.75);
+  EXPECT_DOUBLE_EQ(adaptive_exponent(2), 2.0 - 1.0 / 6.0);
+  EXPECT_DOUBLE_EQ(adaptive_exponent(3), 1.875);
+  // Always strictly below the deterministic exponent 2.
+  for (std::uint32_t c = 1; c <= 10; ++c) {
+    EXPECT_LT(adaptive_exponent(c), 2.0);
+  }
+}
+
+TEST(Conditions, AdaptiveSimpleBound) {
+  // ceil(n/(c+2)) * (c+1) * n.
+  EXPECT_EQ(adaptive_simple_bound(4, 2), 12U);   // 1 config * 3 * 4
+  EXPECT_EQ(adaptive_simple_bound(5, 2), 30U);   // 2 configs * 15
+  EXPECT_EQ(adaptive_simple_bound(8, 2), 48U);   // 2 configs * 24
+  EXPECT_EQ(adaptive_simple_bound(6, 1), 24U);   // 2 configs * 12
+}
+
+TEST(Conditions, BoundsConsistentWithRootCapacity) {
+  // min_top_switches = ceil(cross pairs / per-top capacity bound).
+  for (std::uint32_t n = 1; n <= 4; ++n) {
+    for (std::uint32_t r = 2; r <= 10; ++r) {
+      const std::uint64_t pairs = std::uint64_t{r} * (r - 1) * n * n;
+      const auto cap = root_capacity_bound(n, r);
+      EXPECT_EQ(min_top_switches_deterministic(n, r),
+                (pairs + cap - 1) / cap)
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,98 @@
+#include "nbclos/core/designer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Designer, TwoLevelFormulae) {
+  // n = 4: radix 20, 2n^2+n = 36 switches, n^3+n^2 = 80 ports (Table I).
+  const auto d = two_level_design(4);
+  EXPECT_EQ(d.switch_radix, 20U);
+  EXPECT_EQ(d.switches, 36U);
+  EXPECT_EQ(d.ports, 80U);
+  EXPECT_EQ(d.params.n, 4U);
+  EXPECT_EQ(d.params.m, 16U);
+  EXPECT_EQ(d.params.r, 20U);
+}
+
+TEST(Designer, TwoLevelIsSelfConsistent) {
+  for (std::uint32_t n = 2; n <= 12; ++n) {
+    const auto d = two_level_design(n);
+    const FoldedClos ft(d.params);
+    EXPECT_EQ(ft.leaf_count(), d.ports);
+    EXPECT_EQ(ft.switch_count(), d.switches);
+    EXPECT_EQ(ft.bottom_radix(), d.switch_radix);
+    // Same-radix constraint: top switches have radix r = n + n^2 too.
+    EXPECT_EQ(ft.top_radix(), d.switch_radix);
+    // Roughly 2N switches support N^1.5 ports (the paper's N = n^2+n).
+    const double big_n = static_cast<double>(d.switch_radix);
+    EXPECT_NEAR(static_cast<double>(d.ports), std::pow(big_n, 1.5),
+                big_n * std::sqrt(big_n) * 0.35);
+  }
+}
+
+TEST(Designer, DesignForRadixPicksLargestN) {
+  EXPECT_EQ(design_for_radix(20)->n, 4U);
+  EXPECT_EQ(design_for_radix(21)->n, 4U);   // n=5 needs 30 ports
+  EXPECT_EQ(design_for_radix(30)->n, 5U);
+  EXPECT_EQ(design_for_radix(42)->n, 6U);
+  EXPECT_EQ(design_for_radix(6)->n, 2U);
+  EXPECT_EQ(design_for_radix(5), std::nullopt);
+}
+
+TEST(Designer, RecursiveMatchesPaperThreeLevelPorts) {
+  // 3 levels: n^4 + n^3 ports (paper §IV discussion).
+  for (std::uint32_t n = 2; n <= 6; ++n) {
+    const auto d = recursive_design(n, 3);
+    const std::uint64_t n64 = n;
+    EXPECT_EQ(d.ports, n64 * n64 * n64 * (n64 + 1));
+    // Our switch recurrence: 2n^4 + 2n^3 + n^2 (the paper prints
+    // 2n^4 + 3n^3 + n^2; see EXPERIMENTS.md).
+    EXPECT_EQ(d.switches, 2 * n64 * n64 * n64 * n64 + 2 * n64 * n64 * n64 +
+                              n64 * n64);
+  }
+}
+
+TEST(Designer, RecursiveLevelTwoEqualsTwoLevel) {
+  for (std::uint32_t n = 2; n <= 8; ++n) {
+    const auto base = two_level_design(n);
+    const auto rec = recursive_design(n, 2);
+    EXPECT_EQ(rec.ports, base.ports);
+    EXPECT_EQ(rec.switches, base.switches);
+  }
+}
+
+TEST(Designer, RecursivePortGrowthIsGeometric) {
+  const auto l2 = recursive_design(3, 2);
+  const auto l3 = recursive_design(3, 3);
+  const auto l4 = recursive_design(3, 4);
+  EXPECT_EQ(l3.ports, 3 * l2.ports);
+  EXPECT_EQ(l4.ports, 3 * l3.ports);
+  // Switch recurrence: S(L+1) = P(L) + n^2 S(L).
+  EXPECT_EQ(l3.switches, l2.ports + 9 * l2.switches);
+  EXPECT_EQ(l4.switches, l3.ports + 9 * l3.switches);
+}
+
+TEST(Designer, RejectsBadArguments) {
+  EXPECT_THROW((void)two_level_design(1), precondition_error);
+  EXPECT_THROW((void)recursive_design(3, 1), precondition_error);
+  EXPECT_THROW((void)recursive_design(1, 2), precondition_error);
+}
+
+TEST(Designer, EnumerateDesignsIsAscendingAndBounded) {
+  const auto designs = enumerate_designs(42);
+  ASSERT_EQ(designs.size(), 5U);  // n = 2..6
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    EXPECT_EQ(designs[i].n, i + 2);
+    EXPECT_LE(designs[i].switch_radix, 42U);
+  }
+  EXPECT_TRUE(enumerate_designs(5).empty());
+}
+
+}  // namespace
+}  // namespace nbclos

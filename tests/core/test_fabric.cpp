@@ -1,0 +1,71 @@
+#include "nbclos/core/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Fabric, DefaultShapeIsTableOneDesign) {
+  const NonblockingFabric fabric(3);
+  EXPECT_EQ(fabric.topology().n(), 3U);
+  EXPECT_EQ(fabric.topology().m(), 9U);
+  EXPECT_EQ(fabric.topology().r(), 12U);  // n + n^2
+  EXPECT_EQ(fabric.port_count(), 36U);
+}
+
+TEST(Fabric, CustomRIsHonored) {
+  const NonblockingFabric fabric(3, 7);
+  EXPECT_EQ(fabric.topology().r(), 7U);
+  EXPECT_EQ(fabric.port_count(), 21U);
+}
+
+TEST(Fabric, CertifyProvesNonblocking) {
+  // The Lemma 1 audit is an iff: certify() is a proof for the instance.
+  for (std::uint32_t n = 2; n <= 4; ++n) {
+    const NonblockingFabric fabric(n);
+    EXPECT_TRUE(fabric.certify()) << "n=" << n;
+  }
+}
+
+TEST(Fabric, RandomVerificationAgrees) {
+  const NonblockingFabric fabric(3);
+  const auto result = fabric.verify_random(100, 1234);
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_EQ(result.permutations_checked, 100U);
+}
+
+TEST(Fabric, RoutePatternIsContentionFree) {
+  const NonblockingFabric fabric(4);
+  Xoshiro256 rng(55);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto pattern = random_permutation(fabric.port_count(), rng);
+    const auto paths = fabric.route_pattern(pattern);
+    EXPECT_FALSE(has_contention(fabric.topology(), paths));
+  }
+}
+
+TEST(Fabric, RouteSingle) {
+  const NonblockingFabric fabric(2);
+  const auto& ft = fabric.topology();
+  const SDPair cross{ft.leaf(BottomId{0}, 1), ft.leaf(BottomId{3}, 0)};
+  const auto path = fabric.route(cross);
+  EXPECT_FALSE(path.direct);
+  EXPECT_EQ(path.top.value, 1U * 2U + 0U);  // (i, j) = (1, 0)
+}
+
+TEST(Fabric, ToNetworkMatchesTopology) {
+  const NonblockingFabric fabric(2);
+  const auto net = fabric.to_network();
+  EXPECT_EQ(net.channel_count(), fabric.topology().link_count());
+  EXPECT_EQ(net.terminals().size(), fabric.port_count());
+}
+
+TEST(Fabric, RejectsTinyN) {
+  EXPECT_THROW(NonblockingFabric(1), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

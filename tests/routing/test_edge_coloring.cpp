@@ -1,0 +1,164 @@
+#include "nbclos/routing/edge_coloring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+
+namespace nbclos {
+namespace {
+
+using Edges = std::vector<std::pair<std::uint32_t, std::uint32_t>>;
+
+/// A coloring is proper when no two edges sharing an endpoint share a
+/// color.
+bool proper(std::uint32_t left, std::uint32_t right, const Edges& edges,
+            const std::vector<std::uint32_t>& colors) {
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      if (colors[i] != colors[j]) continue;
+      if (edges[i].first == edges[j].first ||
+          edges[i].second == edges[j].second) {
+        return false;
+      }
+    }
+  }
+  (void)left;
+  (void)right;
+  return true;
+}
+
+std::uint32_t max_degree(std::uint32_t left, std::uint32_t right,
+                         const Edges& edges) {
+  std::vector<std::uint32_t> dl(left, 0);
+  std::vector<std::uint32_t> dr(right, 0);
+  for (const auto& [u, v] : edges) {
+    ++dl[u];
+    ++dr[v];
+  }
+  std::uint32_t d = 1;
+  for (const auto x : dl) d = std::max(d, x);
+  for (const auto x : dr) d = std::max(d, x);
+  return d;
+}
+
+TEST(EdgeColoring, SimpleMatchingGetsOneColor) {
+  const Edges edges{{0, 1}, {1, 0}, {2, 2}};
+  const auto colors = bipartite_edge_coloring(3, 3, edges);
+  EXPECT_TRUE(proper(3, 3, edges, colors));
+  for (const auto c : colors) EXPECT_EQ(c, 0U);
+}
+
+TEST(EdgeColoring, CompleteBipartiteUsesExactlyDegreeColors) {
+  Edges edges;
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    for (std::uint32_t v = 0; v < 4; ++v) edges.emplace_back(u, v);
+  }
+  const auto colors = bipartite_edge_coloring(4, 4, edges);
+  EXPECT_TRUE(proper(4, 4, edges, colors));
+  EXPECT_EQ(*std::max_element(colors.begin(), colors.end()), 3U);
+}
+
+TEST(EdgeColoring, MultigraphParallelEdges) {
+  // Three parallel edges between the same pair need three colors.
+  const Edges edges{{0, 0}, {0, 0}, {0, 0}};
+  const auto colors = bipartite_edge_coloring(1, 1, edges);
+  EXPECT_TRUE(proper(1, 1, edges, colors));
+  std::vector<std::uint32_t> sorted = colors;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<std::uint32_t>{0, 1, 2}));
+}
+
+TEST(EdgeColoring, KoenigBoundHoldsOnRandomMultigraphs) {
+  Xoshiro256 rng(31337);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto left = static_cast<std::uint32_t>(2 + rng.below(6));
+    const auto right = static_cast<std::uint32_t>(2 + rng.below(6));
+    const auto count = static_cast<std::size_t>(1 + rng.below(40));
+    Edges edges;
+    for (std::size_t e = 0; e < count; ++e) {
+      edges.emplace_back(static_cast<std::uint32_t>(rng.below(left)),
+                         static_cast<std::uint32_t>(rng.below(right)));
+    }
+    const auto colors = bipartite_edge_coloring(left, right, edges);
+    ASSERT_TRUE(proper(left, right, edges, colors)) << "trial " << trial;
+    const auto used = *std::max_element(colors.begin(), colors.end()) + 1;
+    EXPECT_LE(used, max_degree(left, right, edges)) << "trial " << trial;
+  }
+}
+
+TEST(EdgeColoring, RejectsOutOfRangeEdges) {
+  EXPECT_THROW((void)bipartite_edge_coloring(2, 2, {{2, 0}}),
+               precondition_error);
+  EXPECT_THROW((void)bipartite_edge_coloring(2, 2, {{0, 5}}),
+               precondition_error);
+}
+
+TEST(CentralizedRouter, RealizesPermutationWithMEqualsN) {
+  // Benes: m >= n suffices with centralized control — the paper's
+  // telephone-world baseline (compare m >= n^2 for distributed).
+  const FoldedClos ft(FtreeParams{3, 3, 5});
+  const CentralizedRearrangeableRouter router(ft);
+  Xoshiro256 rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto pattern = random_permutation(ft.leaf_count(), rng);
+    const auto paths = router.route(pattern);
+    EXPECT_FALSE(has_contention(ft, paths)) << "trial " << trial;
+  }
+}
+
+TEST(CentralizedRouter, HandlesWorstCasePatterns) {
+  const FoldedClos ft(FtreeParams{4, 4, 6});
+  const CentralizedRearrangeableRouter router(ft);
+  for (const auto& pattern :
+       {shift_permutation(ft.leaf_count(), 4),
+        reverse_permutation(ft.leaf_count()),
+        tornado_permutation(ft.n(), ft.r()),
+        neighbor_funnel_permutation(ft.n(), ft.r())}) {
+    EXPECT_FALSE(has_contention(ft, router.route(pattern)));
+  }
+}
+
+TEST(CentralizedRouter, DirectPairsStayLocal) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const CentralizedRearrangeableRouter router(ft);
+  const Permutation pattern{{LeafId{0}, LeafId{1}}, {LeafId{1}, LeafId{0}}};
+  const auto paths = router.route(pattern);
+  EXPECT_TRUE(paths[0].direct);
+  EXPECT_TRUE(paths[1].direct);
+}
+
+TEST(CentralizedRouter, RejectsNonPermutations) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const CentralizedRearrangeableRouter router(ft);
+  EXPECT_THROW(
+      (void)router.route({{LeafId{0}, LeafId{2}}, {LeafId{0}, LeafId{4}}}),
+      precondition_error);
+  EXPECT_THROW(
+      (void)router.route({{LeafId{0}, LeafId{2}}, {LeafId{1}, LeafId{2}}}),
+      precondition_error);
+}
+
+TEST(CentralizedRouter, ThrowsWhenColorsExceedM) {
+  // m = 1 but two sources in one switch target two different switches:
+  // degree 2 > m, so the permutation cannot be realized.
+  const FoldedClos ft(FtreeParams{2, 1, 3});
+  const CentralizedRearrangeableRouter router(ft);
+  const Permutation pattern{{LeafId{0}, LeafId{2}}, {LeafId{1}, LeafId{4}}};
+  EXPECT_THROW((void)router.route(pattern), precondition_error);
+}
+
+TEST(CentralizedRouter, PathsAlignWithInputOrder) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const CentralizedRearrangeableRouter router(ft);
+  const Permutation pattern{{LeafId{0}, LeafId{3}}, {LeafId{2}, LeafId{0}}};
+  const auto paths = router.route(pattern);
+  ASSERT_EQ(paths.size(), 2U);
+  EXPECT_EQ(paths[0].sd, pattern[0]);
+  EXPECT_EQ(paths[1].sd, pattern[1]);
+}
+
+}  // namespace
+}  // namespace nbclos

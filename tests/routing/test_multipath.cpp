@@ -1,0 +1,150 @@
+#include "nbclos/routing/multipath.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nbclos/analysis/contention.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(Multipath, CandidateSetHasRequestedWidth) {
+  const FoldedClos ft(FtreeParams{2, 6, 4});
+  MultipathObliviousRouting routing(ft, 4, SpreadPolicy::kRoundRobin);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  const auto cands = routing.candidates(sd);
+  EXPECT_EQ(cands.size(), 4U);
+  std::set<std::uint32_t> unique;
+  for (const auto t : cands) {
+    EXPECT_LT(t.value, ft.m());
+    unique.insert(t.value);
+  }
+  EXPECT_EQ(unique.size(), 4U);  // distinct candidates
+}
+
+TEST(Multipath, CandidatesAreTrafficOblivious) {
+  // Same SD pair -> same candidate set, always (routes are fixed before
+  // any traffic exists; §IV-B).
+  const FoldedClos ft(FtreeParams{3, 9, 5});
+  MultipathObliviousRouting a(ft, 3, SpreadPolicy::kHash, 1);
+  MultipathObliviousRouting b(ft, 3, SpreadPolicy::kRandom, 999);
+  const SDPair sd{LeafId{1}, LeafId{10}};
+  EXPECT_EQ(a.candidates(sd), b.candidates(sd));
+}
+
+TEST(Multipath, RoundRobinCyclesThroughCandidates) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  MultipathObliviousRouting routing(ft, 4, SpreadPolicy::kRoundRobin);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  const auto cands = routing.candidates(sd);
+  for (std::uint64_t p = 0; p < 12; ++p) {
+    const auto path = routing.path_for_packet(sd, p);
+    EXPECT_EQ(path.top, cands[p % 4]);
+  }
+}
+
+TEST(Multipath, HashIsDeterministicPerPacket) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  MultipathObliviousRouting a(ft, 4, SpreadPolicy::kHash);
+  MultipathObliviousRouting b(ft, 4, SpreadPolicy::kHash);
+  const SDPair sd{LeafId{1}, LeafId{6}};
+  for (std::uint64_t p = 0; p < 20; ++p) {
+    EXPECT_EQ(a.path_for_packet(sd, p).top, b.path_for_packet(sd, p).top);
+  }
+}
+
+TEST(Multipath, RandomDrawsStayInCandidateSet) {
+  const FoldedClos ft(FtreeParams{2, 6, 4});
+  MultipathObliviousRouting routing(ft, 3, SpreadPolicy::kRandom, 7);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  const auto cands = routing.candidates(sd);
+  const std::set<std::uint32_t> allowed{cands[0].value, cands[1].value,
+                                        cands[2].value};
+  for (std::uint64_t p = 0; p < 100; ++p) {
+    EXPECT_TRUE(allowed.contains(routing.path_for_packet(sd, p).top.value));
+  }
+}
+
+TEST(Multipath, DirectPairsBypassTopLevel) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  MultipathObliviousRouting routing(ft, 2, SpreadPolicy::kRoundRobin);
+  const SDPair sd{LeafId{0}, LeafId{1}};
+  EXPECT_TRUE(routing.path_for_packet(sd, 0).direct);
+  EXPECT_THROW((void)routing.candidates(sd), precondition_error);
+}
+
+TEST(Multipath, FootprintIsUnionOfCandidatePaths) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  MultipathObliviousRouting routing(ft, 2, SpreadPolicy::kRoundRobin);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  const auto footprint = routing.link_footprint(sd);
+  // 2 shared leaf links + 2 uplinks + 2 downlinks = 6 distinct links.
+  EXPECT_EQ(footprint.size(), 6U);
+  std::set<std::uint32_t> unique;
+  for (const auto l : footprint) unique.insert(l.value);
+  EXPECT_EQ(unique.size(), footprint.size());
+}
+
+TEST(Multipath, WidthOneDegeneratesToSinglePath) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  MultipathObliviousRouting routing(ft, 1, SpreadPolicy::kRandom, 3);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  const auto first = routing.path_for_packet(sd, 0).top;
+  for (std::uint64_t p = 1; p < 10; ++p) {
+    EXPECT_EQ(routing.path_for_packet(sd, p).top, first);
+  }
+}
+
+TEST(Multipath, RejectsBadWidth) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  EXPECT_THROW(MultipathObliviousRouting(ft, 0, SpreadPolicy::kHash),
+               precondition_error);
+  EXPECT_THROW(MultipathObliviousRouting(ft, 5, SpreadPolicy::kHash),
+               precondition_error);
+}
+
+TEST(Multipath, YuanBaseWidthOneIsTheoremThreeRouting) {
+  // Candidate base kYuan at width 1 reproduces the (i,j) assignment
+  // exactly, so its footprint audit passes — the bridge between §IV-A
+  // and §IV-B.
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  MultipathObliviousRouting routing(ft, 1, SpreadPolicy::kRoundRobin, 1,
+                                    CandidateBase::kYuan);
+  const auto violations = lemma1_audit_footprints(
+      ft, [&](SDPair sd) { return routing.link_footprint(sd); });
+  EXPECT_TRUE(violations.empty());
+  // The candidate equals i*n + j.
+  const SDPair sd{LeafId{1}, LeafId{6}};  // i = 1, j = 0
+  EXPECT_EQ(routing.candidates(sd).front().value, 2U);
+}
+
+TEST(Multipath, YuanBaseWidthTwoBreaksLemmaOne) {
+  // §IV-B's core statement: widening a nonblocking single-path
+  // assignment to two oblivious paths re-introduces violations.
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  MultipathObliviousRouting routing(ft, 2, SpreadPolicy::kRoundRobin, 1,
+                                    CandidateBase::kYuan);
+  const auto violations = lemma1_audit_footprints(
+      ft, [&](SDPair sd) { return routing.link_footprint(sd); });
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(Multipath, YuanBaseRequiresEnoughTops) {
+  const FoldedClos ft(FtreeParams{3, 8, 7});  // m = 8 < 9
+  EXPECT_THROW(MultipathObliviousRouting(ft, 1, SpreadPolicy::kHash, 1,
+                                         CandidateBase::kYuan),
+               precondition_error);
+}
+
+TEST(Multipath, NameEncodesPolicyAndWidth) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  EXPECT_EQ(MultipathObliviousRouting(ft, 2, SpreadPolicy::kHash).name(),
+            "multipath-hash-w2");
+  EXPECT_EQ(
+      MultipathObliviousRouting(ft, 4, SpreadPolicy::kRoundRobin).name(),
+      "multipath-round-robin-w4");
+}
+
+}  // namespace
+}  // namespace nbclos

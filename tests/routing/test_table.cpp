@@ -1,0 +1,75 @@
+#include "nbclos/routing/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(RoutingTable, SetAndLookup) {
+  const FoldedClos ft(FtreeParams{2, 3, 4});
+  RoutingTable table(ft);
+  const SDPair sd{LeafId{0}, LeafId{5}};
+  EXPECT_EQ(table.lookup(sd), std::nullopt);
+  table.set(sd, TopId{2});
+  EXPECT_EQ(table.lookup(sd), TopId{2});
+  table.set(sd, TopId{1});  // overwrite
+  EXPECT_EQ(table.lookup(sd), TopId{1});
+  EXPECT_EQ(table.size(), 1U);
+}
+
+TEST(RoutingTable, RejectsDirectPairsAndBadTops) {
+  const FoldedClos ft(FtreeParams{2, 3, 4});
+  RoutingTable table(ft);
+  EXPECT_THROW(table.set({LeafId{0}, LeafId{1}}, TopId{0}),
+               precondition_error);
+  EXPECT_THROW(table.set({LeafId{0}, LeafId{5}}, TopId{3}),
+               precondition_error);
+}
+
+TEST(RoutingTable, PathFallsBackToDirect) {
+  const FoldedClos ft(FtreeParams{2, 3, 4});
+  RoutingTable table(ft);
+  const auto path = table.path({LeafId{0}, LeafId{1}});
+  EXPECT_TRUE(path.direct);
+  EXPECT_THROW((void)table.path({LeafId{0}, LeafId{5}}), precondition_error);
+}
+
+TEST(RoutingTable, MaterializeCoversAllCrossPairs) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const YuanNonblockingRouting routing(ft);
+  const auto table = RoutingTable::materialize(routing);
+  EXPECT_EQ(table.size(), ft.cross_pair_count());
+  // Lookup agrees with the live algorithm everywhere.
+  for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
+    for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
+      const SDPair sd{LeafId{s}, LeafId{d}};
+      if (s == d || !ft.needs_top(sd)) continue;
+      EXPECT_EQ(table.lookup(sd), routing.route(sd).top);
+    }
+  }
+}
+
+TEST(RoutingTable, FromPathsSkipsDirect) {
+  const FoldedClos ft(FtreeParams{2, 3, 4});
+  std::vector<FtreePath> paths;
+  paths.push_back(ft.cross_path({LeafId{0}, LeafId{5}}, TopId{1}));
+  paths.push_back(ft.direct_path({LeafId{0}, LeafId{1}}));
+  const auto table = RoutingTable::from_paths(ft, paths);
+  EXPECT_EQ(table.size(), 1U);
+  EXPECT_EQ(table.lookup({LeafId{0}, LeafId{5}}), TopId{1});
+}
+
+TEST(RoutingTable, TopSwitchesUsedIsMaxPlusOne) {
+  const FoldedClos ft(FtreeParams{2, 6, 4});
+  RoutingTable table(ft);
+  EXPECT_EQ(table.top_switches_used(), 0U);
+  table.set({LeafId{0}, LeafId{5}}, TopId{0});
+  table.set({LeafId{1}, LeafId{6}}, TopId{4});
+  EXPECT_EQ(table.top_switches_used(), 5U);
+}
+
+}  // namespace
+}  // namespace nbclos

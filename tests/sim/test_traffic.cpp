@@ -1,0 +1,84 @@
+#include "nbclos/sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::sim {
+namespace {
+
+TEST(Traffic, PermutationFixesDestinations) {
+  const Permutation pattern{{LeafId{0}, LeafId{3}}, {LeafId{2}, LeafId{1}}};
+  const auto traffic = TrafficPattern::permutation(pattern, 4);
+  Xoshiro256 rng(1);
+  EXPECT_EQ(traffic.destination(0, rng), 3U);
+  EXPECT_EQ(traffic.destination(2, rng), 1U);
+  EXPECT_EQ(traffic.destination(1, rng), std::nullopt);  // silent source
+  EXPECT_EQ(traffic.destination(3, rng), std::nullopt);
+  EXPECT_EQ(traffic.name(), "permutation");
+}
+
+TEST(Traffic, PermutationValidatesPattern) {
+  EXPECT_THROW((void)TrafficPattern::permutation({{LeafId{0}, LeafId{9}}}, 4),
+               precondition_error);
+}
+
+TEST(Traffic, UniformNeverTargetsSelf) {
+  const auto traffic = TrafficPattern::uniform(5);
+  Xoshiro256 rng(2);
+  for (std::uint32_t src = 0; src < 5; ++src) {
+    for (int i = 0; i < 200; ++i) {
+      const auto dst = traffic.destination(src, rng);
+      ASSERT_TRUE(dst.has_value());
+      EXPECT_NE(*dst, src);
+      EXPECT_LT(*dst, 5U);
+    }
+  }
+}
+
+TEST(Traffic, UniformIsRoughlyBalanced) {
+  const auto traffic = TrafficPattern::uniform(4);
+  Xoshiro256 rng(3);
+  std::map<std::uint32_t, int> counts;
+  for (int i = 0; i < 30'000; ++i) {
+    ++counts[*traffic.destination(0, rng)];
+  }
+  for (const auto& [dst, count] : counts) {
+    EXPECT_NEAR(count, 10'000, 500) << "dst " << dst;
+  }
+}
+
+TEST(Traffic, HotspotBiasesTowardTarget) {
+  const auto traffic = TrafficPattern::hotspot(10, 7, 0.5);
+  Xoshiro256 rng(4);
+  int hot = 0;
+  constexpr int kDraws = 10'000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (*traffic.destination(0, rng) == 7U) ++hot;
+  }
+  // P(hot) = 0.5 + 0.5 * (1/9) ~ 0.5556.
+  EXPECT_NEAR(static_cast<double>(hot) / kDraws, 0.5556, 0.03);
+}
+
+TEST(Traffic, HotspotTerminalItselfDrawsUniform) {
+  const auto traffic = TrafficPattern::hotspot(4, 2, 1.0);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto dst = *traffic.destination(2, rng);
+    EXPECT_NE(dst, 2U);
+  }
+}
+
+TEST(Traffic, RejectsBadParameters) {
+  EXPECT_THROW((void)TrafficPattern::uniform(1), precondition_error);
+  EXPECT_THROW((void)TrafficPattern::hotspot(4, 5, 0.1), precondition_error);
+  EXPECT_THROW((void)TrafficPattern::hotspot(4, 1, 1.5), precondition_error);
+  const auto traffic = TrafficPattern::uniform(4);
+  Xoshiro256 rng(6);
+  EXPECT_THROW((void)traffic.destination(4, rng), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::sim

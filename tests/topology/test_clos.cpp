@@ -1,0 +1,110 @@
+#include "nbclos/topology/clos.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbclos {
+namespace {
+
+TEST(ThreeStageClos, PortToSwitchMapping) {
+  const ThreeStageClos clos(3, 4, 5);
+  EXPECT_EQ(clos.port_count(), 15U);
+  EXPECT_EQ(clos.input_switch_of(0), 0U);
+  EXPECT_EQ(clos.input_switch_of(2), 0U);
+  EXPECT_EQ(clos.input_switch_of(3), 1U);
+  EXPECT_EQ(clos.output_switch_of(14), 4U);
+  EXPECT_THROW((void)clos.input_switch_of(15), precondition_error);
+}
+
+TEST(ThreeStageClos, LinkIdsAreDistinct) {
+  const ThreeStageClos clos(2, 3, 4);
+  std::vector<bool> seen(clos.internal_link_count(), false);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    for (std::uint32_t j = 0; j < 3; ++j) {
+      const auto first = clos.first_stage_link(i, j);
+      const auto second = clos.second_stage_link(j, i);
+      ASSERT_LT(first, clos.internal_link_count());
+      ASSERT_LT(second, clos.internal_link_count());
+      EXPECT_FALSE(seen[first]);
+      EXPECT_FALSE(seen[second]);
+      seen[first] = true;
+      seen[second] = true;
+    }
+  }
+  for (const bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ThreeStageClos, RouteUsesTwoLinks) {
+  const ThreeStageClos clos(2, 3, 4);
+  const ClosRoute route{{/*in=*/1, /*out=*/6}, /*middle=*/2};
+  const auto links = clos.links_of(route);
+  ASSERT_EQ(links.size(), 2U);
+  EXPECT_EQ(links[0], clos.first_stage_link(0, 2));
+  EXPECT_EQ(links[1], clos.second_stage_link(2, 3));
+}
+
+TEST(ThreeStageClos, ConflictCountingDetectsSharedLinks) {
+  const ThreeStageClos clos(2, 2, 3);
+  // Two connections from input switch 0 through middle 0: share the
+  // first-stage link.
+  const std::vector<ClosRoute> routes{
+      {{0, 2}, 0},
+      {{1, 4}, 0},
+  };
+  EXPECT_EQ(clos.conflict_count(routes), 1U);
+  // Different middles: no conflicts.
+  const std::vector<ClosRoute> disjoint{
+      {{0, 2}, 0},
+      {{1, 4}, 1},
+  };
+  EXPECT_EQ(clos.conflict_count(disjoint), 0U);
+}
+
+TEST(ThreeStageClos, FoldsOntoEquivalentFtree) {
+  // The paper: Clos(n, m, r) is logically equivalent to ftree(n+m, r).
+  const ThreeStageClos clos(2, 3, 4);
+  const FoldedClos ftree(clos.folded_params());
+  // A cross connection folds onto the cross path through the same index.
+  const ClosRoute cross{{/*in=*/0, /*out=*/7}, /*middle=*/1};
+  const auto path = clos.to_ftree_path(cross, ftree);
+  EXPECT_FALSE(path.direct);
+  EXPECT_EQ(path.top.value, 1U);
+  EXPECT_EQ(path.sd.src.value, 0U);
+  EXPECT_EQ(path.sd.dst.value, 7U);
+  // A same-switch connection folds to a direct path.
+  const ClosRoute local{{/*in=*/0, /*out=*/1}, /*middle=*/0};
+  EXPECT_TRUE(clos.to_ftree_path(local, ftree).direct);
+}
+
+TEST(ThreeStageClos, FoldedContentionMatchesClosContention) {
+  // Conflicting Clos connections map to contending ftree paths and
+  // vice versa — the equivalence the paper asserts in §I.
+  const ThreeStageClos clos(2, 2, 3);
+  const FoldedClos ftree(clos.folded_params());
+  const std::vector<ClosRoute> routes{
+      {{0, 2}, 0},
+      {{1, 4}, 0},  // shares first-stage link 0->middle0
+  };
+  EXPECT_GT(clos.conflict_count(routes), 0U);
+  // Folded: both paths use uplink bottom0 -> top0.
+  const auto p1 = clos.to_ftree_path(routes[0], ftree);
+  const auto p2 = clos.to_ftree_path(routes[1], ftree);
+  const auto links1 = ftree.links_of(p1);
+  const auto links2 = ftree.links_of(p2);
+  bool shared = false;
+  for (const auto a : links1) {
+    for (const auto b : links2) {
+      if (a == b) shared = true;
+    }
+  }
+  EXPECT_TRUE(shared);
+}
+
+TEST(ThreeStageClos, FoldRejectsMismatchedFtree) {
+  const ThreeStageClos clos(2, 2, 3);
+  const FoldedClos wrong(FtreeParams{2, 3, 3});
+  EXPECT_THROW((void)clos.to_ftree_path({{0, 2}, 0}, wrong),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

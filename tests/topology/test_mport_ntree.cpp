@@ -1,0 +1,70 @@
+#include "nbclos/topology/mport_ntree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbclos {
+namespace {
+
+TEST(MportNtree, SizeFormulasMatchLinEtAl) {
+  // FT(m, h): 2(m/2)^h nodes, (2h-1)(m/2)^(h-1) switches.
+  const auto ft42 = mport_ntree_size(4, 2);
+  EXPECT_EQ(ft42.node_count, 8U);
+  EXPECT_EQ(ft42.switch_count, 6U);
+
+  const auto ft20 = mport_ntree_size(20, 2);
+  EXPECT_EQ(ft20.node_count, 200U);  // paper Table I: 200 ports
+  EXPECT_EQ(ft20.switch_count, 30U);  // paper Table I: 30 switches
+
+  const auto ft30 = mport_ntree_size(30, 2);
+  EXPECT_EQ(ft30.node_count, 450U);
+  EXPECT_EQ(ft30.switch_count, 45U);
+
+  const auto ft42_2 = mport_ntree_size(42, 2);
+  EXPECT_EQ(ft42_2.node_count, 882U);  // paper prints 884 — formula says 882
+  EXPECT_EQ(ft42_2.switch_count, 63U);
+}
+
+TEST(MportNtree, ThreeLevelSizes) {
+  // FT(N, 3) uses O(N^2) switches for O(N^3) ports (paper §IV).
+  const auto ft = mport_ntree_size(8, 3);
+  EXPECT_EQ(ft.node_count, 2 * 4 * 4 * 4U);
+  EXPECT_EQ(ft.switch_count, 5 * 16U);
+}
+
+TEST(MportNtree, HeightOneIsASingleSwitch) {
+  const auto ft = mport_ntree_size(16, 1);
+  EXPECT_EQ(ft.node_count, 16U);
+  EXPECT_EQ(ft.switch_count, 1U);
+}
+
+TEST(MportNtree, RejectsOddOrTinyRadix) {
+  EXPECT_THROW((void)mport_ntree_size(5, 2), precondition_error);
+  EXPECT_THROW((void)mport_ntree_size(2, 2), precondition_error);
+  EXPECT_THROW((void)mport_ntree_size(8, 0), precondition_error);
+}
+
+TEST(Mport2Tree, IsTheExpectedFoldedClos) {
+  const auto ft = mport_2tree(8);
+  EXPECT_EQ(ft.n(), 4U);
+  EXPECT_EQ(ft.m(), 4U);
+  EXPECT_EQ(ft.r(), 8U);
+  EXPECT_EQ(ft.bottom_radix(), 8U);  // every switch has radix m
+  EXPECT_EQ(ft.top_radix(), 8U);
+  // Consistency with the closed-form size.
+  const auto size = mport_ntree_size(8, 2);
+  EXPECT_EQ(ft.leaf_count(), size.node_count);
+  EXPECT_EQ(ft.switch_count(), size.switch_count);
+}
+
+TEST(Mport2Tree, AgreesWithFormulaAcrossRadixes) {
+  for (std::uint32_t m = 4; m <= 64; m += 2) {
+    const auto ft = mport_2tree(m);
+    const auto size = mport_ntree_size(m, 2);
+    EXPECT_EQ(ft.leaf_count(), size.node_count) << "m=" << m;
+    EXPECT_EQ(ft.switch_count(), size.switch_count) << "m=" << m;
+    EXPECT_EQ(ft.bottom_radix(), m) << "m=" << m;
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,135 @@
+#include "nbclos/topology/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nbclos {
+namespace {
+
+TEST(Network, BuildAndQuery) {
+  Network net;
+  const auto t0 = net.add_vertex(VertexKind::kTerminal, 0, 0);
+  const auto t1 = net.add_vertex(VertexKind::kTerminal, 0, 1);
+  const auto sw = net.add_vertex(VertexKind::kSwitch, 1, 0);
+  const auto c0 = net.add_channel(t0, sw);
+  const auto c1 = net.add_channel(sw, t1);
+  net.finalize();
+  EXPECT_EQ(net.vertex_count(), 3U);
+  EXPECT_EQ(net.channel_count(), 2U);
+  ASSERT_EQ(net.out_channels(t0).size(), 1U);
+  EXPECT_EQ(net.out_channels(t0)[0], c0);
+  ASSERT_EQ(net.in_channels(t1).size(), 1U);
+  EXPECT_EQ(net.in_channels(t1)[0], c1);
+  EXPECT_EQ(net.find_channel(t0, sw), c0);
+  EXPECT_EQ(net.find_channel(t1, sw), std::nullopt);
+}
+
+TEST(Network, LifecycleEnforced) {
+  Network net;
+  const auto a = net.add_vertex(VertexKind::kTerminal, 0, 0);
+  const auto b = net.add_vertex(VertexKind::kSwitch, 1, 0);
+  EXPECT_THROW((void)net.out_channels(a), precondition_error);
+  net.add_channel(a, b);
+  net.finalize();
+  EXPECT_THROW(net.add_channel(a, b), precondition_error);
+  EXPECT_THROW(net.finalize(), precondition_error);
+  EXPECT_THROW((void)net.add_vertex(VertexKind::kSwitch, 0, 0),
+               precondition_error);
+}
+
+TEST(Network, RejectsBadChannels) {
+  Network net;
+  const auto a = net.add_vertex(VertexKind::kTerminal, 0, 0);
+  EXPECT_THROW(net.add_channel(a, a), precondition_error);
+  EXPECT_THROW(net.add_channel(a, 5), precondition_error);
+}
+
+TEST(Network, FtreeBuilderPreservesLinkIds) {
+  const FoldedClos ft(FtreeParams{2, 3, 4});
+  const auto net = build_network(ft);
+  const FtreeNetworkMap map{ft.params()};
+  EXPECT_EQ(net.vertex_count(), ft.leaf_count() + ft.switch_count());
+  EXPECT_EQ(net.channel_count(), ft.link_count());
+  // Spot-check the contract channel id == LinkId on every family.
+  const LeafId leaf{5};
+  EXPECT_EQ(net.channel(ft.leaf_up_link(leaf).value).src, map.terminal(leaf));
+  EXPECT_EQ(net.channel(ft.leaf_up_link(leaf).value).dst,
+            map.bottom(ft.switch_of(leaf)));
+  const auto up = ft.up_link(BottomId{1}, TopId{2});
+  EXPECT_EQ(net.channel(up.value).src, map.bottom(BottomId{1}));
+  EXPECT_EQ(net.channel(up.value).dst, map.top(TopId{2}));
+  const auto down = ft.down_link(TopId{0}, BottomId{3});
+  EXPECT_EQ(net.channel(down.value).src, map.top(TopId{0}));
+  EXPECT_EQ(net.channel(down.value).dst, map.bottom(BottomId{3}));
+  const auto leaf_down = ft.leaf_down_link(leaf);
+  EXPECT_EQ(net.channel(leaf_down.value).src, map.bottom(ft.switch_of(leaf)));
+  EXPECT_EQ(net.channel(leaf_down.value).dst, map.terminal(leaf));
+}
+
+TEST(Network, FtreeDegreesMatchRadix) {
+  const FoldedClos ft(FtreeParams{3, 4, 5});
+  const auto net = build_network(ft);
+  const FtreeNetworkMap map{ft.params()};
+  for (std::uint32_t b = 0; b < ft.bottom_count(); ++b) {
+    // Bottom switch: out = n leaf-down + m up; in = n leaf-up + m down.
+    EXPECT_EQ(net.out_channels(map.bottom(BottomId{b})).size(),
+              ft.n() + ft.m());
+    EXPECT_EQ(net.in_channels(map.bottom(BottomId{b})).size(),
+              ft.n() + ft.m());
+  }
+  for (std::uint32_t t = 0; t < ft.top_count(); ++t) {
+    EXPECT_EQ(net.out_channels(map.top(TopId{t})).size(), ft.r());
+    EXPECT_EQ(net.in_channels(map.top(TopId{t})).size(), ft.r());
+  }
+  EXPECT_EQ(net.terminals().size(), ft.leaf_count());
+}
+
+TEST(Network, CrossbarShape) {
+  const auto net = build_crossbar(6);
+  EXPECT_EQ(net.vertex_count(), 7U);
+  EXPECT_EQ(net.channel_count(), 12U);
+  EXPECT_EQ(net.terminals().size(), 6U);
+  // Channel layout contract: terminal t -> switch is channel t.
+  for (std::uint32_t t = 0; t < 6; ++t) {
+    EXPECT_EQ(net.channel(t).src, t);
+    EXPECT_EQ(net.channel(6 + t).dst, t);
+  }
+}
+
+TEST(Network, KaryNtreeCounts) {
+  // k-ary h-tree: k^h terminals, h * k^(h-1) switches.
+  const auto net = build_kary_ntree(2, 3);
+  EXPECT_EQ(net.terminals().size(), 8U);
+  EXPECT_EQ(net.vertex_count(), 8U + 3 * 4U);
+  // Channels: 2*k^h terminal links + 2 * (h-1) * k^(h-1) * k inter-level.
+  EXPECT_EQ(net.channel_count(), 2 * 8U + 2 * 2 * 4 * 2U);
+}
+
+TEST(Network, KaryNtreeAdjacencyIsSymmetricAndLayered) {
+  const auto net = build_kary_ntree(3, 2);  // 9 terminals, 2 levels of 3
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    const auto& ch = net.channel(c);
+    // Every channel has a reverse partner.
+    EXPECT_TRUE(net.find_channel(ch.dst, ch.src).has_value());
+    // Channels connect adjacent levels only.
+    const auto lsrc = net.vertex(ch.src).level;
+    const auto ldst = net.vertex(ch.dst).level;
+    EXPECT_EQ(std::max(lsrc, ldst) - std::min(lsrc, ldst), 1U);
+  }
+}
+
+TEST(Network, KaryNtreeSwitchDegrees) {
+  const auto net = build_kary_ntree(2, 3);
+  for (std::uint32_t v = 0; v < net.vertex_count(); ++v) {
+    if (net.vertex(v).kind != VertexKind::kSwitch) continue;
+    const auto level = net.vertex(v).level;  // 1-based for switches
+    // level 1 (edge): k terminals + k up = 4; level 2 (middle): k + k = 4;
+    // level 3 (top): k down = 2.
+    EXPECT_EQ(net.out_channels(v).size(), level == 3U ? 2U : 4U) << v;
+    EXPECT_EQ(net.in_channels(v).size(), level == 3U ? 2U : 4U) << v;
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

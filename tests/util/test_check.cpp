@@ -1,0 +1,53 @@
+#include "nbclos/util/check.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbclos {
+namespace {
+
+TEST(Check, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(NBCLOS_REQUIRE(1 + 1 == 2, "math works"));
+}
+
+TEST(Check, RequireThrowsPreconditionError) {
+  EXPECT_THROW(NBCLOS_REQUIRE(false, "always fails"), precondition_error);
+}
+
+TEST(Check, RequireMessageNamesExpressionAndDetail) {
+  try {
+    NBCLOS_REQUIRE(2 < 1, "two is not less than one");
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos);
+    EXPECT_NE(what.find("two is not less than one"), std::string::npos);
+  }
+}
+
+TEST(Check, AssertThrowsInvariantError) {
+  EXPECT_THROW(NBCLOS_ASSERT(false), invariant_error);
+  EXPECT_NO_THROW(NBCLOS_ASSERT(true));
+}
+
+TEST(Check, PreconditionErrorIsInvalidArgument) {
+  EXPECT_THROW(NBCLOS_REQUIRE(false, ""), std::invalid_argument);
+}
+
+TEST(Check, NarrowRoundTripsExactValues) {
+  EXPECT_EQ(narrow<std::uint8_t>(255), 255);
+  EXPECT_EQ(narrow<std::int16_t>(-32768), -32768);
+  EXPECT_EQ(narrow<std::uint32_t>(std::uint64_t{7}), 7U);
+}
+
+TEST(Check, NarrowThrowsOnOverflow) {
+  EXPECT_THROW((void)narrow<std::uint8_t>(256), precondition_error);
+  EXPECT_THROW((void)narrow<std::uint32_t>(std::uint64_t{1} << 40),
+               precondition_error);
+}
+
+TEST(Check, NarrowThrowsOnSignChange) {
+  EXPECT_THROW((void)narrow<std::uint32_t>(-1), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

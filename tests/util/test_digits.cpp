@@ -1,0 +1,67 @@
+#include "nbclos/util/digits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nbclos {
+namespace {
+
+TEST(DigitCodec, Base10RoundTrip) {
+  const DigitCodec codec(10, 3);
+  EXPECT_EQ(codec.capacity(), 1000U);
+  EXPECT_EQ(codec.digit(427, 0), 7U);
+  EXPECT_EQ(codec.digit(427, 1), 2U);
+  EXPECT_EQ(codec.digit(427, 2), 4U);
+  EXPECT_EQ(codec.compose({7, 2, 4}), 427U);
+}
+
+TEST(DigitCodec, DigitsLeastSignificantFirst) {
+  const DigitCodec codec(3, 4);
+  const auto d = codec.digits(2 + 1 * 3 + 0 * 9 + 2 * 27);
+  ASSERT_EQ(d.size(), 4U);
+  EXPECT_EQ(d[0], 2U);
+  EXPECT_EQ(d[1], 1U);
+  EXPECT_EQ(d[2], 0U);
+  EXPECT_EQ(d[3], 2U);
+}
+
+TEST(DigitCodec, ComposeInvertsDigitsExhaustively) {
+  const DigitCodec codec(4, 3);
+  for (std::uint64_t v = 0; v < codec.capacity(); ++v) {
+    EXPECT_EQ(codec.compose(codec.digits(v)), v);
+  }
+}
+
+TEST(DigitCodec, RejectsOutOfRange) {
+  const DigitCodec codec(2, 3);
+  EXPECT_THROW((void)codec.digit(8, 0), precondition_error);
+  EXPECT_THROW((void)codec.digit(0, 3), precondition_error);
+  EXPECT_THROW((void)codec.compose({0, 1}), precondition_error);
+  EXPECT_THROW((void)codec.compose({2, 0, 0}), precondition_error);
+}
+
+TEST(DigitCodec, RejectsBadParameters) {
+  EXPECT_THROW(DigitCodec(1, 3), precondition_error);
+  EXPECT_THROW(DigitCodec(10, 0), precondition_error);
+}
+
+TEST(MinDigitWidth, MatchesDefinition) {
+  // Smallest c with r <= n^c.
+  EXPECT_EQ(min_digit_width(4, 2), 2U);    // 2^2 = 4 >= 4
+  EXPECT_EQ(min_digit_width(5, 2), 3U);    // 2^3 = 8 >= 5
+  EXPECT_EQ(min_digit_width(2, 2), 1U);
+  EXPECT_EQ(min_digit_width(1, 5), 1U);
+  EXPECT_EQ(min_digit_width(25, 5), 2U);
+  EXPECT_EQ(min_digit_width(26, 5), 3U);
+  EXPECT_EQ(min_digit_width(30, 5), 3U);   // ftree(n+m, n^2+n): c = 3
+}
+
+TEST(MinDigitWidth, PaperExamples) {
+  // "In ftree(n+m, n^2), c = 2.  In ftree(n+m, n^2+n), c = 3."
+  for (std::uint32_t n = 2; n <= 8; ++n) {
+    EXPECT_EQ(min_digit_width(n * n, n), 2U) << "n=" << n;
+    EXPECT_EQ(min_digit_width(n * n + n, n), 3U) << "n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

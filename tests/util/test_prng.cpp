@@ -1,0 +1,110 @@
+#include "nbclos/util/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace nbclos {
+namespace {
+
+TEST(Prng, SameSeedSameSequence) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1);
+  Xoshiro256 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, BelowStaysInRange) {
+  Xoshiro256 rng(99);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 7ULL, 100ULL, 1'000'003ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.below(bound), bound);
+    }
+  }
+}
+
+TEST(Prng, BelowOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(rng.below(1), 0U);
+}
+
+TEST(Prng, BelowIsRoughlyUniform) {
+  Xoshiro256 rng(2024);
+  constexpr std::uint64_t kBound = 10;
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBound)];
+  // Each bucket expects 10000; allow 5 sigma (~sqrt(10000*0.9) ~ 95).
+  for (const int c : counts) EXPECT_NEAR(c, kDraws / kBound, 500);
+}
+
+TEST(Prng, Uniform01InHalfOpenInterval) {
+  Xoshiro256 rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, SplitProducesDecorrelatedStream) {
+  Xoshiro256 parent(42);
+  Xoshiro256 child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Prng, ShuffleIsAPermutation) {
+  Xoshiro256 rng(314);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  shuffle(v.begin(), v.end(), rng);
+  std::set<int> unique(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), 100U);
+  EXPECT_EQ(*unique.begin(), 0);
+  EXPECT_EQ(*unique.rbegin(), 99);
+}
+
+TEST(Prng, ShuffleActuallyPermutes) {
+  Xoshiro256 rng(314);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  const auto original = v;
+  shuffle(v.begin(), v.end(), rng);
+  EXPECT_NE(v, original);  // probability 1/100! of flaking
+}
+
+TEST(Prng, SplitMixIsDeterministic) {
+  SplitMix64 a(9);
+  SplitMix64 b(9);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace nbclos

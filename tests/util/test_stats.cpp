@@ -1,0 +1,140 @@
+#include "nbclos/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nbclos/util/check.hpp"
+#include "nbclos/util/prng.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0U);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum sq dev = 32 -> 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-12);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Xoshiro256 rng(17);
+  RunningStats whole;
+  RunningStats a;
+  RunningStats b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10 - 5;
+    whole.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2U);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2U);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  Xoshiro256 rng(3);
+  RunningStats small;
+  RunningStats large;
+  for (int i = 0; i < 10'000; ++i) {
+    const double x = rng.uniform01();
+    if (i < 100) small.add(x);
+    large.add(x);
+  }
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Histogram, CountsFallInCorrectBins) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  h.add(9.99);
+  EXPECT_EQ(h.bin(0), 1U);
+  EXPECT_EQ(h.bin(1), 2U);
+  EXPECT_EQ(h.bin(9), 1U);
+  EXPECT_EQ(h.total(), 4U);
+}
+
+TEST(Histogram, EdgeSamplesSaturate) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(15.0);
+  h.add(10.0);  // == hi goes to last bin
+  EXPECT_EQ(h.bin(0), 1U);
+  EXPECT_EQ(h.bin(9), 2U);
+}
+
+TEST(Histogram, QuantileInterpolates) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), precondition_error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+}
+
+TEST(PowerFit, RecoversExactPowerLaw) {
+  // y = 3 x^1.7
+  std::vector<double> x;
+  std::vector<double> y;
+  for (double v = 2.0; v <= 64.0; v *= 2.0) {
+    x.push_back(v);
+    y.push_back(3.0 * std::pow(v, 1.7));
+  }
+  const auto fit = fit_power_law(x, y);
+  EXPECT_NEAR(fit.coefficient, 3.0, 1e-9);
+  EXPECT_NEAR(fit.exponent, 1.7, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(PowerFit, RejectsDegenerateInput) {
+  EXPECT_THROW((void)fit_power_law({1.0}, {1.0}), precondition_error);
+  EXPECT_THROW((void)fit_power_law({1.0, 2.0}, {1.0}), precondition_error);
+  EXPECT_THROW((void)fit_power_law({1.0, 2.0}, {0.0, 1.0}), precondition_error);
+  EXPECT_THROW((void)fit_power_law({2.0, 2.0}, {1.0, 2.0}), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,67 @@
+#include "nbclos/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+namespace {
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable table({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"b", "22222"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22222 |"), std::string::npos);
+}
+
+TEST(TextTable, AddFormatsMixedTypes) {
+  TextTable table({"a", "b", "c"});
+  table.add(std::string("x"), 42, 2.5);
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nx,42,2.5\n");
+}
+
+TEST(TextTable, CsvEscapesSpecials) {
+  TextTable table({"field"});
+  table.add_row({"has,comma"});
+  table.add_row({"has\"quote"});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "field\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only one"}), precondition_error);
+  EXPECT_THROW(TextTable({}), precondition_error);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable table({"x"});
+  EXPECT_EQ(table.row_count(), 0U);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.row_count(), 2U);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(2.0), "2");
+  EXPECT_EQ(format_double(0.125, 3), "0.125");
+  EXPECT_EQ(format_double(1.0 / 3.0, 2), "0.33");
+}
+
+TEST(Versus, ShowsBothValues) {
+  EXPECT_EQ(versus(78, 88, 0), "78 (paper: 88)");
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -1,0 +1,207 @@
+/// \file nbclos_cli.cpp
+/// \brief Command-line front end for the library: design, certify,
+///        schedule, simulate, and circuit-switch — the operations a
+///        cluster architect actually runs.
+///
+/// Usage:
+///   nbclos design <radix> [target_ports]
+///   nbclos certify <n> [r]
+///   nbclos schedule <n> <r>
+///   nbclos simulate <n> <r> <load> <routing: thm3|dmodk|random|adaptive>
+///   nbclos circuit <n> <m> <r> [steps]
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nbclos/adaptive/router.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/circuit/clos_switch.hpp"
+#include "nbclos/core/designer.hpp"
+#include "nbclos/core/fabric.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/sim/engine.hpp"
+#include "nbclos/topology/dot.hpp"
+#include "nbclos/util/table.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage:\n"
+            << "  nbclos design <radix> [target_ports]\n"
+            << "  nbclos certify <n> [r]\n"
+            << "  nbclos schedule <n> <r>\n"
+            << "  nbclos simulate <n> <r> <load> <thm3|dmodk|random|adaptive>\n"
+            << "  nbclos circuit <n> <m> <r> [steps]\n"
+            << "  nbclos dot <n> [r]           (Graphviz to stdout)\n";
+  return 2;
+}
+
+std::uint32_t arg_u32(const std::vector<std::string>& args, std::size_t i) {
+  return static_cast<std::uint32_t>(std::stoul(args.at(i)));
+}
+
+int cmd_design(const std::vector<std::string>& args) {
+  const auto radix = arg_u32(args, 0);
+  const auto design = nbclos::design_for_radix(radix);
+  if (!design) {
+    std::cout << "no nonblocking design fits radix " << radix
+              << " (need >= 6)\n";
+    return 1;
+  }
+  std::cout << "Best two-level design for radix-" << radix << " switches: "
+            << "ftree(" << design->n << "+" << design->n * design->n << ", "
+            << design->switch_radix << ")\n"
+            << "  ports:    " << design->ports << "\n"
+            << "  switches: " << design->switches << " (radix "
+            << design->switch_radix << ")\n"
+            << "  links:    " << design->links << " (bidirectional)\n";
+  if (args.size() >= 2) {
+    const auto target = std::stoull(args[1]);
+    for (std::uint32_t levels = 2; levels <= 6; ++levels) {
+      const auto rec = nbclos::recursive_design(design->n, levels);
+      if (rec.ports >= target) {
+        std::cout << "To reach " << target << " ports: " << levels
+                  << " levels, " << rec.ports << " ports, " << rec.switches
+                  << " switches\n";
+        return 0;
+      }
+    }
+    std::cout << "target not reachable within 6 levels\n";
+  }
+  return 0;
+}
+
+int cmd_certify(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const std::optional<std::uint32_t> r =
+      args.size() >= 2 ? std::optional(arg_u32(args, 1)) : std::nullopt;
+  const nbclos::NonblockingFabric fabric(n, r);
+  std::cout << "ftree(" << n << "+" << n * n << ", " << fabric.topology().r()
+            << "): " << fabric.port_count() << " ports\n"
+            << "Lemma 1 audit over "
+            << fabric.topology().cross_pair_count() << " SD pairs: ";
+  const bool ok = fabric.certify();
+  std::cout << (ok ? "NONBLOCKING (proof for this instance)" : "FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+int cmd_schedule(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const nbclos::adaptive::AdaptiveParams params{
+      n, r, nbclos::min_digit_width(r, n)};
+  const nbclos::adaptive::NonblockingAdaptiveRouter router(params);
+  nbclos::Xoshiro256 rng(1);
+  std::uint32_t worst = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto pattern = nbclos::random_permutation(n * r, rng);
+    worst = std::max(worst, router.route(pattern).top_switches_used);
+  }
+  std::cout << "NONBLOCKINGADAPTIVE on ftree(" << n << "+m, " << r
+            << "), c = " << params.c << ":\n"
+            << "  worst top switches over 50 random permutations: " << worst
+            << "\n  deterministic requirement: n^2 = " << n * n << "\n";
+  return 0;
+}
+
+int cmd_simulate(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const double load = std::stod(args.at(2));
+  const std::string routing = args.at(3);
+
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
+  const auto net = nbclos::build_network(ft);
+  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+
+  std::unique_ptr<nbclos::sim::RoutingOracle> oracle;
+  std::unique_ptr<nbclos::RoutingTable> table;
+  std::unique_ptr<nbclos::YuanNonblockingRouting> yuan;
+  if (routing == "thm3") {
+    yuan = std::make_unique<nbclos::YuanNonblockingRouting>(ft);
+    table = std::make_unique<nbclos::RoutingTable>(
+        nbclos::RoutingTable::materialize(*yuan));
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        ft, nbclos::sim::UplinkPolicy::kTable, table.get());
+  } else if (routing == "dmodk") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        ft, nbclos::sim::UplinkPolicy::kDModK);
+  } else if (routing == "random") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        ft, nbclos::sim::UplinkPolicy::kRandom);
+  } else if (routing == "adaptive") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        ft, nbclos::sim::UplinkPolicy::kLeastQueue);
+  } else {
+    return usage();
+  }
+
+  nbclos::sim::SimConfig config;
+  config.injection_rate = load;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  nbclos::sim::PacketSim sim(net, *oracle, traffic, config);
+  const auto result = sim.run();
+  std::cout << "ftree(" << n << "+" << n * n << ", " << r << "), "
+            << oracle->name() << ", shift permutation, offered " << load
+            << ":\n  accepted throughput: "
+            << nbclos::format_double(result.accepted_throughput)
+            << " flits/cycle/terminal\n  mean latency:        "
+            << nbclos::format_double(result.mean_latency, 1) << " cycles\n"
+            << "  saturated:           "
+            << (result.saturated() ? "yes" : "no") << "\n";
+  return 0;
+}
+
+int cmd_circuit(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto m = arg_u32(args, 1);
+  const auto r = arg_u32(args, 2);
+  const std::uint64_t steps = args.size() >= 4 ? std::stoull(args[3]) : 20000;
+  nbclos::circuit::ClosCircuitSwitch clos(n, m, r);
+  nbclos::Xoshiro256 rng(5);
+  const auto result = nbclos::circuit::run_churn(
+      clos, nbclos::circuit::FitStrategy::kPacking, steps, 1.0, false, rng);
+  clos.validate();
+  std::cout << "Clos(" << n << ", " << m << ", " << r
+            << ") circuit churn, packing strategy, " << steps << " steps:\n"
+            << "  attempts: " << result.attempts << "\n  blocked:  "
+            << result.blocked << " (P = "
+            << nbclos::format_double(result.blocking_probability(), 4)
+            << ")\n  strictly nonblocking bound 2n-1 = " << 2 * n - 1 << "\n";
+  return 0;
+}
+
+int cmd_dot(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const std::optional<std::uint32_t> r =
+      args.size() >= 2 ? std::optional(arg_u32(args, 1)) : std::nullopt;
+  const nbclos::NonblockingFabric fabric(n, r);
+  nbclos::DotOptions options;
+  options.graph_name = "ftree";
+  nbclos::write_dot(std::cout, fabric.to_network(), options);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (command == "design" && args.size() >= 1) return cmd_design(args);
+    if (command == "certify" && args.size() >= 1) return cmd_certify(args);
+    if (command == "schedule" && args.size() >= 2) return cmd_schedule(args);
+    if (command == "simulate" && args.size() >= 4) return cmd_simulate(args);
+    if (command == "circuit" && args.size() >= 3) return cmd_circuit(args);
+    if (command == "dot" && args.size() >= 1) return cmd_dot(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
