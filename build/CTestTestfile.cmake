@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo
+# Build directory: /root/repo/build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("src/util")
+subdirs("src/topology")
+subdirs("src/routing")
+subdirs("src/adaptive")
+subdirs("src/analysis")
+subdirs("src/circuit")
+subdirs("src/sim")
+subdirs("src/core")
+subdirs("tests")
+subdirs("bench")
+subdirs("examples")
+subdirs("tools")

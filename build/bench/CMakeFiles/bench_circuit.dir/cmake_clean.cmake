@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_circuit.dir/bench_circuit.cpp.o"
+  "CMakeFiles/bench_circuit.dir/bench_circuit.cpp.o.d"
+  "bench_circuit"
+  "bench_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma2.dir/bench_lemma2.cpp.o"
+  "CMakeFiles/bench_lemma2.dir/bench_lemma2.cpp.o.d"
+  "bench_lemma2"
+  "bench_lemma2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

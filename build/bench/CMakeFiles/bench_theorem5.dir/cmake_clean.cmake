@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem5.dir/bench_theorem5.cpp.o"
+  "CMakeFiles/bench_theorem5.dir/bench_theorem5.cpp.o.d"
+  "bench_theorem5"
+  "bench_theorem5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/circuit_switching.cpp" "examples/CMakeFiles/circuit_switching.dir/circuit_switching.cpp.o" "gcc" "examples/CMakeFiles/circuit_switching.dir/circuit_switching.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nbclos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbclos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nbclos_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nbclos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/nbclos_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nbclos_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/circuit_switching.dir/circuit_switching.cpp.o"
+  "CMakeFiles/circuit_switching.dir/circuit_switching.cpp.o.d"
+  "circuit_switching"
+  "circuit_switching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/circuit_switching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_cluster.dir/design_cluster.cpp.o"
+  "CMakeFiles/design_cluster.dir/design_cluster.cpp.o.d"
+  "design_cluster"
+  "design_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/throughput_study.dir/throughput_study.cpp.o"
+  "CMakeFiles/throughput_study.dir/throughput_study.cpp.o.d"
+  "throughput_study"
+  "throughput_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

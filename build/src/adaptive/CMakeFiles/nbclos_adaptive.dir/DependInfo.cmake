@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/distributed.cpp" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/distributed.cpp.o" "gcc" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/distributed.cpp.o.d"
+  "/root/repo/src/adaptive/lemma6.cpp" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/lemma6.cpp.o" "gcc" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/lemma6.cpp.o.d"
+  "/root/repo/src/adaptive/partitions.cpp" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/partitions.cpp.o" "gcc" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/partitions.cpp.o.d"
+  "/root/repo/src/adaptive/router.cpp" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/router.cpp.o" "gcc" "src/adaptive/CMakeFiles/nbclos_adaptive.dir/router.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_adaptive.dir/distributed.cpp.o"
+  "CMakeFiles/nbclos_adaptive.dir/distributed.cpp.o.d"
+  "CMakeFiles/nbclos_adaptive.dir/lemma6.cpp.o"
+  "CMakeFiles/nbclos_adaptive.dir/lemma6.cpp.o.d"
+  "CMakeFiles/nbclos_adaptive.dir/partitions.cpp.o"
+  "CMakeFiles/nbclos_adaptive.dir/partitions.cpp.o.d"
+  "CMakeFiles/nbclos_adaptive.dir/router.cpp.o"
+  "CMakeFiles/nbclos_adaptive.dir/router.cpp.o.d"
+  "libnbclos_adaptive.a"
+  "libnbclos_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/blocking.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/blocking.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/blocking.cpp.o.d"
+  "/root/repo/src/analysis/collectives.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/collectives.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/collectives.cpp.o.d"
+  "/root/repo/src/analysis/contention.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/contention.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/contention.cpp.o.d"
+  "/root/repo/src/analysis/network_audit.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/network_audit.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/network_audit.cpp.o.d"
+  "/root/repo/src/analysis/parallel.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/parallel.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/parallel.cpp.o.d"
+  "/root/repo/src/analysis/permutations.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/permutations.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/permutations.cpp.o.d"
+  "/root/repo/src/analysis/root_capacity.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/root_capacity.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/root_capacity.cpp.o.d"
+  "/root/repo/src/analysis/verifier.cpp" "src/analysis/CMakeFiles/nbclos_analysis.dir/verifier.cpp.o" "gcc" "src/analysis/CMakeFiles/nbclos_analysis.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/nbclos_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_analysis.dir/blocking.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/blocking.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/collectives.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/collectives.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/contention.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/contention.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/network_audit.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/network_audit.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/parallel.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/parallel.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/permutations.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/permutations.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/root_capacity.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/root_capacity.cpp.o.d"
+  "CMakeFiles/nbclos_analysis.dir/verifier.cpp.o"
+  "CMakeFiles/nbclos_analysis.dir/verifier.cpp.o.d"
+  "libnbclos_analysis.a"
+  "libnbclos_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

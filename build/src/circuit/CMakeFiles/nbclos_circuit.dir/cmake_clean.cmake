@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_circuit.dir/clos_switch.cpp.o"
+  "CMakeFiles/nbclos_circuit.dir/clos_switch.cpp.o.d"
+  "libnbclos_circuit.a"
+  "libnbclos_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

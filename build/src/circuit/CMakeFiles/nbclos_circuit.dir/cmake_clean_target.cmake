@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbclos_circuit.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/designer.cpp" "src/core/CMakeFiles/nbclos_core.dir/designer.cpp.o" "gcc" "src/core/CMakeFiles/nbclos_core.dir/designer.cpp.o.d"
+  "/root/repo/src/core/fabric.cpp" "src/core/CMakeFiles/nbclos_core.dir/fabric.cpp.o" "gcc" "src/core/CMakeFiles/nbclos_core.dir/fabric.cpp.o.d"
+  "/root/repo/src/core/multilevel.cpp" "src/core/CMakeFiles/nbclos_core.dir/multilevel.cpp.o" "gcc" "src/core/CMakeFiles/nbclos_core.dir/multilevel.cpp.o.d"
+  "/root/repo/src/core/table_one.cpp" "src/core/CMakeFiles/nbclos_core.dir/table_one.cpp.o" "gcc" "src/core/CMakeFiles/nbclos_core.dir/table_one.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nbclos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nbclos_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_core.dir/designer.cpp.o"
+  "CMakeFiles/nbclos_core.dir/designer.cpp.o.d"
+  "CMakeFiles/nbclos_core.dir/fabric.cpp.o"
+  "CMakeFiles/nbclos_core.dir/fabric.cpp.o.d"
+  "CMakeFiles/nbclos_core.dir/multilevel.cpp.o"
+  "CMakeFiles/nbclos_core.dir/multilevel.cpp.o.d"
+  "CMakeFiles/nbclos_core.dir/table_one.cpp.o"
+  "CMakeFiles/nbclos_core.dir/table_one.cpp.o.d"
+  "libnbclos_core.a"
+  "libnbclos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnbclos_core.a"
+)

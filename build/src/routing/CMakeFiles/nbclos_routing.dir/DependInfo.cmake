@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/routing/baselines.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/baselines.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/baselines.cpp.o.d"
+  "/root/repo/src/routing/edge_coloring.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/edge_coloring.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/edge_coloring.cpp.o.d"
+  "/root/repo/src/routing/infiniband.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/infiniband.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/infiniband.cpp.o.d"
+  "/root/repo/src/routing/kary_updown.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/kary_updown.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/kary_updown.cpp.o.d"
+  "/root/repo/src/routing/multipath.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/multipath.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/multipath.cpp.o.d"
+  "/root/repo/src/routing/table.cpp" "src/routing/CMakeFiles/nbclos_routing.dir/table.cpp.o" "gcc" "src/routing/CMakeFiles/nbclos_routing.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

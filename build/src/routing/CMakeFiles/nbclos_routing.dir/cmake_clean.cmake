@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_routing.dir/baselines.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/baselines.cpp.o.d"
+  "CMakeFiles/nbclos_routing.dir/edge_coloring.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/edge_coloring.cpp.o.d"
+  "CMakeFiles/nbclos_routing.dir/infiniband.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/infiniband.cpp.o.d"
+  "CMakeFiles/nbclos_routing.dir/kary_updown.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/kary_updown.cpp.o.d"
+  "CMakeFiles/nbclos_routing.dir/multipath.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/multipath.cpp.o.d"
+  "CMakeFiles/nbclos_routing.dir/table.cpp.o"
+  "CMakeFiles/nbclos_routing.dir/table.cpp.o.d"
+  "libnbclos_routing.a"
+  "libnbclos_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/nbclos_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/nbclos_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/oracle.cpp" "src/sim/CMakeFiles/nbclos_sim.dir/oracle.cpp.o" "gcc" "src/sim/CMakeFiles/nbclos_sim.dir/oracle.cpp.o.d"
+  "/root/repo/src/sim/path_oracle.cpp" "src/sim/CMakeFiles/nbclos_sim.dir/path_oracle.cpp.o" "gcc" "src/sim/CMakeFiles/nbclos_sim.dir/path_oracle.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/nbclos_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/nbclos_sim.dir/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/nbclos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nbclos_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_sim.dir/engine.cpp.o"
+  "CMakeFiles/nbclos_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/nbclos_sim.dir/oracle.cpp.o"
+  "CMakeFiles/nbclos_sim.dir/oracle.cpp.o.d"
+  "CMakeFiles/nbclos_sim.dir/path_oracle.cpp.o"
+  "CMakeFiles/nbclos_sim.dir/path_oracle.cpp.o.d"
+  "CMakeFiles/nbclos_sim.dir/traffic.cpp.o"
+  "CMakeFiles/nbclos_sim.dir/traffic.cpp.o.d"
+  "libnbclos_sim.a"
+  "libnbclos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

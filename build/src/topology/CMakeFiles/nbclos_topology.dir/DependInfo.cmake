@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topology/clos.cpp" "src/topology/CMakeFiles/nbclos_topology.dir/clos.cpp.o" "gcc" "src/topology/CMakeFiles/nbclos_topology.dir/clos.cpp.o.d"
+  "/root/repo/src/topology/dot.cpp" "src/topology/CMakeFiles/nbclos_topology.dir/dot.cpp.o" "gcc" "src/topology/CMakeFiles/nbclos_topology.dir/dot.cpp.o.d"
+  "/root/repo/src/topology/fat_tree.cpp" "src/topology/CMakeFiles/nbclos_topology.dir/fat_tree.cpp.o" "gcc" "src/topology/CMakeFiles/nbclos_topology.dir/fat_tree.cpp.o.d"
+  "/root/repo/src/topology/mport_ntree.cpp" "src/topology/CMakeFiles/nbclos_topology.dir/mport_ntree.cpp.o" "gcc" "src/topology/CMakeFiles/nbclos_topology.dir/mport_ntree.cpp.o.d"
+  "/root/repo/src/topology/network.cpp" "src/topology/CMakeFiles/nbclos_topology.dir/network.cpp.o" "gcc" "src/topology/CMakeFiles/nbclos_topology.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_topology.dir/clos.cpp.o"
+  "CMakeFiles/nbclos_topology.dir/clos.cpp.o.d"
+  "CMakeFiles/nbclos_topology.dir/dot.cpp.o"
+  "CMakeFiles/nbclos_topology.dir/dot.cpp.o.d"
+  "CMakeFiles/nbclos_topology.dir/fat_tree.cpp.o"
+  "CMakeFiles/nbclos_topology.dir/fat_tree.cpp.o.d"
+  "CMakeFiles/nbclos_topology.dir/mport_ntree.cpp.o"
+  "CMakeFiles/nbclos_topology.dir/mport_ntree.cpp.o.d"
+  "CMakeFiles/nbclos_topology.dir/network.cpp.o"
+  "CMakeFiles/nbclos_topology.dir/network.cpp.o.d"
+  "libnbclos_topology.a"
+  "libnbclos_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

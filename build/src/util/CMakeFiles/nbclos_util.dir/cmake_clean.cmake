@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_util.dir/prng.cpp.o"
+  "CMakeFiles/nbclos_util.dir/prng.cpp.o.d"
+  "CMakeFiles/nbclos_util.dir/stats.cpp.o"
+  "CMakeFiles/nbclos_util.dir/stats.cpp.o.d"
+  "CMakeFiles/nbclos_util.dir/table.cpp.o"
+  "CMakeFiles/nbclos_util.dir/table.cpp.o.d"
+  "CMakeFiles/nbclos_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/nbclos_util.dir/thread_pool.cpp.o.d"
+  "libnbclos_util.a"
+  "libnbclos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive.dir/adaptive/test_distributed.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_distributed.cpp.o.d"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_lemma6.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_lemma6.cpp.o.d"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_partitions.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_partitions.cpp.o.d"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_router.cpp.o"
+  "CMakeFiles/test_adaptive.dir/adaptive/test_router.cpp.o.d"
+  "test_adaptive"
+  "test_adaptive.pdb"
+  "test_adaptive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_blocking.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_collectives.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_collectives.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_contention.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_contention.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_network_audit.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_network_audit.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_parallel.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_parallel.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_permutations.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_permutations.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_root_capacity.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_root_capacity.cpp.o.d"
+  "CMakeFiles/test_analysis.dir/analysis/test_verifier.cpp.o"
+  "CMakeFiles/test_analysis.dir/analysis/test_verifier.cpp.o.d"
+  "test_analysis"
+  "test_analysis.pdb"
+  "test_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_conditions.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_conditions.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_designer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_designer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fabric.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fabric.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_multilevel.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_multilevel.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table_one.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table_one.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

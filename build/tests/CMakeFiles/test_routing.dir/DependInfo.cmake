@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/routing/test_baselines.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_baselines.cpp.o.d"
+  "/root/repo/tests/routing/test_edge_coloring.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_edge_coloring.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_edge_coloring.cpp.o.d"
+  "/root/repo/tests/routing/test_infiniband.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_infiniband.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_infiniband.cpp.o.d"
+  "/root/repo/tests/routing/test_kary_updown.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_kary_updown.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_kary_updown.cpp.o.d"
+  "/root/repo/tests/routing/test_multipath.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o.d"
+  "/root/repo/tests/routing/test_table.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_table.cpp.o.d"
+  "/root/repo/tests/routing/test_yuan.cpp" "tests/CMakeFiles/test_routing.dir/routing/test_yuan.cpp.o" "gcc" "tests/CMakeFiles/test_routing.dir/routing/test_yuan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/nbclos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nbclos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/nbclos_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/nbclos_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaptive/CMakeFiles/nbclos_adaptive.dir/DependInfo.cmake"
+  "/root/repo/build/src/routing/CMakeFiles/nbclos_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/nbclos_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/nbclos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_routing.dir/routing/test_baselines.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_baselines.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_edge_coloring.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_edge_coloring.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_infiniband.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_infiniband.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_kary_updown.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_kary_updown.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_multipath.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_table.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_table.cpp.o.d"
+  "CMakeFiles/test_routing.dir/routing/test_yuan.cpp.o"
+  "CMakeFiles/test_routing.dir/routing/test_yuan.cpp.o.d"
+  "test_routing"
+  "test_routing.pdb"
+  "test_routing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topology.dir/topology/test_clos.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_clos.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_dot.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_dot.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_fat_tree.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_fat_tree.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_mport_ntree.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_mport_ntree.cpp.o.d"
+  "CMakeFiles/test_topology.dir/topology/test_network.cpp.o"
+  "CMakeFiles/test_topology.dir/topology/test_network.cpp.o.d"
+  "test_topology"
+  "test_topology.pdb"
+  "test_topology[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

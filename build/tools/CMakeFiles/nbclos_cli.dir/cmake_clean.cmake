@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nbclos_cli.dir/nbclos_cli.cpp.o"
+  "CMakeFiles/nbclos_cli.dir/nbclos_cli.cpp.o.d"
+  "nbclos"
+  "nbclos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nbclos_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
