@@ -1,0 +1,60 @@
+/// \file sweep.hpp
+/// \brief Empirical "nonblocking margin" of ftree(n+n^2, r) under random
+///        link failures.
+///
+/// Theorem 3 makes ftree(n+n^2, r) nonblocking for every permutation; the
+/// sweep asks how much of that survives degradation.  Failures are drawn
+/// as a growing, seed-fixed sequence of bottom<->top link pairs (nested
+/// sets, see FailureModel::shuffled_uplink_pairs), and at each failure
+/// count a batch of random permutations is routed with DegradedYuanRouting
+/// and audited for contention.  The first failure count at which any
+/// permutation blocks (or a pair becomes unroutable) is the fabric's
+/// empirical nonblocking margin for that seed.
+///
+/// Trials are parallelized over util::ThreadPool in a fixed number of
+/// chunks with chunk-derived seeds, so results are bit-identical for any
+/// thread count — the property the CLI's reproducibility contract rests
+/// on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nbclos/util/thread_pool.hpp"
+
+namespace nbclos::analysis {
+
+struct FaultSweepConfig {
+  std::uint32_t n = 4;  ///< ftree(n+n^2, r)
+  std::uint32_t r = 8;
+  std::uint32_t max_failures = 24;   ///< uplink-pair failures at the last level
+  std::uint32_t failure_step = 1;    ///< failure-count increment per level
+  std::uint32_t permutations_per_level = 32;
+  std::uint64_t seed = 2026;
+  std::uint32_t chunks = 16;  ///< fixed parallel split (determinism knob)
+  /// Stop after the first level that blocks (margin search) instead of
+  /// sweeping every level (degradation curve).
+  bool stop_at_first_blocking = false;
+};
+
+struct FaultSweepLevel {
+  std::uint32_t failures = 0;  ///< failed uplink pairs at this level
+  std::uint32_t blocked_permutations = 0;    ///< routed but with contention
+  std::uint32_t unroutable_permutations = 0; ///< >= 1 pair had no live path
+  std::uint64_t worst_collisions = 0;  ///< max colliding path pairs seen
+  std::uint64_t fallback_pairs = 0;    ///< SD pairs forced off (i, j), summed
+};
+
+struct FaultSweepResult {
+  std::vector<FaultSweepLevel> levels;  ///< failures = 0, step, 2*step, ...
+  /// Failure count of the first level where any permutation blocked or
+  /// became unroutable; nullopt when the whole sweep stayed clean.
+  std::optional<std::uint32_t> first_blocking_failures;
+  std::uint32_t permutations_per_level = 0;
+};
+
+[[nodiscard]] FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
+                                               ThreadPool& pool);
+
+}  // namespace nbclos::analysis

@@ -20,6 +20,7 @@
 #include <deque>
 #include <vector>
 
+#include "nbclos/fault/degraded_view.hpp"
 #include "nbclos/sim/oracle.hpp"
 #include "nbclos/sim/traffic.hpp"
 #include "nbclos/topology/network.hpp"
@@ -43,6 +44,11 @@ struct SimResult {
   double p99_latency = 0.0;
   std::uint64_t injected_packets = 0;
   std::uint64_t delivered_packets = 0;
+  /// Packets lost to failed channels/switches over the whole run (zero on
+  /// a pristine fabric): dropped at injection because the leaf uplink was
+  /// dead, purged from queues when their channel died, or discarded when
+  /// the oracle found no live route (fault::kNoRoute).
+  std::uint64_t dropped_packets = 0;
   double mean_switch_queue_depth = 0.0;  ///< time-average over switch queues
   /// Fairness: per-SOURCE-terminal accepted throughput extremes over the
   /// measurement window (flits/cycle).  A big min/max gap means some
@@ -58,8 +64,18 @@ struct SimResult {
 class PacketSim {
  public:
   /// All references must outlive the simulator.
+  ///
+  /// \param degraded optional liveness mask (shared with a fault-aware
+  ///        oracle).  When set, dead channels neither transmit nor accept
+  ///        packets, and injection onto a dead leaf uplink is dropped.
+  /// \param fault_events scheduled liveness transitions, applied to
+  ///        `degraded` at the start of their cycle (cycle 0 = first warmup
+  ///        cycle); packets queued or in flight on a channel that dies are
+  ///        dropped.  Requires `degraded`.
   PacketSim(const Network& net, RoutingOracle& oracle,
-            const TrafficPattern& traffic, SimConfig config);
+            const TrafficPattern& traffic, SimConfig config,
+            fault::DegradedView* degraded = nullptr,
+            std::vector<fault::FaultEvent> fault_events = {});
 
   /// Run warmup + measurement; returns aggregate results.
   [[nodiscard]] SimResult run();
@@ -76,11 +92,20 @@ class PacketSim {
   void step_transmissions();
   void step_injection();
   void deliver(const Packet& packet);
+  /// Apply fault events due at now_; purge packets on channels that died.
+  void apply_due_faults();
+  [[nodiscard]] bool channel_usable(std::uint32_t channel) const {
+    return degraded_ == nullptr || degraded_->channel_alive(channel);
+  }
 
   const Network* net_;
   RoutingOracle* oracle_;
   const TrafficPattern* traffic_;
   SimConfig config_;
+  fault::DegradedView* degraded_ = nullptr;
+  std::vector<fault::FaultEvent> fault_events_;  ///< sorted by cycle
+  std::size_t next_fault_ = 0;
+  std::uint64_t dropped_packets_ = 0;
 
   std::vector<ChannelState> channels_;
   std::vector<std::uint32_t> queue_depth_;  ///< mirrors queue sizes (SimView)

@@ -1,0 +1,133 @@
+#include "nbclos/fault/sweep.hpp"
+
+#include <algorithm>
+
+#include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/fault/degraded_routing.hpp"
+#include "nbclos/fault/failure_model.hpp"
+#include "nbclos/topology/network.hpp"
+
+namespace nbclos::analysis {
+
+namespace {
+
+/// Per-chunk partial counts, merged additively (order-independent except
+/// worst_collisions, which is a max — also order-independent).
+struct ChunkCounts {
+  std::uint32_t blocked = 0;
+  std::uint32_t unroutable = 0;
+  std::uint64_t worst_collisions = 0;
+  std::uint64_t fallback_pairs = 0;
+};
+
+/// Seed for (sweep seed, failure level, chunk) — decorrelated via
+/// SplitMix64 so neighboring levels/chunks share no stream structure.
+std::uint64_t chunk_seed(std::uint64_t seed, std::uint32_t failures,
+                         std::uint32_t chunk) {
+  SplitMix64 sm(seed ^ (std::uint64_t{failures} << 32) ^ chunk);
+  return sm.next();
+}
+
+}  // namespace
+
+FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
+                                 ThreadPool& pool) {
+  NBCLOS_REQUIRE(config.n >= 2 && config.r >= 2, "sweep needs n, r >= 2");
+  NBCLOS_REQUIRE(config.failure_step >= 1, "failure step must be >= 1");
+  NBCLOS_REQUIRE(config.chunks >= 1, "need at least one chunk");
+  NBCLOS_REQUIRE(config.permutations_per_level >= 1,
+                 "need at least one permutation per level");
+
+  const FoldedClos ftree(
+      FtreeParams{config.n, config.n * config.n, config.r});
+  NBCLOS_REQUIRE(config.max_failures <= ftree.r() * ftree.m(),
+                 "cannot fail more uplink pairs than the ftree has");
+  const Network net = build_network(ftree);
+  // One shuffled order for the whole sweep: level k fails the first k
+  // pairs, so failure sets are nested and the margin is well defined.
+  const auto pair_order =
+      fault::FailureModel::shuffled_uplink_pairs(ftree, config.seed);
+
+  FaultSweepResult result;
+  result.permutations_per_level = config.permutations_per_level;
+
+  fault::DegradedView view(net);
+  std::uint32_t failed = 0;
+  for (std::uint32_t failures = 0; failures <= config.max_failures;
+       failures += config.failure_step) {
+    // Grow the failure set incrementally (sets are nested by design).
+    for (; failed < failures; ++failed) {
+      view.fail_channel(
+          ftree.up_link(pair_order[failed].first, pair_order[failed].second)
+              .value);
+      view.fail_channel(
+          ftree.down_link(pair_order[failed].second, pair_order[failed].first)
+              .value);
+    }
+    const fault::DegradedYuanRouting routing(ftree, view);
+
+    // The trial split is over config.chunks *logical* chunks with
+    // chunk-derived seeds, not over worker threads, so the counts are
+    // bit-identical for any pool size.
+    std::vector<ChunkCounts> partials(config.chunks);
+    const auto trials = config.permutations_per_level;
+    pool.parallel_for(
+        0, config.chunks,
+        [&](std::size_t chunk) {
+          const auto lo = static_cast<std::uint32_t>(
+              std::uint64_t{trials} * chunk / config.chunks);
+          const auto hi = static_cast<std::uint32_t>(
+              std::uint64_t{trials} * (chunk + 1) / config.chunks);
+          Xoshiro256 rng(chunk_seed(config.seed, failures,
+                                    static_cast<std::uint32_t>(chunk)));
+          auto& counts = partials[chunk];
+          for (std::uint32_t trial = lo; trial < hi; ++trial) {
+            const auto pattern =
+                random_permutation(ftree.leaf_count(), rng);
+            LinkLoadMap load(ftree);
+            bool unroutable = false;
+            for (const auto sd : pattern) {
+              const auto path = routing.try_route(sd);
+              if (!path.has_value()) {
+                unroutable = true;
+                break;
+              }
+              if (!path->direct && routing.uses_fallback(sd)) {
+                ++counts.fallback_pairs;
+              }
+              load.add_path(*path);
+            }
+            if (unroutable) {
+              ++counts.unroutable;
+              continue;
+            }
+            const auto collisions = load.colliding_pairs();
+            if (collisions > 0) ++counts.blocked;
+            counts.worst_collisions =
+                std::max(counts.worst_collisions, collisions);
+          }
+        });
+
+    FaultSweepLevel level;
+    level.failures = failures;
+    for (const auto& counts : partials) {
+      level.blocked_permutations += counts.blocked;
+      level.unroutable_permutations += counts.unroutable;
+      level.worst_collisions =
+          std::max(level.worst_collisions, counts.worst_collisions);
+      level.fallback_pairs += counts.fallback_pairs;
+    }
+    result.levels.push_back(level);
+
+    const bool blocks =
+        level.blocked_permutations + level.unroutable_permutations > 0;
+    if (blocks && !result.first_blocking_failures.has_value()) {
+      result.first_blocking_failures = failures;
+      if (config.stop_at_first_blocking) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace nbclos::analysis

@@ -5,11 +5,22 @@
 namespace nbclos::sim {
 
 PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
-                     const TrafficPattern& traffic, SimConfig config)
+                     const TrafficPattern& traffic, SimConfig config,
+                     fault::DegradedView* degraded,
+                     std::vector<fault::FaultEvent> fault_events)
     : net_(&net), oracle_(&oracle), traffic_(&traffic), config_(config),
+      degraded_(degraded), fault_events_(std::move(fault_events)),
       channels_(net.channel_count()), queue_depth_(net.channel_count(), 0),
       rng_(config.seed) {
   NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
+  NBCLOS_REQUIRE(degraded_ == nullptr || &degraded_->network() == &net,
+                 "degraded view was built over a different network");
+  NBCLOS_REQUIRE(fault_events_.empty() || degraded_ != nullptr,
+                 "fault events need a degraded view to apply to");
+  std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
   NBCLOS_REQUIRE(config.injection_rate >= 0.0 && config.injection_rate <= 1.0,
                  "injection rate must be in [0, 1] flits/cycle");
   NBCLOS_REQUIRE(config.packet_size >= 1, "packets need at least one flit");
@@ -54,6 +65,27 @@ void PacketSim::deliver(const Packet& packet) {
   }
 }
 
+void PacketSim::apply_due_faults() {
+  bool applied = false;
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].cycle <= now_) {
+    degraded_->apply(fault_events_[next_fault_]);
+    ++next_fault_;
+    applied = true;
+  }
+  if (!applied) return;
+  // Purge packets stranded on channels that just died (a recovered channel
+  // simply starts accepting traffic again; nothing to purge).
+  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
+    if (degraded_->channel_alive(c)) continue;
+    auto& ch = channels_[c];
+    dropped_packets_ += ch.queue.size() + (ch.in_flight_valid ? 1 : 0);
+    ch.queue.clear();
+    ch.in_flight_valid = false;
+    if (!is_terminal_source_queue_[c]) queue_depth_[c] = 0;
+  }
+}
+
 void PacketSim::step_arrivals() {
   const SimView view(*net_, queue_depth_);
   // Two-phase arrival with per-queue round-robin arbitration.  With a
@@ -76,6 +108,13 @@ void PacketSim::step_arrivals() {
     // Route at the switch; the oracle is re-consulted on every retry,
     // so adaptive policies can steer around persistent congestion.
     const auto next = oracle_->next_channel(view, at, ch.in_flight);
+    if (next == fault::kNoRoute || !channel_usable(next)) {
+      // No live route (fault-aware oracle) or a fault-oblivious oracle
+      // picked a dead channel: the packet is lost.
+      ++dropped_packets_;
+      ch.in_flight_valid = false;
+      continue;
+    }
     NBCLOS_ASSERT(net_->channel(next).src == at);
     auto& waiting = arrival_candidates_[next];
     if (waiting.empty()) arrival_targets_.push_back(next);
@@ -110,6 +149,7 @@ void PacketSim::step_transmissions() {
   for (std::uint32_t c = 0; c < channels_.size(); ++c) {
     auto& ch = channels_[c];
     if (ch.in_flight_valid || ch.queue.empty()) continue;
+    if (!channel_usable(c)) continue;  // dead channels do not transmit
     ch.in_flight = ch.queue.front();
     ch.queue.pop_front();
     if (!is_terminal_source_queue_[c]) --queue_depth_[c];
@@ -135,10 +175,15 @@ void PacketSim::step_injection() {
     packet.flow_sequence = flow_sequence_[t]++;
     const auto channel =
         oracle_->next_channel(view, terminal_vertices_[t], packet);
+    ++injected_;
+    if (channel == fault::kNoRoute || !channel_usable(channel)) {
+      // Offered but lost: the terminal's uplink is dead.
+      ++dropped_packets_;
+      continue;
+    }
     // Terminal source queues are unbounded: depth is not tracked against
     // capacity, matching an infinite NIC send queue.
     channels_[channel].queue.push_back(packet);
-    ++injected_;
   }
 }
 
@@ -146,6 +191,7 @@ SimResult PacketSim::run() {
   const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
   for (now_ = 0; now_ < total; ++now_) {
     measuring_ = now_ >= config_.warmup_cycles;
+    if (degraded_ != nullptr) apply_due_faults();
     step_arrivals();
     step_transmissions();
     step_injection();
@@ -169,6 +215,7 @@ SimResult PacketSim::run() {
   result.offered_load = config_.injection_rate;
   result.injected_packets = injected_;
   result.delivered_packets = delivered_packets_;
+  result.dropped_packets = dropped_packets_;
   result.accepted_throughput =
       static_cast<double>(delivered_measured_flits_) /
       (static_cast<double>(config_.measure_cycles) *

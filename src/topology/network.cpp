@@ -15,8 +15,17 @@ std::uint32_t Network::add_vertex(VertexKind kind, std::uint32_t level,
 
 std::uint32_t Network::add_channel(std::uint32_t src, std::uint32_t dst) {
   NBCLOS_REQUIRE(!finalized_, "network already finalized");
-  NBCLOS_REQUIRE(src < vertices_.size() && dst < vertices_.size(),
-                 "channel endpoint out of range");
+  // Validate at insertion time: a channel may only reference vertices that
+  // already exist, so a malformed graph is rejected at the offending call
+  // rather than corrupting the CSR build in finalize().
+  NBCLOS_REQUIRE(src < vertices_.size(),
+                 "channel source vertex " + std::to_string(src) +
+                     " out of range (have " +
+                     std::to_string(vertices_.size()) + " vertices)");
+  NBCLOS_REQUIRE(dst < vertices_.size(),
+                 "channel destination vertex " + std::to_string(dst) +
+                     " out of range (have " +
+                     std::to_string(vertices_.size()) + " vertices)");
   NBCLOS_REQUIRE(src != dst, "self-loop channel");
   channels_.push_back(NetChannel{src, dst});
   return static_cast<std::uint32_t>(channels_.size() - 1);
@@ -24,6 +33,17 @@ std::uint32_t Network::add_channel(std::uint32_t src, std::uint32_t dst) {
 
 void Network::finalize() {
   NBCLOS_REQUIRE(!finalized_, "network already finalized");
+  NBCLOS_REQUIRE(!vertices_.empty(), "network needs at least one vertex");
+  // Re-verify every endpoint before indexing: add_channel already rejects
+  // bad ids, but fault tooling builds partial/degraded graphs through
+  // evolving builder paths, and an out-of-range endpoint here would be
+  // undefined behavior in the CSR counting pass below.
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    NBCLOS_REQUIRE(channels_[c].src < vertices_.size() &&
+                       channels_[c].dst < vertices_.size(),
+                   "channel " + std::to_string(c) +
+                       " references a vertex out of range");
+  }
   const auto build_csr = [this](bool outgoing) {
     Csr csr;
     csr.offsets.assign(vertices_.size() + 1, 0);

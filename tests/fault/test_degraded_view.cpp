@@ -1,0 +1,104 @@
+#include "nbclos/fault/degraded_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/topology/fat_tree.hpp"
+
+namespace nbclos::fault {
+namespace {
+
+FoldedClos small_ftree() { return FoldedClos(FtreeParams{2, 4, 4}); }
+
+TEST(DegradedView, StartsPristine) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  const DegradedView view(net);
+  EXPECT_TRUE(view.pristine());
+  EXPECT_EQ(view.failed_channel_count(), 0U);
+  EXPECT_EQ(view.failed_vertex_count(), 0U);
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    EXPECT_TRUE(view.channel_alive(c));
+  }
+  for (std::uint32_t v = 0; v < net.vertex_count(); ++v) {
+    EXPECT_TRUE(view.vertex_alive(v));
+  }
+}
+
+TEST(DegradedView, ChannelFailureAndRecovery) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  DegradedView view(net);
+  const auto link = ft.up_link(BottomId{1}, TopId{2}).value;
+  view.fail_channel(link);
+  EXPECT_FALSE(view.channel_alive(link));
+  EXPECT_TRUE(view.channel_failed(link));
+  EXPECT_EQ(view.failed_channel_count(), 1U);
+  // Failing an already-failed channel is idempotent.
+  view.fail_channel(link);
+  EXPECT_EQ(view.failed_channel_count(), 1U);
+  view.recover_channel(link);
+  EXPECT_TRUE(view.channel_alive(link));
+  EXPECT_EQ(view.failed_channel_count(), 0U);
+  EXPECT_TRUE(view.pristine());
+}
+
+TEST(DegradedView, VertexFailureKillsIncidentChannels) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  const FtreeNetworkMap map{ft.params()};
+  DegradedView view(net);
+  const TopId dead{1};
+  view.fail_vertex(map.top(dead));
+  EXPECT_FALSE(view.vertex_alive(map.top(dead)));
+  for (std::uint32_t b = 0; b < ft.r(); ++b) {
+    // Channels touching the dead top are unusable but not themselves
+    // marked failed — recovery of the vertex restores them wholesale.
+    EXPECT_FALSE(view.channel_alive(ft.up_link(BottomId{b}, dead).value));
+    EXPECT_FALSE(view.channel_alive(ft.down_link(dead, BottomId{b}).value));
+    EXPECT_FALSE(view.channel_failed(ft.up_link(BottomId{b}, dead).value));
+  }
+  // Other tops untouched.
+  EXPECT_TRUE(view.channel_alive(ft.up_link(BottomId{0}, TopId{0}).value));
+  view.recover_vertex(map.top(dead));
+  EXPECT_TRUE(view.channel_alive(ft.up_link(BottomId{0}, dead).value));
+  EXPECT_TRUE(view.pristine());
+}
+
+TEST(DegradedView, ApplyEventsAndReset) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  DegradedView view(net);
+  view.apply({0, FaultAction::kFailChannel, 3});
+  view.apply({0, FaultAction::kFailVertex, ft.leaf_count() + 1});
+  EXPECT_EQ(view.failed_channel_count(), 1U);
+  EXPECT_EQ(view.failed_vertex_count(), 1U);
+  view.apply({0, FaultAction::kRecoverChannel, 3});
+  EXPECT_EQ(view.failed_channel_count(), 0U);
+  view.reset();
+  EXPECT_TRUE(view.pristine());
+  EXPECT_TRUE(view.vertex_alive(ft.leaf_count() + 1));
+}
+
+TEST(DegradedView, AliveOutChannelsFiltersDead) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  const FtreeNetworkMap map{ft.params()};
+  DegradedView view(net);
+  const auto bottom = map.bottom(BottomId{0});
+  const auto all = net.out_channels(bottom).size();
+  view.fail_channel(ft.up_link(BottomId{0}, TopId{0}).value);
+  EXPECT_EQ(view.alive_out_channels(bottom).size(), all - 1);
+}
+
+TEST(DegradedView, RejectsOutOfRangeIds) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  DegradedView view(net);
+  EXPECT_THROW(view.fail_channel(net.channel_count()), precondition_error);
+  EXPECT_THROW(view.fail_vertex(net.vertex_count()), precondition_error);
+  EXPECT_THROW((void)view.channel_alive(net.channel_count()),
+               precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::fault

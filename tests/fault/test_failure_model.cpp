@@ -1,0 +1,126 @@
+#include "nbclos/fault/failure_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nbclos::fault {
+namespace {
+
+FoldedClos small_ftree() { return FoldedClos(FtreeParams{2, 4, 4}); }
+
+TEST(FailureModel, SeededInjectionIsReproducible) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel a(net);
+  FailureModel b(net);
+  a.inject_random_uplink_failures(ft, 5, 123);
+  b.inject_random_uplink_failures(ft, 5, 123);
+  EXPECT_EQ(a.events(), b.events());
+
+  FailureModel c(net);
+  c.inject_random_uplink_failures(ft, 5, 124);
+  EXPECT_NE(a.events(), c.events());
+}
+
+TEST(FailureModel, RandomUplinkFailureSetsAreNested) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel small(net);
+  FailureModel large(net);
+  small.inject_random_uplink_failures(ft, 3, 7);
+  large.inject_random_uplink_failures(ft, 6, 7);
+  // The first 3 pairs (6 events) of the larger plan equal the smaller plan.
+  ASSERT_EQ(small.events().size(), 6U);
+  ASSERT_EQ(large.events().size(), 12U);
+  for (std::size_t i = 0; i < small.events().size(); ++i) {
+    EXPECT_EQ(small.events()[i], large.events()[i]);
+  }
+}
+
+TEST(FailureModel, InjectedPairsAreDistinct) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel model(net);
+  model.inject_random_uplink_failures(ft, ft.r() * ft.m(), 9);
+  std::set<std::uint32_t> channels;
+  for (const auto& event : model.events()) {
+    EXPECT_TRUE(channels.insert(event.target).second)
+        << "channel failed twice: " << event.target;
+  }
+  EXPECT_EQ(channels.size(), std::size_t{2} * ft.r() * ft.m());
+}
+
+TEST(FailureModel, UplinkPairFailsBothDirections) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel model(net);
+  model.fail_uplink_pair(ft, BottomId{2}, TopId{3});
+  DegradedView view(net);
+  model.apply_static(view);
+  EXPECT_FALSE(view.channel_alive(ft.up_link(BottomId{2}, TopId{3}).value));
+  EXPECT_FALSE(view.channel_alive(ft.down_link(TopId{3}, BottomId{2}).value));
+  EXPECT_EQ(view.failed_channel_count(), 2U);
+}
+
+TEST(FailureModel, TopSwitchFailureTargetsTheRightVertex) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  const FtreeNetworkMap map{ft.params()};
+  FailureModel model(net);
+  model.fail_top_switch(ft, TopId{2});
+  DegradedView view(net);
+  model.apply_static(view);
+  EXPECT_FALSE(view.vertex_alive(map.top(TopId{2})));
+  EXPECT_TRUE(view.vertex_alive(map.top(TopId{1})));
+  EXPECT_EQ(view.failed_vertex_count(), 1U);
+}
+
+TEST(FailureModel, ScheduleSortsByCycleStably) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel model(net);
+  model.fail_channel(5, 300);
+  model.fail_channel(1, 100);
+  model.recover_channel(1, 200);
+  model.fail_channel(2, 100);
+  const auto schedule = model.schedule();
+  ASSERT_EQ(schedule.size(), 4U);
+  EXPECT_EQ(schedule[0].cycle, 100U);
+  EXPECT_EQ(schedule[0].target, 1U);  // insertion order kept within a cycle
+  EXPECT_EQ(schedule[1].cycle, 100U);
+  EXPECT_EQ(schedule[1].target, 2U);
+  EXPECT_EQ(schedule[2].cycle, 200U);
+  EXPECT_EQ(schedule[3].cycle, 300U);
+}
+
+TEST(FailureModel, ApplyUpToHonorsCycleAndOrder) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  FailureModel model(net);
+  model.fail_channel(1, 100);
+  model.recover_channel(1, 200);
+  model.fail_channel(2, 500);
+  DegradedView view(net);
+  model.apply_up_to(view, 250);
+  EXPECT_TRUE(view.channel_alive(1));   // failed then recovered
+  EXPECT_TRUE(view.channel_alive(2));   // not yet due
+  view.reset();
+  model.apply_up_to(view, 150);
+  EXPECT_FALSE(view.channel_alive(1));  // recovery not yet due
+}
+
+TEST(FailureModel, RejectsMismatchedFtree) {
+  const auto ft = small_ftree();
+  const auto net = build_network(ft);
+  const FoldedClos other(FtreeParams{2, 4, 5});
+  FailureModel model(net);
+  EXPECT_THROW(model.fail_uplink_pair(other, BottomId{0}, TopId{0}),
+               precondition_error);
+  EXPECT_THROW(
+      model.inject_random_uplink_failures(ft, ft.r() * ft.m() + 1, 1),
+      precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::fault

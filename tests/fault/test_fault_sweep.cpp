@@ -1,0 +1,104 @@
+#include "nbclos/fault/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::analysis {
+namespace {
+
+FaultSweepConfig small_config() {
+  FaultSweepConfig config;
+  config.n = 2;
+  config.r = 4;
+  config.max_failures = 8;
+  config.failure_step = 2;
+  config.permutations_per_level = 16;
+  config.seed = 77;
+  config.chunks = 4;
+  return config;
+}
+
+TEST(FaultSweep, PristineLevelNeverBlocks) {
+  ThreadPool pool(2);
+  const auto result = run_fault_sweep(small_config(), pool);
+  ASSERT_FALSE(result.levels.empty());
+  // Level 0 is Theorem 3 on an intact fabric: nonblocking by proof.
+  EXPECT_EQ(result.levels.front().failures, 0U);
+  EXPECT_EQ(result.levels.front().blocked_permutations, 0U);
+  EXPECT_EQ(result.levels.front().unroutable_permutations, 0U);
+  EXPECT_EQ(result.levels.front().worst_collisions, 0U);
+  EXPECT_EQ(result.levels.front().fallback_pairs, 0U);
+}
+
+TEST(FaultSweep, LevelsCoverTheConfiguredRange) {
+  ThreadPool pool(2);
+  const auto config = small_config();
+  const auto result = run_fault_sweep(config, pool);
+  ASSERT_EQ(result.levels.size(), 5U);  // 0, 2, 4, 6, 8
+  for (std::size_t i = 0; i < result.levels.size(); ++i) {
+    EXPECT_EQ(result.levels[i].failures, i * config.failure_step);
+  }
+  EXPECT_EQ(result.permutations_per_level, config.permutations_per_level);
+}
+
+TEST(FaultSweep, ReproducibleAcrossRunsAndThreadCounts) {
+  const auto config = small_config();
+  ThreadPool one(1);
+  ThreadPool four(4);
+  const auto a = run_fault_sweep(config, one);
+  const auto b = run_fault_sweep(config, four);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (std::size_t i = 0; i < a.levels.size(); ++i) {
+    EXPECT_EQ(a.levels[i].blocked_permutations,
+              b.levels[i].blocked_permutations);
+    EXPECT_EQ(a.levels[i].unroutable_permutations,
+              b.levels[i].unroutable_permutations);
+    EXPECT_EQ(a.levels[i].worst_collisions, b.levels[i].worst_collisions);
+    EXPECT_EQ(a.levels[i].fallback_pairs, b.levels[i].fallback_pairs);
+  }
+  EXPECT_EQ(a.first_blocking_failures, b.first_blocking_failures);
+}
+
+TEST(FaultSweep, MarginMatchesFirstDirtyLevel) {
+  ThreadPool pool(2);
+  auto config = small_config();
+  config.max_failures = 16;  // all 16 uplink pairs of ftree(2+4, 4)
+  config.failure_step = 4;
+  const auto result = run_fault_sweep(config, pool);
+  std::optional<std::uint32_t> expected;
+  for (const auto& level : result.levels) {
+    if (level.blocked_permutations + level.unroutable_permutations > 0) {
+      expected = level.failures;
+      break;
+    }
+  }
+  EXPECT_EQ(result.first_blocking_failures, expected);
+  // With every uplink pair dead the fabric cannot route any cross pair.
+  EXPECT_EQ(result.levels.back().unroutable_permutations,
+            config.permutations_per_level);
+}
+
+TEST(FaultSweep, StopAtFirstBlockingTruncates) {
+  ThreadPool pool(2);
+  auto config = small_config();
+  config.max_failures = 16;
+  config.failure_step = 2;
+  config.stop_at_first_blocking = true;
+  const auto result = run_fault_sweep(config, pool);
+  ASSERT_TRUE(result.first_blocking_failures.has_value());
+  EXPECT_EQ(result.levels.back().failures, *result.first_blocking_failures);
+}
+
+TEST(FaultSweep, RejectsBadConfig) {
+  ThreadPool pool(1);
+  auto config = small_config();
+  config.failure_step = 0;
+  EXPECT_THROW((void)run_fault_sweep(config, pool), precondition_error);
+  config = small_config();
+  config.max_failures = 1000;  // > r * n^2 = 16
+  EXPECT_THROW((void)run_fault_sweep(config, pool), precondition_error);
+}
+
+}  // namespace
+}  // namespace nbclos::analysis

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 namespace nbclos {
 namespace {
@@ -43,6 +44,38 @@ TEST(Network, RejectsBadChannels) {
   const auto a = net.add_vertex(VertexKind::kTerminal, 0, 0);
   EXPECT_THROW(net.add_channel(a, a), precondition_error);
   EXPECT_THROW(net.add_channel(a, 5), precondition_error);
+  EXPECT_THROW(net.add_channel(7, a), precondition_error);
+  // A rejected channel leaves no trace: the graph still finalizes clean.
+  const auto b = net.add_vertex(VertexKind::kSwitch, 1, 0);
+  net.add_channel(a, b);
+  net.finalize();
+  EXPECT_EQ(net.channel_count(), 1U);
+}
+
+TEST(Network, BadChannelErrorsNameTheEndpoint) {
+  Network net;
+  const auto a = net.add_vertex(VertexKind::kTerminal, 0, 0);
+  try {
+    net.add_channel(a, 5);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("destination vertex 5"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    net.add_channel(9, a);
+    FAIL() << "expected precondition_error";
+  } catch (const precondition_error& e) {
+    EXPECT_NE(std::string(e.what()).find("source vertex 9"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Network, FinalizeRejectsEmptyNetwork) {
+  Network net;
+  EXPECT_THROW(net.finalize(), precondition_error);
 }
 
 TEST(Network, FtreeBuilderPreservesLinkIds) {

@@ -9,6 +9,7 @@
 ///   nbclos schedule <n> <r>
 ///   nbclos simulate <n> <r> <load> <routing: thm3|dmodk|random|adaptive>
 ///   nbclos circuit <n> <m> <r> [steps]
+///   nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]
 #include <iostream>
 #include <string>
 #include <vector>
@@ -18,10 +19,12 @@
 #include "nbclos/circuit/clos_switch.hpp"
 #include "nbclos/core/designer.hpp"
 #include "nbclos/core/fabric.hpp"
+#include "nbclos/fault/sweep.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 #include "nbclos/sim/engine.hpp"
 #include "nbclos/topology/dot.hpp"
 #include "nbclos/util/table.hpp"
+#include "nbclos/util/thread_pool.hpp"
 
 namespace {
 
@@ -32,7 +35,8 @@ int usage() {
             << "  nbclos schedule <n> <r>\n"
             << "  nbclos simulate <n> <r> <load> <thm3|dmodk|random|adaptive>\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
-            << "  nbclos dot <n> [r]           (Graphviz to stdout)\n";
+            << "  nbclos dot <n> [r]           (Graphviz to stdout)\n"
+            << "  nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]\n";
   return 2;
 }
 
@@ -175,6 +179,43 @@ int cmd_circuit(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_fault_sweep(const std::vector<std::string>& args) {
+  nbclos::analysis::FaultSweepConfig config;
+  config.n = arg_u32(args, 0);
+  config.r = arg_u32(args, 1);
+  config.max_failures = arg_u32(args, 2);
+  if (args.size() >= 4) config.permutations_per_level = arg_u32(args, 3);
+  if (args.size() >= 5) config.seed = std::stoull(args[4]);
+
+  nbclos::ThreadPool pool;
+  const auto result = nbclos::analysis::run_fault_sweep(config, pool);
+
+  std::cout << "Fault sweep on ftree(" << config.n << "+"
+            << config.n * config.n << ", " << config.r << "), seed "
+            << config.seed << ", " << config.permutations_per_level
+            << " random permutations per level (degraded Theorem 3 "
+               "routing):\n";
+  nbclos::TextTable table(
+      {"failed links", "blocked", "unroutable", "worst collisions",
+       "fallback pairs"});
+  for (const auto& level : result.levels) {
+    table.add_row({std::to_string(level.failures),
+                   std::to_string(level.blocked_permutations),
+                   std::to_string(level.unroutable_permutations),
+                   std::to_string(level.worst_collisions),
+                   std::to_string(level.fallback_pairs)});
+  }
+  table.print(std::cout);
+  if (result.first_blocking_failures.has_value()) {
+    std::cout << "nonblocking margin: first permutation blocks at "
+              << *result.first_blocking_failures << " failed uplink pairs\n";
+  } else {
+    std::cout << "nonblocking margin: no permutation blocked within "
+              << config.max_failures << " failed uplink pairs\n";
+  }
+  return 0;
+}
+
 int cmd_dot(const std::vector<std::string>& args) {
   const auto n = arg_u32(args, 0);
   const std::optional<std::uint32_t> r =
@@ -198,6 +239,9 @@ int main(int argc, char** argv) {
     if (command == "schedule" && args.size() >= 2) return cmd_schedule(args);
     if (command == "simulate" && args.size() >= 4) return cmd_simulate(args);
     if (command == "circuit" && args.size() >= 3) return cmd_circuit(args);
+    if (command == "fault-sweep" && args.size() >= 3) {
+      return cmd_fault_sweep(args);
+    }
     if (command == "dot" && args.size() >= 1) return cmd_dot(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
