@@ -6,27 +6,17 @@
 /// by the fault-tolerant table oracle (Theorem 3 primary assignment,
 /// least-loaded live fallback).  Each failure level fails a seed-fixed,
 /// nested set of bottom<->top link pairs; the pristine run is the
-/// baseline.  Emits a single JSON document on stdout so downstream
-/// tooling can diff degraded-vs-pristine throughput across levels;
-/// everything is seeded, so two runs produce byte-identical output.
+/// baseline.  Levels run concurrently over a ThreadPool via
+/// analysis::run_fault_throughput_sweep — each level is independently
+/// seeded, so output is byte-identical at any thread count.  Emits a
+/// single JSON document on stdout so downstream tooling can diff
+/// degraded-vs-pristine throughput across levels.
 #include <iostream>
 #include <vector>
 
 #include "nbclos/analysis/permutations.hpp"
-#include "nbclos/fault/failure_model.hpp"
-#include "nbclos/fault/fault_oracle.hpp"
+#include "nbclos/fault/sweep.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
-#include "nbclos/sim/engine.hpp"
-
-namespace {
-
-struct LevelResult {
-  std::uint32_t failures = 0;
-  nbclos::sim::SimResult sim;
-  std::uint64_t reroutes = 0;
-};
-
-}  // namespace
 
 int main() {
   constexpr std::uint32_t kN = 4;
@@ -52,21 +42,9 @@ int main() {
   // 0..64 of the 128 bottom<->top pairs; the heavy levels push past what
   // least-loaded fallback can absorb so the degradation becomes visible.
   const std::vector<std::uint32_t> levels{0, 4, 8, 16, 32, 64};
-  std::vector<LevelResult> results;
-  for (const auto failures : levels) {
-    nbclos::fault::DegradedView view(net);
-    nbclos::fault::FailureModel model(net);
-    model.inject_random_uplink_failures(ftree, failures, kFaultSeed);
-    model.apply_static(view);
-    nbclos::fault::FaultTolerantOracle oracle(
-        ftree, view, nbclos::sim::UplinkPolicy::kTable, &table);
-    nbclos::sim::PacketSim sim(net, oracle, traffic, config, &view);
-    LevelResult level;
-    level.failures = failures;
-    level.sim = sim.run();
-    level.reroutes = oracle.reroute_count();
-    results.push_back(level);
-  }
+  nbclos::ThreadPool pool;
+  const auto results = nbclos::analysis::run_fault_throughput_sweep(
+      ftree, net, table, traffic, config, levels, kFaultSeed, &pool);
 
   const double pristine = results.front().sim.accepted_throughput;
   std::cout << "{\n"

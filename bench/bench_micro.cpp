@@ -86,6 +86,34 @@ void BM_VerifyRandomPermutations(benchmark::State& state) {
 }
 BENCHMARK(BM_VerifyRandomPermutations);
 
+void BM_RoutingTableLookup(benchmark::State& state) {
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{4, 16, 8});
+  const nbclos::YuanNonblockingRouting routing(ft);
+  const auto table = nbclos::RoutingTable::materialize(routing);
+  std::uint32_t s = 0;
+  std::uint32_t d = ft.n();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        table.lookup({nbclos::LeafId{s}, nbclos::LeafId{d}}));
+    s = (s + 1) % ft.leaf_count();
+    d = (d + ft.n() + 1) % ft.leaf_count();
+    if (s / ft.n() == d / ft.n()) d = (d + ft.n()) % ft.leaf_count();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RoutingTableLookup);
+
+void BM_QuantileHistogramAdd(benchmark::State& state) {
+  nbclos::QuantileHistogram hist(100000);
+  nbclos::Xoshiro256 rng(3);
+  for (auto _ : state) {
+    hist.add(rng.below(100000));
+  }
+  benchmark::DoNotOptimize(hist.quantile(0.99));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuantileHistogramAdd);
+
 void BM_SimulatorCycles(benchmark::State& state) {
   const nbclos::FoldedClos ft(nbclos::FtreeParams{4, 16, 8});
   const auto net = nbclos::build_network(ft);
@@ -107,5 +135,29 @@ void BM_SimulatorCycles(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);  // cycles
 }
 BENCHMARK(BM_SimulatorCycles);
+
+/// Low-load regime: per-cycle cost is bounded by resident packets, not
+/// fabric size, thanks to the active-channel lists.
+void BM_SimulatorCyclesLowLoad(benchmark::State& state) {
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{4, 16, 8});
+  const auto net = nbclos::build_network(ft);
+  const nbclos::YuanNonblockingRouting routing(ft);
+  const auto table = nbclos::RoutingTable::materialize(routing);
+  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), 5);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+  for (auto _ : state) {
+    nbclos::sim::FtreeOracle oracle(ft, nbclos::sim::UplinkPolicy::kTable,
+                                    &table);
+    nbclos::sim::SimConfig config;
+    config.injection_rate = 0.1;
+    config.warmup_cycles = 100;
+    config.measure_cycles = 900;
+    nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+    benchmark::DoNotOptimize(sim.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);  // cycles
+}
+BENCHMARK(BM_SimulatorCyclesLowLoad);
 
 }  // namespace

@@ -13,7 +13,14 @@
 /// Expected shape: crossbar == nonblocking ftree (flat at offered load);
 /// static/oblivious schemes saturate well below 1.0 on adversarial
 /// permutations.
+///
+/// All (series x load) runs of a pattern execute concurrently over a
+/// ThreadPool through the OracleFactory load_sweep, with per-run seeds —
+/// output is identical at any thread count.  Flags: --csv appends CSV
+/// blocks, --json emits a single JSON document instead of tables,
+/// --quick shrinks the simulated window (CI smoke runs).
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,10 +33,12 @@ namespace {
 
 using nbclos::sim::SimConfig;
 
+bool quick = false;
+
 SimConfig base_config() {
   SimConfig config;
-  config.warmup_cycles = 1500;
-  config.measure_cycles = 6000;
+  config.warmup_cycles = quick ? 300 : 1500;
+  config.measure_cycles = quick ? 1200 : 6000;
   config.queue_capacity = 8;
   config.seed = 11;
   return config;
@@ -75,7 +84,14 @@ nbclos::Permutation funnel_mod16() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  bool csv = false;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--csv") csv = true;
+    if (flag == "--json") json = true;
+    if (flag == "--quick") quick = true;
+  }
 
   constexpr std::uint32_t kN = 4;
   constexpr std::uint32_t kR = 8;  // 32 terminals
@@ -90,64 +106,87 @@ int main(int argc, char** argv) {
 
   const std::vector<double> loads{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
 
-  struct Series {
-    std::string name;
-    std::vector<double> throughput;
-    std::vector<double> latency;
+  using nbclos::sim::UplinkPolicy;
+  const auto ftree_factory = [&](const nbclos::FoldedClos& ft,
+                                 UplinkPolicy policy,
+                                 const nbclos::RoutingTable* table) {
+    return nbclos::sim::OracleFactory(
+        [&ft, policy, table](std::uint64_t run_seed,
+                             nbclos::fault::DegradedView*) {
+          return std::make_unique<nbclos::sim::FtreeOracle>(ft, policy, table,
+                                                            run_seed);
+        });
   };
 
-  const auto run_pattern = [&](const std::string& title,
+  struct SeriesSpec {
+    std::string name;
+    const nbclos::Network* net;
+    nbclos::sim::OracleFactory factory;
+  };
+  const std::vector<SeriesSpec> specs{
+      {"crossbar", &xbar_net,
+       [&](std::uint64_t, nbclos::fault::DegradedView*)
+           -> std::unique_ptr<nbclos::sim::RoutingOracle> {
+         return std::make_unique<nbclos::sim::CrossbarOracle>(kN * kR);
+       }},
+      {"nonblocking ftree (m=n^2, Thm 3)", &nb_net,
+       ftree_factory(nb_ft, UplinkPolicy::kTable, &yuan_table)},
+      {"d-mod-k ftree (m=n^2)", &nb_net,
+       ftree_factory(nb_ft, UplinkPolicy::kDModK, nullptr)},
+      {"d-mod-k ftree (m=n)", &budget_net,
+       ftree_factory(budget_ft, UplinkPolicy::kDModK, nullptr)},
+      {"random-per-packet (m=n^2)", &nb_net,
+       ftree_factory(nb_ft, UplinkPolicy::kRandom, nullptr)},
+      {"least-queue adaptive (m=n^2)", &nb_net,
+       ftree_factory(nb_ft, UplinkPolicy::kLeastQueue, nullptr)},
+  };
+
+  nbclos::ThreadPool pool;
+  bool first_pattern = true;
+  if (json) std::cout << "{\n  \"experiment\": \"throughput_vs_load\",\n  \"patterns\": [\n";
+
+  const auto run_pattern = [&](const std::string& title, const std::string& key,
                                const nbclos::Permutation& pattern) {
     nbclos::validate_permutation(pattern, kN * kR);
     const auto traffic =
         nbclos::sim::TrafficPattern::permutation(pattern, kN * kR);
-    std::vector<Series> series;
 
-    const auto run_series = [&](const std::string& name,
-                                const nbclos::Network& net,
-                                nbclos::sim::RoutingOracle& oracle) {
-      Series s{name, {}, {}};
-      for (const double load : loads) {
-        auto config = base_config();
-        config.injection_rate = load;
-        nbclos::sim::PacketSim sim(net, oracle, traffic, config);
-        const auto result = sim.run();
-        s.throughput.push_back(result.accepted_throughput);
-        s.latency.push_back(result.mean_latency);
+    // Every (series, load) pair is an independent simulation with a
+    // per-run seed, so the whole pattern fans out over the pool.
+    std::vector<std::vector<nbclos::sim::SimResult>> series(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto config = base_config();
+      config.seed = base_config().seed + i;  // distinct streams per series
+      series[i] = nbclos::sim::load_sweep(*specs[i].net, specs[i].factory,
+                                          traffic, config, loads, &pool);
+    }
+
+    if (json) {
+      if (!first_pattern) std::cout << ",\n";
+      first_pattern = false;
+      std::cout << "    {\"pattern\": \"" << key << "\", \"loads\": [";
+      for (std::size_t j = 0; j < loads.size(); ++j) {
+        std::cout << (j ? ", " : "") << loads[j];
       }
-      series.push_back(std::move(s));
-    };
-
-    {
-      nbclos::sim::CrossbarOracle oracle(kN * kR);
-      run_series("crossbar", xbar_net, oracle);
-    }
-    {
-      nbclos::sim::FtreeOracle oracle(nb_ft,
-                                      nbclos::sim::UplinkPolicy::kTable,
-                                      &yuan_table);
-      run_series("nonblocking ftree (m=n^2, Thm 3)", nb_net, oracle);
-    }
-    {
-      nbclos::sim::FtreeOracle oracle(nb_ft,
-                                      nbclos::sim::UplinkPolicy::kDModK);
-      run_series("d-mod-k ftree (m=n^2)", nb_net, oracle);
-    }
-    {
-      nbclos::sim::FtreeOracle oracle(budget_ft,
-                                      nbclos::sim::UplinkPolicy::kDModK);
-      run_series("d-mod-k ftree (m=n)", budget_net, oracle);
-    }
-    {
-      nbclos::sim::FtreeOracle oracle(nb_ft,
-                                      nbclos::sim::UplinkPolicy::kRandom,
-                                      nullptr, 77);
-      run_series("random-per-packet (m=n^2)", nb_net, oracle);
-    }
-    {
-      nbclos::sim::FtreeOracle oracle(nb_ft,
-                                      nbclos::sim::UplinkPolicy::kLeastQueue);
-      run_series("least-queue adaptive (m=n^2)", nb_net, oracle);
+      std::cout << "], \"series\": [\n";
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        std::cout << "      {\"name\": \"" << specs[i].name
+                  << "\", \"accepted_throughput\": [";
+        for (std::size_t j = 0; j < loads.size(); ++j) {
+          std::cout << (j ? ", " : "") << series[i][j].accepted_throughput;
+        }
+        std::cout << "], \"mean_latency\": [";
+        for (std::size_t j = 0; j < loads.size(); ++j) {
+          std::cout << (j ? ", " : "") << series[i][j].mean_latency;
+        }
+        std::cout << "], \"p99_latency\": [";
+        for (std::size_t j = 0; j < loads.size(); ++j) {
+          std::cout << (j ? ", " : "") << series[i][j].p99_latency;
+        }
+        std::cout << "]}" << (i + 1 < specs.size() ? "," : "") << "\n";
+      }
+      std::cout << "    ]}";
+      return;
     }
 
     std::cout << title << "\n\n";
@@ -156,10 +195,10 @@ int main(int argc, char** argv) {
       headers.push_back(nbclos::format_double(load));
     }
     nbclos::TextTable table(headers);
-    for (const auto& s : series) {
-      std::vector<std::string> row{s.name};
-      for (const double x : s.throughput) {
-        row.push_back(nbclos::format_double(x));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::vector<std::string> row{specs[i].name};
+      for (const auto& result : series[i]) {
+        row.push_back(nbclos::format_double(result.accepted_throughput));
       }
       table.add_row(std::move(row));
     }
@@ -168,10 +207,10 @@ int main(int argc, char** argv) {
 
     std::cout << "\nMean packet latency [cycles] at the same loads:\n";
     nbclos::TextTable lat(headers);
-    for (const auto& s : series) {
-      std::vector<std::string> row{s.name};
-      for (const double x : s.latency) {
-        row.push_back(nbclos::format_double(x, 1));
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      std::vector<std::string> row{specs[i].name};
+      for (const auto& result : series[i]) {
+        row.push_back(nbclos::format_double(result.mean_latency, 1));
       }
       lat.add_row(std::move(row));
     }
@@ -184,12 +223,16 @@ int main(int argc, char** argv) {
       "Fig-A1 — accepted throughput [flits/cycle/terminal] vs offered "
       "load,\nuplink-funnel permutation (adversarial for m = n static "
       "routing), 32 terminals",
-      funnel_small_m(kN, kR));
+      "uplink_funnel", funnel_small_m(kN, kR));
   run_pattern(
       "Fig-A2 — same series on the mod-16 residue-funnel permutation "
       "(adversarial\nfor m = n^2 static routing)",
-      funnel_mod16());
+      "mod16_residue_funnel", funnel_mod16());
 
+  if (json) {
+    std::cout << "\n  ]\n}\n";
+    return 0;
+  }
   std::cout << "Expected shape (paper + refs [5][7]): the Theorem 3 fabric "
                "tracks the crossbar\non BOTH patterns; every static "
                "destination-keyed configuration has a permutation\nthat "

@@ -8,8 +8,8 @@
 /// functions of the traffic pattern rather than the SD pair alone.
 #pragma once
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "nbclos/routing/single_path.hpp"
@@ -19,7 +19,11 @@ namespace nbclos {
 
 class RoutingTable {
  public:
-  explicit RoutingTable(const FoldedClos& ftree) : ftree_(&ftree) {}
+  explicit RoutingTable(const FoldedClos& ftree)
+      : ftree_(&ftree),
+        entries_(static_cast<std::size_t>(ftree.leaf_count()) *
+                     ftree.leaf_count(),
+                 kUnassigned) {}
 
   [[nodiscard]] const FoldedClos& ftree() const noexcept { return *ftree_; }
 
@@ -27,14 +31,21 @@ class RoutingTable {
   void set(SDPair sd, TopId top);
 
   /// Lookup; nullopt if the pair was never assigned (direct pairs are
-  /// never stored — ask the topology instead).
-  [[nodiscard]] std::optional<TopId> lookup(SDPair sd) const;
+  /// never stored — ask the topology instead).  Entries live in a dense
+  /// src-major array — materialized tables cover nearly all leaf pairs
+  /// anyway, and the simulator consults this once per packet per leaf
+  /// switch, so the lookup must be a plain indexed load.
+  [[nodiscard]] std::optional<TopId> lookup(SDPair sd) const {
+    const auto top = entries_[index(sd)];
+    if (top == kUnassigned) return std::nullopt;
+    return TopId{top};
+  }
 
   /// Path for an SD pair: direct if same switch, else the stored
   /// assignment.  Throws if a cross pair has no assignment.
   [[nodiscard]] FtreePath path(SDPair sd) const;
 
-  [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept { return assigned_; }
 
   /// Snapshot a routing algorithm over *all* r(r-1)n^2 cross SD pairs.
   [[nodiscard]] static RoutingTable materialize(const SinglePathRouting& routing);
@@ -48,8 +59,16 @@ class RoutingTable {
   [[nodiscard]] std::uint32_t top_switches_used() const;
 
  private:
+  static constexpr std::uint32_t kUnassigned = UINT32_MAX;
+
+  [[nodiscard]] std::size_t index(SDPair sd) const noexcept {
+    return static_cast<std::size_t>(sd.src.value) * ftree_->leaf_count() +
+           sd.dst.value;
+  }
+
   const FoldedClos* ftree_;
-  std::unordered_map<SDPair, std::uint32_t> table_;
+  std::vector<std::uint32_t> entries_;  ///< src-major; kUnassigned = empty
+  std::size_t assigned_ = 0;
 };
 
 }  // namespace nbclos

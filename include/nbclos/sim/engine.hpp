@@ -14,10 +14,22 @@
 ///     stalls on the channel (credit-style backpressure).
 /// Per cycle: arrivals -> transmission starts -> injection.  All
 /// iteration orders are fixed, so runs are bit-reproducible from seeds.
+///
+/// Hot-path implementation (see DESIGN.md §"simulator performance
+/// model"): per-cycle cost scales with the number of packets in the
+/// system, not the fabric size.  Channels that hold traffic are tracked
+/// in two dense active lists (in-flight and sendable), queues live in a
+/// flat ring-buffer pool instead of per-channel deques, the mean queue
+/// depth is a maintained running sum, and latency quantiles come from a
+/// streaming histogram — no end-of-run sort.  Active lists are re-sorted
+/// by channel id before every sweep, so the visit order (and therefore
+/// every oracle/RNG consultation) is identical to a full ascending scan
+/// and results stay bit-reproducible.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "nbclos/fault/degraded_view.hpp"
@@ -25,6 +37,7 @@
 #include "nbclos/sim/traffic.hpp"
 #include "nbclos/topology/network.hpp"
 #include "nbclos/util/stats.hpp"
+#include "nbclos/util/thread_pool.hpp"
 
 namespace nbclos::sim {
 
@@ -41,7 +54,12 @@ struct SimResult {
   double offered_load = 0.0;          ///< config injection rate
   double accepted_throughput = 0.0;   ///< delivered flits/terminal/cycle
   double mean_latency = 0.0;          ///< cycles, measured packets only
+  /// Latency quantiles from the streaming histogram; each is exact to
+  /// within `latency_bucket_width` cycles (see QuantileHistogram).
+  double p50_latency = 0.0;
   double p99_latency = 0.0;
+  double p999_latency = 0.0;
+  double latency_bucket_width = 1.0;  ///< quantile resolution, cycles
   std::uint64_t injected_packets = 0;
   std::uint64_t delivered_packets = 0;
   /// Packets lost to failed channels/switches over the whole run (zero on
@@ -81,11 +99,13 @@ class PacketSim {
   [[nodiscard]] SimResult run();
 
  private:
-  struct ChannelState {
-    std::deque<Packet> queue;      ///< waiting at the source vertex
-    bool in_flight_valid = false;
-    Packet in_flight;
+  /// The packet occupying a channel, if any (one per channel: a channel
+  /// carries one packet at a time; `arrival_cycle` is when its last flit
+  /// lands at the channel's destination vertex).
+  struct InFlight {
+    Packet packet;
     std::uint64_t arrival_cycle = 0;
+    bool valid = false;
   };
 
   void step_arrivals();
@@ -98,6 +118,16 @@ class PacketSim {
     return degraded_ == nullptr || degraded_->channel_alive(channel);
   }
 
+  // --- flat queue pool (FIFO ring per channel) --------------------------
+  // Switch output queues are capacity-bounded slices of one contiguous
+  // pool; terminal NIC send queues are unbounded power-of-two rings in a
+  // per-terminal growable arena.  `queue_depth_` mirrors the size of
+  // switch queues only (the oracle-visible SimView; terminal queues read
+  // as 0, as before).
+  void queue_push(std::uint32_t channel, const Packet& packet);
+  [[nodiscard]] Packet queue_pop(std::uint32_t channel);
+  void queue_clear(std::uint32_t channel);
+
   const Network* net_;
   RoutingOracle* oracle_;
   const TrafficPattern* traffic_;
@@ -107,18 +137,45 @@ class PacketSim {
   std::size_t next_fault_ = 0;
   std::uint64_t dropped_packets_ = 0;
 
-  std::vector<ChannelState> channels_;
-  std::vector<std::uint32_t> queue_depth_;  ///< mirrors queue sizes (SimView)
+  std::vector<InFlight> flight_;            ///< per channel
+  std::vector<std::uint32_t> q_head_;       ///< per channel ring head
+  std::vector<std::uint32_t> q_size_;       ///< per channel ring occupancy
+  /// Switch channel: element offset into switch_pool_ (index * slice,
+  /// where the slice is queue_capacity rounded up to a power of two so
+  /// ring wrap-around is a mask, not a division); terminal channel: index
+  /// into term_rings_.
+  std::vector<std::uint32_t> pool_base_;
+  std::uint32_t switch_slice_mask_ = 0;  ///< slice size - 1
+  std::vector<Packet> switch_pool_;         ///< all switch queues, contiguous
+  std::vector<std::vector<Packet>> term_rings_;  ///< growable terminal rings
+  std::vector<std::uint32_t> queue_depth_;  ///< switch queue sizes (SimView)
+
+  // Active-channel tracking: `flying_` holds exactly the channels with a
+  // valid in-flight packet (plus, transiently, channels purged by a fault
+  // since the last sweep); `sendable_` holds exactly the channels with a
+  // non-empty queue.  Both are sorted by id before each sweep so the
+  // visit order matches a full ascending channel scan.
+  std::vector<std::uint32_t> flying_;
+  std::vector<std::uint32_t> sendable_;
+  std::vector<std::uint8_t> in_flying_;     ///< membership flags
+  std::vector<std::uint8_t> in_sendable_;
+
+  // Per-channel precomputed topology facts (avoids graph lookups per hop).
+  std::vector<std::uint32_t> channel_dst_;
+  std::vector<std::uint8_t> dst_is_terminal_;
+  std::vector<std::uint8_t> is_terminal_source_queue_;
+
   // Per-queue round-robin arbitration state (see step_arrivals).
   std::vector<std::vector<std::uint32_t>> arrival_candidates_;
   std::vector<std::uint32_t> arrival_targets_;
   std::vector<std::uint32_t> rr_last_winner_;
   std::vector<std::uint32_t> terminal_vertices_;
-  std::vector<bool> is_terminal_source_queue_;  ///< per channel
 
-  Xoshiro256 rng_{42};
+  Xoshiro256 rng_;
   std::uint64_t now_ = 0;
   std::uint64_t next_packet_id_ = 0;
+  double packet_rate_ = 0.0;  ///< injection_rate / packet_size, hoisted
+  SimView view_;              ///< stable oracle view, hoisted out of steps
   std::vector<std::uint64_t> flow_sequence_;  ///< per source terminal
 
   bool measuring_ = false;
@@ -127,24 +184,69 @@ class PacketSim {
   std::vector<std::uint64_t> delivered_per_source_;  ///< measured flits
   std::uint64_t delivered_packets_ = 0;
   RunningStats latency_;
-  std::vector<double> latencies_;  ///< for p99
+  QuantileHistogram latency_hist_;  ///< streaming p50/p99/p999
+  std::uint64_t switch_depth_sum_ = 0;      ///< running sum over switch queues
+  std::uint64_t switch_channel_count_ = 0;
   RunningStats queue_depth_samples_;
 };
 
+// --- sweep drivers ----------------------------------------------------
+
+/// Builds a worker-private oracle for one simulation run of a parallel
+/// sweep.  Stateful oracles cannot be shared across threads, so each run
+/// constructs its own: `run_seed` is a decorrelated per-run seed (derived
+/// from the sweep's base seed and the run index, identical at any thread
+/// count) and `degraded` is the run-private liveness view (nullptr when
+/// the sweep is pristine) for fault-aware oracles to capture.
+using OracleFactory = std::function<std::unique_ptr<RoutingOracle>(
+    std::uint64_t run_seed, fault::DegradedView* degraded)>;
+
 /// Convenience: sweep injection rates and return one SimResult per rate.
+///
+/// Serial legacy form: one shared oracle, whose internal randomness
+/// advances across runs.  When `degraded` is given, its entry state is
+/// snapshotted and restored before every run (and on return), so each
+/// rate sees the same initial fault mask even when `fault_events` mutate
+/// it mid-run.
 [[nodiscard]] std::vector<SimResult> load_sweep(
     const Network& net, RoutingOracle& oracle, const TrafficPattern& traffic,
-    const SimConfig& base, const std::vector<double>& rates);
+    const SimConfig& base, const std::vector<double>& rates,
+    fault::DegradedView* degraded = nullptr,
+    const std::vector<fault::FaultEvent>& fault_events = {});
+
+/// Parallel form: one private oracle and (when faulted) one private copy
+/// of `*degraded` per run, evaluated over `pool` (nullptr = serial).
+/// Per-run seeds and the merge order are fixed by the rate index, so the
+/// results are field-for-field identical at any thread count, including
+/// the serial path.  Each run keeps `base.seed` for the traffic/injection
+/// stream (matching the legacy form); only the oracle seed varies.
+[[nodiscard]] std::vector<SimResult> load_sweep(
+    const Network& net, const OracleFactory& factory,
+    const TrafficPattern& traffic, const SimConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool,
+    const fault::DegradedView* degraded = nullptr,
+    const std::vector<fault::FaultEvent>& fault_events = {});
 
 /// Binary-search the saturation throughput: the highest offered load the
 /// network still accepts (accepted >= 95% of offered).  Returns the last
 /// sustainable load found within `iterations` bisection steps over
 /// [0, 1].  The oracle's internal randomness advances across probes, so
-/// pass a freshly-seeded oracle for reproducible results.
-[[nodiscard]] double find_saturation_load(const Network& net,
-                                          RoutingOracle& oracle,
-                                          const TrafficPattern& traffic,
-                                          const SimConfig& base,
-                                          std::uint32_t iterations = 6);
+/// pass a freshly-seeded oracle for reproducible results.  `degraded` +
+/// `fault_events` pass through to every probe as in load_sweep.
+[[nodiscard]] double find_saturation_load(
+    const Network& net, RoutingOracle& oracle, const TrafficPattern& traffic,
+    const SimConfig& base, std::uint32_t iterations = 6,
+    fault::DegradedView* degraded = nullptr,
+    const std::vector<fault::FaultEvent>& fault_events = {});
+
+/// Parallel form: the bracketing phase probes a coarse load grid
+/// concurrently over `pool` (nullptr = serial), then bisects the
+/// bracketing interval serially.  Deterministic at any thread count.
+[[nodiscard]] double find_saturation_load(
+    const Network& net, const OracleFactory& factory,
+    const TrafficPattern& traffic, const SimConfig& base,
+    std::uint32_t iterations, ThreadPool* pool,
+    const fault::DegradedView* degraded = nullptr,
+    const std::vector<fault::FaultEvent>& fault_events = {});
 
 }  // namespace nbclos::sim

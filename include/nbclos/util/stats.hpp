@@ -64,6 +64,48 @@ class Histogram {
   std::uint64_t total_ = 0;
 };
 
+/// Streaming quantile estimator for non-negative integer-valued samples
+/// (e.g. packet latencies in cycles) with a bounded value range known up
+/// front.  Memory is O(min(max_value, max_bins)) regardless of sample
+/// count, so the simulator can track p50/p99/p999 over arbitrarily long
+/// runs without buffering every sample for an end-of-run sort.
+///
+/// Quantiles follow the sort-rank convention `sorted[floor(q * (n - 1))]`
+/// at bucket resolution: the returned value is the lower edge of the
+/// bucket containing that rank, so the error is strictly less than one
+/// `bucket_width()`.  When `max_value < max_bins` every bucket holds a
+/// single integer and quantiles are exact.
+class QuantileHistogram {
+ public:
+  /// \param max_value largest sample that keeps full resolution; larger
+  ///        samples saturate into the top bucket.
+  /// \param max_bins  memory bound; bucket width is the smallest integer
+  ///        covering [0, max_value] within this many buckets.
+  explicit QuantileHistogram(std::uint64_t max_value,
+                             std::size_t max_bins = 4096);
+
+  void add(std::uint64_t value) noexcept;
+
+  /// Merge another histogram (parallel reduction).  \pre identical
+  /// geometry (same max_value / max_bins).
+  void merge(const QuantileHistogram& other);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::uint64_t bucket_width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+
+  /// Lower edge of the bucket holding rank floor(q * (count - 1));
+  /// 0 when empty.  \pre 0 <= q <= 1.
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  std::uint64_t width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
 /// Least-squares fit of y = a * x^b through points (x_i, y_i) in log space.
 /// Returns {a, b}.  Used to measure the empirical exponent in Theorem 5.
 struct PowerFit {

@@ -6,6 +6,7 @@
 #include "nbclos/analysis/permutations.hpp"
 #include "nbclos/fault/degraded_routing.hpp"
 #include "nbclos/fault/failure_model.hpp"
+#include "nbclos/fault/fault_oracle.hpp"
 #include "nbclos/topology/network.hpp"
 
 namespace nbclos::analysis {
@@ -128,6 +129,33 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
     }
   }
   return result;
+}
+
+std::vector<FaultThroughputLevel> run_fault_throughput_sweep(
+    const FoldedClos& ftree, const Network& net, const RoutingTable& table,
+    const sim::TrafficPattern& traffic, const sim::SimConfig& sim_config,
+    const std::vector<std::uint32_t>& levels, std::uint64_t fault_seed,
+    ThreadPool* pool) {
+  std::vector<FaultThroughputLevel> results(levels.size());
+  const auto run_level = [&](std::size_t i) {
+    fault::DegradedView view(net);
+    fault::FailureModel model(net);
+    model.inject_random_uplink_failures(ftree, levels[i], fault_seed);
+    model.apply_static(view);
+    fault::FaultTolerantOracle oracle(ftree, view, sim::UplinkPolicy::kTable,
+                                      &table);
+    sim::PacketSim simulation(net, oracle, traffic, sim_config, &view);
+    auto& level = results[i];
+    level.failures = levels[i];
+    level.sim = simulation.run();
+    level.reroutes = oracle.reroute_count();
+  };
+  if (pool != nullptr && levels.size() > 1) {
+    pool->parallel_for(0, levels.size(), run_level);
+  } else {
+    for (std::size_t i = 0; i < levels.size(); ++i) run_level(i);
+  }
+  return results;
 }
 
 }  // namespace nbclos::analysis

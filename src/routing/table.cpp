@@ -7,13 +7,9 @@ namespace nbclos {
 void RoutingTable::set(SDPair sd, TopId top) {
   NBCLOS_REQUIRE(ftree_->needs_top(sd), "direct pairs are not stored");
   NBCLOS_REQUIRE(top.value < ftree_->m(), "top switch out of range");
-  table_[sd] = top.value;
-}
-
-std::optional<TopId> RoutingTable::lookup(SDPair sd) const {
-  const auto it = table_.find(sd);
-  if (it == table_.end()) return std::nullopt;
-  return TopId{it->second};
+  auto& entry = entries_[index(sd)];
+  if (entry == kUnassigned) ++assigned_;
+  entry = top.value;
 }
 
 FtreePath RoutingTable::path(SDPair sd) const {
@@ -26,7 +22,6 @@ FtreePath RoutingTable::path(SDPair sd) const {
 RoutingTable RoutingTable::materialize(const SinglePathRouting& routing) {
   const auto& ft = routing.ftree();
   RoutingTable table(ft);
-  table.table_.reserve(ft.cross_pair_count());
   for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
     for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
       const SDPair sd{LeafId{s}, LeafId{d}};
@@ -48,8 +43,8 @@ RoutingTable RoutingTable::from_paths(const FoldedClos& ftree,
 
 std::uint32_t RoutingTable::top_switches_used() const {
   std::uint32_t used = 0;
-  for (const auto& [sd, top] : table_) {
-    used = std::max(used, top + 1);
+  for (const auto top : entries_) {
+    if (top != kUnassigned) used = std::max(used, top + 1);
   }
   return used;
 }

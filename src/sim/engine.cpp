@@ -1,8 +1,26 @@
 #include "nbclos/sim/engine.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace nbclos::sim {
+
+namespace {
+
+/// Initial capacity of a terminal NIC ring; grows by doubling, so the
+/// capacity is always a power of two and wrap-around is a mask.
+constexpr std::uint32_t kTermRingInitialCapacity = 16;
+
+/// Per-run oracle seed for (sweep seed, phase tag, run index) —
+/// decorrelated via SplitMix64 so neighboring runs share no stream
+/// structure (same discipline as analysis::parallel / fault::sweep).
+std::uint64_t sweep_run_seed(std::uint64_t seed, std::uint64_t tag,
+                             std::uint64_t index) {
+  SplitMix64 sm(seed ^ (tag << 32) ^ index);
+  return sm.next();
+}
+
+}  // namespace
 
 PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
                      const TrafficPattern& traffic, SimConfig config,
@@ -10,8 +28,19 @@ PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
                      std::vector<fault::FaultEvent> fault_events)
     : net_(&net), oracle_(&oracle), traffic_(&traffic), config_(config),
       degraded_(degraded), fault_events_(std::move(fault_events)),
-      channels_(net.channel_count()), queue_depth_(net.channel_count(), 0),
-      rng_(config.seed) {
+      flight_(net.channel_count()),
+      q_head_(net.channel_count(), 0), q_size_(net.channel_count(), 0),
+      pool_base_(net.channel_count(), 0),
+      queue_depth_(net.channel_count(), 0),
+      in_flying_(net.channel_count(), 0), in_sendable_(net.channel_count(), 0),
+      channel_dst_(net.channel_count(), 0),
+      dst_is_terminal_(net.channel_count(), 0),
+      is_terminal_source_queue_(net.channel_count(), 0),
+      rng_(config.seed),
+      packet_rate_(config.injection_rate /
+                   static_cast<double>(config.packet_size)),
+      view_(net, queue_depth_),
+      latency_hist_(config.warmup_cycles + config.measure_cycles) {
   NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
   NBCLOS_REQUIRE(degraded_ == nullptr || &degraded_->network() == &net,
                  "degraded view was built over a different network");
@@ -39,11 +68,84 @@ PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
   rr_last_winner_.assign(net.channel_count(), 0);
   // A channel whose source vertex is a terminal is that terminal's NIC
   // send queue: unbounded, so offered load is never silently dropped.
-  is_terminal_source_queue_.assign(net.channel_count(), false);
+  // Carve the flat queue pool: switch channels get fixed-capacity slices
+  // of one contiguous allocation, terminal channels growable rings.
+  const auto slice = std::bit_ceil(config.queue_capacity);
+  switch_slice_mask_ = slice - 1;
+  std::uint32_t switch_channels = 0;
+  std::uint32_t term_channels = 0;
   for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
-    is_terminal_source_queue_[c] =
-        net.vertex(net.channel(c).src).kind == VertexKind::kTerminal;
+    const auto& ch = net.channel(c);
+    channel_dst_[c] = ch.dst;
+    dst_is_terminal_[c] = net.vertex(ch.dst).kind == VertexKind::kTerminal;
+    if (net.vertex(ch.src).kind == VertexKind::kTerminal) {
+      is_terminal_source_queue_[c] = 1;
+      pool_base_[c] = term_channels++;
+    } else {
+      pool_base_[c] = switch_channels * slice;
+      ++switch_channels;
+    }
   }
+  switch_pool_.resize(std::size_t{switch_channels} * slice);
+  term_rings_.resize(term_channels);
+  switch_channel_count_ = switch_channels;
+  flying_.reserve(net.channel_count());
+  sendable_.reserve(net.channel_count());
+}
+
+void PacketSim::queue_push(std::uint32_t channel, const Packet& packet) {
+  if (is_terminal_source_queue_[channel]) {
+    auto& ring = term_rings_[pool_base_[channel]];
+    if (q_size_[channel] == ring.size()) {
+      // Full (or first use): double and relinearize so head lands at 0.
+      std::vector<Packet> bigger(
+          ring.empty() ? kTermRingInitialCapacity : ring.size() * 2);
+      for (std::uint32_t i = 0; i < q_size_[channel]; ++i) {
+        bigger[i] = ring[(q_head_[channel] + i) & (ring.size() - 1)];
+      }
+      ring = std::move(bigger);
+      q_head_[channel] = 0;
+    }
+    ring[(q_head_[channel] + q_size_[channel]) & (ring.size() - 1)] = packet;
+  } else {
+    switch_pool_[pool_base_[channel] +
+                 ((q_head_[channel] + q_size_[channel]) &
+                  switch_slice_mask_)] = packet;
+    ++queue_depth_[channel];
+    ++switch_depth_sum_;
+  }
+  ++q_size_[channel];
+  if (!in_sendable_[channel]) {
+    in_sendable_[channel] = 1;
+    sendable_.push_back(channel);
+  }
+}
+
+Packet PacketSim::queue_pop(std::uint32_t channel) {
+  NBCLOS_ASSERT(q_size_[channel] > 0);
+  Packet packet;
+  if (is_terminal_source_queue_[channel]) {
+    auto& ring = term_rings_[pool_base_[channel]];
+    packet = ring[q_head_[channel]];
+    q_head_[channel] = (q_head_[channel] + 1) &
+                       (static_cast<std::uint32_t>(ring.size()) - 1);
+  } else {
+    packet = switch_pool_[pool_base_[channel] + q_head_[channel]];
+    q_head_[channel] = (q_head_[channel] + 1) & switch_slice_mask_;
+    --queue_depth_[channel];
+    --switch_depth_sum_;
+  }
+  --q_size_[channel];
+  return packet;
+}
+
+void PacketSim::queue_clear(std::uint32_t channel) {
+  if (!is_terminal_source_queue_[channel]) {
+    switch_depth_sum_ -= queue_depth_[channel];
+    queue_depth_[channel] = 0;
+  }
+  q_size_[channel] = 0;
+  q_head_[channel] = 0;
 }
 
 void PacketSim::deliver(const Packet& packet) {
@@ -59,9 +161,9 @@ void PacketSim::deliver(const Packet& packet) {
   // Latency, by contrast, is only meaningful for packets that both
   // entered and left within measured, warmed-up conditions.
   if (packet.injected_cycle >= config_.warmup_cycles) {
-    const auto latency = static_cast<double>(now_ - packet.injected_cycle);
-    latency_.add(latency);
-    latencies_.push_back(latency);
+    const std::uint64_t latency = now_ - packet.injected_cycle;
+    latency_.add(static_cast<double>(latency));
+    latency_hist_.add(latency);
   }
 }
 
@@ -75,51 +177,76 @@ void PacketSim::apply_due_faults() {
   }
   if (!applied) return;
   // Purge packets stranded on channels that just died (a recovered channel
-  // simply starts accepting traffic again; nothing to purge).
-  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
-    if (degraded_->channel_alive(c)) continue;
-    auto& ch = channels_[c];
-    dropped_packets_ += ch.queue.size() + (ch.in_flight_valid ? 1 : 0);
-    ch.queue.clear();
-    ch.in_flight_valid = false;
-    if (!is_terminal_source_queue_[c]) queue_depth_[c] = 0;
+  // simply starts accepting traffic again; nothing to purge).  Every
+  // in-flight packet sits on a channel in flying_ and every queued packet
+  // on one in sendable_, so the purge only touches active channels; the
+  // invalidated entries are compacted out at the next sweep.
+  for (const auto c : flying_) {
+    if (flight_[c].valid && !degraded_->channel_alive(c)) {
+      ++dropped_packets_;
+      flight_[c].valid = false;
+    }
+  }
+  for (const auto c : sendable_) {
+    if (q_size_[c] > 0 && !degraded_->channel_alive(c)) {
+      dropped_packets_ += q_size_[c];
+      queue_clear(c);
+    }
   }
 }
 
 void PacketSim::step_arrivals() {
-  const SimView view(*net_, queue_depth_);
   // Two-phase arrival with per-queue round-robin arbitration.  With a
   // fixed service order the lowest-id input wins every freed slot of a
   // contended queue and its siblings starve — an arbitration artifact,
   // not a network property.  Phase 1 collects, per target queue, the
   // channels whose head packet wants it; phase 2 admits them in circular
   // id order starting after the queue's previous winner.
+  //
+  // Sorting restores ascending channel-id order (appends in the other
+  // steps scramble it), so oracles are consulted in the same order as a
+  // full channel scan — required for bit-reproducibility.
+  std::sort(flying_.begin(), flying_.end());
   arrival_targets_.clear();
-  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
-    auto& ch = channels_[c];
-    if (!ch.in_flight_valid || ch.arrival_cycle > now_) continue;
-    const std::uint32_t at = net_->channel(c).dst;
-    if (net_->vertex(at).kind == VertexKind::kTerminal) {
-      NBCLOS_ASSERT(at == ch.in_flight.dst_terminal);
-      deliver(ch.in_flight);
-      ch.in_flight_valid = false;
+  std::size_t keep = 0;
+  const std::size_t flying_count = flying_.size();
+  for (std::size_t i = 0; i < flying_count; ++i) {
+    const auto c = flying_[i];
+    auto& fl = flight_[c];
+    if (!fl.valid) {  // purged by a fault since the last sweep
+      in_flying_[c] = 0;
+      continue;
+    }
+    if (fl.arrival_cycle > now_) {
+      flying_[keep++] = c;
+      continue;
+    }
+    if (dst_is_terminal_[c]) {
+      NBCLOS_ASSERT(channel_dst_[c] == fl.packet.dst_terminal);
+      deliver(fl.packet);
+      fl.valid = false;
+      in_flying_[c] = 0;
       continue;
     }
     // Route at the switch; the oracle is re-consulted on every retry,
     // so adaptive policies can steer around persistent congestion.
-    const auto next = oracle_->next_channel(view, at, ch.in_flight);
+    const std::uint32_t at = channel_dst_[c];
+    const auto next = oracle_->next_channel(view_, at, fl.packet);
     if (next == fault::kNoRoute || !channel_usable(next)) {
       // No live route (fault-aware oracle) or a fault-oblivious oracle
       // picked a dead channel: the packet is lost.
       ++dropped_packets_;
-      ch.in_flight_valid = false;
+      fl.valid = false;
+      in_flying_[c] = 0;
       continue;
     }
     NBCLOS_ASSERT(net_->channel(next).src == at);
+    // Candidates leave the kept range; phase 2 re-appends the losers.
     auto& waiting = arrival_candidates_[next];
     if (waiting.empty()) arrival_targets_.push_back(next);
     waiting.push_back(c);
   }
+  flying_.resize(keep);
   for (const auto target : arrival_targets_) {
     auto& waiting = arrival_candidates_[target];
     // Serve in circular order starting after the last winner (credits
@@ -131,39 +258,54 @@ void PacketSim::step_arrivals() {
         break;
       }
     }
-    for (std::size_t i = 0;
-         i < waiting.size() && queue_depth_[target] < config_.queue_capacity;
+    std::size_t i = 0;
+    for (; i < waiting.size() && queue_depth_[target] < config_.queue_capacity;
          ++i) {
       const auto c = waiting[(start + i) % waiting.size()];
-      auto& ch = channels_[c];
-      channels_[target].queue.push_back(ch.in_flight);
-      ++queue_depth_[target];
-      ch.in_flight_valid = false;
+      queue_push(target, flight_[c].packet);
+      flight_[c].valid = false;
+      in_flying_[c] = 0;
       rr_last_winner_[target] = c;
+    }
+    for (; i < waiting.size(); ++i) {
+      flying_.push_back(waiting[(start + i) % waiting.size()]);
     }
     waiting.clear();
   }
 }
 
 void PacketSim::step_transmissions() {
-  for (std::uint32_t c = 0; c < channels_.size(); ++c) {
-    auto& ch = channels_[c];
-    if (ch.in_flight_valid || ch.queue.empty()) continue;
-    if (!channel_usable(c)) continue;  // dead channels do not transmit
-    ch.in_flight = ch.queue.front();
-    ch.queue.pop_front();
-    if (!is_terminal_source_queue_[c]) --queue_depth_[c];
-    ch.in_flight_valid = true;
-    ch.arrival_cycle = now_ + ch.in_flight.size_flits;
+  std::sort(sendable_.begin(), sendable_.end());
+  std::size_t keep = 0;
+  const std::size_t sendable_count = sendable_.size();
+  for (std::size_t i = 0; i < sendable_count; ++i) {
+    const auto c = sendable_[i];
+    if (q_size_[c] == 0) {  // drained or fault-purged since the last sweep
+      in_sendable_[c] = 0;
+      continue;
+    }
+    auto& fl = flight_[c];
+    if (!fl.valid && channel_usable(c)) {  // dead channels do not transmit
+      fl.packet = queue_pop(c);
+      fl.valid = true;
+      fl.arrival_cycle = now_ + fl.packet.size_flits;
+      if (!in_flying_[c]) {
+        in_flying_[c] = 1;
+        flying_.push_back(c);
+      }
+      if (q_size_[c] == 0) {
+        in_sendable_[c] = 0;
+        continue;
+      }
+    }
+    sendable_[keep++] = c;
   }
+  sendable_.resize(keep);
 }
 
 void PacketSim::step_injection() {
-  const double packet_rate =
-      config_.injection_rate / static_cast<double>(config_.packet_size);
-  const SimView view(*net_, queue_depth_);
   for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
-    if (!rng_.bernoulli(packet_rate)) continue;
+    if (!rng_.bernoulli(packet_rate_)) continue;
     const auto dst = traffic_->destination(t, rng_);
     if (!dst.has_value()) continue;
     Packet packet;
@@ -174,7 +316,7 @@ void PacketSim::step_injection() {
     packet.injected_cycle = now_;
     packet.flow_sequence = flow_sequence_[t]++;
     const auto channel =
-        oracle_->next_channel(view, terminal_vertices_[t], packet);
+        oracle_->next_channel(view_, terminal_vertices_[t], packet);
     ++injected_;
     if (channel == fault::kNoRoute || !channel_usable(channel)) {
       // Offered but lost: the terminal's uplink is dead.
@@ -183,7 +325,7 @@ void PacketSim::step_injection() {
     }
     // Terminal source queues are unbounded: depth is not tracked against
     // capacity, matching an infinite NIC send queue.
-    channels_[channel].queue.push_back(packet);
+    queue_push(channel, packet);
   }
 }
 
@@ -195,19 +337,11 @@ SimResult PacketSim::run() {
     step_arrivals();
     step_transmissions();
     step_injection();
-    if (measuring_) {
-      // Sample switch queue depths (terminal source queues excluded).
-      std::uint64_t sum = 0;
-      std::uint64_t count = 0;
-      for (std::uint32_t c = 0; c < channels_.size(); ++c) {
-        if (is_terminal_source_queue_[c]) continue;
-        sum += queue_depth_[c];
-        ++count;
-      }
-      if (count > 0) {
-        queue_depth_samples_.add(static_cast<double>(sum) /
-                                 static_cast<double>(count));
-      }
+    if (measuring_ && switch_channel_count_ > 0) {
+      // Sample switch queue depths (terminal source queues excluded);
+      // the sum is maintained incrementally by queue_push/pop/clear.
+      queue_depth_samples_.add(static_cast<double>(switch_depth_sum_) /
+                               static_cast<double>(switch_channel_count_));
     }
   }
 
@@ -221,12 +355,12 @@ SimResult PacketSim::run() {
       (static_cast<double>(config_.measure_cycles) *
        static_cast<double>(terminal_vertices_.size()));
   result.mean_latency = latency_.mean();
-  if (!latencies_.empty()) {
-    auto sorted = latencies_;
-    std::sort(sorted.begin(), sorted.end());
-    const auto idx = static_cast<std::size_t>(
-        0.99 * static_cast<double>(sorted.size() - 1));
-    result.p99_latency = sorted[idx];
+  result.latency_bucket_width =
+      static_cast<double>(latency_hist_.bucket_width());
+  if (latency_hist_.count() > 0) {
+    result.p50_latency = latency_hist_.quantile(0.50);
+    result.p99_latency = latency_hist_.quantile(0.99);
+    result.p999_latency = latency_hist_.quantile(0.999);
   }
   result.mean_switch_queue_depth = queue_depth_samples_.mean();
   // Fairness extremes over sources that injected anything.
@@ -247,46 +381,168 @@ SimResult PacketSim::run() {
   return result;
 }
 
+// --- sweep drivers ----------------------------------------------------
+
+namespace {
+
+/// One sweep run with a worker-private oracle (and, when faulted, a
+/// run-private copy of the initial degraded view).
+SimResult run_single(const Network& net, const OracleFactory& factory,
+                     const TrafficPattern& traffic, SimConfig config,
+                     std::uint64_t run_seed,
+                     const fault::DegradedView* degraded,
+                     const std::vector<fault::FaultEvent>& fault_events) {
+  if (degraded == nullptr) {
+    const auto oracle = factory(run_seed, nullptr);
+    PacketSim sim(net, *oracle, traffic, config);
+    return sim.run();
+  }
+  fault::DegradedView view = *degraded;
+  const auto oracle = factory(run_seed, &view);
+  PacketSim sim(net, *oracle, traffic, config, &view, fault_events);
+  return sim.run();
+}
+
+}  // namespace
+
+std::vector<SimResult> load_sweep(
+    const Network& net, RoutingOracle& oracle, const TrafficPattern& traffic,
+    const SimConfig& base, const std::vector<double>& rates,
+    fault::DegradedView* degraded,
+    const std::vector<fault::FaultEvent>& fault_events) {
+  NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  std::vector<SimResult> results;
+  results.reserve(rates.size());
+  const fault::DegradedView snapshot =
+      degraded != nullptr ? *degraded : fault::DegradedView(net);
+  for (const double rate : rates) {
+    SimConfig config = base;
+    config.injection_rate = rate;
+    if (degraded != nullptr) *degraded = snapshot;
+    PacketSim sim(net, oracle, traffic, config, degraded, fault_events);
+    results.push_back(sim.run());
+  }
+  if (degraded != nullptr) *degraded = snapshot;
+  return results;
+}
+
+std::vector<SimResult> load_sweep(
+    const Network& net, const OracleFactory& factory,
+    const TrafficPattern& traffic, const SimConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool,
+    const fault::DegradedView* degraded,
+    const std::vector<fault::FaultEvent>& fault_events) {
+  NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  std::vector<SimResult> results(rates.size());
+  const auto run_at = [&](std::size_t i) {
+    SimConfig config = base;
+    config.injection_rate = rates[i];
+    results[i] = run_single(net, factory, traffic, config,
+                            sweep_run_seed(base.seed, 0x10adu, i), degraded,
+                            fault_events);
+  };
+  if (pool != nullptr && rates.size() > 1) {
+    pool->parallel_for(0, rates.size(), run_at);
+  } else {
+    for (std::size_t i = 0; i < rates.size(); ++i) run_at(i);
+  }
+  return results;
+}
+
 double find_saturation_load(const Network& net, RoutingOracle& oracle,
                             const TrafficPattern& traffic,
-                            const SimConfig& base, std::uint32_t iterations) {
+                            const SimConfig& base, std::uint32_t iterations,
+                            fault::DegradedView* degraded,
+                            const std::vector<fault::FaultEvent>& fault_events) {
+  NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  const fault::DegradedView snapshot =
+      degraded != nullptr ? *degraded : fault::DegradedView(net);
+  const auto probe = [&](double load) {
+    SimConfig config = base;
+    config.injection_rate = load;
+    if (degraded != nullptr) *degraded = snapshot;
+    PacketSim sim(net, oracle, traffic, config, degraded, fault_events);
+    return sim.run().saturated();
+  };
   double lo = 0.0;
   double hi = 1.0;
   // Check full load first: nonblocking fabrics sustain it and we can
   // return without bisection error.
-  {
-    SimConfig config = base;
-    config.injection_rate = 1.0;
-    PacketSim sim(net, oracle, traffic, config);
-    if (!sim.run().saturated()) return 1.0;
+  bool done = !probe(1.0);
+  if (!done) {
+    for (std::uint32_t i = 0; i < iterations; ++i) {
+      const double mid = (lo + hi) / 2.0;
+      if (probe(mid)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
   }
+  if (degraded != nullptr) *degraded = snapshot;
+  return done ? 1.0 : lo;
+}
+
+double find_saturation_load(const Network& net, const OracleFactory& factory,
+                            const TrafficPattern& traffic,
+                            const SimConfig& base, std::uint32_t iterations,
+                            ThreadPool* pool,
+                            const fault::DegradedView* degraded,
+                            const std::vector<fault::FaultEvent>& fault_events) {
+  NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  // Bracketing phase: probe a coarse, fixed load grid concurrently.  The
+  // grid includes 1.0, so a fabric that sustains full load is recognized
+  // without any bisection (matching the serial fast path).
+  constexpr std::uint32_t kGridProbes = 8;
+  std::vector<std::uint8_t> saturated(kGridProbes, 0);
+  const auto grid_load = [](std::uint32_t i) {
+    return static_cast<double>(i + 1) / kGridProbes;
+  };
+  const auto probe_at = [&](std::size_t i) {
+    SimConfig config = base;
+    config.injection_rate = grid_load(static_cast<std::uint32_t>(i));
+    saturated[i] = run_single(net, factory, traffic, config,
+                              sweep_run_seed(base.seed, 0xb4acu, i), degraded,
+                              fault_events)
+                       .saturated();
+  };
+  if (pool != nullptr) {
+    pool->parallel_for(0, kGridProbes, probe_at);
+  } else {
+    for (std::size_t i = 0; i < kGridProbes; ++i) probe_at(i);
+  }
+  std::uint32_t first_saturated = kGridProbes;
+  for (std::uint32_t i = 0; i < kGridProbes; ++i) {
+    if (saturated[i] != 0) {
+      first_saturated = i;
+      break;
+    }
+  }
+  if (first_saturated == kGridProbes) return 1.0;
+  // Bisect the bracketing interval serially (each step depends on the
+  // last); per-step seeds keep the result thread-count independent.
+  double lo = first_saturated == 0 ? 0.0 : grid_load(first_saturated - 1);
+  double hi = grid_load(first_saturated);
   for (std::uint32_t i = 0; i < iterations; ++i) {
     const double mid = (lo + hi) / 2.0;
     SimConfig config = base;
     config.injection_rate = mid;
-    PacketSim sim(net, oracle, traffic, config);
-    if (sim.run().saturated()) {
+    const bool mid_saturated =
+        run_single(net, factory, traffic, config,
+                   sweep_run_seed(base.seed, 0xb15ec7u, i), degraded,
+                   fault_events)
+            .saturated();
+    if (mid_saturated) {
       hi = mid;
     } else {
       lo = mid;
     }
   }
   return lo;
-}
-
-std::vector<SimResult> load_sweep(const Network& net, RoutingOracle& oracle,
-                                  const TrafficPattern& traffic,
-                                  const SimConfig& base,
-                                  const std::vector<double>& rates) {
-  std::vector<SimResult> results;
-  results.reserve(rates.size());
-  for (const double rate : rates) {
-    SimConfig config = base;
-    config.injection_rate = rate;
-    PacketSim sim(net, oracle, traffic, config);
-    results.push_back(sim.run());
-  }
-  return results;
 }
 
 }  // namespace nbclos::sim

@@ -93,6 +93,44 @@ double Histogram::quantile(double q) const {
   return hi_;
 }
 
+QuantileHistogram::QuantileHistogram(std::uint64_t max_value,
+                                     std::size_t max_bins)
+    : width_(max_value / max_bins + 1),
+      counts_(static_cast<std::size_t>(max_value / (max_value / max_bins + 1)) +
+                  1,
+              0) {
+  NBCLOS_REQUIRE(max_bins > 0, "histogram needs at least one bucket");
+}
+
+void QuantileHistogram::add(std::uint64_t value) noexcept {
+  const auto idx = static_cast<std::size_t>(value / width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+  ++total_;
+}
+
+void QuantileHistogram::merge(const QuantileHistogram& other) {
+  NBCLOS_REQUIRE(width_ == other.width_ &&
+                     counts_.size() == other.counts_.size(),
+                 "cannot merge histograms with different geometry");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
+double QuantileHistogram::quantile(double q) const {
+  NBCLOS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (total_ == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > rank) {
+      return static_cast<double>(i * width_);
+    }
+  }
+  return static_cast<double>((counts_.size() - 1) * width_);
+}
+
 PowerFit fit_power_law(const std::vector<double>& x,
                        const std::vector<double>& y) {
   NBCLOS_REQUIRE(x.size() == y.size(), "x/y length mismatch");

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "nbclos/util/check.hpp"
@@ -113,6 +114,76 @@ TEST(Histogram, QuantileInterpolates) {
 TEST(Histogram, RejectsBadConstruction) {
   EXPECT_THROW(Histogram(1.0, 1.0, 4), precondition_error);
   EXPECT_THROW(Histogram(0.0, 1.0, 0), precondition_error);
+}
+
+TEST(QuantileHistogram, EmptyIsZero) {
+  QuantileHistogram h(1000);
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(QuantileHistogram, UnitBucketsWhenRangeFitsBinBudget) {
+  // max_value < max_bins => one integer per bucket, quantiles exact.
+  QuantileHistogram h(100);
+  EXPECT_EQ(h.bucket_width(), 1U);
+  for (std::uint64_t v = 0; v <= 100; ++v) h.add(v);
+  // Rank convention sorted[floor(q * (n - 1))] over n = 101 samples.
+  EXPECT_EQ(h.quantile(0.0), 0.0);
+  EXPECT_EQ(h.quantile(0.5), 50.0);
+  EXPECT_EQ(h.quantile(0.99), 99.0);
+  EXPECT_EQ(h.quantile(1.0), 100.0);
+}
+
+TEST(QuantileHistogram, MatchesSortBasedQuantileWithinOneBucket) {
+  // Wide value range forces multi-integer buckets; the streaming p99 must
+  // land within one bucket width of the exact sort-based p99.
+  constexpr std::uint64_t kMax = 1000000;
+  QuantileHistogram h(kMax, 4096);
+  Xoshiro256 rng(42);
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 20000; ++i) {
+    // Skewed distribution, as latencies are.
+    const auto v = rng.below(1000) * rng.below(1000);
+    samples.push_back(v);
+    h.add(v);
+  }
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+    const auto exact = static_cast<double>(samples[static_cast<std::size_t>(
+        q * static_cast<double>(samples.size() - 1))]);
+    const auto approx = h.quantile(q);
+    EXPECT_LE(approx, exact);
+    EXPECT_GT(approx + static_cast<double>(h.bucket_width()), exact)
+        << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, SaturatesIntoTopBucket) {
+  QuantileHistogram h(10);
+  h.add(10000);  // beyond max_value: clamps, never out of range
+  EXPECT_EQ(h.count(), 1U);
+  EXPECT_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(QuantileHistogram, MergeMatchesSequentialFill) {
+  QuantileHistogram a(500);
+  QuantileHistogram b(500);
+  QuantileHistogram all(500);
+  for (std::uint64_t v = 0; v < 300; ++v) {
+    (v % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_EQ(a.quantile(q), all.quantile(q));
+  }
+}
+
+TEST(QuantileHistogram, MergeRejectsMismatchedGeometry) {
+  QuantileHistogram a(500);
+  QuantileHistogram b(50000);
+  EXPECT_THROW(a.merge(b), precondition_error);
 }
 
 TEST(PowerFit, RecoversExactPowerLaw) {

@@ -8,9 +8,13 @@
 ///   nbclos certify <n> [r]
 ///   nbclos schedule <n> <r>
 ///   nbclos simulate <n> <r> <load> <routing: thm3|dmodk|random|adaptive>
+///   nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]
+///   nbclos saturation <n> <r> <routing> [iterations] [threads]
 ///   nbclos circuit <n> <m> <r> [steps]
 ///   nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]
 #include <iostream>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +38,8 @@ int usage() {
             << "  nbclos certify <n> [r]\n"
             << "  nbclos schedule <n> <r>\n"
             << "  nbclos simulate <n> <r> <load> <thm3|dmodk|random|adaptive>\n"
+            << "  nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]\n"
+            << "  nbclos saturation <n> <r> <routing> [iterations] [threads]\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
             << "  nbclos dot <n> [r]           (Graphviz to stdout)\n"
             << "  nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]\n";
@@ -160,6 +166,121 @@ int cmd_simulate(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Routing-policy name -> oracle factory for the parallel sweep drivers.
+/// `table` (when non-null) must outlive every run the factory seeds.
+nbclos::sim::OracleFactory make_oracle_factory(
+    const nbclos::FoldedClos& ft, const nbclos::RoutingTable* table,
+    const std::string& routing) {
+  using nbclos::sim::UplinkPolicy;
+  UplinkPolicy policy;
+  if (routing == "thm3") {
+    policy = UplinkPolicy::kTable;
+  } else if (routing == "dmodk") {
+    policy = UplinkPolicy::kDModK;
+  } else if (routing == "random") {
+    policy = UplinkPolicy::kRandom;
+  } else if (routing == "adaptive") {
+    policy = UplinkPolicy::kLeastQueue;
+  } else {
+    throw std::invalid_argument("unknown routing: " + routing);
+  }
+  return [&ft, table, policy](std::uint64_t run_seed,
+                              nbclos::fault::DegradedView*) {
+    return std::make_unique<nbclos::sim::FtreeOracle>(ft, policy, table,
+                                                      run_seed);
+  };
+}
+
+std::vector<double> parse_rates_csv(const std::string& csv) {
+  std::vector<double> rates;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) rates.push_back(std::stod(item));
+  return rates;
+}
+
+int cmd_load_sweep(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const std::string routing = args.at(2);
+  const std::vector<double> rates =
+      args.size() >= 4 ? parse_rates_csv(args[3])
+                       : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  const std::size_t threads = args.size() >= 5 ? std::stoull(args[4]) : 0;
+
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
+  const auto net = nbclos::build_network(ft);
+  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+  std::unique_ptr<nbclos::RoutingTable> table;
+  if (routing == "thm3") {
+    const nbclos::YuanNonblockingRouting yuan(ft);
+    table = std::make_unique<nbclos::RoutingTable>(
+        nbclos::RoutingTable::materialize(yuan));
+  }
+  const auto factory = make_oracle_factory(ft, table.get(), routing);
+
+  nbclos::sim::SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  nbclos::ThreadPool pool(threads);
+  const auto results = nbclos::sim::load_sweep(net, factory, traffic, config,
+                                               rates, &pool);
+
+  std::cout << "Load sweep on ftree(" << n << "+" << n * n << ", " << r
+            << "), " << routing << ", shift permutation (" << pool.thread_count()
+            << " threads; results are thread-count independent):\n";
+  nbclos::TextTable out({"offered", "accepted", "mean lat", "p50", "p99",
+                         "p99.9", "queue depth", "saturated"});
+  for (const auto& result : results) {
+    out.add_row({nbclos::format_double(result.offered_load),
+                 nbclos::format_double(result.accepted_throughput),
+                 nbclos::format_double(result.mean_latency, 1),
+                 nbclos::format_double(result.p50_latency, 1),
+                 nbclos::format_double(result.p99_latency, 1),
+                 nbclos::format_double(result.p999_latency, 1),
+                 nbclos::format_double(result.mean_switch_queue_depth),
+                 result.saturated() ? "yes" : "no"});
+  }
+  out.print(std::cout);
+  return 0;
+}
+
+int cmd_saturation(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const std::string routing = args.at(2);
+  const std::uint32_t iterations = args.size() >= 4 ? arg_u32(args, 3) : 6;
+  const std::size_t threads = args.size() >= 5 ? std::stoull(args[4]) : 0;
+
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
+  const auto net = nbclos::build_network(ft);
+  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+  std::unique_ptr<nbclos::RoutingTable> table;
+  if (routing == "thm3") {
+    const nbclos::YuanNonblockingRouting yuan(ft);
+    table = std::make_unique<nbclos::RoutingTable>(
+        nbclos::RoutingTable::materialize(yuan));
+  }
+  const auto factory = make_oracle_factory(ft, table.get(), routing);
+
+  nbclos::sim::SimConfig config;
+  config.warmup_cycles = 2000;
+  config.measure_cycles = 8000;
+  nbclos::ThreadPool pool(threads);
+  const double sat = nbclos::sim::find_saturation_load(
+      net, factory, traffic, config, iterations, &pool);
+  std::cout << "ftree(" << n << "+" << n * n << ", " << r << "), " << routing
+            << ", shift permutation:\n  saturation load: "
+            << nbclos::format_double(sat)
+            << " flits/cycle/terminal (bracketing grid + " << iterations
+            << " bisection steps, " << pool.thread_count() << " threads)\n";
+  return 0;
+}
+
 int cmd_circuit(const std::vector<std::string>& args) {
   const auto n = arg_u32(args, 0);
   const auto m = arg_u32(args, 1);
@@ -238,6 +359,12 @@ int main(int argc, char** argv) {
     if (command == "certify" && args.size() >= 1) return cmd_certify(args);
     if (command == "schedule" && args.size() >= 2) return cmd_schedule(args);
     if (command == "simulate" && args.size() >= 4) return cmd_simulate(args);
+    if (command == "load-sweep" && args.size() >= 3) {
+      return cmd_load_sweep(args);
+    }
+    if (command == "saturation" && args.size() >= 3) {
+      return cmd_saturation(args);
+    }
     if (command == "circuit" && args.size() >= 3) return cmd_circuit(args);
     if (command == "fault-sweep" && args.size() >= 3) {
       return cmd_fault_sweep(args);
