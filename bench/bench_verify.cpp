@@ -1,0 +1,209 @@
+/// \file bench_verify.cpp
+/// \brief Verification-engine throughput: permutations/sec and hill-climb
+///        steps/sec of the adversarial and exhaustive verifiers.
+///
+/// Three sections, one JSON document on stdout (schema in EXPERIMENTS.md):
+///   * adversarial — worst_case_search with a fixed budget on
+///     ftree(4+16, 8) under d-mod-k, full re-evaluation vs. the
+///     delta-evaluated overload (same seeds, so both walk the identical
+///     trajectory and must agree on the collision count — asserted);
+///   * exhaustive — verify_exhaustive over all leaf_count! permutations of
+///     a nonblocking instance (no early exit), serial and sharded over
+///     1/2/8 pool threads;
+///   * lemma2 — root_capacity_exact / root_capacity_bruteforce timings at
+///     the caps the branch-and-bound search lifted them to.
+/// Pass --quick for CI smoke budgets, --threads <T> to cap the scaling
+/// sweep.  Results are seeded and bit-reproducible; timings are not, so
+/// every timed section runs once untimed (warm-up) and then reports the
+/// best of three timed repetitions — the repeatable cost of the work,
+/// not whatever the scheduler did to one run.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nbclos/analysis/parallel.hpp"
+#include "nbclos/analysis/root_capacity.hpp"
+#include "nbclos/analysis/verifier.hpp"
+#include "nbclos/routing/baselines.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One untimed warm-up call, then the minimum wall time over `reps`
+/// timed calls.  The searches are deterministic, so every call computes
+/// the same result and only the timing varies.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = seconds_since(t0);
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
+constexpr int kTimingReps = 3;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::size_t max_threads = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") quick = true;
+    if (arg == "--threads" && i + 1 < argc) {
+      max_threads = std::stoull(argv[i + 1]);
+    }
+  }
+
+  std::cout << "{\n  \"experiment\": \"verify_engine\",\n"
+            << "  \"hardware_concurrency\": "
+            << std::thread::hardware_concurrency() << ",\n";
+
+  // --- Adversarial: full re-evaluation vs delta evaluation. ------------
+  {
+    constexpr std::uint32_t kN = 4;
+    constexpr std::uint32_t kR = 8;
+    const nbclos::FoldedClos ftree(nbclos::FtreeParams{kN, kN * kN, kR});
+    const nbclos::DModKRouting dmodk(ftree);
+    nbclos::AdversarialOptions options;
+    options.restarts = quick ? 2 : 8;
+    options.steps_per_restart = quick ? 200 : 2000;
+
+    nbclos::WorstCaseResult full;
+    const double full_secs = best_seconds(kTimingReps, [&] {
+      nbclos::Xoshiro256 rng(7);
+      full = nbclos::worst_case_search(ftree, nbclos::as_pattern_router(dmodk),
+                                       options, rng);
+    });
+
+    nbclos::WorstCaseResult delta;
+    const double delta_secs = best_seconds(kTimingReps, [&] {
+      nbclos::Xoshiro256 rng(7);
+      delta = nbclos::worst_case_search(ftree, dmodk, options, rng);
+    });
+
+    if (full.collisions != delta.collisions ||
+        full.evaluations != delta.evaluations) {
+      std::cerr << "delta/full mismatch: " << delta.collisions << " vs "
+                << full.collisions << "\n";
+      return 1;
+    }
+    const double full_rate = static_cast<double>(full.evaluations) / full_secs;
+    const double delta_rate =
+        static_cast<double>(delta.evaluations) / delta_secs;
+    std::cout << "  \"adversarial\": {\n"
+              << "    \"topology\": \"ftree(" << kN << "+" << kN * kN << ", "
+              << kR << ")\",\n    \"routing\": \"d-mod-k\",\n"
+              << "    \"restarts\": " << options.restarts
+              << ", \"steps_per_restart\": " << options.steps_per_restart
+              << ",\n    \"worst_collisions\": " << full.collisions
+              << ", \"evaluations\": " << full.evaluations << ",\n"
+              << "    \"full\": {\"seconds\": " << full_secs
+              << ", \"perms_per_sec\": " << full_rate << "},\n"
+              << "    \"delta\": {\"seconds\": " << delta_secs
+              << ", \"perms_per_sec\": " << delta_rate << "},\n"
+              << "    \"speedup\": " << delta_rate / full_rate << "\n  },\n";
+  }
+
+  // --- Exhaustive: serial vs sharded thread scaling. -------------------
+  {
+    // 9! = 362880 permutations in the full run — big enough to amortize
+    // shard startup; --quick drops to 7! = 5040.
+    const std::uint32_t n = quick ? 1 : 3;
+    const std::uint32_t r = quick ? 7 : 3;
+    const nbclos::FoldedClos ftree(nbclos::FtreeParams{n, n * n, r});
+    const nbclos::YuanNonblockingRouting yuan(ftree);
+    const auto factory = [&yuan](std::uint64_t) {
+      return nbclos::as_pattern_router(yuan);
+    };
+
+    nbclos::VerifyResult serial;
+    const double serial_secs = best_seconds(kTimingReps, [&] {
+      serial = nbclos::verify_exhaustive(ftree, nbclos::as_pattern_router(yuan));
+    });
+    if (!serial.nonblocking) {
+      std::cerr << "expected a nonblocking instance\n";
+      return 1;
+    }
+    const double serial_rate =
+        static_cast<double>(serial.permutations_checked) / serial_secs;
+    std::cout << "  \"exhaustive\": {\n    \"topology\": \"ftree(" << n << "+"
+              << n * n << ", " << r << ")\",\n"
+              << "    \"routing\": \"" << yuan.name() << "\",\n"
+              << "    \"permutations\": " << serial.permutations_checked
+              << ",\n    \"serial\": {\"seconds\": " << serial_secs
+              << ", \"perms_per_sec\": " << serial_rate << "},\n"
+              << "    \"sharded\": [\n";
+    bool first = true;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      if (threads > max_threads) continue;
+      nbclos::ThreadPool pool(threads);
+      nbclos::VerifyResult sharded;
+      const double secs = best_seconds(kTimingReps, [&] {
+        sharded = nbclos::verify_exhaustive_parallel(ftree, factory, pool);
+      });
+      if (sharded.nonblocking != serial.nonblocking ||
+          sharded.permutations_checked != serial.permutations_checked) {
+        std::cerr << "sharded exhaustive diverged from serial\n";
+        return 1;
+      }
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "      {\"threads\": " << threads
+                << ", \"seconds\": " << secs << ", \"perms_per_sec\": "
+                << static_cast<double>(sharded.permutations_checked) / secs
+                << ", \"speedup_vs_serial\": " << serial_secs / secs << "}";
+    }
+    std::cout << "\n    ]\n  },\n";
+  }
+
+  // --- Lemma 2 searches at the lifted caps. ----------------------------
+  {
+    struct Case {
+      std::uint32_t n, r;
+      bool bruteforce;
+    };
+    const std::vector<Case> cases =
+        quick ? std::vector<Case>{{2, 8, false}, {2, 3, true}}
+              : std::vector<Case>{{2, 9, false},
+                                  {2, 10, false},
+                                  {3, 10, false},
+                                  {2, 3, true},
+                                  {3, 2, true}};
+    std::cout << "  \"lemma2\": [\n";
+    bool first = true;
+    for (const auto c : cases) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const std::uint64_t value = c.bruteforce
+                                      ? nbclos::root_capacity_bruteforce(c.n,
+                                                                         c.r)
+                                      : nbclos::root_capacity_exact(c.n, c.r);
+      const double secs = seconds_since(t0);
+      if (!first) std::cout << ",\n";
+      first = false;
+      std::cout << "    {\"n\": " << c.n << ", \"r\": " << c.r
+                << ", \"search\": \""
+                << (c.bruteforce ? "bruteforce" : "exact")
+                << "\", \"value\": " << value << ", \"bound\": "
+                << nbclos::root_capacity_bound(c.n, c.r)
+                << ", \"seconds\": " << secs << "}";
+    }
+    std::cout << "\n  ]\n}\n";
+  }
+  return 0;
+}

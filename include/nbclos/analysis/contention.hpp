@@ -19,6 +19,13 @@
 namespace nbclos {
 
 /// Per-link path counters for one routed pattern.
+///
+/// The collision statistics are maintained *incrementally*: every
+/// add/remove updates a running sum-of-C(load, 2) and contended-link
+/// count, so `colliding_pairs()` and `contended_links()` are O(1).  That
+/// makes the map usable as persistent hill-climb state — a two-target
+/// swap removes and re-adds at most four paths instead of rebuilding the
+/// whole map (see analysis/delta.hpp).
 class LinkLoadMap {
  public:
   explicit LinkLoadMap(const FoldedClos& ftree)
@@ -26,21 +33,44 @@ class LinkLoadMap {
 
   void add_path(const FtreePath& path);
   void add_paths(const std::vector<FtreePath>& paths);
+  /// Undo a previous add_path of the same path.  \pre every link of the
+  /// path currently has load >= 1.
+  void remove_path(const FtreePath& path);
+  /// Zero every counter (O(link_count)).
+  void clear();
 
   [[nodiscard]] std::uint32_t load(LinkId link) const {
     NBCLOS_REQUIRE(link.value < load_.size(), "link id out of range");
     return load_[link.value];
   }
   /// Number of links carrying two or more paths.
-  [[nodiscard]] std::uint32_t contended_links() const;
+  [[nodiscard]] std::uint32_t contended_links() const noexcept {
+    return contended_links_;
+  }
   /// Number of colliding path pairs, summed over links: sum C(load, 2).
-  [[nodiscard]] std::uint64_t colliding_pairs() const;
+  [[nodiscard]] std::uint64_t colliding_pairs() const noexcept {
+    return colliding_pairs_;
+  }
   [[nodiscard]] std::uint32_t max_load() const;
   [[nodiscard]] bool contention_free() const { return contended_links() == 0; }
 
  private:
+  void bump(LinkId link) {
+    auto& l = load_[link.value];
+    colliding_pairs_ += l;  // new path collides with each resident one
+    if (++l == 2) ++contended_links_;
+  }
+  void drop(LinkId link) {
+    auto& l = load_[link.value];
+    NBCLOS_REQUIRE(l > 0, "removing path from empty link");
+    if (l-- == 2) --contended_links_;
+    colliding_pairs_ -= l;
+  }
+
   const FoldedClos* ftree_;
   std::vector<std::uint32_t> load_;
+  std::uint64_t colliding_pairs_ = 0;
+  std::uint32_t contended_links_ = 0;
 };
 
 /// Convenience: does this pattern cause contention under these paths?
@@ -48,7 +78,8 @@ class LinkLoadMap {
                                   const std::vector<FtreePath>& paths);
 
 /// One Lemma 1 violation: a link carrying traffic from >= 2 sources AND
-/// to >= 2 destinations.
+/// to >= 2 destinations.  The counts are the *exact* numbers of distinct
+/// sources / destinations whose traffic crosses the link.
 struct LinkAuditViolation {
   LinkId link;
   std::uint32_t distinct_sources = 0;

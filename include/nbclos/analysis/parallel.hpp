@@ -39,4 +39,38 @@ using PatternRouterFactory =
     std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
     std::uint32_t chunks = 16);
 
+/// Parallel exhaustive verification, sharded over contiguous lexicographic
+/// rank ranges of the full permutation space (factorial-number-system
+/// unrank seeds each shard, std::next_permutation walks it).  An atomic
+/// lowest-counterexample-rank flag lets shards abandon ranks that can no
+/// longer matter, and the merged result — the lowest-rank counterexample,
+/// with permutations_checked = its rank + 1 (or leafs! when nonblocking)
+/// — is bit-identical to serial verify_exhaustive at any thread count.
+/// `shards` == 0 picks 16 per pool thread.  \pre leaf_count <= 11.
+[[nodiscard]] VerifyResult verify_exhaustive_parallel(
+    const FoldedClos& ftree, const PatternRouterFactory& make_router,
+    ThreadPool& pool, std::uint32_t shards = 0);
+
+/// The per-restart seed used by the parallel adversarial drivers;
+/// exposed so tools can reproduce an individual restart.
+[[nodiscard]] std::uint64_t adversarial_restart_seed(std::uint64_t seed,
+                                                     std::uint32_t restart);
+
+/// Parallel delta-evaluated adversarial search: every restart runs with
+/// its own SplitMix64-derived seed and private SwapDeltaState, so the
+/// merged result (lowest failing restart index wins; permutations_checked
+/// sums restarts up to and including it) is thread-count independent.
+/// `routing` is shared read-only across workers and must be thread-safe
+/// under concurrent route() calls — true of all deterministic routings
+/// in this library.
+[[nodiscard]] VerifyResult verify_adversarial_parallel(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
+    const AdversarialOptions& options, std::uint64_t seed, ThreadPool& pool);
+
+/// Parallel worst-case maximization over per-restart seeds; the merged
+/// result takes the max-collision restart (lowest index on ties).
+[[nodiscard]] WorstCaseResult worst_case_search_parallel(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
+    const AdversarialOptions& options, std::uint64_t seed, ThreadPool& pool);
+
 }  // namespace nbclos

@@ -66,10 +66,43 @@ void validate_permutation(const Permutation& pattern,
 [[nodiscard]] Permutation neighbor_funnel_permutation(std::uint32_t n,
                                                       std::uint32_t r);
 
+/// Convert a full target vector (leaf s sends to target[s]) into a
+/// Permutation, dropping fixed points.  The `out` variant reuses the
+/// caller's buffer — the adversarial and exhaustive searches call this
+/// once per evaluated permutation, so it must not allocate.
+void permutation_from_targets(const std::vector<std::uint32_t>& target,
+                              Permutation& out);
+[[nodiscard]] Permutation permutation_from_targets(
+    const std::vector<std::uint32_t>& target);
+
+/// k! as uint64.  \pre k <= 20 (21! overflows).
+[[nodiscard]] std::uint64_t factorial(std::uint32_t k);
+
+/// The target vector of the `rank`-th permutation of {0..leaf_count-1}
+/// in lexicographic order, via the factorial number system.
+/// \pre leaf_count <= 20 and rank < leaf_count!.
+[[nodiscard]] std::vector<std::uint32_t> unrank_targets(
+    std::uint32_t leaf_count, std::uint64_t rank);
+
+/// Inverse of unrank_targets: the lexicographic rank of a target vector.
+[[nodiscard]] std::uint64_t rank_of_targets(
+    const std::vector<std::uint32_t>& target);
+
 /// Enumerate every full permutation of `leaf_count` leaves (dropping
 /// fixed points from each) and invoke the callback.  Returns the number
 /// of permutations visited.  Only sensible for leaf_count <= ~8.
 std::uint64_t for_each_permutation(
     std::uint32_t leaf_count, const std::function<void(const Permutation&)>& fn);
+
+/// Enumerate permutations with lexicographic rank in [begin_rank,
+/// end_rank) in rank order; the callback returns false to stop early.
+/// Returns the number visited (including the one that stopped the walk).
+/// The Permutation passed to the callback lives in a reused buffer —
+/// copy it if it must outlive the call.  This is the sharding primitive
+/// for the parallel exhaustive verifier: each worker owns one contiguous
+/// rank range.  \pre leaf_count <= 20, begin <= end <= leaf_count!.
+std::uint64_t for_each_permutation_in_range(
+    std::uint32_t leaf_count, std::uint64_t begin_rank, std::uint64_t end_rank,
+    const std::function<bool(const Permutation&)>& fn);
 
 }  // namespace nbclos

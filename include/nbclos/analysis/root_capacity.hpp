@@ -13,10 +13,13 @@
 ///     target one destination node), and symmetrically for downlinks;
 ///     after normalizing designated nodes to local index 0 (a per-switch
 ///     relabeling argument, see the implementation comment) the optimum
-///     decomposes per downlink given the uplink modes, so exhaustive
-///     search over uplink modes is exact in O(r^r * r^2);
+///     decomposes per downlink given the uplink modes; branch-and-bound
+///     over uplink modes with an admissible per-switch upper bound and
+///     incremental counters makes the search exact up to r = 10;
 ///   * a subset brute force (`root_capacity_bruteforce`) that checks the
-///     mode model on tiny instances by searching raw SD-pair subsets;
+///     mode model on tiny instances by searching raw SD-pair subsets,
+///     itself branch-and-bound via a feasibility-aware compatible-pair
+///     bound and incremental link states;
 ///   * the always-feasible witness of size r(r-1).
 #pragma once
 
@@ -31,14 +34,14 @@ namespace nbclos {
 [[nodiscard]] std::uint64_t root_capacity_bound(std::uint32_t n,
                                                 std::uint32_t r);
 
-/// Exact maximum feasible SD-pair count through one top switch.
-/// \pre r <= 8 (search is O(r^r * r^2)).
+/// Exact maximum feasible SD-pair count through one top switch, by
+/// branch-and-bound over uplink modes.  \pre r <= 10.
 [[nodiscard]] std::uint64_t root_capacity_exact(std::uint32_t n,
                                                 std::uint32_t r);
 
 /// Exact maximum by raw subset search over all r(r-1)n^2 SD pairs with
-/// feasibility pruning.  \pre r(r-1)n^2 <= 30.  Used to validate the
-/// mode model.
+/// incremental feasibility pruning and a compatible-remaining bound.
+/// \pre r(r-1)n^2 <= 60.  Used to validate the mode model.
 [[nodiscard]] std::uint64_t root_capacity_bruteforce(std::uint32_t n,
                                                      std::uint32_t r);
 

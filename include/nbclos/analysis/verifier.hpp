@@ -13,7 +13,11 @@
 ///
 /// The router under test is abstracted as a function from a permutation
 /// to its paths, so deterministic, adaptive, and centralized schemes all
-/// fit one interface.
+/// fit one interface.  Single-path deterministic routings additionally
+/// get *delta-evaluated* overloads: their hill-climb steps re-route only
+/// the <= 4 SD pairs a swap touches (see analysis/delta.hpp) instead of
+/// the whole pattern, which is what makes large adversarial budgets and
+/// the parallel drivers in analysis/parallel.hpp affordable.
 #pragma once
 
 #include <cstdint>
@@ -41,8 +45,12 @@ struct VerifyResult {
   std::uint64_t counterexample_collisions = 0;
 };
 
-/// Exhaustively check every full permutation.  \pre leaf_count <= 10.
-/// A `nonblocking == true` result is a proof for this instance.
+/// Exhaustively check every full permutation in lexicographic rank order,
+/// stopping at the first (lowest-rank) counterexample.  \pre leaf_count
+/// <= 10.  A `nonblocking == true` result is a proof for this instance;
+/// `permutations_checked` is the rank of the counterexample + 1 when one
+/// is found, else leaf_count!.  The parallel driver
+/// (verify_exhaustive_parallel) returns bit-identical results.
 [[nodiscard]] VerifyResult verify_exhaustive(const FoldedClos& ftree,
                                              const PatternRouter& router);
 
@@ -54,14 +62,46 @@ struct VerifyResult {
 
 /// Adversarial search: hill-climb from random starts, swapping pairs of
 /// destinations; keeps a mutation when it does not decrease the number
-/// of colliding path pairs.  Returns the worst permutation found.
+/// of colliding path pairs.  Restarts are independent — each gets its
+/// own seed — so they can be run in any order or in parallel without
+/// changing the merged result.
 struct AdversarialOptions {
   std::uint32_t restarts = 8;
   std::uint32_t steps_per_restart = 2000;
 };
 
+/// Outcome of one hill-climb restart — the building block both the
+/// serial and parallel adversarial drivers shard over.
+struct RestartResult {
+  std::uint64_t collisions = 0;   ///< best colliding-pair count reached
+  Permutation pattern;            ///< the pattern achieving it
+  std::uint64_t evaluations = 0;  ///< permutations scored (incl. the start)
+};
+
+/// One restart with full re-evaluation per step (any PatternRouter).
+/// `stop_on_positive` ends the climb as soon as collisions > 0 (the
+/// verify use); otherwise the full step budget maximizes collisions.
+[[nodiscard]] RestartResult adversarial_restart(const FoldedClos& ftree,
+                                                const PatternRouter& router,
+                                                std::uint32_t steps,
+                                                std::uint64_t seed,
+                                                bool stop_on_positive);
+
+/// One delta-evaluated restart (single-path deterministic routings only:
+/// paths must not depend on the rest of the pattern).
+[[nodiscard]] RestartResult adversarial_restart(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
+    std::uint32_t steps, std::uint64_t seed, bool stop_on_positive);
+
 [[nodiscard]] VerifyResult verify_adversarial(const FoldedClos& ftree,
                                               const PatternRouter& router,
+                                              const AdversarialOptions& options,
+                                              Xoshiro256& rng);
+
+/// Delta-evaluated overload: O(path) per hill-climb step via a
+/// persistent LinkLoadMap instead of re-routing all leafs.
+[[nodiscard]] VerifyResult verify_adversarial(const FoldedClos& ftree,
+                                              const SinglePathRouting& routing,
                                               const AdversarialOptions& options,
                                               Xoshiro256& rng);
 
@@ -76,6 +116,11 @@ struct WorstCaseResult {
 
 [[nodiscard]] WorstCaseResult worst_case_search(
     const FoldedClos& ftree, const PatternRouter& router,
+    const AdversarialOptions& options, Xoshiro256& rng);
+
+/// Delta-evaluated overload (see verify_adversarial above).
+[[nodiscard]] WorstCaseResult worst_case_search(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
     const AdversarialOptions& options, Xoshiro256& rng);
 
 }  // namespace nbclos

@@ -36,6 +36,18 @@ class SinglePathRouting {
     return ftree_->cross_path(sd, top);
   }
 
+  /// Allocation-free route: writes the fixed path into caller scratch.
+  /// The verification engine's delta evaluator re-routes <= 4 SD pairs
+  /// per hill-climb step through this.  \pre sd.src != sd.dst.
+  void route_into(SDPair sd, FtreePath& out) const {
+    NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+    if (!ftree_->needs_top(sd)) {
+      out = ftree_->direct_path(sd);
+      return;
+    }
+    out = ftree_->cross_path(sd, top_for(sd));
+  }
+
   /// Routes for a whole communication pattern, in input order.
   [[nodiscard]] std::vector<FtreePath> route_all(
       const std::vector<SDPair>& pattern) const {
@@ -43,6 +55,19 @@ class SinglePathRouting {
     paths.reserve(pattern.size());
     for (const auto sd : pattern) paths.push_back(route(sd));
     return paths;
+  }
+
+  /// route_all into a reused buffer (cleared first) — no allocation once
+  /// the buffer has grown to pattern size.
+  void route_all_into(const std::vector<SDPair>& pattern,
+                      std::vector<FtreePath>& out) const {
+    out.clear();
+    out.reserve(pattern.size());
+    for (const auto sd : pattern) {
+      FtreePath path;
+      route_into(sd, path);
+      out.push_back(path);
+    }
   }
 
  protected:

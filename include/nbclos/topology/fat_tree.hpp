@@ -126,6 +126,27 @@ class FoldedClos {
   /// The directed links traversed by a path, in order.
   [[nodiscard]] std::vector<LinkId> links_of(const FtreePath& path) const;
 
+  /// Maximum number of directed links on any path (cross paths use 4).
+  static constexpr std::uint32_t kMaxPathLinks = 4;
+
+  /// Allocation-free variant of links_of: writes the path's links into
+  /// `out` and returns how many were written (2 for direct, 4 for cross).
+  /// This is the verification engine's hot path — every permutation
+  /// evaluated routes O(leafs) paths through here.
+  std::uint32_t links_into(const FtreePath& path,
+                           LinkId (&out)[kMaxPathLinks]) const {
+    if (path.direct) {
+      out[0] = leaf_up_link(path.sd.src);
+      out[1] = leaf_down_link(path.sd.dst);
+      return 2;
+    }
+    out[0] = leaf_up_link(path.sd.src);
+    out[1] = up_link(switch_of(path.sd.src), path.top);
+    out[2] = down_link(path.top, switch_of(path.sd.dst));
+    out[3] = leaf_down_link(path.sd.dst);
+    return 4;
+  }
+
   /// Number of SD pairs that must cross a top switch: r*(r-1)*n^2.
   [[nodiscard]] std::uint64_t cross_pair_count() const noexcept {
     const std::uint64_t rr = params_.r;

@@ -5,29 +5,25 @@
 namespace nbclos {
 
 void LinkLoadMap::add_path(const FtreePath& path) {
-  for (const auto link : ftree_->links_of(path)) {
-    ++load_[link.value];
-  }
+  LinkId links[FoldedClos::kMaxPathLinks];
+  const auto count = ftree_->links_into(path, links);
+  for (std::uint32_t i = 0; i < count; ++i) bump(links[i]);
 }
 
 void LinkLoadMap::add_paths(const std::vector<FtreePath>& paths) {
   for (const auto& path : paths) add_path(path);
 }
 
-std::uint32_t LinkLoadMap::contended_links() const {
-  std::uint32_t count = 0;
-  for (const auto l : load_) {
-    if (l >= 2) ++count;
-  }
-  return count;
+void LinkLoadMap::remove_path(const FtreePath& path) {
+  LinkId links[FoldedClos::kMaxPathLinks];
+  const auto count = ftree_->links_into(path, links);
+  for (std::uint32_t i = 0; i < count; ++i) drop(links[i]);
 }
 
-std::uint64_t LinkLoadMap::colliding_pairs() const {
-  std::uint64_t pairs = 0;
-  for (const auto l : load_) {
-    pairs += std::uint64_t{l} * (l - 1) / 2;
-  }
-  return pairs;
+void LinkLoadMap::clear() {
+  std::fill(load_.begin(), load_.end(), 0U);
+  colliding_pairs_ = 0;
+  contended_links_ = 0;
 }
 
 std::uint32_t LinkLoadMap::max_load() const {
@@ -62,12 +58,10 @@ class SourceDestTracker {
 
   /// Links where both the source set and destination set have >= 2
   /// members — Lemma 1 violations.
-  [[nodiscard]] std::vector<LinkAuditViolation> violations() const {
-    std::vector<LinkAuditViolation> out;
+  [[nodiscard]] std::vector<LinkId> violating_links() const {
+    std::vector<LinkId> out;
     for (std::uint32_t l = 0; l < src_.size(); ++l) {
-      if (src_many_[l] && dst_many_[l]) {
-        out.push_back(LinkAuditViolation{LinkId{l}, 2, 2});
-      }
+      if (src_many_[l] && dst_many_[l]) out.push_back(LinkId{l});
     }
     return out;
   }
@@ -91,37 +85,94 @@ class SourceDestTracker {
   std::vector<std::uint8_t> dst_many_;
 };
 
+/// Exact per-link distinct source/destination sets, materialized only for
+/// the (typically few) violating links found by the first pass, so the
+/// audit's fast path stays two sentinel words per link.
+class DistinctCounter {
+ public:
+  DistinctCounter(std::uint32_t link_count, const std::vector<LinkId>& links)
+      : slot_(link_count, kNone), sources_(links.size()), dests_(links.size()) {
+    for (std::uint32_t i = 0; i < links.size(); ++i) {
+      slot_[links[i].value] = i;
+    }
+  }
+
+  void visit(LinkId link, SDPair sd) {
+    const auto slot = slot_[link.value];
+    if (slot == kNone) return;
+    insert(sources_[slot], sd.src.value);
+    insert(dests_[slot], sd.dst.value);
+  }
+
+  [[nodiscard]] std::vector<LinkAuditViolation> violations(
+      const std::vector<LinkId>& links) const {
+    std::vector<LinkAuditViolation> out;
+    out.reserve(links.size());
+    for (std::uint32_t i = 0; i < links.size(); ++i) {
+      out.push_back(LinkAuditViolation{
+          links[i], static_cast<std::uint32_t>(sources_[i].size()),
+          static_cast<std::uint32_t>(dests_[i].size())});
+    }
+    return out;
+  }
+
+ private:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+
+  static void insert(std::vector<std::uint32_t>& values, std::uint32_t value) {
+    if (std::find(values.begin(), values.end(), value) == values.end()) {
+      values.push_back(value);
+    }
+  }
+
+  std::vector<std::uint32_t> slot_;
+  std::vector<std::vector<std::uint32_t>> sources_;
+  std::vector<std::vector<std::uint32_t>> dests_;
+};
+
+/// Run both audit passes over an SD-pair/link enumerator.  `for_each`
+/// must invoke its callback once per (sd, link) visit and be repeatable.
+template <typename ForEachVisit>
+std::vector<LinkAuditViolation> audit_visits(std::uint32_t link_count,
+                                             const ForEachVisit& for_each) {
+  SourceDestTracker tracker(link_count);
+  for_each([&tracker](LinkId link, SDPair sd) { tracker.visit(link, sd); });
+  const auto links = tracker.violating_links();
+  if (links.empty()) return {};
+  DistinctCounter counter(link_count, links);
+  for_each([&counter](LinkId link, SDPair sd) { counter.visit(link, sd); });
+  return counter.violations(links);
+}
+
 }  // namespace
 
 std::vector<LinkAuditViolation> lemma1_audit(const SinglePathRouting& routing) {
   const auto& ft = routing.ftree();
-  SourceDestTracker tracker(ft.link_count());
-  for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
-    for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
-      if (s == d) continue;
-      const SDPair sd{LeafId{s}, LeafId{d}};
-      for (const auto link : ft.links_of(routing.route(sd))) {
-        tracker.visit(link, sd);
+  return audit_visits(ft.link_count(), [&](const auto& visit) {
+    LinkId links[FoldedClos::kMaxPathLinks];
+    for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
+      for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
+        if (s == d) continue;
+        const SDPair sd{LeafId{s}, LeafId{d}};
+        const auto count = ft.links_into(routing.route(sd), links);
+        for (std::uint32_t i = 0; i < count; ++i) visit(links[i], sd);
       }
     }
-  }
-  return tracker.violations();
+  });
 }
 
 std::vector<LinkAuditViolation> lemma1_audit_footprints(
     const FoldedClos& ftree,
     const std::function<std::vector<LinkId>(SDPair)>& footprint) {
-  SourceDestTracker tracker(ftree.link_count());
-  for (std::uint32_t s = 0; s < ftree.leaf_count(); ++s) {
-    for (std::uint32_t d = 0; d < ftree.leaf_count(); ++d) {
-      if (s == d) continue;
-      const SDPair sd{LeafId{s}, LeafId{d}};
-      for (const auto link : footprint(sd)) {
-        tracker.visit(link, sd);
+  return audit_visits(ftree.link_count(), [&](const auto& visit) {
+    for (std::uint32_t s = 0; s < ftree.leaf_count(); ++s) {
+      for (std::uint32_t d = 0; d < ftree.leaf_count(); ++d) {
+        if (s == d) continue;
+        const SDPair sd{LeafId{s}, LeafId{d}};
+        for (const auto link : footprint(sd)) visit(link, sd);
       }
     }
-  }
-  return tracker.violations();
+  });
 }
 
 }  // namespace nbclos

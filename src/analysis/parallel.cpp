@@ -1,6 +1,8 @@
 #include "nbclos/analysis/parallel.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <optional>
 
 #include "nbclos/analysis/contention.hpp"
 #include "nbclos/analysis/permutations.hpp"
@@ -106,6 +108,157 @@ VerifyResult verify_random_parallel(const FoldedClos& ftree,
       result.nonblocking = false;
       result.counterexample = partial.counterexample;
       result.counterexample_collisions = partial.counterexample_collisions;
+    }
+  }
+  return result;
+}
+
+VerifyResult verify_exhaustive_parallel(const FoldedClos& ftree,
+                                        const PatternRouterFactory& make_router,
+                                        ThreadPool& pool,
+                                        std::uint32_t shards) {
+  const std::uint32_t leafs = ftree.leaf_count();
+  NBCLOS_REQUIRE(leafs <= 11, "parallel exhaustive capped at 11!");
+  const std::uint64_t total = factorial(leafs);
+  if (shards == 0) {
+    shards = static_cast<std::uint32_t>(16 * pool.thread_count());
+  }
+  if (shards > total) shards = static_cast<std::uint32_t>(total);
+
+  struct ShardHit {
+    std::uint64_t rank = 0;
+    Permutation pattern;
+    std::uint64_t collisions = 0;
+  };
+  std::vector<std::optional<ShardHit>> hits(shards);
+  // Lowest counterexample rank found so far; ranks above it are dead.
+  std::atomic<std::uint64_t> best_rank{UINT64_MAX};
+
+  const std::uint64_t base = total / shards;
+  const std::uint64_t extra = total % shards;
+  std::uint64_t begin = 0;
+  for (std::uint32_t shard = 0; shard < shards; ++shard) {
+    const std::uint64_t end = begin + base + (shard < extra ? 1 : 0);
+    const std::uint64_t shard_begin = begin;
+    begin = end;
+    pool.submit([&, shard, shard_begin, end] {
+      if (shard_begin > best_rank.load(std::memory_order_relaxed)) return;
+      const auto router = make_router(chunk_seed(0, shard));
+      LinkLoadMap map(ftree);
+      std::uint64_t rank = shard_begin;
+      for_each_permutation_in_range(
+          ftree.leaf_count(), shard_begin, end,
+          [&](const Permutation& pattern) {
+            if (rank > best_rank.load(std::memory_order_relaxed)) {
+              return false;  // a lower-rank counterexample already exists
+            }
+            const auto paths = router(pattern);
+            map.add_paths(paths);
+            const auto collisions = map.colliding_pairs();
+            for (const auto& path : paths) map.remove_path(path);
+            if (collisions > 0) {
+              hits[shard] = ShardHit{rank, pattern, collisions};
+              auto current = best_rank.load(std::memory_order_relaxed);
+              while (rank < current &&
+                     !best_rank.compare_exchange_weak(current, rank)) {
+              }
+              return false;
+            }
+            ++rank;
+            return true;
+          });
+    });
+  }
+  pool.wait_idle();
+
+  VerifyResult result;
+  result.nonblocking = true;
+  result.permutations_checked = total;
+  // The shard holding the globally lowest counterexample can never be
+  // preempted (preemption requires an even lower rank), so the min over
+  // shard hits is the same counterexample serial enumeration stops at.
+  for (const auto& hit : hits) {
+    if (!hit) continue;
+    if (result.nonblocking || hit->rank < result.permutations_checked - 1) {
+      result.nonblocking = false;
+      result.counterexample = hit->pattern;
+      result.counterexample_collisions = hit->collisions;
+      result.permutations_checked = hit->rank + 1;
+    }
+  }
+  return result;
+}
+
+std::uint64_t adversarial_restart_seed(std::uint64_t seed,
+                                       std::uint32_t restart) {
+  // Mix the master seed before offsetting by the restart index: a plain
+  // `seed ^ (c + restart)` would let nearby master seeds share restart
+  // seeds.  Distinct restarts always get distinct seeds (SplitMix64's
+  // first output is a bijection of its initial state).
+  SplitMix64 stream(seed ^ 0x5EEDF00DULL);
+  SplitMix64 per_restart(stream.next() + restart);
+  return per_restart.next();
+}
+
+VerifyResult verify_adversarial_parallel(const FoldedClos& ftree,
+                                         const SinglePathRouting& routing,
+                                         const AdversarialOptions& options,
+                                         std::uint64_t seed, ThreadPool& pool) {
+  std::vector<RestartResult> outcomes(options.restarts);
+  // Restarts with an index above the lowest failing one cannot affect the
+  // merged result, so they may be skipped opportunistically.
+  std::atomic<std::uint32_t> first_failing{UINT32_MAX};
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    pool.submit([&, restart] {
+      if (restart > first_failing.load(std::memory_order_relaxed)) return;
+      outcomes[restart] = adversarial_restart(
+          ftree, routing, options.steps_per_restart,
+          adversarial_restart_seed(seed, restart), /*stop_on_positive=*/true);
+      if (outcomes[restart].collisions > 0) {
+        auto current = first_failing.load(std::memory_order_relaxed);
+        while (restart < current &&
+               !first_failing.compare_exchange_weak(current, restart)) {
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+
+  VerifyResult result;
+  result.nonblocking = true;
+  for (auto& outcome : outcomes) {  // merge in restart index order
+    result.permutations_checked += outcome.evaluations;
+    if (outcome.collisions > 0) {
+      result.nonblocking = false;
+      result.counterexample = std::move(outcome.pattern);
+      result.counterexample_collisions = outcome.collisions;
+      break;  // identical to a serial run stopping at this restart
+    }
+  }
+  return result;
+}
+
+WorstCaseResult worst_case_search_parallel(const FoldedClos& ftree,
+                                           const SinglePathRouting& routing,
+                                           const AdversarialOptions& options,
+                                           std::uint64_t seed,
+                                           ThreadPool& pool) {
+  std::vector<RestartResult> outcomes(options.restarts);
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    pool.submit([&, restart] {
+      outcomes[restart] = adversarial_restart(
+          ftree, routing, options.steps_per_restart,
+          adversarial_restart_seed(seed, restart), /*stop_on_positive=*/false);
+    });
+  }
+  pool.wait_idle();
+
+  WorstCaseResult result;
+  for (auto& outcome : outcomes) {  // max, lowest index on ties
+    result.evaluations += outcome.evaluations;
+    if (outcome.collisions > result.collisions || result.permutation.empty()) {
+      result.collisions = outcome.collisions;
+      result.permutation = std::move(outcome.pattern);
     }
   }
   return result;

@@ -23,24 +23,26 @@ void validate_permutation(const Permutation& pattern,
   }
 }
 
-namespace {
-
-Permutation from_target_vector(const std::vector<std::uint32_t>& target) {
-  Permutation out;
+void permutation_from_targets(const std::vector<std::uint32_t>& target,
+                              Permutation& out) {
+  out.clear();
   out.reserve(target.size());
   for (std::uint32_t s = 0; s < target.size(); ++s) {
     if (target[s] != s) out.push_back({LeafId{s}, LeafId{target[s]}});
   }
-  return out;
 }
 
-}  // namespace
+Permutation permutation_from_targets(const std::vector<std::uint32_t>& target) {
+  Permutation out;
+  permutation_from_targets(target, out);
+  return out;
+}
 
 Permutation random_permutation(std::uint32_t leaf_count, Xoshiro256& rng) {
   std::vector<std::uint32_t> target(leaf_count);
   std::iota(target.begin(), target.end(), 0U);
   shuffle(target.begin(), target.end(), rng);
-  return from_target_vector(target);
+  return permutation_from_targets(target);
 }
 
 Permutation random_partial_permutation(std::uint32_t leaf_count,
@@ -139,18 +141,82 @@ Permutation neighbor_funnel_permutation(std::uint32_t n, std::uint32_t r) {
   return out;
 }
 
+std::uint64_t factorial(std::uint32_t k) {
+  NBCLOS_REQUIRE(k <= 20, "k! overflows uint64 beyond 20");
+  std::uint64_t f = 1;
+  for (std::uint32_t i = 2; i <= k; ++i) f *= i;
+  return f;
+}
+
+std::vector<std::uint32_t> unrank_targets(std::uint32_t leaf_count,
+                                          std::uint64_t rank) {
+  NBCLOS_REQUIRE(leaf_count >= 1 && leaf_count <= 20,
+                 "unrank supports 1..20 leaves");
+  NBCLOS_REQUIRE(rank < factorial(leaf_count), "rank out of range");
+  // Factorial number system: digit i of `rank` (base (leaf_count-1-i)!)
+  // selects the i-th smallest unused value.
+  std::vector<std::uint32_t> pool(leaf_count);
+  std::iota(pool.begin(), pool.end(), 0U);
+  std::vector<std::uint32_t> target;
+  target.reserve(leaf_count);
+  std::uint64_t radix = factorial(leaf_count);
+  for (std::uint32_t i = 0; i < leaf_count; ++i) {
+    radix /= leaf_count - i;
+    const auto digit = static_cast<std::uint32_t>(rank / radix);
+    rank %= radix;
+    target.push_back(pool[digit]);
+    pool.erase(pool.begin() + digit);
+  }
+  return target;
+}
+
+std::uint64_t rank_of_targets(const std::vector<std::uint32_t>& target) {
+  const auto leaf_count = static_cast<std::uint32_t>(target.size());
+  NBCLOS_REQUIRE(leaf_count >= 1 && leaf_count <= 20,
+                 "rank supports 1..20 leaves");
+  std::uint64_t rank = 0;
+  std::uint64_t radix = factorial(leaf_count);
+  for (std::uint32_t i = 0; i < leaf_count; ++i) {
+    radix /= leaf_count - i;
+    std::uint32_t smaller = 0;  // unused values below target[i]
+    for (std::uint32_t j = i + 1; j < leaf_count; ++j) {
+      if (target[j] < target[i]) ++smaller;
+    }
+    rank += smaller * radix;
+  }
+  return rank;
+}
+
 std::uint64_t for_each_permutation(
     std::uint32_t leaf_count,
     const std::function<void(const Permutation&)>& fn) {
   NBCLOS_REQUIRE(leaf_count >= 1, "need at least one leaf");
   NBCLOS_REQUIRE(leaf_count <= 10, "exhaustive enumeration capped at 10!");
-  std::vector<std::uint32_t> target(leaf_count);
-  std::iota(target.begin(), target.end(), 0U);
+  return for_each_permutation_in_range(leaf_count, 0, factorial(leaf_count),
+                                       [&fn](const Permutation& pattern) {
+                                         fn(pattern);
+                                         return true;
+                                       });
+}
+
+std::uint64_t for_each_permutation_in_range(
+    std::uint32_t leaf_count, std::uint64_t begin_rank, std::uint64_t end_rank,
+    const std::function<bool(const Permutation&)>& fn) {
+  NBCLOS_REQUIRE(leaf_count >= 1, "need at least one leaf");
+  NBCLOS_REQUIRE(begin_rank <= end_rank && end_rank <= factorial(leaf_count),
+                 "invalid rank range");
+  if (begin_rank == end_rank) return 0;
+  // std::next_permutation walks lexicographic order, which is exactly
+  // rank order, so one unrank seeds the whole range.
+  std::vector<std::uint32_t> target = unrank_targets(leaf_count, begin_rank);
+  Permutation pattern;
   std::uint64_t visited = 0;
-  do {
-    fn(from_target_vector(target));
+  for (std::uint64_t rank = begin_rank; rank < end_rank; ++rank) {
+    permutation_from_targets(target, pattern);
     ++visited;
-  } while (std::next_permutation(target.begin(), target.end()));
+    if (!fn(pattern)) break;
+    std::next_permutation(target.begin(), target.end());
+  }
   return visited;
 }
 

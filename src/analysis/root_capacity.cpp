@@ -26,61 +26,95 @@ namespace {
 /// pairs, so relabeling nodes within each switch maps any optimal
 /// solution to one where every designated node has local index 0 without
 /// changing the count.
+///
+/// The search is depth-first over uplink modes for switches 0..r-1 with
+/// branch-and-bound: per-switch counters (source-mode count, per-downlink
+/// target count) make the leaf evaluation and the admissible upper bound
+/// incremental, and an optimal-prefix symmetry break at the root fixes
+/// up_mode[0] to {source, target switch 1} — relabeling switches 1..r-1
+/// maps any optimum onto that prefix.  This lifts the practical cap from
+/// r = 8 (the old O(r^r * r^2) full enumeration) to r = 10.
 struct ModeSearch {
   std::uint32_t n;
   std::uint32_t r;
   std::vector<std::uint32_t> up_mode;  // per switch: r == kSrc, else target w
+  std::vector<std::uint32_t> targets;  // per downlink: decided uplinks aiming at it
+  std::uint32_t src_count = 0;         // decided source-mode uplinks
+  std::uint64_t best = 0;
 
   [[nodiscard]] std::uint64_t best_total() {
-    return recurse(0);
-  }
-
- private:
-  std::uint64_t recurse(std::uint32_t v) {
-    if (v == r) return evaluate();
-    std::uint64_t best = 0;
-    up_mode[v] = r;  // source mode
-    best = std::max(best, recurse(v + 1));
-    for (std::uint32_t w = 0; w < r; ++w) {
-      if (w == v) continue;
-      up_mode[v] = w;  // destination mode toward (w, 0)
-      best = std::max(best, recurse(v + 1));
+    // Root symmetry break: explore source mode and a single
+    // representative destination target.
+    up_mode[0] = r;
+    ++src_count;
+    recurse(1);
+    --src_count;
+    if (r >= 2) {
+      up_mode[0] = 1;
+      ++targets[1];
+      recurse(1);
+      --targets[1];
     }
     return best;
   }
 
-  /// With uplink modes fixed, each downlink w independently picks its
-  /// best mode: destination mode (aggregate node (w,0)) or source mode
-  /// designated (v', 0) for the best v'.
-  [[nodiscard]] std::uint64_t evaluate() const {
-    std::uint64_t total = 0;
-    for (std::uint32_t w = 0; w < r; ++w) {
-      // Option A: downlink w in destination mode.  Every source-mode
-      // uplink v contributes pair ((v,0),(w,0)); every destination-mode
-      // uplink targeting w contributes n pairs ((v,*),(w,0)).
-      std::uint64_t dest_mode = 0;
-      for (std::uint32_t v = 0; v < r; ++v) {
-        if (v == w) continue;
-        if (up_mode[v] == r) {
-          dest_mode += 1;
-        } else if (up_mode[v] == w) {
-          dest_mode += n;
-        }
+ private:
+  /// Contribution of decided uplinks to downlink w's destination mode:
+  /// every source-mode uplink != w adds pair ((v,0),(w,0)); every uplink
+  /// targeting w adds n pairs ((v,*),(w,0)).  An uplink never targets
+  /// itself, so only the source count needs the v != w exclusion.
+  [[nodiscard]] std::uint64_t dest_mode(std::uint32_t w,
+                                        std::uint32_t decided) const {
+    const bool w_is_decided_src = w < decided && up_mode[w] == r;
+    return (src_count - (w_is_decided_src ? 1U : 0U)) +
+           std::uint64_t{n} * targets[w];
+  }
+
+  /// Best single-uplink contribution to downlink w's source mode: n from
+  /// any source-mode uplink != w, else 1 from an uplink targeting w.
+  [[nodiscard]] std::uint64_t src_mode(std::uint32_t w,
+                                       std::uint32_t decided) const {
+    const bool w_is_decided_src = w < decided && up_mode[w] == r;
+    if (src_count > (w_is_decided_src ? 1U : 0U)) return n;
+    return targets[w] > 0 ? 1 : 0;
+  }
+
+  void recurse(std::uint32_t v) {
+    if (v == r) {
+      std::uint64_t total = 0;
+      for (std::uint32_t w = 0; w < r; ++w) {
+        total += std::max(dest_mode(w, r), src_mode(w, r));
       }
-      // Option B: downlink w in source mode designated (v',0): only
-      // pairs from (v',0).  If uplink v' is in source mode, (v',0) may
-      // fan out to all n destinations in w; if uplink v' is in
-      // destination mode targeting w, only ((v',0),(w,0)) fits both.
-      std::uint64_t src_mode = 0;
-      for (std::uint32_t v = 0; v < r; ++v) {
-        if (v == w) continue;
-        const std::uint64_t contribution =
-            (up_mode[v] == r) ? n : (up_mode[v] == w ? 1 : 0);
-        src_mode = std::max(src_mode, contribution);
-      }
-      total += std::max(dest_mode, src_mode);
+      best = std::max(best, total);
+      return;
     }
-    return total;
+    if (upper_bound(v) <= best) return;
+    up_mode[v] = r;  // source mode
+    ++src_count;
+    recurse(v + 1);
+    --src_count;
+    for (std::uint32_t w = 0; w < r; ++w) {
+      if (w == v) continue;
+      up_mode[v] = w;  // destination mode toward (w, 0)
+      ++targets[w];
+      recurse(v + 1);
+      --targets[w];
+    }
+  }
+
+  /// Admissible bound with uplinks 0..v-1 decided.  Per downlink the
+  /// final value is max(dest_now + future_dest, src_final) with
+  /// src_final <= max(src_now, n), and max(a + f, b) <= max(a, b, n) + f;
+  /// summed over downlinks, the future destination-mode contributions of
+  /// each undecided uplink total at most max(n, r-1) (n when targeting
+  /// one downlink, r-1 ones when in source mode).
+  [[nodiscard]] std::uint64_t upper_bound(std::uint32_t v) const {
+    std::uint64_t settled = 0;
+    for (std::uint32_t w = 0; w < r; ++w) {
+      settled += std::max({dest_mode(w, v), src_mode(w, v), std::uint64_t{n}});
+    }
+    const std::uint64_t undecided = r - v;
+    return settled + undecided * std::max<std::uint64_t>(n, r - 1);
   }
 };
 
@@ -88,8 +122,9 @@ struct ModeSearch {
 
 std::uint64_t root_capacity_exact(std::uint32_t n, std::uint32_t r) {
   NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
-  NBCLOS_REQUIRE(r <= 8, "mode search capped at r = 8");
-  ModeSearch search{n, r, std::vector<std::uint32_t>(r, 0)};
+  NBCLOS_REQUIRE(r <= 10, "mode search capped at r = 10");
+  ModeSearch search{n, r, std::vector<std::uint32_t>(r, 0),
+                    std::vector<std::uint32_t>(r, 0)};
   return search.best_total();
 }
 
@@ -129,26 +164,87 @@ bool root_set_feasible(std::uint32_t n, std::uint32_t r,
 
 namespace {
 
+/// Raw subset search over all r(r-1)n^2 SD pairs, used to validate the
+/// mode model.  Two things lift the old 30-pair cap to 60:
+///   * incremental per-link states with O(1) include/undo instead of
+///     re-running root_set_feasible over the whole chosen set;
+///   * a feasibility-aware bound — only remaining pairs *individually*
+///     compatible with the current uplink and downlink states can ever
+///     join (compatibility is monotone: growing a link's pair set never
+///     re-admits a pair), so `chosen + compatible_remaining <= best`
+///     prunes — seeded with the always-feasible witness of size r(r-1)
+///     as the initial incumbent.
 struct BruteForce {
+  static constexpr std::uint32_t kEmpty = UINT32_MAX;
+  struct LinkState {
+    std::uint32_t src = kEmpty;
+    std::uint32_t dst = kEmpty;
+    std::uint32_t count = 0;
+    bool src_same = true;
+    bool dst_same = true;
+  };
+
   std::uint32_t n;
   std::uint32_t r;
   std::vector<SDPair> all_pairs;
-  std::vector<SDPair> chosen;
+  std::vector<LinkState> up;
+  std::vector<LinkState> down;
+  std::uint64_t chosen = 0;
   std::uint64_t best = 0;
 
-  void run() { recurse(0); }
+  void run() {
+    best = std::uint64_t{r} * (r - 1);  // witness incumbent
+    recurse(0);
+  }
+
+  /// Would adding `sd` keep `state`'s link feasible on its own?
+  [[nodiscard]] static bool compatible(const LinkState& state, SDPair sd) {
+    if (state.count == 0) return true;
+    return (state.src_same && state.src == sd.src.value) ||
+           (state.dst_same && state.dst == sd.dst.value);
+  }
+
+  static void include(LinkState& state, SDPair sd) {
+    if (state.count == 0) {
+      state.src = sd.src.value;
+      state.dst = sd.dst.value;
+    } else {
+      if (state.src != sd.src.value) state.src_same = false;
+      if (state.dst != sd.dst.value) state.dst_same = false;
+    }
+    ++state.count;
+  }
 
   void recurse(std::size_t index) {
-    best = std::max(best, static_cast<std::uint64_t>(chosen.size()));
+    best = std::max(best, chosen);
     if (index == all_pairs.size()) return;
-    // Bound: even taking every remaining pair cannot beat best.
-    if (chosen.size() + (all_pairs.size() - index) <= best) return;
-    // Include, if still feasible.
-    chosen.push_back(all_pairs[index]);
-    if (root_set_feasible(n, r, chosen)) recurse(index + 1);
-    chosen.pop_back();
-    // Exclude.
-    recurse(index + 1);
+    // Feasibility-aware bound: count remaining pairs that could still
+    // individually join given the current link states.
+    std::uint64_t compatible_remaining = 0;
+    for (std::size_t i = index; i < all_pairs.size(); ++i) {
+      const auto sd = all_pairs[i];
+      if (compatible(up[sd.src.value / n], sd) &&
+          compatible(down[sd.dst.value / n], sd)) {
+        ++compatible_remaining;
+      }
+    }
+    if (chosen + compatible_remaining <= best) return;
+
+    const auto sd = all_pairs[index];
+    auto& up_state = up[sd.src.value / n];
+    auto& down_state = down[sd.dst.value / n];
+    if (compatible(up_state, sd) && compatible(down_state, sd)) {
+      const LinkState saved_up = up_state;
+      const LinkState saved_down = down_state;
+      include(up_state, sd);
+      include(down_state, sd);
+      ++chosen;
+      recurse(index + 1);
+      --chosen;
+      up_state = saved_up;
+      down_state = saved_down;
+    }
+    recurse(index + 1);  // exclude
   }
 };
 
@@ -158,8 +254,9 @@ std::uint64_t root_capacity_bruteforce(std::uint32_t n, std::uint32_t r) {
   NBCLOS_REQUIRE(n >= 1 && r >= 2, "invalid parameters");
   const std::uint64_t pair_count =
       std::uint64_t{r} * (r - 1) * n * n;
-  NBCLOS_REQUIRE(pair_count <= 30, "brute force capped at 30 SD pairs");
-  BruteForce search{n, r, {}, {}, 0};
+  NBCLOS_REQUIRE(pair_count <= 60, "brute force capped at 60 SD pairs");
+  BruteForce search{n, r, {}, std::vector<BruteForce::LinkState>(r),
+                    std::vector<BruteForce::LinkState>(r), 0, 0};
   for (std::uint32_t s = 0; s < n * r; ++s) {
     for (std::uint32_t d = 0; d < n * r; ++d) {
       if (s / n == d / n) continue;

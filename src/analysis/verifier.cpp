@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "nbclos/analysis/contention.hpp"
+#include "nbclos/analysis/delta.hpp"
 #include "nbclos/routing/single_path.hpp"
 
 namespace nbclos {
@@ -16,11 +17,151 @@ PatternRouter as_pattern_router(const SinglePathRouting& routing) {
 
 namespace {
 
-std::uint64_t collisions_of(const FoldedClos& ftree,
-                            const std::vector<FtreePath>& paths) {
-  LinkLoadMap map(ftree);
-  map.add_paths(paths);
-  return map.colliding_pairs();
+/// Full-re-evaluation counterpart of SwapDeltaState: same interface, but
+/// collisions() scores the whole pattern through the router.  Evaluation
+/// is lazy so that a revert_swap never pays for scoring, matching the
+/// cost profile of the pre-delta hill climb while reusing its buffers.
+class FullSwapState {
+ public:
+  FullSwapState(const FoldedClos& ftree, const PatternRouter& router)
+      : router_(&router), map_(ftree) {}
+
+  void reset(const std::vector<std::uint32_t>& target) {
+    target_ = target;
+    dirty_ = true;
+  }
+
+  void apply_swap(std::uint32_t i, std::uint32_t j) {
+    prev_collisions_ = collisions();
+    std::swap(target_[i], target_[j]);
+    dirty_ = true;
+  }
+
+  void revert_swap(std::uint32_t i, std::uint32_t j) {
+    std::swap(target_[i], target_[j]);
+    collisions_ = prev_collisions_;
+    dirty_ = false;
+  }
+
+  [[nodiscard]] std::uint64_t collisions() {
+    if (dirty_) {
+      permutation_from_targets(target_, pattern_);
+      map_.clear();
+      map_.add_paths((*router_)(pattern_));
+      collisions_ = map_.colliding_pairs();
+      dirty_ = false;
+    }
+    return collisions_;
+  }
+
+  [[nodiscard]] Permutation pattern() const {
+    return permutation_from_targets(target_);
+  }
+
+ private:
+  const PatternRouter* router_;
+  LinkLoadMap map_;
+  std::vector<std::uint32_t> target_;
+  Permutation pattern_;
+  std::uint64_t collisions_ = 0;
+  std::uint64_t prev_collisions_ = 0;
+  bool dirty_ = true;
+};
+
+/// Thin adapter giving SwapDeltaState the revert_swap the core expects
+/// (a delta swap is its own inverse).
+class DeltaState {
+ public:
+  DeltaState(const FoldedClos& ftree, const SinglePathRouting& routing)
+      : state_(ftree, routing) {}
+  void reset(const std::vector<std::uint32_t>& target) { state_.reset(target); }
+  void apply_swap(std::uint32_t i, std::uint32_t j) { state_.apply_swap(i, j); }
+  void revert_swap(std::uint32_t i, std::uint32_t j) {
+    state_.apply_swap(i, j);
+  }
+  [[nodiscard]] std::uint64_t collisions() { return state_.collisions(); }
+  [[nodiscard]] Permutation pattern() const { return state_.pattern(); }
+
+ private:
+  SwapDeltaState state_;
+};
+
+/// The hill climb shared by both evaluation strategies: accept a swap
+/// when it does not decrease the colliding-pair count, revert otherwise.
+template <typename State>
+RestartResult run_restart(State& state, std::uint32_t leafs,
+                          std::uint32_t steps, std::uint64_t seed,
+                          bool stop_on_positive) {
+  Xoshiro256 rng(seed);
+  std::vector<std::uint32_t> target(leafs);
+  std::iota(target.begin(), target.end(), 0U);
+  shuffle(target.begin(), target.end(), rng);
+  state.reset(target);
+
+  RestartResult result;
+  result.collisions = state.collisions();
+  result.evaluations = 1;
+  for (std::uint32_t step = 0;
+       step < steps && !(stop_on_positive && result.collisions > 0); ++step) {
+    const auto i = static_cast<std::uint32_t>(rng.below(leafs));
+    const auto j = static_cast<std::uint32_t>(rng.below(leafs));
+    if (i == j) continue;
+    state.apply_swap(i, j);
+    const auto collisions = state.collisions();
+    ++result.evaluations;
+    if (collisions >= result.collisions) {
+      result.collisions = collisions;
+    } else {
+      state.revert_swap(i, j);
+    }
+  }
+  result.pattern = state.pattern();
+  return result;
+}
+
+/// Serial restart drivers: per-restart seeds drawn from the caller's rng
+/// up front, so restarts stay independent (and mergeable in index order)
+/// exactly like the parallel drivers in analysis/parallel.cpp.
+template <typename RoutingLike>
+VerifyResult verify_adversarial_impl(const FoldedClos& ftree,
+                                     const RoutingLike& routing,
+                                     const AdversarialOptions& options,
+                                     Xoshiro256& rng) {
+  VerifyResult result;
+  result.nonblocking = true;
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    const auto outcome = adversarial_restart(
+        ftree, routing, options.steps_per_restart, rng(),
+        /*stop_on_positive=*/true);
+    result.permutations_checked += outcome.evaluations;
+    if (outcome.collisions > 0) {
+      result.nonblocking = false;
+      result.counterexample = outcome.pattern;
+      result.counterexample_collisions = outcome.collisions;
+      return result;
+    }
+  }
+  return result;
+}
+
+template <typename RoutingLike>
+WorstCaseResult worst_case_search_impl(const FoldedClos& ftree,
+                                       const RoutingLike& routing,
+                                       const AdversarialOptions& options,
+                                       Xoshiro256& rng) {
+  WorstCaseResult result;
+  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
+    auto outcome = adversarial_restart(ftree, routing,
+                                       options.steps_per_restart, rng(),
+                                       /*stop_on_positive=*/false);
+    result.evaluations += outcome.evaluations;
+    if (outcome.collisions > result.collisions ||
+        result.permutation.empty()) {
+      result.collisions = outcome.collisions;
+      result.permutation = std::move(outcome.pattern);
+    }
+  }
+  return result;
 }
 
 }  // namespace
@@ -29,15 +170,21 @@ VerifyResult verify_exhaustive(const FoldedClos& ftree,
                                const PatternRouter& router) {
   VerifyResult result;
   result.nonblocking = true;
-  result.permutations_checked = for_each_permutation(
-      ftree.leaf_count(), [&](const Permutation& pattern) {
-        if (!result.nonblocking) return;  // counterexample already found
-        const auto collisions = collisions_of(ftree, router(pattern));
+  LinkLoadMap map(ftree);
+  result.permutations_checked = for_each_permutation_in_range(
+      ftree.leaf_count(), 0, factorial(ftree.leaf_count()),
+      [&](const Permutation& pattern) {
+        const auto paths = router(pattern);
+        map.add_paths(paths);
+        const auto collisions = map.colliding_pairs();
+        for (const auto& path : paths) map.remove_path(path);  // keep map zero
         if (collisions > 0) {
           result.nonblocking = false;
           result.counterexample = pattern;
           result.counterexample_collisions = collisions;
+          return false;
         }
+        return true;
       });
   return result;
 }
@@ -47,10 +194,13 @@ VerifyResult verify_random(const FoldedClos& ftree,
                            Xoshiro256& rng) {
   VerifyResult result;
   result.nonblocking = true;
+  LinkLoadMap map(ftree);
   for (std::uint64_t t = 0; t < trials; ++t) {
     const auto pattern = random_permutation(ftree.leaf_count(), rng);
     ++result.permutations_checked;
-    const auto collisions = collisions_of(ftree, router(pattern));
+    map.clear();
+    map.add_paths(router(pattern));
+    const auto collisions = map.colliding_pairs();
     if (collisions > 0) {
       result.nonblocking = false;
       result.counterexample = pattern;
@@ -61,104 +211,48 @@ VerifyResult verify_random(const FoldedClos& ftree,
   return result;
 }
 
-WorstCaseResult worst_case_search(const FoldedClos& ftree,
+RestartResult adversarial_restart(const FoldedClos& ftree,
                                   const PatternRouter& router,
-                                  const AdversarialOptions& options,
-                                  Xoshiro256& rng) {
-  WorstCaseResult result;
-  const std::uint32_t leafs = ftree.leaf_count();
-  const auto to_pattern = [](const std::vector<std::uint32_t>& t) {
-    Permutation p;
-    p.reserve(t.size());
-    for (std::uint32_t s = 0; s < t.size(); ++s) {
-      if (t[s] != s) p.push_back({LeafId{s}, LeafId{t[s]}});
-    }
-    return p;
-  };
+                                  std::uint32_t steps, std::uint64_t seed,
+                                  bool stop_on_positive) {
+  FullSwapState state(ftree, router);
+  return run_restart(state, ftree.leaf_count(), steps, seed, stop_on_positive);
+}
 
-  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
-    std::vector<std::uint32_t> target(leafs);
-    std::iota(target.begin(), target.end(), 0U);
-    shuffle(target.begin(), target.end(), rng);
-    auto pattern = to_pattern(target);
-    std::uint64_t best = collisions_of(ftree, router(pattern));
-    ++result.evaluations;
-    for (std::uint32_t step = 0; step < options.steps_per_restart; ++step) {
-      const auto i = static_cast<std::uint32_t>(rng.below(leafs));
-      const auto j = static_cast<std::uint32_t>(rng.below(leafs));
-      if (i == j) continue;
-      std::swap(target[i], target[j]);
-      const auto candidate = to_pattern(target);
-      const auto collisions = collisions_of(ftree, router(candidate));
-      ++result.evaluations;
-      if (collisions >= best) {
-        best = collisions;
-        pattern = std::move(candidate);
-      } else {
-        std::swap(target[i], target[j]);  // revert
-      }
-    }
-    if (best > result.collisions || result.permutation.empty()) {
-      result.collisions = best;
-      result.permutation = pattern;
-    }
-  }
-  return result;
+RestartResult adversarial_restart(const FoldedClos& ftree,
+                                  const SinglePathRouting& routing,
+                                  std::uint32_t steps, std::uint64_t seed,
+                                  bool stop_on_positive) {
+  DeltaState state(ftree, routing);
+  return run_restart(state, ftree.leaf_count(), steps, seed, stop_on_positive);
 }
 
 VerifyResult verify_adversarial(const FoldedClos& ftree,
                                 const PatternRouter& router,
                                 const AdversarialOptions& options,
                                 Xoshiro256& rng) {
-  VerifyResult result;
-  result.nonblocking = true;
-  const std::uint32_t leafs = ftree.leaf_count();
+  return verify_adversarial_impl(ftree, router, options, rng);
+}
 
-  for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
-    // State: a full target vector; mutation swaps two targets.  The
-    // vector form keeps the permutation property invariant by
-    // construction.
-    std::vector<std::uint32_t> target(leafs);
-    std::iota(target.begin(), target.end(), 0U);
-    shuffle(target.begin(), target.end(), rng);
+VerifyResult verify_adversarial(const FoldedClos& ftree,
+                                const SinglePathRouting& routing,
+                                const AdversarialOptions& options,
+                                Xoshiro256& rng) {
+  return verify_adversarial_impl(ftree, routing, options, rng);
+}
 
-    const auto to_pattern = [](const std::vector<std::uint32_t>& t) {
-      Permutation p;
-      p.reserve(t.size());
-      for (std::uint32_t s = 0; s < t.size(); ++s) {
-        if (t[s] != s) p.push_back({LeafId{s}, LeafId{t[s]}});
-      }
-      return p;
-    };
+WorstCaseResult worst_case_search(const FoldedClos& ftree,
+                                  const PatternRouter& router,
+                                  const AdversarialOptions& options,
+                                  Xoshiro256& rng) {
+  return worst_case_search_impl(ftree, router, options, rng);
+}
 
-    auto pattern = to_pattern(target);
-    std::uint64_t best = collisions_of(ftree, router(pattern));
-    ++result.permutations_checked;
-
-    for (std::uint32_t step = 0;
-         step < options.steps_per_restart && best == 0; ++step) {
-      const auto i = static_cast<std::uint32_t>(rng.below(leafs));
-      const auto j = static_cast<std::uint32_t>(rng.below(leafs));
-      if (i == j) continue;
-      std::swap(target[i], target[j]);
-      const auto candidate = to_pattern(target);
-      const auto collisions = collisions_of(ftree, router(candidate));
-      ++result.permutations_checked;
-      if (collisions >= best) {
-        best = collisions;
-        pattern = candidate;
-      } else {
-        std::swap(target[i], target[j]);  // revert
-      }
-    }
-    if (best > 0) {
-      result.nonblocking = false;
-      result.counterexample = pattern;
-      result.counterexample_collisions = best;
-      return result;
-    }
-  }
-  return result;
+WorstCaseResult worst_case_search(const FoldedClos& ftree,
+                                  const SinglePathRouting& routing,
+                                  const AdversarialOptions& options,
+                                  Xoshiro256& rng) {
+  return worst_case_search_impl(ftree, routing, options, rng);
 }
 
 }  // namespace nbclos

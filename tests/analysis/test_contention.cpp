@@ -106,6 +106,63 @@ TEST(Lemma1Audit, FullWidthMultipathViolatesEverywhere) {
   EXPECT_EQ(violations.size(), 2U * ft.r() * ft.m());
 }
 
+/// Worst-possible single-path routing: every cross pair through top 0.
+class AllThroughTopZeroRouting final : public SinglePathRouting {
+ public:
+  using SinglePathRouting::SinglePathRouting;
+  [[nodiscard]] std::string name() const override { return "all-top-0"; }
+
+ protected:
+  [[nodiscard]] TopId top_for(SDPair) const override { return TopId{0}; }
+};
+
+TEST(Lemma1Audit, ReportsTrueDistinctCounts) {
+  // Forcing every cross pair through top switch 0 gives exactly known
+  // counts: uplink (v -> top 0) carries the n sources of switch v toward
+  // the (r-1)n leaves of the other switches; downlink (top 0 -> w) is the
+  // mirror image.  The audit must report those true distinct counts, not
+  // just the >= 2 threshold that flags the violation.
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const AllThroughTopZeroRouting routing(ft);
+  const auto violations = lemma1_audit(routing);
+  // Every top-0 uplink and downlink violates; top 1 is never used.
+  ASSERT_EQ(violations.size(), 2U * ft.r());
+  const std::uint32_t n = ft.n();
+  const std::uint32_t other_leafs = (ft.r() - 1) * n;
+  for (const auto& v : violations) {
+    const auto kind = ft.kind_of(v.link);
+    if (kind == LinkKind::kUp) {
+      EXPECT_EQ(v.distinct_sources, n) << "uplink " << v.link.value;
+      EXPECT_EQ(v.distinct_destinations, other_leafs)
+          << "uplink " << v.link.value;
+    } else {
+      ASSERT_EQ(kind, LinkKind::kDown);
+      EXPECT_EQ(v.distinct_sources, other_leafs)
+          << "downlink " << v.link.value;
+      EXPECT_EQ(v.distinct_destinations, n) << "downlink " << v.link.value;
+    }
+  }
+}
+
+TEST(Lemma1Audit, FootprintVariantReportsTrueDistinctCounts) {
+  // Same construction through the footprint API.
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const AllThroughTopZeroRouting routing(ft);
+  const auto violations = lemma1_audit_footprints(ft, [&](SDPair sd) {
+    const auto path = routing.route(sd);
+    LinkId links[FoldedClos::kMaxPathLinks];
+    const auto count = ft.links_into(path, links);
+    return std::vector<LinkId>(links, links + count);
+  });
+  ASSERT_EQ(violations.size(), 2U * ft.r());
+  for (const auto& v : violations) {
+    EXPECT_GE(v.distinct_sources, 2U);
+    EXPECT_GE(v.distinct_destinations, 2U);
+    EXPECT_EQ(v.distinct_sources * v.distinct_destinations,
+              ft.n() * (ft.r() - 1) * ft.n());
+  }
+}
+
 TEST(Lemma1Audit, IffDirectionBlockingImpliesViolation) {
   // Lemma 1 is an iff: a routing with no violations is nonblocking, and
   // a violation yields a 2-pair permutation with contention.  Construct

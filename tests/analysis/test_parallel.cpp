@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <set>
+
 #include "nbclos/analysis/contention.hpp"
 #include "nbclos/routing/baselines.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
@@ -90,6 +93,143 @@ TEST(ParallelAnalysis, CounterexampleIsDeterministicAcrossPoolSizes) {
   ASSERT_TRUE(a.counterexample.has_value());
   ASSERT_TRUE(b.counterexample.has_value());
   EXPECT_EQ(*a.counterexample, *b.counterexample);
+}
+
+TEST(ParallelExhaustive, MatchesSerialOnNonblockingInstance) {
+  const FoldedClos ft(FtreeParams{2, 4, 3});  // 6 leaves, 720 permutations
+  const YuanNonblockingRouting routing(ft);
+  const auto factory = [&routing](std::uint64_t) {
+    return as_pattern_router(routing);
+  };
+  const auto serial = verify_exhaustive(ft, as_pattern_router(routing));
+  ASSERT_TRUE(serial.nonblocking);
+  EXPECT_EQ(serial.permutations_checked, 720U);
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    ThreadPool pool(threads);
+    const auto sharded = verify_exhaustive_parallel(ft, factory, pool);
+    EXPECT_TRUE(sharded.nonblocking) << threads << " threads";
+    EXPECT_EQ(sharded.permutations_checked, 720U) << threads << " threads";
+    EXPECT_FALSE(sharded.counterexample.has_value());
+  }
+}
+
+TEST(ParallelExhaustive, LowestRankCounterexampleIsBitIdenticalToSerial) {
+  // Broken router: d-mod-k on an undersized fabric blocks, and the
+  // sharded sweep must stop at exactly the counterexample the serial
+  // enumeration stops at — same pattern, same collision count, same
+  // permutations_checked — at any thread count.
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const DModKRouting routing(ft);
+  const auto factory = [&routing](std::uint64_t) {
+    return as_pattern_router(routing);
+  };
+  const auto serial = verify_exhaustive(ft, as_pattern_router(routing));
+  ASSERT_FALSE(serial.nonblocking);
+  ASSERT_TRUE(serial.counterexample.has_value());
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    ThreadPool pool(threads);
+    const auto sharded = verify_exhaustive_parallel(ft, factory, pool);
+    ASSERT_FALSE(sharded.nonblocking) << threads << " threads";
+    ASSERT_TRUE(sharded.counterexample.has_value());
+    EXPECT_EQ(*sharded.counterexample, *serial.counterexample)
+        << threads << " threads";
+    EXPECT_EQ(sharded.counterexample_collisions,
+              serial.counterexample_collisions);
+    EXPECT_EQ(sharded.permutations_checked, serial.permutations_checked)
+        << threads << " threads";
+  }
+}
+
+TEST(ParallelExhaustive, ShardCountDoesNotChangeResult) {
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const DModKRouting routing(ft);
+  const auto factory = [&routing](std::uint64_t) {
+    return as_pattern_router(routing);
+  };
+  ThreadPool pool(4);
+  const auto a = verify_exhaustive_parallel(ft, factory, pool, 3);
+  const auto b = verify_exhaustive_parallel(ft, factory, pool, 64);
+  ASSERT_TRUE(a.counterexample.has_value());
+  ASSERT_TRUE(b.counterexample.has_value());
+  EXPECT_EQ(*a.counterexample, *b.counterexample);
+  EXPECT_EQ(a.permutations_checked, b.permutations_checked);
+}
+
+TEST(ParallelAdversarial, ThreadCountIndependentResults) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  const AdversarialOptions options{6, 400};
+  std::optional<VerifyResult> reference;
+  for (const std::size_t threads : {1U, 2U, 8U}) {
+    ThreadPool pool(threads);
+    const auto result =
+        verify_adversarial_parallel(ft, routing, options, 42, pool);
+    if (!reference) {
+      reference = result;
+      continue;
+    }
+    EXPECT_EQ(result.nonblocking, reference->nonblocking);
+    EXPECT_EQ(result.permutations_checked, reference->permutations_checked)
+        << threads << " threads";
+    EXPECT_EQ(result.counterexample.has_value(),
+              reference->counterexample.has_value());
+    if (result.counterexample && reference->counterexample) {
+      EXPECT_EQ(*result.counterexample, *reference->counterexample)
+          << threads << " threads";
+    }
+  }
+}
+
+TEST(ParallelAdversarial, FindsRareBlockingAndVerifiesCounterexample) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  ThreadPool pool(4);
+  const auto result = verify_adversarial_parallel(
+      ft, routing, AdversarialOptions{10, 1000}, 7, pool);
+  ASSERT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  LinkLoadMap map(ft);
+  map.add_paths(routing.route_all(*result.counterexample));
+  EXPECT_EQ(map.colliding_pairs(), result.counterexample_collisions);
+}
+
+TEST(ParallelAdversarial, StaysCleanOnNonblockingScheme) {
+  const FoldedClos ft(FtreeParams{2, 4, 5});
+  const YuanNonblockingRouting routing(ft);
+  ThreadPool pool(4);
+  const auto result = verify_adversarial_parallel(
+      ft, routing, AdversarialOptions{3, 200}, 11, pool);
+  EXPECT_TRUE(result.nonblocking);
+  EXPECT_GE(result.permutations_checked, 3U);
+}
+
+TEST(ParallelWorstCase, ThreadCountIndependentAndVerified) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  const DModKRouting routing(ft);
+  const AdversarialOptions options{4, 300};
+  ThreadPool pool1(1);
+  ThreadPool pool8(8);
+  const auto a = worst_case_search_parallel(ft, routing, options, 21, pool1);
+  const auto b = worst_case_search_parallel(ft, routing, options, 21, pool8);
+  EXPECT_EQ(a.collisions, b.collisions);
+  EXPECT_EQ(a.permutation, b.permutation);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_GT(a.collisions, 0U);
+  LinkLoadMap map(ft);
+  map.add_paths(routing.route_all(a.permutation));
+  EXPECT_EQ(map.colliding_pairs(), a.collisions);
+}
+
+TEST(ParallelAdversarial, RestartSeedsAreDistinct) {
+  // SplitMix64 scrambling: consecutive restart indices and nearby master
+  // seeds must not collide.
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t master : {0ULL, 1ULL, 42ULL}) {
+    for (std::uint32_t restart = 0; restart < 64; ++restart) {
+      seeds.insert(adversarial_restart_seed(master, restart));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3U * 64U);
 }
 
 TEST(ParallelAnalysis, RejectsZeroTrials) {

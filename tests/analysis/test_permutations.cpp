@@ -139,6 +139,77 @@ TEST(Permutations, ExhaustiveEnumerationCount) {
                precondition_error);
 }
 
+TEST(Permutations, FactorialValues) {
+  EXPECT_EQ(factorial(0), 1U);
+  EXPECT_EQ(factorial(1), 1U);
+  EXPECT_EQ(factorial(5), 120U);
+  EXPECT_EQ(factorial(10), 3628800U);
+  EXPECT_EQ(factorial(20), 2432902008176640000ULL);
+  EXPECT_THROW((void)factorial(21), precondition_error);
+}
+
+TEST(Permutations, UnrankRankRoundTrip) {
+  for (const std::uint32_t leafs : {1U, 2U, 5U, 7U}) {
+    for (std::uint64_t rank = 0; rank < factorial(leafs); ++rank) {
+      const auto target = unrank_targets(leafs, rank);
+      EXPECT_EQ(rank_of_targets(target), rank) << "leafs=" << leafs;
+    }
+  }
+}
+
+TEST(Permutations, UnrankMatchesLexicographicOrder) {
+  // Rank order == std::next_permutation order over target vectors.
+  std::vector<std::uint32_t> target{0, 1, 2, 3, 4};
+  std::uint64_t rank = 0;
+  do {
+    EXPECT_EQ(unrank_targets(5, rank), target);
+    ++rank;
+  } while (std::next_permutation(target.begin(), target.end()));
+  EXPECT_EQ(rank, 120U);
+  EXPECT_THROW((void)unrank_targets(5, 120), precondition_error);
+}
+
+TEST(Permutations, RangeEnumerationCoversShardsExactly) {
+  // Splitting [0, 6!) into uneven shards visits each permutation once, in
+  // the same order as the full walk.
+  std::vector<std::uint64_t> full_ranks;
+  for_each_permutation_in_range(6, 0, factorial(6),
+                                [&](const Permutation& p) {
+                                  full_ranks.push_back(p.size());
+                                  return true;
+                                });
+  ASSERT_EQ(full_ranks.size(), 720U);
+  std::vector<std::uint64_t> sharded;
+  for (const auto [begin, end] :
+       std::vector<std::pair<std::uint64_t, std::uint64_t>>{
+           {0, 1}, {1, 100}, {100, 477}, {477, 720}}) {
+    const auto visited = for_each_permutation_in_range(
+        6, begin, end, [&](const Permutation& p) {
+          sharded.push_back(p.size());
+          return true;
+        });
+    EXPECT_EQ(visited, end - begin);
+  }
+  EXPECT_EQ(sharded, full_ranks);
+}
+
+TEST(Permutations, RangeEnumerationStopsEarlyAndCountsInclusively) {
+  std::uint64_t seen = 0;
+  const auto visited = for_each_permutation_in_range(
+      5, 10, 120, [&](const Permutation&) { return ++seen < 7; });
+  EXPECT_EQ(seen, 7U);
+  EXPECT_EQ(visited, 7U);  // includes the permutation that said stop
+}
+
+TEST(Permutations, RangeEnumerationValidatesArguments) {
+  EXPECT_THROW(for_each_permutation_in_range(
+                   5, 10, 121, [](const Permutation&) { return true; }),
+               precondition_error);
+  EXPECT_THROW(for_each_permutation_in_range(
+                   5, 8, 7, [](const Permutation&) { return true; }),
+               precondition_error);
+}
+
 TEST(Permutations, ExhaustiveEnumerationIncludesIdentityAsEmpty) {
   bool saw_empty = false;
   for_each_permutation(3, [&](const Permutation& p) {

@@ -56,12 +56,23 @@ TEST(RootCapacityWitness, SizeIsRTimesRMinusOne) {
   EXPECT_EQ(witness.size(), 20U);
 }
 
-TEST(RootCapacityExact, MatchesBruteForceOnTinyInstances) {
-  // The mode-decomposition search must agree with raw subset search.
+TEST(RootCapacityExact, MatchesBruteForceOnEveryInstanceWithinCap) {
+  // The mode-decomposition search must agree with raw subset search (and
+  // respect the analytic bound) on every (n, r) the 60-pair brute-force
+  // cap admits: r(r-1)n^2 <= 60.
   for (const auto& [n, r] : std::vector<std::pair<std::uint32_t, std::uint32_t>>{
-           {1, 2}, {1, 3}, {1, 4}, {2, 2}, {2, 3}, {1, 5}}) {
-    EXPECT_EQ(root_capacity_exact(n, r), root_capacity_bruteforce(n, r))
-        << "n=" << n << " r=" << r;
+           {1, 2}, {1, 3}, {1, 4}, {1, 5}, {1, 6}, {1, 7}, {1, 8},
+           {2, 2}, {2, 3}, {2, 4},
+           {3, 2}, {3, 3},
+           {4, 2}, {5, 2}}) {
+    const auto exact = root_capacity_exact(n, r);
+    EXPECT_EQ(exact, root_capacity_bruteforce(n, r)) << "n=" << n
+                                                     << " r=" << r;
+    EXPECT_LE(exact, root_capacity_bound(n, r)) << "n=" << n << " r=" << r;
+    // In the large-r regime the bound r(r-1) is tight.
+    if (r >= 2 * n + 1) {
+      EXPECT_EQ(exact, root_capacity_bound(n, r)) << "n=" << n << " r=" << r;
+    }
   }
 }
 
@@ -98,8 +109,19 @@ TEST(RootCapacityExact, N1EveryPairFits) {
   }
 }
 
+TEST(RootCapacityExact, LiftedCapReachesRTen) {
+  // Branch-and-bound handles r = 9, 10 (the old full enumeration stopped
+  // at r = 8); in this regime r >= 2n+1, so the bound is tight.
+  EXPECT_EQ(root_capacity_exact(2, 9), 72U);
+  EXPECT_EQ(root_capacity_exact(2, 10), 90U);
+  EXPECT_EQ(root_capacity_exact(3, 10), 90U);
+  // Boundary r = 2n+1 exactly: both formulas give 72.
+  EXPECT_EQ(root_capacity_exact(4, 9), 72U);
+}
+
 TEST(RootCapacityExact, GuardsAgainstHugeSearch) {
-  EXPECT_THROW((void)root_capacity_exact(2, 9), precondition_error);
+  EXPECT_THROW((void)root_capacity_exact(2, 11), precondition_error);
+  // n = 2, r = 5: r(r-1)n^2 = 80 > 60.
   EXPECT_THROW((void)root_capacity_bruteforce(2, 5), precondition_error);
 }
 

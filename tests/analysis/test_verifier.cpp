@@ -120,6 +120,85 @@ TEST(Verifier, WorstCaseSearchFindsZeroForNonblockingScheme) {
   EXPECT_GT(worst.evaluations, 0U);
 }
 
+TEST(Verifier, DeltaRestartMatchesFullRestartExactly) {
+  // Same seed -> same start pattern and same swap proposals; since delta
+  // and full evaluation must agree on every collision count, the entire
+  // trajectory (accepts, reverts, final pattern) is identical.
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  for (const std::uint64_t seed : {3ULL, 17ULL, 99ULL}) {
+    for (const bool stop_on_positive : {false, true}) {
+      const auto full = adversarial_restart(ft, as_pattern_router(routing),
+                                            300, seed, stop_on_positive);
+      const auto delta =
+          adversarial_restart(ft, routing, 300, seed, stop_on_positive);
+      EXPECT_EQ(delta.collisions, full.collisions) << "seed " << seed;
+      EXPECT_EQ(delta.evaluations, full.evaluations) << "seed " << seed;
+      EXPECT_EQ(delta.pattern, full.pattern) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Verifier, DeltaAdversarialOverloadMatchesPatternRouterOverload) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  const AdversarialOptions options{6, 500};
+  Xoshiro256 rng_full(12);
+  const auto full =
+      verify_adversarial(ft, as_pattern_router(routing), options, rng_full);
+  Xoshiro256 rng_delta(12);
+  const auto delta = verify_adversarial(ft, routing, options, rng_delta);
+  EXPECT_EQ(delta.nonblocking, full.nonblocking);
+  EXPECT_EQ(delta.permutations_checked, full.permutations_checked);
+  EXPECT_EQ(delta.counterexample.has_value(), full.counterexample.has_value());
+  if (delta.counterexample && full.counterexample) {
+    EXPECT_EQ(*delta.counterexample, *full.counterexample);
+    EXPECT_EQ(delta.counterexample_collisions, full.counterexample_collisions);
+  }
+}
+
+TEST(Verifier, DeltaWorstCaseOverloadMatchesPatternRouterOverload) {
+  const FoldedClos ft(FtreeParams{3, 2, 6});
+  const DModKRouting routing(ft);
+  const AdversarialOptions options{4, 400};
+  Xoshiro256 rng_full(33);
+  const auto full =
+      worst_case_search(ft, as_pattern_router(routing), options, rng_full);
+  Xoshiro256 rng_delta(33);
+  const auto delta = worst_case_search(ft, routing, options, rng_delta);
+  EXPECT_EQ(delta.collisions, full.collisions);
+  EXPECT_EQ(delta.evaluations, full.evaluations);
+  EXPECT_EQ(delta.permutation, full.permutation);
+  // And the reported pattern really produces the reported collisions.
+  LinkLoadMap map(ft);
+  map.add_paths(routing.route_all(delta.permutation));
+  EXPECT_EQ(map.colliding_pairs(), delta.collisions);
+}
+
+TEST(Verifier, DeltaAdversarialFindsRareBlocking) {
+  const FoldedClos ft(FtreeParams{2, 4, 4});
+  const DModKRouting routing(ft);
+  ASSERT_FALSE(is_nonblocking_single_path(routing));
+  Xoshiro256 rng(12);
+  const auto result =
+      verify_adversarial(ft, routing, AdversarialOptions{10, 1000}, rng);
+  EXPECT_FALSE(result.nonblocking);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_TRUE(has_contention(ft, routing.route_all(*result.counterexample)));
+}
+
+TEST(Verifier, ExhaustiveStopsAtLowestRankCounterexample) {
+  // permutations_checked is now the counterexample's lexicographic rank
+  // + 1 — the serial sweep stops there, and the parallel sweep returns
+  // the same number.
+  const FoldedClos ft(FtreeParams{2, 2, 3});
+  const DModKRouting routing(ft);
+  const auto result = verify_exhaustive(ft, as_pattern_router(routing));
+  ASSERT_FALSE(result.nonblocking);
+  EXPECT_LT(result.permutations_checked, 720U);
+  EXPECT_GT(result.permutations_checked, 0U);
+}
+
 TEST(Verifier, CountsPermutationsInAdversarialMode) {
   const FoldedClos ft(FtreeParams{2, 4, 3});
   const YuanNonblockingRouting routing(ft);

@@ -12,6 +12,9 @@
 ///   nbclos saturation <n> <r> <routing> [iterations] [threads]
 ///   nbclos circuit <n> <m> <r> [steps]
 ///   nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]
+///   nbclos verify <n> <r> <exhaustive|random|adversarial> [thm3|dmodk]
+///                 [--m M] [--threads T] [--trials N] [--restarts R]
+///                 [--steps S] [--seed S] [--json]
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
@@ -19,7 +22,9 @@
 #include <vector>
 
 #include "nbclos/adaptive/router.hpp"
+#include "nbclos/analysis/parallel.hpp"
 #include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/baselines.hpp"
 #include "nbclos/circuit/clos_switch.hpp"
 #include "nbclos/core/designer.hpp"
 #include "nbclos/core/fabric.hpp"
@@ -42,7 +47,12 @@ int usage() {
             << "  nbclos saturation <n> <r> <routing> [iterations] [threads]\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
             << "  nbclos dot <n> [r]           (Graphviz to stdout)\n"
-            << "  nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]\n";
+            << "  nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]\n"
+            << "  nbclos verify <n> <r> <exhaustive|random|adversarial> "
+               "[thm3|dmodk]\n"
+            << "                [--m M] [--threads T] [--trials N] "
+               "[--restarts R] [--steps S]\n"
+            << "                [--seed S] [--json]\n";
   return 2;
 }
 
@@ -337,6 +347,125 @@ int cmd_fault_sweep(const std::vector<std::string>& args) {
   return 0;
 }
 
+/// Empirical nonblocking verification from the command line.  Always
+/// drives the parallel engines (a 1-thread pool when --threads is not
+/// given), whose results are thread-count independent, so --threads only
+/// changes wall-clock time, never the verdict.
+int cmd_verify(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const std::string mode = args.at(2);
+  std::string routing_name = "thm3";
+  std::size_t i = 3;
+  if (i < args.size() && args[i].rfind("--", 0) != 0) routing_name = args[i++];
+
+  std::uint32_t m = n * n;
+  std::size_t threads = 1;
+  std::uint64_t trials = 10000;
+  nbclos::AdversarialOptions options;
+  std::uint64_t seed = 1;
+  bool json = false;
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&] { return args.at(++i); };
+    if (flag == "--m") {
+      m = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--threads") {
+      threads = std::stoull(next());
+    } else if (flag == "--trials") {
+      trials = std::stoull(next());
+    } else if (flag == "--restarts") {
+      options.restarts = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--steps") {
+      options.steps_per_restart =
+          static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--seed") {
+      seed = std::stoull(next());
+    } else if (flag == "--json") {
+      json = true;
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+
+  const nbclos::FoldedClos ftree(nbclos::FtreeParams{n, m, r});
+  std::unique_ptr<nbclos::SinglePathRouting> routing;
+  if (routing_name == "thm3") {
+    routing = std::make_unique<nbclos::YuanNonblockingRouting>(ftree);
+  } else if (routing_name == "dmodk") {
+    routing = std::make_unique<nbclos::DModKRouting>(ftree);
+  } else {
+    throw std::invalid_argument("unknown routing: " + routing_name);
+  }
+
+  nbclos::ThreadPool pool(threads);
+  const auto factory = [&routing](std::uint64_t) {
+    return nbclos::as_pattern_router(*routing);
+  };
+  nbclos::VerifyResult result;
+  std::uint64_t space = 0;  // 0 = unbounded / not applicable
+  if (mode == "exhaustive") {
+    space = nbclos::factorial(ftree.leaf_count());
+    result = nbclos::verify_exhaustive_parallel(ftree, factory, pool);
+  } else if (mode == "random") {
+    result = nbclos::verify_random_parallel(ftree, factory, trials, seed,
+                                            pool);
+  } else if (mode == "adversarial") {
+    result = nbclos::verify_adversarial_parallel(ftree, *routing, options,
+                                                 seed, pool);
+  } else {
+    throw std::invalid_argument("unknown verify mode: " + mode);
+  }
+
+  if (json) {
+    std::cout << "{\"mode\": \"" << mode << "\", \"topology\": \"ftree(" << n
+              << "+" << m << ", " << r << ")\", \"routing\": \""
+              << routing->name() << "\", \"threads\": " << pool.thread_count()
+              << ",\n \"nonblocking\": " << (result.nonblocking ? "true"
+                                                                : "false")
+              << ", \"permutations_checked\": " << result.permutations_checked;
+    if (space > 0) std::cout << ", \"permutation_space\": " << space;
+    if (result.counterexample.has_value()) {
+      std::cout << ",\n \"counterexample_collisions\": "
+                << result.counterexample_collisions
+                << ", \"counterexample\": [";
+      bool first = true;
+      for (const auto sd : *result.counterexample) {
+        if (!first) std::cout << ", ";
+        first = false;
+        std::cout << "[" << sd.src.value << ", " << sd.dst.value << "]";
+      }
+      std::cout << "]";
+    }
+    std::cout << "}\n";
+    return result.nonblocking ? 0 : 1;
+  }
+
+  std::cout << "ftree(" << n << "+" << m << ", " << r << "), "
+            << routing->name() << ", " << mode << " verification ("
+            << pool.thread_count() << " threads):\n  permutations checked: "
+            << result.permutations_checked;
+  if (space > 0) std::cout << " of " << space;
+  std::cout << "\n  verdict: ";
+  if (result.nonblocking) {
+    std::cout << (mode == "exhaustive"
+                      ? "NONBLOCKING (proof for this instance)"
+                      : "no counterexample found within budget");
+  } else {
+    std::cout << "BLOCKING (" << result.counterexample_collisions
+              << " colliding path pairs)";
+  }
+  std::cout << "\n";
+  if (result.counterexample.has_value()) {
+    std::cout << "  counterexample:";
+    for (const auto sd : *result.counterexample) {
+      std::cout << " " << sd.src.value << "->" << sd.dst.value;
+    }
+    std::cout << "\n";
+  }
+  return result.nonblocking ? 0 : 1;
+}
+
 int cmd_dot(const std::vector<std::string>& args) {
   const auto n = arg_u32(args, 0);
   const std::optional<std::uint32_t> r =
@@ -369,6 +498,7 @@ int main(int argc, char** argv) {
     if (command == "fault-sweep" && args.size() >= 3) {
       return cmd_fault_sweep(args);
     }
+    if (command == "verify" && args.size() >= 3) return cmd_verify(args);
     if (command == "dot" && args.size() >= 1) return cmd_dot(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
