@@ -11,12 +11,15 @@
 /// seeded, so output is byte-identical at any thread count.  Emits a
 /// single JSON document on stdout so downstream tooling can diff
 /// degraded-vs-pristine throughput across levels.
+#include <chrono>
 #include <iostream>
 #include <vector>
 
 #include "nbclos/analysis/permutations.hpp"
 #include "nbclos/fault/sweep.hpp"
+#include "nbclos/obs/run_info.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/util/json.hpp"
 
 int main() {
   constexpr std::uint32_t kN = 4;
@@ -42,34 +45,49 @@ int main() {
   // 0..64 of the 128 bottom<->top pairs; the heavy levels push past what
   // least-loaded fallback can absorb so the degradation becomes visible.
   const std::vector<std::uint32_t> levels{0, 4, 8, 16, 32, 64};
+  const auto wall_start = std::chrono::steady_clock::now();
   nbclos::ThreadPool pool;
   const auto results = nbclos::analysis::run_fault_throughput_sweep(
       ftree, net, table, traffic, config, levels, kFaultSeed, &pool);
 
+  auto manifest = nbclos::obs::RunInfo::current();
+  manifest.seed = kFaultSeed;
+  manifest.threads = static_cast<std::uint32_t>(pool.thread_count());
+  manifest.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+
   const double pristine = results.front().sim.accepted_throughput;
-  std::cout << "{\n"
-            << "  \"experiment\": \"fault_degradation\",\n"
-            << "  \"topology\": \"ftree(" << kN << "+" << kN * kN << ", "
-            << kR << ")\",\n"
-            << "  \"routing\": \"ftree-fault-table (Theorem 3 primary)\",\n"
-            << "  \"traffic\": \"shift permutation\",\n"
-            << "  \"offered_load\": " << kLoad << ",\n"
-            << "  \"fault_seed\": " << kFaultSeed << ",\n"
-            << "  \"pristine_accepted_throughput\": " << pristine << ",\n"
-            << "  \"levels\": [\n";
-  for (std::size_t i = 0; i < results.size(); ++i) {
-    const auto& level = results[i];
-    std::cout << "    {\"failed_uplink_pairs\": " << level.failures
-              << ", \"accepted_throughput\": "
-              << level.sim.accepted_throughput
-              << ", \"throughput_vs_pristine\": "
-              << (pristine > 0.0 ? level.sim.accepted_throughput / pristine
-                                 : 0.0)
-              << ", \"mean_latency\": " << level.sim.mean_latency
-              << ", \"dropped_packets\": " << level.sim.dropped_packets
-              << ", \"reroutes\": " << level.reroutes << "}"
-              << (i + 1 < results.size() ? "," : "") << "\n";
+  nbclos::JsonWriter json(std::cout);
+  json.begin_object();
+  json.member("experiment", "fault_degradation");
+  const std::string topology = "ftree(" + std::to_string(kN) + "+" +
+                               std::to_string(kN * kN) + ", " +
+                               std::to_string(kR) + ")";
+  json.member("topology", topology);
+  json.member("routing", "ftree-fault-table (Theorem 3 primary)");
+  json.member("traffic", "shift permutation");
+  json.member("offered_load", kLoad);
+  json.member("fault_seed", kFaultSeed);
+  json.member("pristine_accepted_throughput", pristine);
+  json.key("levels").begin_array();
+  for (const auto& level : results) {
+    json.begin_object();
+    json.member("failed_uplink_pairs", level.failures);
+    json.member("accepted_throughput", level.sim.accepted_throughput);
+    json.member("throughput_vs_pristine",
+                pristine > 0.0 ? level.sim.accepted_throughput / pristine
+                               : 0.0);
+    json.member("mean_latency", level.sim.mean_latency);
+    json.member("dropped_packets", level.sim.dropped_packets);
+    json.member("reroutes", level.reroutes);
+    json.end_object();
   }
-  std::cout << "  ]\n}\n";
+  json.end_array();
+  json.key("manifest");
+  manifest.write_json(json);
+  json.end_object();
+  std::cout << "\n";
   return 0;
 }

@@ -19,14 +19,18 @@
 /// output is identical at any thread count.  Flags: --csv appends CSV
 /// blocks, --json emits a single JSON document instead of tables,
 /// --quick shrinks the simulated window (CI smoke runs).
+#include <chrono>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "nbclos/analysis/permutations.hpp"
+#include "nbclos/obs/run_info.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 #include "nbclos/sim/engine.hpp"
+#include "nbclos/util/json.hpp"
 #include "nbclos/util/table.hpp"
 
 namespace {
@@ -141,9 +145,15 @@ int main(int argc, char** argv) {
        ftree_factory(nb_ft, UplinkPolicy::kLeastQueue, nullptr)},
   };
 
+  const auto wall_start = std::chrono::steady_clock::now();
   nbclos::ThreadPool pool;
-  bool first_pattern = true;
-  if (json) std::cout << "{\n  \"experiment\": \"throughput_vs_load\",\n  \"patterns\": [\n";
+  std::optional<nbclos::JsonWriter> writer;
+  if (json) {
+    writer.emplace(std::cout);
+    writer->begin_object();
+    writer->member("experiment", "throughput_vs_load");
+    writer->key("patterns").begin_array();
+  }
 
   const auto run_pattern = [&](const std::string& title, const std::string& key,
                                const nbclos::Permutation& pattern) {
@@ -162,30 +172,30 @@ int main(int argc, char** argv) {
     }
 
     if (json) {
-      if (!first_pattern) std::cout << ",\n";
-      first_pattern = false;
-      std::cout << "    {\"pattern\": \"" << key << "\", \"loads\": [";
-      for (std::size_t j = 0; j < loads.size(); ++j) {
-        std::cout << (j ? ", " : "") << loads[j];
-      }
-      std::cout << "], \"series\": [\n";
+      writer->begin_object();
+      writer->member("pattern", key);
+      writer->key("loads").begin_array();
+      for (const double load : loads) writer->value(load);
+      writer->end_array();
+      writer->key("series").begin_array();
       for (std::size_t i = 0; i < specs.size(); ++i) {
-        std::cout << "      {\"name\": \"" << specs[i].name
-                  << "\", \"accepted_throughput\": [";
-        for (std::size_t j = 0; j < loads.size(); ++j) {
-          std::cout << (j ? ", " : "") << series[i][j].accepted_throughput;
+        writer->begin_object();
+        writer->member("name", specs[i].name);
+        writer->key("accepted_throughput").begin_array();
+        for (const auto& result : series[i]) {
+          writer->value(result.accepted_throughput);
         }
-        std::cout << "], \"mean_latency\": [";
-        for (std::size_t j = 0; j < loads.size(); ++j) {
-          std::cout << (j ? ", " : "") << series[i][j].mean_latency;
-        }
-        std::cout << "], \"p99_latency\": [";
-        for (std::size_t j = 0; j < loads.size(); ++j) {
-          std::cout << (j ? ", " : "") << series[i][j].p99_latency;
-        }
-        std::cout << "]}" << (i + 1 < specs.size() ? "," : "") << "\n";
+        writer->end_array();
+        writer->key("mean_latency").begin_array();
+        for (const auto& result : series[i]) writer->value(result.mean_latency);
+        writer->end_array();
+        writer->key("p99_latency").begin_array();
+        for (const auto& result : series[i]) writer->value(result.p99_latency);
+        writer->end_array();
+        writer->end_object();
       }
-      std::cout << "    ]}";
+      writer->end_array();
+      writer->end_object();
       return;
     }
 
@@ -230,7 +240,18 @@ int main(int argc, char** argv) {
       "mod16_residue_funnel", funnel_mod16());
 
   if (json) {
-    std::cout << "\n  ]\n}\n";
+    writer->end_array();
+    auto manifest = nbclos::obs::RunInfo::current();
+    manifest.seed = base_config().seed;
+    manifest.threads = static_cast<std::uint32_t>(pool.thread_count());
+    manifest.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall_start)
+            .count();
+    writer->key("manifest");
+    manifest.write_json(*writer);
+    writer->end_object();
+    std::cout << "\n";
     return 0;
   }
   std::cout << "Expected shape (paper + refs [5][7]): the Theorem 3 fabric "

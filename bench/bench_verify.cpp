@@ -12,11 +12,14 @@
 ///     1/2/8 pool threads;
 ///   * lemma2 — root_capacity_exact / root_capacity_bruteforce timings at
 ///     the caps the branch-and-bound search lifted them to.
-/// Pass --quick for CI smoke budgets, --threads <T> to cap the scaling
-/// sweep.  Results are seeded and bit-reproducible; timings are not, so
-/// every timed section runs once untimed (warm-up) and then reports the
-/// best of three timed repetitions — the repeatable cost of the work,
-/// not whatever the scheduler did to one run.
+/// The obs_overhead section reruns the delta adversarial search with
+/// metric recording enabled vs paused (obs::set_enabled); the live cost
+/// must stay under 2% and the results field-identical.  Pass --quick for
+/// CI smoke budgets, --threads <T> to cap the scaling sweep.  Results are
+/// seeded and bit-reproducible; timings are not, so every timed section
+/// runs once untimed (warm-up) and then reports the best of three timed
+/// repetitions — the repeatable cost of the work, not whatever the
+/// scheduler did to one run.
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
@@ -28,8 +31,11 @@
 #include "nbclos/analysis/parallel.hpp"
 #include "nbclos/analysis/root_capacity.hpp"
 #include "nbclos/analysis/verifier.hpp"
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/run_info.hpp"
 #include "nbclos/routing/baselines.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/util/json.hpp"
 
 namespace {
 
@@ -69,31 +75,38 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::cout << "{\n  \"experiment\": \"verify_engine\",\n"
-            << "  \"hardware_concurrency\": "
-            << std::thread::hardware_concurrency() << ",\n";
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto manifest = nbclos::obs::RunInfo::current();
+  manifest.seed = 7;
+  manifest.threads = static_cast<std::uint32_t>(max_threads);
+
+  nbclos::JsonWriter json(std::cout);
+  json.begin_object();
+  json.member("experiment", "verify_engine");
+  json.member("hardware_concurrency",
+              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
 
   // --- Adversarial: full re-evaluation vs delta evaluation. ------------
+  nbclos::AdversarialOptions adv_options;
+  adv_options.restarts = quick ? 2 : 8;
+  adv_options.steps_per_restart = quick ? 200 : 2000;
   {
     constexpr std::uint32_t kN = 4;
     constexpr std::uint32_t kR = 8;
     const nbclos::FoldedClos ftree(nbclos::FtreeParams{kN, kN * kN, kR});
     const nbclos::DModKRouting dmodk(ftree);
-    nbclos::AdversarialOptions options;
-    options.restarts = quick ? 2 : 8;
-    options.steps_per_restart = quick ? 200 : 2000;
 
     nbclos::WorstCaseResult full;
     const double full_secs = best_seconds(kTimingReps, [&] {
       nbclos::Xoshiro256 rng(7);
       full = nbclos::worst_case_search(ftree, nbclos::as_pattern_router(dmodk),
-                                       options, rng);
+                                       adv_options, rng);
     });
 
     nbclos::WorstCaseResult delta;
     const double delta_secs = best_seconds(kTimingReps, [&] {
       nbclos::Xoshiro256 rng(7);
-      delta = nbclos::worst_case_search(ftree, dmodk, options, rng);
+      delta = nbclos::worst_case_search(ftree, dmodk, adv_options, rng);
     });
 
     if (full.collisions != delta.collisions ||
@@ -105,18 +118,54 @@ int main(int argc, char** argv) {
     const double full_rate = static_cast<double>(full.evaluations) / full_secs;
     const double delta_rate =
         static_cast<double>(delta.evaluations) / delta_secs;
-    std::cout << "  \"adversarial\": {\n"
-              << "    \"topology\": \"ftree(" << kN << "+" << kN * kN << ", "
-              << kR << ")\",\n    \"routing\": \"d-mod-k\",\n"
-              << "    \"restarts\": " << options.restarts
-              << ", \"steps_per_restart\": " << options.steps_per_restart
-              << ",\n    \"worst_collisions\": " << full.collisions
-              << ", \"evaluations\": " << full.evaluations << ",\n"
-              << "    \"full\": {\"seconds\": " << full_secs
-              << ", \"perms_per_sec\": " << full_rate << "},\n"
-              << "    \"delta\": {\"seconds\": " << delta_secs
-              << ", \"perms_per_sec\": " << delta_rate << "},\n"
-              << "    \"speedup\": " << delta_rate / full_rate << "\n  },\n";
+    const std::string topology = "ftree(" + std::to_string(kN) + "+" +
+                                 std::to_string(kN * kN) + ", " +
+                                 std::to_string(kR) + ")";
+    json.key("adversarial").begin_object();
+    json.member("topology", topology);
+    json.member("routing", "d-mod-k");
+    json.member("restarts", adv_options.restarts);
+    json.member("steps_per_restart", adv_options.steps_per_restart);
+    json.member("worst_collisions", full.collisions);
+    json.member("evaluations", full.evaluations);
+    json.key("full").begin_object();
+    json.member("seconds", full_secs);
+    json.member("perms_per_sec", full_rate);
+    json.end_object();
+    json.key("delta").begin_object();
+    json.member("seconds", delta_secs);
+    json.member("perms_per_sec", delta_rate);
+    json.end_object();
+    json.member("speedup", delta_rate / full_rate);
+    json.end_object();
+
+    // --- instrumentation overhead: metrics live vs paused --------------
+    const auto search = [&] {
+      nbclos::Xoshiro256 rng(7);
+      return nbclos::worst_case_search(ftree, dmodk, adv_options, rng);
+    };
+    nbclos::obs::set_enabled(true);
+    nbclos::WorstCaseResult on_result;
+    const double on_secs =
+        best_seconds(kTimingReps, [&] { on_result = search(); });
+    nbclos::obs::set_enabled(false);
+    nbclos::WorstCaseResult off_result;
+    const double off_secs =
+        best_seconds(kTimingReps, [&] { off_result = search(); });
+    nbclos::obs::set_enabled(true);
+    if (on_result.collisions != off_result.collisions ||
+        on_result.evaluations != off_result.evaluations ||
+        on_result.permutation != off_result.permutation) {
+      std::cerr << "obs on/off changed the search result\n";
+      return 1;
+    }
+    json.key("obs_overhead").begin_object();
+    json.member("compiled_in", nbclos::obs::kEnabled);
+    json.member("enabled_seconds", on_secs);
+    json.member("paused_seconds", off_secs);
+    json.member("overhead_pct", (on_secs / off_secs - 1.0) * 100.0);
+    json.member("results_identical", true);
+    json.end_object();
   }
 
   // --- Exhaustive: serial vs sharded thread scaling. -------------------
@@ -141,14 +190,18 @@ int main(int argc, char** argv) {
     }
     const double serial_rate =
         static_cast<double>(serial.permutations_checked) / serial_secs;
-    std::cout << "  \"exhaustive\": {\n    \"topology\": \"ftree(" << n << "+"
-              << n * n << ", " << r << ")\",\n"
-              << "    \"routing\": \"" << yuan.name() << "\",\n"
-              << "    \"permutations\": " << serial.permutations_checked
-              << ",\n    \"serial\": {\"seconds\": " << serial_secs
-              << ", \"perms_per_sec\": " << serial_rate << "},\n"
-              << "    \"sharded\": [\n";
-    bool first = true;
+    const std::string topology = "ftree(" + std::to_string(n) + "+" +
+                                 std::to_string(n * n) + ", " +
+                                 std::to_string(r) + ")";
+    json.key("exhaustive").begin_object();
+    json.member("topology", topology);
+    json.member("routing", yuan.name());
+    json.member("permutations", serial.permutations_checked);
+    json.key("serial").begin_object();
+    json.member("seconds", serial_secs);
+    json.member("perms_per_sec", serial_rate);
+    json.end_object();
+    json.key("sharded").begin_array();
     for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
                                       std::size_t{8}}) {
       if (threads > max_threads) continue;
@@ -162,14 +215,16 @@ int main(int argc, char** argv) {
         std::cerr << "sharded exhaustive diverged from serial\n";
         return 1;
       }
-      if (!first) std::cout << ",\n";
-      first = false;
-      std::cout << "      {\"threads\": " << threads
-                << ", \"seconds\": " << secs << ", \"perms_per_sec\": "
-                << static_cast<double>(sharded.permutations_checked) / secs
-                << ", \"speedup_vs_serial\": " << serial_secs / secs << "}";
+      json.begin_object();
+      json.member("threads", static_cast<std::uint64_t>(threads));
+      json.member("seconds", secs);
+      json.member("perms_per_sec",
+                  static_cast<double>(sharded.permutations_checked) / secs);
+      json.member("speedup_vs_serial", serial_secs / secs);
+      json.end_object();
     }
-    std::cout << "\n    ]\n  },\n";
+    json.end_array();
+    json.end_object();
   }
 
   // --- Lemma 2 searches at the lifted caps. ----------------------------
@@ -185,8 +240,7 @@ int main(int argc, char** argv) {
                                   {3, 10, false},
                                   {2, 3, true},
                                   {3, 2, true}};
-    std::cout << "  \"lemma2\": [\n";
-    bool first = true;
+    json.key("lemma2").begin_array();
     for (const auto c : cases) {
       const auto t0 = std::chrono::steady_clock::now();
       const std::uint64_t value = c.bruteforce
@@ -194,16 +248,22 @@ int main(int argc, char** argv) {
                                                                          c.r)
                                       : nbclos::root_capacity_exact(c.n, c.r);
       const double secs = seconds_since(t0);
-      if (!first) std::cout << ",\n";
-      first = false;
-      std::cout << "    {\"n\": " << c.n << ", \"r\": " << c.r
-                << ", \"search\": \""
-                << (c.bruteforce ? "bruteforce" : "exact")
-                << "\", \"value\": " << value << ", \"bound\": "
-                << nbclos::root_capacity_bound(c.n, c.r)
-                << ", \"seconds\": " << secs << "}";
+      json.begin_object();
+      json.member("n", c.n);
+      json.member("r", c.r);
+      json.member("search", c.bruteforce ? "bruteforce" : "exact");
+      json.member("value", value);
+      json.member("bound", nbclos::root_capacity_bound(c.n, c.r));
+      json.member("seconds", secs);
+      json.end_object();
     }
-    std::cout << "\n  ]\n}\n";
+    json.end_array();
   }
+
+  manifest.wall_seconds = seconds_since(wall_start);
+  json.key("manifest");
+  manifest.write_json(json);
+  json.end_object();
+  std::cout << "\n";
   return 0;
 }

@@ -1,0 +1,153 @@
+/// \file trace.hpp
+/// \brief Scoped span tracing with Chrome trace_event / JSONL export.
+///
+/// A TraceSession collects timestamped events into per-thread buffers
+/// (no locks on the record path; the global registry of buffers is only
+/// locked on a thread's FIRST event).  Supported event phases follow the
+/// Chrome trace_event format, so the output of write_chrome() loads
+/// directly into chrome://tracing or Perfetto:
+///   * "X" complete events — a named span with start + duration, emitted
+///     by the RAII ScopedSpan;
+///   * "i" instant events — point-in-time markers (e.g. one bisection
+///     step with its lo/mid/hi bracket as args);
+///   * "C" counter events — a sampled numeric series.
+/// write_jsonl() emits the same events one-JSON-object-per-line for
+/// stream processing (schema in EXPERIMENTS.md).
+///
+/// Event names and categories must be string literals (or otherwise
+/// outlive the session): the collector stores the pointers, never copies.
+///
+/// Cost: when no session is active a ScopedSpan is two relaxed loads; an
+/// instant/counter emit is one.  When NBCLOS_OBS=OFF everything here is
+/// an inline empty stub and instrumented call sites compile away.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "nbclos/obs/metrics.hpp"  // NBCLOS_OBS_ENABLED + kEnabled
+
+#if NBCLOS_OBS_ENABLED
+#include <atomic>
+#endif
+
+namespace nbclos::obs {
+
+#if NBCLOS_OBS_ENABLED
+
+namespace detail {
+
+/// One trace event; `key[i]`/`val[i]` hold up to kMaxArgs numeric args.
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 3;
+  const char* name = nullptr;
+  const char* cat = nullptr;
+  char phase = 'X';
+  std::uint32_t tid = 0;
+  std::uint64_t ts_ns = 0;   ///< nanoseconds since session start
+  std::uint64_t dur_ns = 0;  ///< "X" events only
+  std::uint8_t argc = 0;
+  const char* keys[kMaxArgs] = {nullptr, nullptr, nullptr};
+  double vals[kMaxArgs] = {0.0, 0.0, 0.0};
+};
+
+[[nodiscard]] bool trace_active() noexcept;
+[[nodiscard]] std::uint64_t trace_now_ns() noexcept;
+void trace_record(const TraceEvent& event) noexcept;
+
+}  // namespace detail
+
+/// Process-wide trace collector.  start() clears previous events and
+/// begins collecting; stop() freezes the buffers for export.  Starting
+/// while active is a no-op; the session is not reentrant but is safe to
+/// drive from any single controlling thread while workers record.
+class TraceSession {
+ public:
+  static void start();
+  static void stop();
+  [[nodiscard]] static bool active() noexcept {
+    return detail::trace_active();
+  }
+  /// Number of collected events (stopped sessions only).
+  [[nodiscard]] static std::size_t event_count();
+  /// Chrome trace_event JSON ({"traceEvents": [...], "metadata": {...}}).
+  static void write_chrome(std::ostream& out);
+  /// One event per line; see EXPERIMENTS.md §"trace JSONL schema".
+  static void write_jsonl(std::ostream& out);
+};
+
+/// Emit an instant event ("i") with up to three numeric args.
+void trace_instant(const char* name, const char* cat = "nbclos",
+                   const char* k0 = nullptr, double v0 = 0.0,
+                   const char* k1 = nullptr, double v1 = 0.0,
+                   const char* k2 = nullptr, double v2 = 0.0) noexcept;
+
+/// Emit a counter sample ("C"): a named numeric series over time.
+void trace_counter(const char* name, double value,
+                   const char* series = "value") noexcept;
+
+/// RAII complete-event span ("X").  Records start on construction and
+/// duration on destruction; up to three numeric args may be attached
+/// before the span closes.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, const char* cat = "nbclos") noexcept {
+    if (!detail::trace_active()) return;
+    event_.name = name;
+    event_.cat = cat;
+    event_.ts_ns = detail::trace_now_ns();
+    armed_ = true;
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(const char* key, double value) noexcept {
+    if (!armed_ || event_.argc >= detail::TraceEvent::kMaxArgs) return;
+    event_.keys[event_.argc] = key;
+    event_.vals[event_.argc] = value;
+    ++event_.argc;
+  }
+
+  ~ScopedSpan() {
+    if (!armed_ || !detail::trace_active()) return;
+    event_.dur_ns = detail::trace_now_ns() - event_.ts_ns;
+    detail::trace_record(event_);
+  }
+
+ private:
+  detail::TraceEvent event_;
+  bool armed_ = false;
+};
+
+#else  // !NBCLOS_OBS_ENABLED — inline no-op stubs
+
+class TraceSession {
+ public:
+  static void start() {}
+  static void stop() {}
+  [[nodiscard]] static bool active() noexcept { return false; }
+  [[nodiscard]] static std::size_t event_count() { return 0; }
+  static void write_chrome(std::ostream&) {}
+  static void write_jsonl(std::ostream&) {}
+};
+
+inline void trace_instant(const char*, const char* = "nbclos",
+                          const char* = nullptr, double = 0.0,
+                          const char* = nullptr, double = 0.0,
+                          const char* = nullptr, double = 0.0) noexcept {}
+
+inline void trace_counter(const char*, double,
+                          const char* = "value") noexcept {}
+
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char*, const char* = "nbclos") noexcept {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  void arg(const char*, double) noexcept {}
+};
+
+#endif  // NBCLOS_OBS_ENABLED
+
+}  // namespace nbclos::obs

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "nbclos/fault/degraded_view.hpp"
+#include "nbclos/obs/trace.hpp"
 #include "nbclos/sim/oracle.hpp"
 #include "nbclos/sim/traffic.hpp"
 #include "nbclos/topology/network.hpp"
@@ -79,6 +80,17 @@ struct SimResult {
   }
 };
 
+/// Per-channel link utilization over one simulation run: the fraction of
+/// cycles each channel spent transmitting flits.  This is the telemetry
+/// resource-centric analyses need (see PAPERS.md) and what the paper's
+/// Lemma 1 artifacts compute internally but never exposed before.
+struct LinkUtilization {
+  std::vector<double> busy_fraction;  ///< per channel, [0, 1]
+  double mean = 0.0;                  ///< over all channels
+  double max = 0.0;
+  std::uint32_t max_channel = 0;      ///< argmax channel id
+};
+
 class PacketSim {
  public:
   /// All references must outlive the simulator.
@@ -97,6 +109,15 @@ class PacketSim {
 
   /// Run warmup + measurement; returns aggregate results.
   [[nodiscard]] SimResult run();
+
+  /// Flits transmitted per channel over the whole run (busy cycles, since
+  /// a channel moves one flit per cycle).  Valid after run().
+  [[nodiscard]] const std::vector<std::uint64_t>& link_busy_flits() const {
+    return link_busy_flits_;
+  }
+
+  /// Per-link utilization report over the whole run.  Valid after run().
+  [[nodiscard]] LinkUtilization link_utilization() const;
 
  private:
   /// The packet occupying a channel, if any (one per channel: a channel
@@ -188,6 +209,20 @@ class PacketSim {
   std::uint64_t switch_depth_sum_ = 0;      ///< running sum over switch queues
   std::uint64_t switch_channel_count_ = 0;
   RunningStats queue_depth_samples_;
+
+  // --- observability (none of it feeds back into simulation state, so
+  // --- results are bit-identical with obs compiled out or disabled) ----
+  /// Aggregate engine telemetry into obs::metrics() + sampled per-phase
+  /// timings; called once at the end of run() when obs is enabled.
+  void flush_obs(double wall_seconds);
+  std::vector<std::uint64_t> link_busy_flits_;  ///< per channel, whole run
+  std::uint64_t oracle_calls_ = 0;
+  std::uint64_t active_flying_sum_ = 0;    ///< per-cycle |flying_| summed
+  std::uint64_t active_sendable_sum_ = 0;  ///< per-cycle |sendable_| summed
+  /// Sampled per-phase wall time (arrivals / transmissions / injection),
+  /// measured every 64th cycle so the clock reads stay off the hot path.
+  std::uint64_t phase_ns_[3] = {0, 0, 0};
+  std::uint64_t phase_samples_ = 0;
 };
 
 // --- sweep drivers ----------------------------------------------------

@@ -63,11 +63,18 @@ class FtreeOracle final : public RoutingOracle {
   /// \param table required iff policy == kTable (not owned; must outlive).
   FtreeOracle(const FoldedClos& ftree, UplinkPolicy policy,
               const RoutingTable* table = nullptr, std::uint64_t seed = 7);
+  ~FtreeOracle() override;
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] std::uint32_t next_channel(const SimView& view,
                                            std::uint32_t vertex,
                                            const Packet& packet) override;
+
+  /// Cross-switch uplink choices made so far (the policy-dependent
+  /// decisions; injections, descents, and local delivery are forced).
+  [[nodiscard]] std::uint64_t uplink_decisions() const noexcept {
+    return uplink_decisions_;
+  }
 
  private:
   const FoldedClos* ftree_;
@@ -75,6 +82,9 @@ class FtreeOracle final : public RoutingOracle {
   UplinkPolicy policy_;
   const RoutingTable* table_;
   Xoshiro256 rng_;
+  // Accumulated locally (one plain increment on the hot path) and flushed
+  // to the obs registry once, on destruction.
+  std::uint64_t uplink_decisions_ = 0;
 };
 
 /// Oracle for the single crossbar from build_crossbar().

@@ -1,0 +1,94 @@
+/// \file json.hpp
+/// \brief Streaming JSON writer shared by the bench harnesses, the
+///        metrics/trace exporters, and the CLI.
+///
+/// Before this existed every bench hand-rolled its JSON with raw
+/// `std::cout <<`, which diverged in float precision (default 6
+/// significant digits in some benches, full precision in others) and
+/// duplicated escaping logic.  JsonWriter centralizes:
+///   * structural correctness — commas, nesting, and key/value pairing
+///     are tracked on a stack and misuse fails fast via NBCLOS_REQUIRE;
+///   * string escaping (quotes, backslashes, control characters);
+///   * float formatting — shortest round-trip representation via
+///     std::to_chars, so every bench emits bit-faithful doubles;
+///   * non-finite doubles — JSON has no NaN/Inf, so they are emitted as
+///     null (the conventional lossy mapping, flagged in EXPERIMENTS.md).
+///
+/// Pretty-printing indents two spaces per level; pass indent = 0 for
+/// compact single-line output (used by the JSONL trace stream).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace nbclos {
+
+class JsonWriter {
+ public:
+  /// \param indent spaces per nesting level; 0 = compact (no newlines).
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(&out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value (or
+  /// begin_object/begin_array).
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) {
+    return value(std::string_view(text));
+  }
+  JsonWriter& value(bool flag);
+  JsonWriter& value(double number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int32_t number) {
+    return value(static_cast<std::int64_t>(number));
+  }
+  JsonWriter& value(std::uint32_t number) {
+    return value(static_cast<std::uint64_t>(number));
+  }
+
+  /// key + value in one call: writer.member("seed", 42).
+  template <typename T>
+  JsonWriter& member(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// True once every opened scope is closed and one top-level value has
+  /// been written.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+  void begin_value();  ///< comma/indent bookkeeping before any value
+  void open(Scope scope, char bracket);
+  void close(Scope scope, char bracket);
+  void newline_indent();
+
+  std::ostream* out_;
+  int indent_;
+  struct Level {
+    Scope scope;
+    bool has_items = false;
+    bool key_pending = false;  ///< kObject: key written, value outstanding
+  };
+  std::vector<Level> stack_;
+  bool root_written_ = false;
+};
+
+/// Escape and quote `text` per JSON (used by JsonWriter internally and
+/// exposed for ad-hoc emitters like the trace writer's tests).
+void write_json_string(std::ostream& out, std::string_view text);
+
+/// Shortest round-trip decimal form of `number` ("null" for non-finite).
+void write_json_double(std::ostream& out, double number);
+
+}  // namespace nbclos

@@ -86,6 +86,12 @@ class QuantileHistogram {
 
   void add(std::uint64_t value) noexcept;
 
+  /// Record `weight` occurrences of `value` in one call (used when a
+  /// worker flushes a locally-accumulated count; equivalent to calling
+  /// add(value) `weight` times).  The running count saturates at
+  /// UINT64_MAX instead of wrapping.
+  void add(std::uint64_t value, std::uint64_t weight) noexcept;
+
   /// Merge another histogram (parallel reduction).  \pre identical
   /// geometry (same max_value / max_bins).
   void merge(const QuantileHistogram& other);

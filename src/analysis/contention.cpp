@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "nbclos/obs/trace.hpp"
+
 namespace nbclos {
 
 void LinkLoadMap::add_path(const FtreePath& path) {
@@ -148,6 +150,8 @@ std::vector<LinkAuditViolation> audit_visits(std::uint32_t link_count,
 
 std::vector<LinkAuditViolation> lemma1_audit(const SinglePathRouting& routing) {
   const auto& ft = routing.ftree();
+  obs::ScopedSpan span("analysis.lemma1_audit", "verify");
+  span.arg("leafs", static_cast<double>(ft.leaf_count()));
   return audit_visits(ft.link_count(), [&](const auto& visit) {
     LinkId links[FoldedClos::kMaxPathLinks];
     for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {

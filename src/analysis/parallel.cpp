@@ -1,11 +1,14 @@
 #include "nbclos/analysis/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <optional>
 
 #include "nbclos/analysis/contention.hpp"
 #include "nbclos/analysis/permutations.hpp"
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/trace.hpp"
 #include "nbclos/util/check.hpp"
 
 namespace nbclos {
@@ -27,6 +30,14 @@ std::uint64_t chunk_seed(std::uint64_t master, std::uint32_t chunk) {
   return sm.next();
 }
 
+/// Monotonic nanoseconds for coarse (per-shard) obs timing.
+std::uint64_t obs_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
 
 BlockingEstimate estimate_blocking_parallel(
@@ -35,6 +46,8 @@ BlockingEstimate estimate_blocking_parallel(
     std::uint32_t chunks) {
   NBCLOS_REQUIRE(trials > 0, "need at least one trial");
   const auto sizes = chunk_sizes(trials, chunks);
+  obs::ScopedSpan span("verify.blocking_estimate", "verify");
+  span.arg("trials", static_cast<double>(trials));
 
   struct Partial {
     std::uint64_t blocked = 0;
@@ -86,6 +99,8 @@ VerifyResult verify_random_parallel(const FoldedClos& ftree,
                                     std::uint64_t trials, std::uint64_t seed,
                                     ThreadPool& pool, std::uint32_t chunks) {
   const auto sizes = chunk_sizes(trials, chunks);
+  obs::ScopedSpan span("verify.random", "verify");
+  span.arg("trials", static_cast<double>(trials));
   std::vector<VerifyResult> partials(chunks);
   for (std::uint32_t c = 0; c < chunks; ++c) {
     if (sizes[c] == 0) {
@@ -110,6 +125,8 @@ VerifyResult verify_random_parallel(const FoldedClos& ftree,
       result.counterexample_collisions = partial.counterexample_collisions;
     }
   }
+  obs::metrics().counter("verify.perms_evaluated")
+      .add(result.permutations_checked);
   return result;
 }
 
@@ -133,6 +150,14 @@ VerifyResult verify_exhaustive_parallel(const FoldedClos& ftree,
   std::vector<std::optional<ShardHit>> hits(shards);
   // Lowest counterexample rank found so far; ranks above it are dead.
   std::atomic<std::uint64_t> best_rank{UINT64_MAX};
+  // Obs: when the winning counterexample is published (obs_now_ns), so
+  // shards that observe the CAS-min and bail can report how quickly the
+  // early-exit signal propagated.  Never read by the verification logic.
+  std::atomic<std::uint64_t> publish_ns{0};
+
+  obs::ScopedSpan span("verify.exhaustive", "verify");
+  span.arg("shards", static_cast<double>(shards));
+  span.arg("permutations", static_cast<double>(total));
 
   const std::uint64_t base = total / shards;
   const std::uint64_t extra = total % shards;
@@ -142,7 +167,22 @@ VerifyResult verify_exhaustive_parallel(const FoldedClos& ftree,
     const std::uint64_t shard_begin = begin;
     begin = end;
     pool.submit([&, shard, shard_begin, end] {
-      if (shard_begin > best_rank.load(std::memory_order_relaxed)) return;
+      const bool observe = obs::kEnabled && obs::enabled();
+      const auto record_early_exit = [&] {
+        if (!observe) return;
+        const auto published = publish_ns.load(std::memory_order_relaxed);
+        if (published == 0) return;
+        obs::metrics()
+            .histogram("verify.early_exit_us", 10'000'000)
+            .record((obs_now_ns() - published) / 1000);
+      };
+      if (shard_begin > best_rank.load(std::memory_order_relaxed)) {
+        record_early_exit();
+        return;
+      }
+      const std::uint64_t shard_t0 = observe ? obs_now_ns() : 0;
+      std::uint64_t evaluated = 0;
+      bool early_exit = false;
       const auto router = make_router(chunk_seed(0, shard));
       LinkLoadMap map(ftree);
       std::uint64_t rank = shard_begin;
@@ -150,8 +190,10 @@ VerifyResult verify_exhaustive_parallel(const FoldedClos& ftree,
           ftree.leaf_count(), shard_begin, end,
           [&](const Permutation& pattern) {
             if (rank > best_rank.load(std::memory_order_relaxed)) {
+              early_exit = true;
               return false;  // a lower-rank counterexample already exists
             }
+            ++evaluated;
             const auto paths = router(pattern);
             map.add_paths(paths);
             const auto collisions = map.colliding_pairs();
@@ -162,11 +204,29 @@ VerifyResult verify_exhaustive_parallel(const FoldedClos& ftree,
               while (rank < current &&
                      !best_rank.compare_exchange_weak(current, rank)) {
               }
+              if (observe) {
+                // First publication wins; losers raced a lower rank in.
+                std::uint64_t expected = 0;
+                publish_ns.compare_exchange_strong(expected, obs_now_ns(),
+                                                   std::memory_order_relaxed);
+              }
               return false;
             }
             ++rank;
             return true;
           });
+      if (observe) {
+        // Per-shard rank throughput + flushed-once totals (local counts
+        // keep the permutation loop free of shared-metric traffic).
+        auto& m = obs::metrics();
+        m.counter("verify.perms_evaluated").add(evaluated);
+        const std::uint64_t elapsed = obs_now_ns() - shard_t0;
+        if (elapsed > 0 && evaluated > 0) {
+          m.histogram("verify.shard_ranks_per_s", 1'000'000'000)
+              .record(evaluated * 1'000'000'000 / elapsed);
+        }
+        if (early_exit) record_early_exit();
+      }
     });
   }
   pool.wait_idle();
@@ -205,12 +265,17 @@ VerifyResult verify_adversarial_parallel(const FoldedClos& ftree,
                                          const AdversarialOptions& options,
                                          std::uint64_t seed, ThreadPool& pool) {
   std::vector<RestartResult> outcomes(options.restarts);
+  obs::ScopedSpan span("verify.adversarial", "verify");
+  span.arg("restarts", static_cast<double>(options.restarts));
   // Restarts with an index above the lowest failing one cannot affect the
   // merged result, so they may be skipped opportunistically.
   std::atomic<std::uint32_t> first_failing{UINT32_MAX};
   for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
     pool.submit([&, restart] {
-      if (restart > first_failing.load(std::memory_order_relaxed)) return;
+      if (restart > first_failing.load(std::memory_order_relaxed)) {
+        obs::metrics().counter("verify.restarts_skipped").add(1);
+        return;
+      }
       outcomes[restart] = adversarial_restart(
           ftree, routing, options.steps_per_restart,
           adversarial_restart_seed(seed, restart), /*stop_on_positive=*/true);
@@ -226,6 +291,15 @@ VerifyResult verify_adversarial_parallel(const FoldedClos& ftree,
 
   VerifyResult result;
   result.nonblocking = true;
+  if constexpr (obs::kEnabled) {
+    // Hill-climb step counts per restart (the climbs themselves never
+    // touch the registry — counts are flushed here, after the join).
+    // Fixed geometry: the registry requires identical bounds per name.
+    auto& steps = obs::metrics().histogram("verify.climb_steps", 1'000'000);
+    for (const auto& outcome : outcomes) {
+      if (outcome.evaluations > 0) steps.record(outcome.evaluations);
+    }
+  }
   for (auto& outcome : outcomes) {  // merge in restart index order
     result.permutations_checked += outcome.evaluations;
     if (outcome.collisions > 0) {
@@ -244,6 +318,8 @@ WorstCaseResult worst_case_search_parallel(const FoldedClos& ftree,
                                            std::uint64_t seed,
                                            ThreadPool& pool) {
   std::vector<RestartResult> outcomes(options.restarts);
+  obs::ScopedSpan span("verify.worst_case", "verify");
+  span.arg("restarts", static_cast<double>(options.restarts));
   for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
     pool.submit([&, restart] {
       outcomes[restart] = adversarial_restart(
@@ -254,6 +330,12 @@ WorstCaseResult worst_case_search_parallel(const FoldedClos& ftree,
   pool.wait_idle();
 
   WorstCaseResult result;
+  if constexpr (obs::kEnabled) {
+    auto& steps = obs::metrics().histogram("verify.climb_steps", 1'000'000);
+    for (const auto& outcome : outcomes) {
+      if (outcome.evaluations > 0) steps.record(outcome.evaluations);
+    }
+  }
   for (auto& outcome : outcomes) {  // max, lowest index on ties
     result.evaluations += outcome.evaluations;
     if (outcome.collisions > result.collisions || result.permutation.empty()) {

@@ -5,6 +5,8 @@
 
 #include "nbclos/analysis/contention.hpp"
 #include "nbclos/analysis/delta.hpp"
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/trace.hpp"
 #include "nbclos/routing/single_path.hpp"
 
 namespace nbclos {
@@ -129,10 +131,15 @@ VerifyResult verify_adversarial_impl(const FoldedClos& ftree,
                                      Xoshiro256& rng) {
   VerifyResult result;
   result.nonblocking = true;
+  obs::ScopedSpan span("verify.adversarial", "verify");
+  span.arg("restarts", static_cast<double>(options.restarts));
+  auto& climb_steps = obs::metrics().histogram("verify.climb_steps",
+                                               1'000'000);
   for (std::uint32_t restart = 0; restart < options.restarts; ++restart) {
     const auto outcome = adversarial_restart(
         ftree, routing, options.steps_per_restart, rng(),
         /*stop_on_positive=*/true);
+    if (outcome.evaluations > 0) climb_steps.record(outcome.evaluations);
     result.permutations_checked += outcome.evaluations;
     if (outcome.collisions > 0) {
       result.nonblocking = false;
@@ -170,6 +177,7 @@ VerifyResult verify_exhaustive(const FoldedClos& ftree,
                                const PatternRouter& router) {
   VerifyResult result;
   result.nonblocking = true;
+  obs::ScopedSpan span("verify.exhaustive", "verify");
   LinkLoadMap map(ftree);
   result.permutations_checked = for_each_permutation_in_range(
       ftree.leaf_count(), 0, factorial(ftree.leaf_count()),
@@ -186,6 +194,8 @@ VerifyResult verify_exhaustive(const FoldedClos& ftree,
         }
         return true;
       });
+  obs::metrics().counter("verify.perms_evaluated")
+      .add(result.permutations_checked);
   return result;
 }
 

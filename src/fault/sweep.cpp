@@ -7,6 +7,8 @@
 #include "nbclos/fault/degraded_routing.hpp"
 #include "nbclos/fault/failure_model.hpp"
 #include "nbclos/fault/fault_oracle.hpp"
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/trace.hpp"
 #include "nbclos/topology/network.hpp"
 
 namespace nbclos::analysis {
@@ -53,10 +55,14 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
   FaultSweepResult result;
   result.permutations_per_level = config.permutations_per_level;
 
+  obs::ScopedSpan sweep_span("fault.sweep", "sweep");
+  sweep_span.arg("max_failures", static_cast<double>(config.max_failures));
   fault::DegradedView view(net);
   std::uint32_t failed = 0;
   for (std::uint32_t failures = 0; failures <= config.max_failures;
        failures += config.failure_step) {
+    obs::ScopedSpan level_span("fault.level", "sweep");
+    level_span.arg("failures", static_cast<double>(failures));
     // Grow the failure set incrementally (sets are nested by design).
     for (; failed < failures; ++failed) {
       view.fail_channel(
@@ -120,6 +126,10 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
       level.fallback_pairs += counts.fallback_pairs;
     }
     result.levels.push_back(level);
+    obs::metrics().counter("fault.levels").add(1);
+    obs::metrics()
+        .counter("fault.permutations")
+        .add(config.permutations_per_level);
 
     const bool blocks =
         level.blocked_permutations + level.unroutable_permutations > 0;
@@ -137,7 +147,11 @@ std::vector<FaultThroughputLevel> run_fault_throughput_sweep(
     const std::vector<std::uint32_t>& levels, std::uint64_t fault_seed,
     ThreadPool* pool) {
   std::vector<FaultThroughputLevel> results(levels.size());
+  obs::ScopedSpan sweep_span("fault.throughput_sweep", "sweep");
+  sweep_span.arg("levels", static_cast<double>(levels.size()));
   const auto run_level = [&](std::size_t i) {
+    obs::ScopedSpan level_span("fault.level", "sweep");
+    level_span.arg("failures", static_cast<double>(levels[i]));
     fault::DegradedView view(net);
     fault::FailureModel model(net);
     model.inject_random_uplink_failures(ftree, levels[i], fault_seed);

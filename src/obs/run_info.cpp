@@ -1,0 +1,82 @@
+#include "nbclos/obs/run_info.hpp"
+
+#include <sstream>
+#include <thread>
+
+#include "nbclos/obs/metrics.hpp"  // NBCLOS_OBS_ENABLED default
+#include "nbclos/util/json.hpp"
+
+// Build facts injected by src/obs/CMakeLists.txt; the fallbacks keep
+// non-CMake compiles (e.g. IDE single-file checks) working.
+#ifndef NBCLOS_VERSION_STRING
+#define NBCLOS_VERSION_STRING "0.0.0"
+#endif
+#ifndef NBCLOS_GIT_SHA
+#define NBCLOS_GIT_SHA "unknown"
+#endif
+#ifndef NBCLOS_BUILD_TYPE
+#define NBCLOS_BUILD_TYPE "unknown"
+#endif
+#ifndef NBCLOS_CXX_FLAGS
+#define NBCLOS_CXX_FLAGS ""
+#endif
+
+namespace nbclos::obs {
+
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("Clang ") + std::to_string(__clang_major__) + "." +
+         std::to_string(__clang_minor__) + "." +
+         std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+  return std::string("GNU ") + std::to_string(__GNUC__) + "." +
+         std::to_string(__GNUC_MINOR__) + "." +
+         std::to_string(__GNUC_PATCHLEVEL__);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+RunInfo RunInfo::current() {
+  RunInfo info;
+  info.version = NBCLOS_VERSION_STRING;
+  info.git_sha = NBCLOS_GIT_SHA;
+  info.compiler = compiler_string();
+  info.build_type = NBCLOS_BUILD_TYPE;
+  info.cxx_flags = NBCLOS_CXX_FLAGS;
+#if NBCLOS_OBS_ENABLED
+  info.obs_enabled = true;
+#else
+  info.obs_enabled = false;
+#endif
+  info.hardware_concurrency = std::thread::hardware_concurrency();
+  return info;
+}
+
+void RunInfo::write_json(JsonWriter& writer) const {
+  writer.begin_object();
+  writer.member("version", version);
+  writer.member("git_sha", git_sha);
+  writer.member("compiler", compiler);
+  writer.member("build_type", build_type);
+  writer.member("cxx_flags", cxx_flags);
+  writer.member("obs_enabled", obs_enabled);
+  writer.member("seed", seed);
+  writer.member("threads", threads);
+  writer.member("hardware_concurrency", hardware_concurrency);
+  writer.member("wall_seconds", wall_seconds);
+  writer.end_object();
+}
+
+std::string RunInfo::summary() const {
+  std::ostringstream out;
+  out << "nbclos " << version << " (" << git_sha << ", " << compiler << ", "
+      << build_type << ", obs " << (obs_enabled ? "on" : "off") << ")";
+  return out.str();
+}
+
+}  // namespace nbclos::obs

@@ -1,0 +1,198 @@
+#include "nbclos/obs/trace.hpp"
+
+#if NBCLOS_OBS_ENABLED
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "nbclos/util/json.hpp"
+
+namespace nbclos::obs {
+
+namespace detail {
+
+namespace {
+
+/// Per-thread event buffer.  Buffers are owned by a global registry (not
+/// the thread), so events survive thread exit and pool teardown; a
+/// thread's buffer is registered once, on its first recorded event.
+struct ThreadBuffer {
+  std::uint32_t tid = 0;
+  std::vector<TraceEvent> events;
+};
+
+struct Collector {
+  std::mutex mutex;  ///< guards registration + start/stop, not recording
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::atomic<bool> active{false};
+  std::atomic<std::uint32_t> next_tid{0};
+  std::chrono::steady_clock::time_point epoch;
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
+}
+
+ThreadBuffer& local_buffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    auto owned = std::make_unique<ThreadBuffer>();
+    ThreadBuffer* raw = owned.get();
+    Collector& c = collector();
+    const std::scoped_lock lock(c.mutex);
+    raw->tid = c.next_tid.fetch_add(1, std::memory_order_relaxed);
+    c.buffers.push_back(std::move(owned));
+    return raw;
+  }();
+  return *buffer;
+}
+
+void write_event_fields(JsonWriter& json, const TraceEvent& event) {
+  json.member("name", event.name);
+  json.member("cat", event.cat);
+  json.member("ph", std::string_view(&event.phase, 1));
+  json.member("pid", std::uint64_t{1});
+  json.member("tid", std::uint64_t{event.tid});
+  // Chrome expects microseconds; keep sub-us precision as a fraction.
+  json.member("ts", static_cast<double>(event.ts_ns) / 1000.0);
+  if (event.phase == 'X') {
+    json.member("dur", static_cast<double>(event.dur_ns) / 1000.0);
+  }
+  if (event.argc > 0) {
+    json.key("args").begin_object();
+    for (std::uint8_t a = 0; a < event.argc; ++a) {
+      json.member(event.keys[a], event.vals[a]);
+    }
+    json.end_object();
+  }
+}
+
+/// Snapshot all buffers into one timestamp-sorted vector.
+std::vector<TraceEvent> sorted_events() {
+  Collector& c = collector();
+  std::vector<TraceEvent> all;
+  {
+    const std::scoped_lock lock(c.mutex);
+    for (const auto& buffer : c.buffers) {
+      all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+  return all;
+}
+
+}  // namespace
+
+bool trace_active() noexcept {
+  return collector().active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - collector().epoch)
+          .count());
+}
+
+void trace_record(const TraceEvent& event) noexcept {
+  if (!runtime_enabled()) return;
+  ThreadBuffer& buffer = local_buffer();
+  buffer.events.push_back(event);
+  buffer.events.back().tid = buffer.tid;
+}
+
+}  // namespace detail
+
+void TraceSession::start() {
+  detail::Collector& c = detail::collector();
+  const std::scoped_lock lock(c.mutex);
+  if (c.active.load(std::memory_order_relaxed)) return;
+  for (auto& buffer : c.buffers) buffer->events.clear();
+  c.epoch = std::chrono::steady_clock::now();
+  c.active.store(true, std::memory_order_release);
+}
+
+void TraceSession::stop() {
+  detail::Collector& c = detail::collector();
+  const std::scoped_lock lock(c.mutex);
+  c.active.store(false, std::memory_order_release);
+}
+
+std::size_t TraceSession::event_count() {
+  detail::Collector& c = detail::collector();
+  const std::scoped_lock lock(c.mutex);
+  std::size_t total = 0;
+  for (const auto& buffer : c.buffers) total += buffer->events.size();
+  return total;
+}
+
+void TraceSession::write_chrome(std::ostream& out) {
+  const auto events = detail::sorted_events();
+  JsonWriter json(out, 0);
+  json.begin_object();
+  json.key("traceEvents").begin_array();
+  for (const auto& event : events) {
+    json.begin_object();
+    detail::write_event_fields(json, event);
+    json.end_object();
+  }
+  json.end_array();
+  json.member("displayTimeUnit", "ms");
+  json.end_object();
+  out << '\n';
+}
+
+void TraceSession::write_jsonl(std::ostream& out) {
+  for (const auto& event : detail::sorted_events()) {
+    JsonWriter json(out, 0);
+    json.begin_object();
+    detail::write_event_fields(json, event);
+    json.end_object();
+    out << '\n';
+  }
+}
+
+void trace_instant(const char* name, const char* cat, const char* k0,
+                   double v0, const char* k1, double v1, const char* k2,
+                   double v2) noexcept {
+  if (!detail::trace_active()) return;
+  detail::TraceEvent event;
+  event.name = name;
+  event.cat = cat;
+  event.phase = 'i';
+  event.ts_ns = detail::trace_now_ns();
+  const char* keys[] = {k0, k1, k2};
+  const double vals[] = {v0, v1, v2};
+  for (std::size_t a = 0; a < detail::TraceEvent::kMaxArgs; ++a) {
+    if (keys[a] == nullptr) break;
+    event.keys[event.argc] = keys[a];
+    event.vals[event.argc] = vals[a];
+    ++event.argc;
+  }
+  detail::trace_record(event);
+}
+
+void trace_counter(const char* name, double value,
+                   const char* series) noexcept {
+  if (!detail::trace_active()) return;
+  detail::TraceEvent event;
+  event.name = name;
+  event.cat = "counter";
+  event.phase = 'C';
+  event.ts_ns = detail::trace_now_ns();
+  event.keys[0] = series;
+  event.vals[0] = value;
+  event.argc = 1;
+  detail::trace_record(event);
+}
+
+}  // namespace nbclos::obs
+
+#endif  // NBCLOS_OBS_ENABLED

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
+
+#include "nbclos/obs/metrics.hpp"
 
 namespace nbclos::sim {
 
@@ -91,6 +94,7 @@ PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
   switch_channel_count_ = switch_channels;
   flying_.reserve(net.channel_count());
   sendable_.reserve(net.channel_count());
+  link_busy_flits_.assign(net.channel_count(), 0);
 }
 
 void PacketSim::queue_push(std::uint32_t channel, const Packet& packet) {
@@ -231,6 +235,7 @@ void PacketSim::step_arrivals() {
     // Route at the switch; the oracle is re-consulted on every retry,
     // so adaptive policies can steer around persistent congestion.
     const std::uint32_t at = channel_dst_[c];
+    ++oracle_calls_;
     const auto next = oracle_->next_channel(view_, at, fl.packet);
     if (next == fault::kNoRoute || !channel_usable(next)) {
       // No live route (fault-aware oracle) or a fault-oblivious oracle
@@ -289,6 +294,9 @@ void PacketSim::step_transmissions() {
       fl.packet = queue_pop(c);
       fl.valid = true;
       fl.arrival_cycle = now_ + fl.packet.size_flits;
+      // The channel is now busy for size_flits cycles — the whole-run sum
+      // is the per-link utilization report (link_utilization()).
+      link_busy_flits_[c] += fl.packet.size_flits;
       if (!in_flying_[c]) {
         in_flying_[c] = 1;
         flying_.push_back(c);
@@ -315,6 +323,7 @@ void PacketSim::step_injection() {
     packet.size_flits = config_.packet_size;
     packet.injected_cycle = now_;
     packet.flow_sequence = flow_sequence_[t]++;
+    ++oracle_calls_;
     const auto channel =
         oracle_->next_channel(view_, terminal_vertices_[t], packet);
     ++injected_;
@@ -330,13 +339,45 @@ void PacketSim::step_injection() {
 }
 
 SimResult PacketSim::run() {
+  obs::ScopedSpan span("sim.run", "sim");
+  const auto wall_start = std::chrono::steady_clock::now();
   const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
   for (now_ = 0; now_ < total; ++now_) {
     measuring_ = now_ >= config_.warmup_cycles;
     if (degraded_ != nullptr) apply_due_faults();
-    step_arrivals();
-    step_transmissions();
-    step_injection();
+    // Sampled per-phase timing: every 64th cycle when obs is on.  The
+    // clock reads never touch simulation state, so the timed and untimed
+    // paths produce bit-identical results.
+    bool timed = false;
+    if constexpr (obs::kEnabled) {
+      timed = (now_ & 63u) == 0 && obs::enabled();
+    }
+    if (timed) {
+      using clock = std::chrono::steady_clock;
+      const auto ns = [](clock::duration d) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+      };
+      const auto t0 = clock::now();
+      step_arrivals();
+      const auto t1 = clock::now();
+      step_transmissions();
+      const auto t2 = clock::now();
+      step_injection();
+      const auto t3 = clock::now();
+      phase_ns_[0] += ns(t1 - t0);
+      phase_ns_[1] += ns(t2 - t1);
+      phase_ns_[2] += ns(t3 - t2);
+      ++phase_samples_;
+    } else {
+      step_arrivals();
+      step_transmissions();
+      step_injection();
+    }
+    if constexpr (obs::kEnabled) {
+      active_flying_sum_ += flying_.size();
+      active_sendable_sum_ += sendable_.size();
+    }
     if (measuring_ && switch_channel_count_ > 0) {
       // Sample switch queue depths (terminal source queues excluded);
       // the sum is maintained incrementally by queue_push/pop/clear.
@@ -378,7 +419,79 @@ SimResult PacketSim::run() {
       result.max_flow_throughput = std::max(result.max_flow_throughput, rate);
     }
   }
+  if constexpr (obs::kEnabled) {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    flush_obs(wall.count());
+    span.arg("cycles", static_cast<double>(total));
+    span.arg("delivered", static_cast<double>(delivered_packets_));
+    span.arg("rate", config_.injection_rate);
+  }
   return result;
+}
+
+LinkUtilization PacketSim::link_utilization() const {
+  LinkUtilization report;
+  const std::uint64_t cycles = config_.warmup_cycles + config_.measure_cycles;
+  report.busy_fraction.resize(link_busy_flits_.size(), 0.0);
+  if (cycles == 0) return report;
+  double sum = 0.0;
+  for (std::size_t c = 0; c < link_busy_flits_.size(); ++c) {
+    // A packet transmitting across the run boundary counts its full
+    // length, so clamp: a link is never more than 100% busy.
+    const double frac =
+        std::min(1.0, static_cast<double>(link_busy_flits_[c]) /
+                          static_cast<double>(cycles));
+    report.busy_fraction[c] = frac;
+    sum += frac;
+    if (frac > report.max) {
+      report.max = frac;
+      report.max_channel = static_cast<std::uint32_t>(c);
+    }
+  }
+  if (!report.busy_fraction.empty()) {
+    report.mean = sum / static_cast<double>(report.busy_fraction.size());
+  }
+  return report;
+}
+
+void PacketSim::flush_obs(double wall_seconds) {
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  m.counter("sim.runs").add(1);
+  m.counter("sim.cycles").add(total);
+  m.counter("sim.packets.injected").add(injected_);
+  m.counter("sim.packets.delivered").add(delivered_packets_);
+  m.counter("sim.packets.dropped").add(dropped_packets_);
+  m.counter("sim.oracle.calls").add(oracle_calls_);
+  // Active-channel counts: channel-cycles divided by sim.cycles gives the
+  // mean number of simultaneously active channels.
+  m.counter("sim.active.flying_channel_cycles").add(active_flying_sum_);
+  m.counter("sim.active.sendable_channel_cycles").add(active_sendable_sum_);
+  // Queue depth at end of run plus the high-water over runs (gauge max).
+  m.gauge("sim.queue.switch_depth_sum")
+      .set(static_cast<std::int64_t>(switch_depth_sum_));
+  // Link utilization: total busy flit-cycles and the hottest link in
+  // parts-per-million (gauges are integers).
+  std::uint64_t busy_total = 0;
+  for (const auto b : link_busy_flits_) busy_total += b;
+  m.counter("sim.link.busy_flit_cycles").add(busy_total);
+  const auto util = link_utilization();
+  m.gauge("sim.link.max_util_ppm")
+      .set(static_cast<std::int64_t>(util.max * 1e6));
+  // Sampled per-phase cycle cost, nanoseconds per sampled cycle.
+  if (phase_samples_ > 0) {
+    const std::uint64_t cap = 1'000'000;  // 1 ms/cycle ceiling per phase
+    m.histogram("sim.phase.arrivals_ns", cap)
+        .record(phase_ns_[0] / phase_samples_);
+    m.histogram("sim.phase.transmissions_ns", cap)
+        .record(phase_ns_[1] / phase_samples_);
+    m.histogram("sim.phase.injection_ns", cap)
+        .record(phase_ns_[2] / phase_samples_);
+  }
+  m.counter("sim.wall_us")
+      .add(static_cast<std::uint64_t>(wall_seconds * 1e6));
 }
 
 // --- sweep drivers ----------------------------------------------------
@@ -392,15 +505,34 @@ SimResult run_single(const Network& net, const OracleFactory& factory,
                      std::uint64_t run_seed,
                      const fault::DegradedView* degraded,
                      const std::vector<fault::FaultEvent>& fault_events) {
-  if (degraded == nullptr) {
-    const auto oracle = factory(run_seed, nullptr);
-    PacketSim sim(net, *oracle, traffic, config);
+  obs::ScopedSpan span("sweep.probe", "sweep");
+  span.arg("rate", config.injection_rate);
+  const auto run = [&] {
+    if (degraded == nullptr) {
+      const auto oracle = factory(run_seed, nullptr);
+      PacketSim sim(net, *oracle, traffic, config);
+      return sim.run();
+    }
+    fault::DegradedView view = *degraded;
+    const auto oracle = factory(run_seed, &view);
+    PacketSim sim(net, *oracle, traffic, config, &view, fault_events);
     return sim.run();
+  };
+  if constexpr (obs::kEnabled) {
+    if (obs::enabled()) {
+      const auto t0 = std::chrono::steady_clock::now();
+      SimResult result = run();
+      const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - t0);
+      // Per-probe wall time; 10 s ceiling covers every config we sweep.
+      obs::metrics()
+          .histogram("sweep.probe_us", 10'000'000)
+          .record(static_cast<std::uint64_t>(us.count()));
+      span.arg("throughput", result.accepted_throughput);
+      return result;
+    }
   }
-  fault::DegradedView view = *degraded;
-  const auto oracle = factory(run_seed, &view);
-  PacketSim sim(net, *oracle, traffic, config, &view, fault_events);
-  return sim.run();
+  return run();
 }
 
 }  // namespace
@@ -436,6 +568,8 @@ std::vector<SimResult> load_sweep(
   NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
                  "fault events need a degraded view to apply to");
   std::vector<SimResult> results(rates.size());
+  obs::ScopedSpan sweep_span("sim.load_sweep", "sweep");
+  sweep_span.arg("rates", static_cast<double>(rates.size()));
   const auto run_at = [&](std::size_t i) {
     SimConfig config = base;
     config.injection_rate = rates[i];
@@ -480,6 +614,9 @@ double find_saturation_load(const Network& net, RoutingOracle& oracle,
       } else {
         lo = mid;
       }
+      obs::trace_instant("sweep.bisect", "sweep", "lo", lo, "hi", hi, "mid",
+                         mid);
+      obs::metrics().counter("sweep.bisect_steps").add(1);
     }
   }
   if (degraded != nullptr) *degraded = snapshot;
@@ -494,6 +631,7 @@ double find_saturation_load(const Network& net, const OracleFactory& factory,
                             const std::vector<fault::FaultEvent>& fault_events) {
   NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
                  "fault events need a degraded view to apply to");
+  obs::ScopedSpan sat_span("sim.find_saturation", "sweep");
   // Bracketing phase: probe a coarse, fixed load grid concurrently.  The
   // grid includes 1.0, so a fabric that sustains full load is recognized
   // without any bisection (matching the serial fast path).
@@ -541,6 +679,9 @@ double find_saturation_load(const Network& net, const OracleFactory& factory,
     } else {
       lo = mid;
     }
+    obs::trace_instant("sweep.bisect", "sweep", "lo", lo, "hi", hi, "mid",
+                       mid);
+    obs::metrics().counter("sweep.bisect_steps").add(1);
   }
   return lo;
 }

@@ -1,5 +1,7 @@
 #include "nbclos/sim/oracle.hpp"
 
+#include "nbclos/obs/metrics.hpp"
+
 namespace nbclos::sim {
 
 FtreeOracle::FtreeOracle(const FoldedClos& ftree, UplinkPolicy policy,
@@ -8,6 +10,15 @@ FtreeOracle::FtreeOracle(const FoldedClos& ftree, UplinkPolicy policy,
       rng_(seed) {
   if (policy == UplinkPolicy::kTable) {
     NBCLOS_REQUIRE(table != nullptr, "table policy needs a routing table");
+  }
+}
+
+FtreeOracle::~FtreeOracle() {
+  if constexpr (obs::kEnabled) {
+    if (uplink_decisions_ > 0 && obs::enabled()) {
+      obs::metrics().counter("sim.oracle.uplink_decisions")
+          .add(uplink_decisions_);
+    }
   }
 }
 
@@ -43,6 +54,7 @@ std::uint32_t FtreeOracle::next_channel(const SimView& view,
     return ft.leaf_down_link(dst).value;
   }
   // Cross-switch: choose a top switch per the uplink policy.
+  ++uplink_decisions_;
   const SDPair sd{LeafId{packet.src_terminal}, dst};
   switch (policy_) {
     case UplinkPolicy::kTable: {

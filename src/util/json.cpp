@@ -1,0 +1,161 @@
+#include "nbclos/util/json.hpp"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+
+void write_json_string(std::ostream& out, std::string_view text) {
+  out << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          std::array<char, 8> buf{};
+          std::snprintf(buf.data(), buf.size(), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf.data();
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void write_json_double(std::ostream& out, double number) {
+  if (!std::isfinite(number)) {
+    out << "null";
+    return;
+  }
+  // std::to_chars emits the shortest string that round-trips, so every
+  // emitter in the repo formats doubles identically.
+  std::array<char, 32> buf{};
+  const auto result =
+      std::to_chars(buf.data(), buf.data() + buf.size(), number);
+  NBCLOS_ASSERT(result.ec == std::errc());
+  out.write(buf.data(), result.ptr - buf.data());
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  *out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size(); ++i) {
+    for (int s = 0; s < indent_; ++s) *out_ << ' ';
+  }
+}
+
+void JsonWriter::begin_value() {
+  if (stack_.empty()) {
+    NBCLOS_REQUIRE(!root_written_, "JsonWriter: two top-level values");
+    root_written_ = true;
+    return;
+  }
+  Level& top = stack_.back();
+  if (top.scope == Scope::kObject) {
+    NBCLOS_REQUIRE(top.key_pending,
+                   "JsonWriter: object value without a preceding key()");
+    top.key_pending = false;
+    return;  // comma/indent were handled by key()
+  }
+  if (top.has_items) *out_ << ',';
+  newline_indent();
+  top.has_items = true;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  NBCLOS_REQUIRE(!stack_.empty() && stack_.back().scope == Scope::kObject,
+                 "JsonWriter: key() outside an object");
+  Level& top = stack_.back();
+  NBCLOS_REQUIRE(!top.key_pending, "JsonWriter: key() after key()");
+  if (top.has_items) *out_ << ',';
+  newline_indent();
+  top.has_items = true;
+  top.key_pending = true;
+  write_json_string(*out_, name);
+  *out_ << ':';
+  if (indent_ > 0) *out_ << ' ';
+  return *this;
+}
+
+void JsonWriter::open(Scope scope, char bracket) {
+  begin_value();
+  *out_ << bracket;
+  stack_.push_back(Level{scope, false, false});
+}
+
+void JsonWriter::close(Scope scope, char bracket) {
+  NBCLOS_REQUIRE(!stack_.empty() && stack_.back().scope == scope &&
+                     !stack_.back().key_pending,
+                 "JsonWriter: mismatched close");
+  const bool had_items = stack_.back().has_items;
+  stack_.pop_back();
+  if (had_items) newline_indent();
+  *out_ << bracket;
+  if (stack_.empty() && indent_ > 0) *out_ << '\n';
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  open(Scope::kObject, '{');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  close(Scope::kObject, '}');
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  open(Scope::kArray, '[');
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  close(Scope::kArray, ']');
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  begin_value();
+  write_json_string(*out_, text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  begin_value();
+  *out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  begin_value();
+  write_json_double(*out_, number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  begin_value();
+  *out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  begin_value();
+  *out_ << number;
+  return *this;
+}
+
+bool JsonWriter::complete() const { return stack_.empty() && root_written_; }
+
+}  // namespace nbclos

@@ -103,27 +103,43 @@ QuantileHistogram::QuantileHistogram(std::uint64_t max_value,
 }
 
 void QuantileHistogram::add(std::uint64_t value) noexcept {
+  add(value, 1);
+}
+
+void QuantileHistogram::add(std::uint64_t value,
+                            std::uint64_t weight) noexcept {
   const auto idx = static_cast<std::size_t>(value / width_);
-  ++counts_[std::min(idx, counts_.size() - 1)];
-  ++total_;
+  auto& bucket = counts_[std::min(idx, counts_.size() - 1)];
+  // Saturate instead of wrapping: a wrapped count would silently corrupt
+  // every later quantile; a pinned one merely loses resolution at the
+  // extreme (tested in tests/util/test_stats.cpp).
+  bucket += std::min(weight, UINT64_MAX - bucket);
+  total_ += std::min(weight, UINT64_MAX - total_);
 }
 
 void QuantileHistogram::merge(const QuantileHistogram& other) {
   NBCLOS_REQUIRE(width_ == other.width_ &&
                      counts_.size() == other.counts_.size(),
                  "cannot merge histograms with different geometry");
-  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
-  total_ += other.total_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    auto& bucket = counts_[i];
+    bucket += std::min(other.counts_[i], UINT64_MAX - bucket);
+  }
+  total_ += std::min(other.total_, UINT64_MAX - total_);
 }
 
 double QuantileHistogram::quantile(double q) const {
   NBCLOS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
   if (total_ == 0) return 0.0;
-  const auto rank = static_cast<std::uint64_t>(
-      q * static_cast<double>(total_ - 1));
+  // double(total_ - 1) rounds UP to 2^64 when the count is near
+  // UINT64_MAX, and casting that back would overflow — clamp first.
+  const double target = q * static_cast<double>(total_ - 1);
+  const auto rank = target >= static_cast<double>(total_ - 1)
+                        ? total_ - 1
+                        : static_cast<std::uint64_t>(target);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
-    cumulative += counts_[i];
+    cumulative += std::min(counts_[i], UINT64_MAX - cumulative);
     if (cumulative > rank) {
       return static_cast<double>(i * width_);
     }

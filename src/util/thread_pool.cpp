@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nbclos/obs/metrics.hpp"
 #include "nbclos/util/check.hpp"
 
 namespace nbclos {
@@ -69,6 +70,12 @@ void ThreadPool::parallel_chunks(
 }
 
 void ThreadPool::worker_loop() {
+  // Occupancy gauge shared by every pool in the process: how many workers
+  // are inside a task right now (max() gives the high-water mark).  Tasks
+  // here are coarse — whole simulations or verification shards — so two
+  // gauge updates per task cost nothing measurable.
+  auto& occupancy = obs::metrics().gauge("threadpool.active");
+  auto& executed = obs::metrics().counter("threadpool.tasks");
   for (;;) {
     std::function<void()> task;
     {
@@ -79,7 +86,13 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    active_.fetch_add(1, std::memory_order_relaxed);
+    occupancy.add(1);
     task();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+    occupancy.add(-1);
+    executed.add(1);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     {
       const std::scoped_lock lock(mutex_);
       --in_flight_;

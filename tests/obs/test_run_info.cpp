@@ -1,0 +1,60 @@
+/// \file test_run_info.cpp
+/// \brief RunInfo build manifest: populated fields, JSON embedding, and
+///        the --version summary line.  RunInfo is NOT gated by
+///        NBCLOS_OBS, so these assertions hold in both configurations.
+#include "nbclos/obs/run_info.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/util/json.hpp"
+
+namespace nbclos::obs {
+namespace {
+
+TEST(ObsRunInfo, BuildIdentityIsPopulated) {
+  const auto info = RunInfo::current();
+  EXPECT_FALSE(info.version.empty());
+  EXPECT_FALSE(info.git_sha.empty());
+  EXPECT_FALSE(info.compiler.empty());
+  EXPECT_EQ(info.obs_enabled, kEnabled);
+  EXPECT_GE(info.hardware_concurrency, 1U);
+  // Run facts start zeroed; the harness fills them per run.
+  EXPECT_EQ(info.seed, 0U);
+  EXPECT_EQ(info.threads, 0U);
+  EXPECT_EQ(info.wall_seconds, 0.0);
+}
+
+TEST(ObsRunInfo, WritesManifestJson) {
+  auto info = RunInfo::current();
+  info.seed = 42;
+  info.threads = 8;
+  info.wall_seconds = 1.5;
+  std::ostringstream out;
+  JsonWriter json(out, 0);
+  json.begin_object();
+  json.key("manifest");
+  info.write_json(json);
+  json.end_object();
+  EXPECT_TRUE(json.complete());
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"git_sha\""), std::string::npos);
+  EXPECT_NE(text.find("\"compiler\""), std::string::npos);
+  EXPECT_NE(text.find("\"seed\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"threads\":8"), std::string::npos);
+  EXPECT_NE(text.find("\"wall_seconds\":1.5"), std::string::npos);
+}
+
+TEST(ObsRunInfo, SummaryMentionsVersionAndSha) {
+  const auto info = RunInfo::current();
+  const auto line = info.summary();
+  EXPECT_NE(line.find(info.version), std::string::npos);
+  EXPECT_NE(line.find(info.git_sha), std::string::npos);
+  EXPECT_NE(line.find(info.compiler), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "summary must be one line";
+}
+
+}  // namespace
+}  // namespace nbclos::obs

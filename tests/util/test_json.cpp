@@ -1,0 +1,133 @@
+#include "nbclos/util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos {
+namespace {
+
+std::string render(void (*build)(JsonWriter&), int indent = 0) {
+  std::ostringstream out;
+  JsonWriter writer(out, indent);
+  build(writer);
+  return out.str();
+}
+
+TEST(JsonWriter, ScalarsAtTopLevel) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.value("hi"); }), "\"hi\"");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(true); }), "true");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(false); }), "false");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(std::uint64_t{42}); }), "42");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(std::int64_t{-7}); }), "-7");
+}
+
+TEST(JsonWriter, EscapesSpecialAndControlCharacters) {
+  EXPECT_EQ(render([](JsonWriter& w) {
+              w.value("a\"b\\c\nd\te\rf");
+            }),
+            "\"a\\\"b\\\\c\\nd\\te\\rf\"");
+  // Control characters below 0x20 must be \u-escaped.
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(std::string_view("\x01", 1)); }),
+            "\"\\u0001\"");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(std::string_view("\x1f", 1)); }),
+            "\"\\u001f\"");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(0.1); }), "0.1");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(1.0 / 3.0); }),
+            "0.3333333333333333");
+  EXPECT_EQ(render([](JsonWriter& w) { w.value(1e300); }), "1e+300");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(render([](JsonWriter& w) {
+              w.value(std::numeric_limits<double>::quiet_NaN());
+            }),
+            "null");
+  EXPECT_EQ(render([](JsonWriter& w) {
+              w.value(std::numeric_limits<double>::infinity());
+            }),
+            "null");
+}
+
+TEST(JsonWriter, CompactNesting) {
+  const auto text = render([](JsonWriter& w) {
+    w.begin_object();
+    w.member("name", "x");
+    w.key("values").begin_array();
+    w.value(std::uint64_t{1});
+    w.value(std::uint64_t{2});
+    w.end_array();
+    w.key("inner").begin_object();
+    w.member("deep", true);
+    w.end_object();
+    w.end_object();
+  });
+  EXPECT_EQ(text, "{\"name\":\"x\",\"values\":[1,2],\"inner\":{\"deep\":true}}");
+}
+
+TEST(JsonWriter, PrettyPrintingIndents) {
+  const auto text = render(
+      [](JsonWriter& w) {
+        w.begin_object();
+        w.member("a", std::uint64_t{1});
+        w.end_object();
+      },
+      2);
+  EXPECT_EQ(text, "{\n  \"a\": 1\n}\n");
+}
+
+TEST(JsonWriter, CompleteTracksBalance) {
+  std::ostringstream out;
+  JsonWriter writer(out);
+  EXPECT_FALSE(writer.complete());
+  writer.begin_object();
+  EXPECT_FALSE(writer.complete());
+  writer.end_object();
+  EXPECT_TRUE(writer.complete());
+}
+
+TEST(JsonWriter, MisuseFailsFast) {
+  {
+    std::ostringstream out;
+    JsonWriter writer(out);
+    writer.begin_object();
+    // Value without a key inside an object.
+    EXPECT_THROW(writer.value(std::uint64_t{1}), precondition_error);
+  }
+  {
+    std::ostringstream out;
+    JsonWriter writer(out);
+    writer.begin_object();
+    writer.key("k");
+    EXPECT_THROW(writer.key("again"), precondition_error);
+  }
+  {
+    std::ostringstream out;
+    JsonWriter writer(out);
+    writer.begin_array();
+    EXPECT_THROW(writer.end_object(), precondition_error);
+  }
+  {
+    std::ostringstream out;
+    JsonWriter writer(out);
+    writer.value(std::uint64_t{1});
+    EXPECT_THROW(writer.value(std::uint64_t{2}), precondition_error);
+  }
+  {
+    std::ostringstream out;
+    JsonWriter writer(out);
+    // key() outside any object.
+    EXPECT_THROW(writer.key("k"), precondition_error);
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -186,6 +186,81 @@ TEST(QuantileHistogram, MergeRejectsMismatchedGeometry) {
   EXPECT_THROW(a.merge(b), precondition_error);
 }
 
+TEST(QuantileHistogram, EmptyQuantilesAreZeroAtEveryQ) {
+  QuantileHistogram h(1000);
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_EQ(h.quantile(q), 0.0) << "q=" << q;
+  }
+  EXPECT_THROW((void)h.quantile(-0.01), precondition_error);
+  EXPECT_THROW((void)h.quantile(1.01), precondition_error);
+}
+
+TEST(QuantileHistogram, SingleSampleIsEveryQuantile) {
+  QuantileHistogram h(1000, 1000);  // width > 1: answer is the bucket edge
+  h.add(700);
+  EXPECT_EQ(h.count(), 1U);
+  const double expect =
+      static_cast<double>(700 / h.bucket_width() * h.bucket_width());
+  for (const double q : {0.0, 0.5, 1.0}) {
+    EXPECT_EQ(h.quantile(q), expect) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, WeightedAddMatchesRepeatedAdd) {
+  QuantileHistogram weighted(500);
+  QuantileHistogram repeated(500);
+  weighted.add(10, 3);
+  weighted.add(400, 7);
+  for (int i = 0; i < 3; ++i) repeated.add(10);
+  for (int i = 0; i < 7; ++i) repeated.add(400);
+  EXPECT_EQ(weighted.count(), repeated.count());
+  for (const double q : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(weighted.quantile(q), repeated.quantile(q));
+  }
+}
+
+TEST(QuantileHistogram, MergeIsAssociativeAcrossShards) {
+  // The obs registry merges per-thread shards in whatever order the
+  // snapshot walks them; (a + b) + c must equal a + (b + c).
+  const auto fill = [](QuantileHistogram& h, std::uint64_t seed) {
+    Xoshiro256 rng(seed);
+    for (int i = 0; i < 500; ++i) h.add(rng.below(1000));
+  };
+  QuantileHistogram a1(1000), b1(1000), c1(1000);
+  QuantileHistogram a2(1000), b2(1000), c2(1000);
+  fill(a1, 1), fill(b1, 2), fill(c1, 3);
+  fill(a2, 1), fill(b2, 2), fill(c2, 3);
+  a1.merge(b1);
+  a1.merge(c1);  // (a + b) + c
+  b2.merge(c2);
+  a2.merge(b2);  // a + (b + c)
+  EXPECT_EQ(a1.count(), a2.count());
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.999, 1.0}) {
+    EXPECT_EQ(a1.quantile(q), a2.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(QuantileHistogram, RunningSumSaturatesInsteadOfWrapping) {
+  // Two near-UINT64_MAX flushes would wrap a naive counter back to ~0 and
+  // poison every quantile; the histogram pins at UINT64_MAX instead.
+  constexpr std::uint64_t kHuge = UINT64_MAX / 2 + 1;
+  QuantileHistogram h(100);
+  h.add(10, kHuge);
+  h.add(90, kHuge);  // total would be 2^64 exactly — must not wrap to 0
+  EXPECT_EQ(h.count(), UINT64_MAX);
+  EXPECT_EQ(h.quantile(0.0), 10.0);
+  EXPECT_EQ(h.quantile(1.0), 90.0);
+  EXPECT_EQ(h.quantile(0.25), 10.0);
+
+  // Merging two saturated histograms stays saturated and well-formed.
+  QuantileHistogram other(100);
+  other.add(50, UINT64_MAX);
+  h.merge(other);
+  EXPECT_EQ(h.count(), UINT64_MAX);
+  EXPECT_GE(h.quantile(0.5), 10.0);
+  EXPECT_LE(h.quantile(0.5), 90.0);
+}
+
 TEST(PowerFit, RecoversExactPowerLaw) {
   // y = 3 x^1.7
   std::vector<double> x;

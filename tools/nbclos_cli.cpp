@@ -15,11 +15,25 @@
 ///   nbclos verify <n> <r> <exhaustive|random|adversarial> [thm3|dmodk]
 ///                 [--m M] [--threads T] [--trials N] [--restarts R]
 ///                 [--steps S] [--seed S] [--json]
+///   nbclos --version
+///
+/// Global options (any subcommand):
+///   --metrics FILE    dump the merged metrics snapshot as JSON after the
+///                     command finishes ("-" = stdout)
+///   --trace-out FILE  collect a span/event trace during the command and
+///                     write it on exit — Chrome trace_event JSON, or
+///                     JSONL when FILE ends in ".jsonl"
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/run_info.hpp"
+#include "nbclos/obs/trace.hpp"
+#include "nbclos/util/json.hpp"
 
 #include "nbclos/adaptive/router.hpp"
 #include "nbclos/analysis/parallel.hpp"
@@ -42,7 +56,8 @@ int usage() {
             << "  nbclos design <radix> [target_ports]\n"
             << "  nbclos certify <n> [r]\n"
             << "  nbclos schedule <n> <r>\n"
-            << "  nbclos simulate <n> <r> <load> <thm3|dmodk|random|adaptive>\n"
+            << "  nbclos sim|simulate <n> <r> <load> "
+               "<thm3|dmodk|random|adaptive>\n"
             << "  nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]\n"
             << "  nbclos saturation <n> <r> <routing> [iterations] [threads]\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
@@ -52,8 +67,52 @@ int usage() {
                "[thm3|dmodk]\n"
             << "                [--m M] [--threads T] [--trials N] "
                "[--restarts R] [--steps S]\n"
-            << "                [--seed S] [--json]\n";
+            << "                [--seed S] [--json]\n"
+            << "  nbclos --version\n"
+            << "global options: --metrics FILE|-   --trace-out FILE[.jsonl]\n";
   return 2;
+}
+
+/// Merged metrics snapshot as a JSON document (empty array in an
+/// NBCLOS_OBS=OFF build) with the build manifest attached.
+void write_metrics_json(std::ostream& out) {
+  const auto samples = nbclos::obs::metrics().snapshot();
+  nbclos::JsonWriter json(out);
+  json.begin_object();
+  json.key("metrics").begin_array();
+  for (const auto& sample : samples) {
+    json.begin_object();
+    json.member("name", sample.name);
+    switch (sample.kind) {
+      case nbclos::obs::MetricSample::Kind::kCounter:
+        json.member("kind", "counter");
+        json.member("count", sample.count);
+        break;
+      case nbclos::obs::MetricSample::Kind::kGauge:
+        json.member("kind", "gauge");
+        json.member("value", sample.gauge);
+        break;
+      case nbclos::obs::MetricSample::Kind::kHistogram:
+        json.member("kind", "histogram");
+        json.member("count", sample.count);
+        json.member("p50", sample.p50);
+        json.member("p99", sample.p99);
+        json.member("p999", sample.p999);
+        json.member("bucket_width", sample.hist_bucket_width);
+        break;
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.key("manifest");
+  nbclos::obs::RunInfo::current().write_json(json);
+  json.end_object();
+  out << "\n";
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 std::uint32_t arg_u32(const std::vector<std::string>& args, std::size_t i) {
@@ -480,29 +539,101 @@ int cmd_dot(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-  std::vector<std::string> args(argv + 2, argv + argc);
+  // Global observability flags may appear anywhere on the line; strip
+  // them before dispatch so every subcommand supports them uniformly.
+  std::string metrics_out;
+  std::string trace_out;
+  std::vector<std::string> words;
+  for (int i = 1; i < argc; ++i) {
+    const std::string word = argv[i];
+    if (word == "--metrics" && i + 1 < argc) {
+      metrics_out = argv[++i];
+      continue;
+    }
+    if (word == "--trace-out" && i + 1 < argc) {
+      trace_out = argv[++i];
+      continue;
+    }
+    words.push_back(word);
+  }
+  if (words.empty()) return usage();
+  const std::string command = words.front();
+  if (command == "--version" || command == "version") {
+    std::cout << nbclos::obs::RunInfo::current().summary() << "\n";
+    return 0;
+  }
+  const std::vector<std::string> args(words.begin() + 1, words.end());
+
+  if (!trace_out.empty()) {
+    if (!nbclos::obs::kEnabled) {
+      std::cerr << "nbclos: built with NBCLOS_OBS=OFF; trace output will be "
+                   "empty\n";
+    }
+    nbclos::obs::TraceSession::start();
+  }
+  int rc;
   try {
-    if (command == "design" && args.size() >= 1) return cmd_design(args);
-    if (command == "certify" && args.size() >= 1) return cmd_certify(args);
-    if (command == "schedule" && args.size() >= 2) return cmd_schedule(args);
-    if (command == "simulate" && args.size() >= 4) return cmd_simulate(args);
-    if (command == "load-sweep" && args.size() >= 3) {
-      return cmd_load_sweep(args);
+    if (command == "design" && args.size() >= 1) {
+      rc = cmd_design(args);
+    } else if (command == "certify" && args.size() >= 1) {
+      rc = cmd_certify(args);
+    } else if (command == "schedule" && args.size() >= 2) {
+      rc = cmd_schedule(args);
+    } else if ((command == "simulate" || command == "sim") &&
+               args.size() >= 4) {
+      rc = cmd_simulate(args);
+    } else if (command == "load-sweep" && args.size() >= 3) {
+      rc = cmd_load_sweep(args);
+    } else if (command == "saturation" && args.size() >= 3) {
+      rc = cmd_saturation(args);
+    } else if (command == "circuit" && args.size() >= 3) {
+      rc = cmd_circuit(args);
+    } else if (command == "fault-sweep" && args.size() >= 3) {
+      rc = cmd_fault_sweep(args);
+    } else if (command == "verify" && args.size() >= 3) {
+      rc = cmd_verify(args);
+    } else if (command == "dot" && args.size() >= 1) {
+      rc = cmd_dot(args);
+    } else {
+      const bool known =
+          command == "design" || command == "certify" ||
+          command == "schedule" || command == "simulate" || command == "sim" ||
+          command == "load-sweep" || command == "saturation" ||
+          command == "circuit" || command == "fault-sweep" ||
+          command == "verify" || command == "dot";
+      if (!known) std::cerr << "nbclos: unknown command '" << command << "'\n";
+      return usage();
     }
-    if (command == "saturation" && args.size() >= 3) {
-      return cmd_saturation(args);
-    }
-    if (command == "circuit" && args.size() >= 3) return cmd_circuit(args);
-    if (command == "fault-sweep" && args.size() >= 3) {
-      return cmd_fault_sweep(args);
-    }
-    if (command == "verify" && args.size() >= 3) return cmd_verify(args);
-    if (command == "dot" && args.size() >= 1) return cmd_dot(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    rc = 1;
   }
-  return usage();
+
+  if (!trace_out.empty()) {
+    nbclos::obs::TraceSession::stop();
+    std::ofstream out(trace_out);
+    if (!out) {
+      std::cerr << "error: cannot write trace to '" << trace_out << "'\n";
+      return rc != 0 ? rc : 1;
+    }
+    if (ends_with(trace_out, ".jsonl")) {
+      nbclos::obs::TraceSession::write_jsonl(out);
+    } else {
+      nbclos::obs::TraceSession::write_chrome(out);
+    }
+  }
+  if (!metrics_out.empty()) {
+    if (metrics_out == "-") {
+      write_metrics_json(std::cout);
+    } else {
+      std::ofstream out(metrics_out);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '" << metrics_out
+                  << "'\n";
+        return rc != 0 ? rc : 1;
+      }
+      write_metrics_json(out);
+    }
+  }
+  return rc;
 }

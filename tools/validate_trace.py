@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Validate nbclos trace output (Chrome trace_event JSON or JSONL).
+
+Schema (see EXPERIMENTS.md §"trace JSONL schema"): every event object has
+  name  non-empty string
+  cat   non-empty string
+  ph    one of "X" (complete span), "i" (instant), "C" (counter)
+  pid   positive integer
+  tid   non-negative integer
+  ts    number >= 0 (microseconds since session start)
+  dur   number >= 0, required iff ph == "X"
+  args  optional object of finite numbers (or null for non-finite)
+
+Chrome format wraps the events in {"traceEvents": [...], ...}; JSONL puts
+one event object per line.  The format is picked by file extension
+(.jsonl => JSONL), overridable with --format.
+
+Usage: validate_trace.py [--format chrome|jsonl] [--min-events N] FILE
+Exit status 0 when the file validates, 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_PHASES = {"X", "i", "C"}
+
+
+def fail(message):
+    print(f"validate_trace: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_event(event, where):
+    if not isinstance(event, dict):
+        fail(f"{where}: event is not an object")
+    for field in ("name", "cat", "ph", "pid", "tid", "ts"):
+        if field not in event:
+            fail(f"{where}: missing field '{field}'")
+    if not isinstance(event["name"], str) or not event["name"]:
+        fail(f"{where}: 'name' must be a non-empty string")
+    if not isinstance(event["cat"], str) or not event["cat"]:
+        fail(f"{where}: 'cat' must be a non-empty string")
+    if event["ph"] not in VALID_PHASES:
+        fail(f"{where}: 'ph' is {event['ph']!r}, expected one of "
+             f"{sorted(VALID_PHASES)}")
+    if not isinstance(event["pid"], int) or event["pid"] <= 0:
+        fail(f"{where}: 'pid' must be a positive integer")
+    if not isinstance(event["tid"], int) or event["tid"] < 0:
+        fail(f"{where}: 'tid' must be a non-negative integer")
+    if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+        fail(f"{where}: 'ts' must be a non-negative number")
+    if event["ph"] == "X":
+        if "dur" not in event:
+            fail(f"{where}: complete event missing 'dur'")
+        if not isinstance(event["dur"], (int, float)) or event["dur"] < 0:
+            fail(f"{where}: 'dur' must be a non-negative number")
+    elif "dur" in event:
+        fail(f"{where}: 'dur' only belongs on ph == \"X\" events")
+    if "args" in event:
+        if not isinstance(event["args"], dict):
+            fail(f"{where}: 'args' must be an object")
+        for key, value in event["args"].items():
+            # JSON has no NaN/Inf; the writer maps non-finite to null.
+            if value is not None and not isinstance(value, (int, float)):
+                fail(f"{where}: arg {key!r} must be numeric or null")
+
+
+def load_events(path, fmt):
+    with open(path, "r", encoding="utf-8") as handle:
+        if fmt == "jsonl":
+            events = []
+            for lineno, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    events.append((f"line {lineno}", json.loads(line)))
+                except json.JSONDecodeError as err:
+                    fail(f"line {lineno}: not valid JSON ({err})")
+            return events
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as err:
+            fail(f"not valid JSON ({err})")
+    if not isinstance(document, dict) or "traceEvents" not in document:
+        fail("Chrome trace must be an object with a 'traceEvents' array")
+    if not isinstance(document["traceEvents"], list):
+        fail("'traceEvents' must be an array")
+    return [(f"traceEvents[{i}]", event)
+            for i, event in enumerate(document["traceEvents"])]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("file")
+    parser.add_argument("--format", choices=("chrome", "jsonl"),
+                        help="default: jsonl iff FILE ends in .jsonl")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="require at least this many events (default 1)")
+    args = parser.parse_args()
+
+    fmt = args.format or ("jsonl" if args.file.endswith(".jsonl")
+                          else "chrome")
+    events = load_events(args.file, fmt)
+    if len(events) < args.min_events:
+        fail(f"expected at least {args.min_events} events, found "
+             f"{len(events)}")
+    last_ts = -1.0
+    for where, event in events:
+        check_event(event, where)
+        if event["ts"] < last_ts:
+            fail(f"{where}: events are not sorted by 'ts'")
+        last_ts = event["ts"]
+    print(f"validate_trace: OK — {len(events)} events ({fmt})")
+
+
+if __name__ == "__main__":
+    main()
