@@ -1,0 +1,82 @@
+/// \file batch.hpp
+/// \brief Batched link-load evaluation over one contiguous arena.
+///
+/// The sampling verifiers and sweep drivers score many independent
+/// permutations against the same immutable RouteCache.  Scoring them one
+/// LinkLoadMap at a time pays an allocation (or an O(link_count) clear)
+/// per pattern and walks a cold counter array each time.  BatchLoadKernel
+/// instead keeps ONE arena of kMaxBatch lane-major load segments —
+/// allocated once, reused for every batch — and clears only the links a
+/// lane actually touched (a permutation loads <= 4 * leafs links, far
+/// fewer than the arena row).  Per-lane collision statistics are
+/// maintained incrementally exactly like LinkLoadMap, so a lane's stats
+/// are bit-identical to a from-scratch evaluation of its pattern.
+///
+/// The kernel is single-threaded by design: parallel drivers give each
+/// worker chunk its own kernel and share only the read-only RouteCache.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "nbclos/routing/route_cache.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::analysis {
+
+class BatchLoadKernel {
+ public:
+  /// Lanes scored per pass.  16 keeps the whole arena of a radix-48
+  /// fabric comfortably inside L2 while amortizing loop overhead.
+  static constexpr std::uint32_t kMaxBatch = 16;
+
+  /// Per-lane pattern statistics (the LinkLoadMap summary triple).
+  struct LaneStats {
+    std::uint64_t colliding_pairs = 0;
+    std::uint32_t contended_links = 0;
+    std::uint32_t max_load = 0;
+  };
+
+  /// `cache` must outlive the kernel; the arena is sized to its fabric.
+  explicit BatchLoadKernel(const routing::RouteCache& cache)
+      : cache_(&cache),
+        links_(cache.link_count()),
+        leafs_(cache.leaf_count()),
+        load_(std::size_t{cache.link_count()} * kMaxBatch, 0) {
+    touched_.reserve(std::size_t{4} * leafs_ * kMaxBatch);
+  }
+
+  [[nodiscard]] std::uint32_t leaf_count() const noexcept { return leafs_; }
+  /// Arena + touched-list footprint (reported by bench_scale).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return load_.capacity() * sizeof(std::uint32_t) +
+           touched_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Score `lanes` target vectors in one pass.  `targets` is lane-major:
+  /// entry [lane * leaf_count() + s] is the destination of leaf s in
+  /// that lane's pattern; self-pairs carry no traffic.  Unroutable pairs
+  /// (degraded caches) are skipped — callers that must detect them check
+  /// the cache's flags themselves.  Returns one LaneStats per lane, in
+  /// lane order; the arena is cleared before returning, so back-to-back
+  /// calls never see stale loads.  \pre 1 <= lanes <= kMaxBatch.
+  [[nodiscard]] std::span<const LaneStats> score_targets(
+      std::span<const std::uint32_t> targets, std::uint32_t lanes);
+
+ private:
+  const routing::RouteCache* cache_;
+  std::uint32_t links_;
+  std::uint32_t leafs_;
+  /// kMaxBatch lane-major segments: lane `b` owns
+  /// load_[b * links_, (b + 1) * links_).
+  std::vector<std::uint32_t> load_;
+  /// Arena slots driven nonzero this pass (pushed on the 0 -> 1
+  /// transition, so each slot appears once) — clearing cost tracks the
+  /// traffic actually routed, not the arena size.
+  std::vector<std::uint32_t> touched_;
+  std::array<LaneStats, kMaxBatch> stats_{};
+};
+
+}  // namespace nbclos::analysis

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "nbclos/routing/single_path.hpp"
@@ -39,6 +40,19 @@ class LinkLoadMap {
   /// Zero every counter (O(link_count)).
   void clear();
 
+  /// Load / unload a precomputed flat link-id run (the RouteCache
+  /// representation of a path — see routing/route_cache.hpp).  These are
+  /// the delta evaluator's hot path: a plain loop over a small span of
+  /// contiguous uint32 ids, no LinkId wrapping and no per-link branch
+  /// beyond the counter updates themselves.
+  void add_run(std::span<const std::uint32_t> run) {
+    for (const auto link : run) bump_index(link);
+  }
+  /// \pre every link of the run currently has load >= 1.
+  void remove_run(std::span<const std::uint32_t> run) {
+    for (const auto link : run) drop_index(link);
+  }
+
   [[nodiscard]] std::uint32_t load(LinkId link) const {
     NBCLOS_REQUIRE(link.value < load_.size(), "link id out of range");
     return load_[link.value];
@@ -55,17 +69,21 @@ class LinkLoadMap {
   [[nodiscard]] bool contention_free() const { return contended_links() == 0; }
 
  private:
-  void bump(LinkId link) {
-    auto& l = load_[link.value];
+  void bump_index(std::uint32_t link) {
+    NBCLOS_DEBUG_CHECK(link < load_.size(), "link id out of range");
+    auto& l = load_[link];
     colliding_pairs_ += l;  // new path collides with each resident one
     if (++l == 2) ++contended_links_;
   }
-  void drop(LinkId link) {
-    auto& l = load_[link.value];
-    NBCLOS_REQUIRE(l > 0, "removing path from empty link");
+  void drop_index(std::uint32_t link) {
+    NBCLOS_DEBUG_CHECK(link < load_.size(), "link id out of range");
+    auto& l = load_[link];
+    NBCLOS_DEBUG_CHECK(l > 0, "removing path from empty link");
     if (l-- == 2) --contended_links_;
     colliding_pairs_ -= l;
   }
+  void bump(LinkId link) { bump_index(link.value); }
+  void drop(LinkId link) { drop_index(link.value); }
 
   const FoldedClos* ftree_;
   std::vector<std::uint32_t> load_;

@@ -22,6 +22,7 @@
 
 #include "nbclos/analysis/contention.hpp"
 #include "nbclos/analysis/permutations.hpp"
+#include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/single_path.hpp"
 #include "nbclos/topology/fat_tree.hpp"
 
@@ -29,9 +30,30 @@ namespace nbclos {
 
 class SwapDeltaState {
  public:
-  /// `routing` must outlive the state and route over `ftree`.
+  /// `routing` must outlive the state and route over `ftree`.  Every
+  /// path is computed on demand through route_into.
   SwapDeltaState(const FoldedClos& ftree, const SinglePathRouting& routing)
       : ftree_(&ftree), routing_(&routing), map_(ftree) {}
+
+  /// Cache-backed mode: replay precomputed flat link runs instead of
+  /// calling route_into — the per-swap cost drops to four span loads
+  /// plus counter updates.  `cache` must outlive the state and must have
+  /// been materialized from a routing over `ftree`; searches share one
+  /// immutable cache across restarts (and across threads).
+  SwapDeltaState(const FoldedClos& ftree, const routing::RouteCache& cache)
+      : ftree_(&ftree), cache_(&cache), map_(ftree) {
+    NBCLOS_REQUIRE(cache.leaf_count() == ftree.leaf_count() &&
+                       cache.link_count() == ftree.link_count(),
+                   "route cache does not match the topology");
+  }
+
+  ~SwapDeltaState() {
+    // Bulk-flush the local lookup count (obs) — the hot loop never
+    // touches a shared counter.
+    routing::RouteCache::note_lookups(lookups_);
+  }
+  SwapDeltaState(const SwapDeltaState&) = delete;
+  SwapDeltaState& operator=(const SwapDeltaState&) = delete;
 
   /// Replace the whole target vector and rebuild the load map (O(leafs)).
   void reset(const std::vector<std::uint32_t>& target) {
@@ -39,16 +61,17 @@ class SwapDeltaState {
                    "target vector must cover every leaf");
     map_.clear();
     target_ = target;
-    path_.resize(target_.size());
+    if (cache_ == nullptr) path_.resize(target_.size());
     for (std::uint32_t s = 0; s < target_.size(); ++s) add_leaf(s);
   }
 
   /// Swap targets i and j, delta-updating the load map.  Applying the
   /// same swap again restores the previous state exactly, so callers
-  /// revert a rejected move by re-swapping.  \pre i != j.
+  /// revert a rejected move by re-swapping.  \pre i != j, both in range
+  /// (checked in Debug builds only — this runs once per hill-climb step).
   void apply_swap(std::uint32_t i, std::uint32_t j) {
-    NBCLOS_REQUIRE(i != j && i < target_.size() && j < target_.size(),
-                   "invalid swap indices");
+    NBCLOS_DEBUG_CHECK(i != j && i < target_.size() && j < target_.size(),
+                       "invalid swap indices");
     remove_leaf(i);
     remove_leaf(j);
     std::swap(target_[i], target_[j]);
@@ -71,25 +94,38 @@ class SwapDeltaState {
   }
 
  private:
-  /// Route leaf s's current pair, cache the path, and load it.  The
-  /// cache is sound because paths are pattern-independent: the path
-  /// added for (s, target[s]) is the path to remove later.
+  /// Route leaf s's current pair and load its links.  In route mode the
+  /// path is stashed per leaf (the path added for (s, target[s]) is the
+  /// path to remove later — sound because paths are pattern-independent);
+  /// in cache mode both add and remove just replay the immutable run.
   void add_leaf(std::uint32_t s) {
     if (target_[s] == s) return;
+    if (cache_ != nullptr) {
+      ++lookups_;
+      map_.add_run(cache_->links(s, target_[s]));
+      return;
+    }
     routing_->route_into({LeafId{s}, LeafId{target_[s]}}, path_[s]);
     map_.add_path(path_[s]);
   }
 
   void remove_leaf(std::uint32_t s) {
     if (target_[s] == s) return;
+    if (cache_ != nullptr) {
+      ++lookups_;
+      map_.remove_run(cache_->links(s, target_[s]));
+      return;
+    }
     map_.remove_path(path_[s]);  // cached by the matching add_leaf
   }
 
   const FoldedClos* ftree_;
-  const SinglePathRouting* routing_;
+  const SinglePathRouting* routing_ = nullptr;  ///< route mode
+  const routing::RouteCache* cache_ = nullptr;  ///< cache mode
   std::vector<std::uint32_t> target_;
-  std::vector<FtreePath> path_;  ///< per-leaf current path (cross or direct)
+  std::vector<FtreePath> path_;  ///< per-leaf current path (route mode only)
   LinkLoadMap map_;
+  std::uint64_t lookups_ = 0;  ///< local count, flushed to obs on destroy
 };
 
 }  // namespace nbclos

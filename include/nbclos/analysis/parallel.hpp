@@ -39,6 +39,22 @@ using PatternRouterFactory =
     std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
     std::uint32_t chunks = 16);
 
+/// Batched overloads for single-path deterministic routings: one
+/// RouteCache is materialized per call and shared read-only by every
+/// worker; each chunk scores its trials through a private BatchLoadKernel
+/// (analysis/batch.hpp), up to BatchLoadKernel::kMaxBatch permutations
+/// per arena pass.  Same chunk seeds, same per-trial statistics, same
+/// merge order — the results are bit-identical to the factory overloads
+/// above wrapping `routing`, at a fraction of the per-trial cost.
+[[nodiscard]] BlockingEstimate estimate_blocking_parallel(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
+    std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
+    std::uint32_t chunks = 16);
+[[nodiscard]] VerifyResult verify_random_parallel(
+    const FoldedClos& ftree, const SinglePathRouting& routing,
+    std::uint64_t trials, std::uint64_t seed, ThreadPool& pool,
+    std::uint32_t chunks = 16);
+
 /// Parallel exhaustive verification, sharded over contiguous lexicographic
 /// rank ranges of the full permutation space (factorial-number-system
 /// unrank seeds each shard, std::next_permutation walks it).  An atomic

@@ -27,6 +27,10 @@
 #include "nbclos/analysis/permutations.hpp"
 #include "nbclos/topology/fat_tree.hpp"
 
+namespace nbclos::routing {
+class RouteCache;
+}
+
 namespace nbclos {
 
 class SinglePathRouting;
@@ -91,6 +95,15 @@ struct RestartResult {
 /// paths must not depend on the rest of the pattern).
 [[nodiscard]] RestartResult adversarial_restart(
     const FoldedClos& ftree, const SinglePathRouting& routing,
+    std::uint32_t steps, std::uint64_t seed, bool stop_on_positive);
+
+/// One delta-evaluated restart replaying a precomputed RouteCache
+/// (routing/route_cache.hpp) instead of routing per step.  Bit-identical
+/// to the SinglePathRouting overload when the cache was materialized
+/// from that routing; the cache is immutable, so many restarts (and
+/// threads) share one.
+[[nodiscard]] RestartResult adversarial_restart(
+    const FoldedClos& ftree, const routing::RouteCache& cache,
     std::uint32_t steps, std::uint64_t seed, bool stop_on_positive);
 
 [[nodiscard]] VerifyResult verify_adversarial(const FoldedClos& ftree,

@@ -40,7 +40,7 @@ class SinglePathRouting {
   /// The verification engine's delta evaluator re-routes <= 4 SD pairs
   /// per hill-climb step through this.  \pre sd.src != sd.dst.
   void route_into(SDPair sd, FtreePath& out) const {
-    NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+    NBCLOS_DEBUG_CHECK(sd.src != sd.dst, "self-loop SD pair");
     if (!ftree_->needs_top(sd)) {
       out = ftree_->direct_path(sd);
       return;

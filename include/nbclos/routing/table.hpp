@@ -61,7 +61,10 @@ class RoutingTable {
  private:
   static constexpr std::uint32_t kUnassigned = UINT32_MAX;
 
-  [[nodiscard]] std::size_t index(SDPair sd) const noexcept {
+  [[nodiscard]] std::size_t index(SDPair sd) const {
+    NBCLOS_DEBUG_CHECK(sd.src.value < ftree_->leaf_count() &&
+                           sd.dst.value < ftree_->leaf_count(),
+                       "SD pair out of range");
     return static_cast<std::size_t>(sd.src.value) * ftree_->leaf_count() +
            sd.dst.value;
   }

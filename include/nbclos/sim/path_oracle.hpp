@@ -5,18 +5,24 @@
 ///        exists, without a bespoke per-topology oracle.
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 
 #include "nbclos/analysis/network_audit.hpp"
+#include "nbclos/routing/route_cache.hpp"
 #include "nbclos/sim/oracle.hpp"
 
 namespace nbclos::sim {
 
 class ExplicitPathOracle final : public RoutingOracle {
  public:
-  /// Precompute next-hop entries for every ordered terminal pair using
-  /// the route function (validated for chaining).
+  /// Precompute the channel run of every ordered terminal pair using the
+  /// route function (validated for chaining) into a private cache.
   ExplicitPathOracle(const Network& net, const NetworkRouteFn& route,
+                     std::string name = "explicit-path");
+
+  /// Share an already-materialized cache — e.g. one built once per
+  /// fabric and replayed across many simulator runs.
+  ExplicitPathOracle(std::shared_ptr<const routing::ChannelRouteCache> cache,
                      std::string name = "explicit-path");
 
   [[nodiscard]] std::string name() const override { return name_; }
@@ -24,19 +30,18 @@ class ExplicitPathOracle final : public RoutingOracle {
                                            std::uint32_t vertex,
                                            const Packet& packet) override;
 
+  /// Total (pair, hop) next-hop entries available.
   [[nodiscard]] std::size_t entry_count() const noexcept {
-    return next_hop_.size();
+    return cache_->entry_count();
+  }
+
+  [[nodiscard]] const routing::ChannelRouteCache& cache() const noexcept {
+    return *cache_;
   }
 
  private:
-  static std::uint64_t key(std::uint32_t vertex, std::uint32_t src,
-                           std::uint32_t dst) noexcept {
-    // Vertex/terminal ids are < 2^21 in every fabric we build.
-    return (std::uint64_t{vertex} << 42) | (std::uint64_t{src} << 21) | dst;
-  }
-
   std::string name_;
-  std::unordered_map<std::uint64_t, std::uint32_t> next_hop_;
+  std::shared_ptr<const routing::ChannelRouteCache> cache_;
 };
 
 }  // namespace nbclos::sim

@@ -48,11 +48,11 @@ class ThreeStageClos {
   [[nodiscard]] std::uint32_t port_count() const noexcept { return n_ * r_; }
 
   [[nodiscard]] std::uint32_t input_switch_of(std::uint32_t input_port) const {
-    NBCLOS_REQUIRE(input_port < port_count(), "input port out of range");
+    NBCLOS_DEBUG_CHECK(input_port < port_count(), "input port out of range");
     return input_port / n_;
   }
   [[nodiscard]] std::uint32_t output_switch_of(std::uint32_t output_port) const {
-    NBCLOS_REQUIRE(output_port < port_count(), "output port out of range");
+    NBCLOS_DEBUG_CHECK(output_port < port_count(), "output port out of range");
     return output_port / n_;
   }
 

@@ -76,16 +76,16 @@ class FoldedClos {
 
   // --- leaf numbering: leaf (v, k) = v * n + k -------------------------
   [[nodiscard]] LeafId leaf(BottomId v, std::uint32_t k) const {
-    NBCLOS_REQUIRE(v.value < r() && k < n(), "leaf coordinates out of range");
+    NBCLOS_DEBUG_CHECK(v.value < r() && k < n(), "leaf coordinates out of range");
     return LeafId{v.value * n() + k};
   }
   [[nodiscard]] BottomId switch_of(LeafId leaf) const {
-    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    NBCLOS_DEBUG_CHECK(leaf.value < leaf_count(), "leaf id out of range");
     return BottomId{leaf.value / n()};
   }
   /// Local node number within its bottom switch (the paper's `p`).
   [[nodiscard]] std::uint32_t local_of(LeafId leaf) const {
-    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    NBCLOS_DEBUG_CHECK(leaf.value < leaf_count(), "leaf id out of range");
     return leaf.value % n();
   }
 
@@ -95,19 +95,19 @@ class FoldedClos {
     return 2 * leaf_count() + 2 * params_.r * params_.m;
   }
   [[nodiscard]] LinkId leaf_up_link(LeafId leaf) const {
-    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    NBCLOS_DEBUG_CHECK(leaf.value < leaf_count(), "leaf id out of range");
     return LinkId{leaf.value};
   }
   [[nodiscard]] LinkId up_link(BottomId v, TopId t) const {
-    NBCLOS_REQUIRE(v.value < r() && t.value < m(), "up-link out of range");
+    NBCLOS_DEBUG_CHECK(v.value < r() && t.value < m(), "up-link out of range");
     return LinkId{leaf_count() + v.value * m() + t.value};
   }
   [[nodiscard]] LinkId down_link(TopId t, BottomId v) const {
-    NBCLOS_REQUIRE(v.value < r() && t.value < m(), "down-link out of range");
+    NBCLOS_DEBUG_CHECK(v.value < r() && t.value < m(), "down-link out of range");
     return LinkId{leaf_count() + r() * m() + t.value * r() + v.value};
   }
   [[nodiscard]] LinkId leaf_down_link(LeafId leaf) const {
-    NBCLOS_REQUIRE(leaf.value < leaf_count(), "leaf id out of range");
+    NBCLOS_DEBUG_CHECK(leaf.value < leaf_count(), "leaf id out of range");
     return LinkId{leaf_count() + 2 * r() * m() + leaf.value};
   }
   [[nodiscard]] LinkKind kind_of(LinkId link) const;

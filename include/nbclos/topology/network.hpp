@@ -49,15 +49,29 @@ class Network {
     return static_cast<std::uint32_t>(vertices_.size());
   }
   [[nodiscard]] std::uint32_t channel_count() const noexcept {
-    return static_cast<std::uint32_t>(channels_.size());
+    return static_cast<std::uint32_t>(channel_src_.size());
   }
   [[nodiscard]] const Vertex& vertex(std::uint32_t v) const {
     NBCLOS_REQUIRE(v < vertices_.size(), "vertex id out of range");
     return vertices_[v];
   }
-  [[nodiscard]] const NetChannel& channel(std::uint32_t c) const {
-    NBCLOS_REQUIRE(c < channels_.size(), "channel id out of range");
-    return channels_[c];
+  /// Both endpoints of a channel, by value (endpoints live in separate
+  /// flat arrays — see channel_src/channel_dst for the hot accessors).
+  [[nodiscard]] NetChannel channel(std::uint32_t c) const {
+    NBCLOS_REQUIRE(c < channel_src_.size(), "channel id out of range");
+    return NetChannel{channel_src_[c], channel_dst_[c]};
+  }
+  /// Hot-path endpoint loads: one indexed read from a contiguous
+  /// uint32 array, bounds-checked only in Debug builds.  The simulator
+  /// consults these once per flit hop and the route caches once per
+  /// cached channel, so they must compile to a bare load at -O3.
+  [[nodiscard]] std::uint32_t channel_src(std::uint32_t c) const {
+    NBCLOS_DEBUG_CHECK(c < channel_src_.size(), "channel id out of range");
+    return channel_src_[c];
+  }
+  [[nodiscard]] std::uint32_t channel_dst(std::uint32_t c) const {
+    NBCLOS_DEBUG_CHECK(c < channel_dst_.size(), "channel id out of range");
+    return channel_dst_[c];
   }
 
   /// Outgoing / incoming channel ids of a vertex (finalized only).
@@ -80,7 +94,12 @@ class Network {
   };
 
   std::vector<Vertex> vertices_;
-  std::vector<NetChannel> channels_;
+  // Channel endpoints in structure-of-arrays form: channel c runs from
+  // channel_src_[c] to channel_dst_[c].  Keeping each endpoint column
+  // contiguous lets the per-flit / per-cached-channel loads above stay
+  // single indexed reads with no struct padding or pointer chasing.
+  std::vector<std::uint32_t> channel_src_;
+  std::vector<std::uint32_t> channel_dst_;
   Csr out_;
   Csr in_;
   bool finalized_ = false;

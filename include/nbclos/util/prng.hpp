@@ -63,9 +63,29 @@ class Xoshiro256 {
     return result;
   }
 
-  /// Unbiased uniform integer in [0, bound) via Lemire's method with
-  /// rejection.  \pre bound > 0.
-  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept;
+  /// Unbiased uniform integer in [0, bound) via Lemire's nearly
+  /// divisionless bounded generation with full rejection — exactly
+  /// uniform for any bound > 0.  Defined inline: the hill-climb engines
+  /// draw twice per step, so this must not be an out-of-line call.
+  [[nodiscard]] std::uint64_t below(std::uint64_t bound) noexcept {
+#ifdef __SIZEOF_INT128__
+    __extension__ using uint128 = unsigned __int128;
+#else
+#error "xoshiro bounded draw requires 128-bit multiply"
+#endif
+    std::uint64_t x = (*this)();
+    uint128 m = static_cast<uint128>(x) * bound;
+    auto low = static_cast<std::uint64_t>(m);
+    if (low < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = (*this)();
+        m = static_cast<uint128>(x) * bound;
+        low = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform01() noexcept {

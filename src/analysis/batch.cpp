@@ -1,0 +1,39 @@
+#include "nbclos/analysis/batch.hpp"
+
+#include <algorithm>
+
+namespace nbclos::analysis {
+
+std::span<const BatchLoadKernel::LaneStats> BatchLoadKernel::score_targets(
+    std::span<const std::uint32_t> targets, std::uint32_t lanes) {
+  NBCLOS_REQUIRE(lanes >= 1 && lanes <= kMaxBatch,
+                 "batch lane count out of range");
+  NBCLOS_REQUIRE(targets.size() == std::size_t{lanes} * leafs_,
+                 "targets must hold lanes * leaf_count entries");
+
+  touched_.clear();
+  std::uint64_t lookups = 0;
+  for (std::uint32_t lane = 0; lane < lanes; ++lane) {
+    auto& st = stats_[lane];
+    st = LaneStats{};
+    std::uint32_t* const seg = load_.data() + std::size_t{lane} * links_;
+    const std::uint32_t base = lane * leafs_;
+    for (std::uint32_t s = 0; s < leafs_; ++s) {
+      const std::uint32_t d = targets[base + s];
+      if (d == s) continue;
+      ++lookups;
+      for (const auto link : cache_->links(s, d)) {
+        auto& l = seg[link];
+        if (l == 0) touched_.push_back(lane * links_ + link);
+        st.colliding_pairs += l;
+        if (++l == 2) ++st.contended_links;
+        if (l > st.max_load) st.max_load = l;
+      }
+    }
+  }
+  for (const auto slot : touched_) load_[slot] = 0;
+  routing::RouteCache::note_lookups(lookups);
+  return {stats_.data(), lanes};
+}
+
+}  // namespace nbclos::analysis

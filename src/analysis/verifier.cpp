@@ -7,6 +7,7 @@
 #include "nbclos/analysis/delta.hpp"
 #include "nbclos/obs/metrics.hpp"
 #include "nbclos/obs/trace.hpp"
+#include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/single_path.hpp"
 
 namespace nbclos {
@@ -76,6 +77,8 @@ class DeltaState {
  public:
   DeltaState(const FoldedClos& ftree, const SinglePathRouting& routing)
       : state_(ftree, routing) {}
+  DeltaState(const FoldedClos& ftree, const routing::RouteCache& cache)
+      : state_(ftree, cache) {}
   void reset(const std::vector<std::uint32_t>& target) { state_.reset(target); }
   void apply_swap(std::uint32_t i, std::uint32_t j) { state_.apply_swap(i, j); }
   void revert_swap(std::uint32_t i, std::uint32_t j) {
@@ -237,6 +240,14 @@ RestartResult adversarial_restart(const FoldedClos& ftree,
   return run_restart(state, ftree.leaf_count(), steps, seed, stop_on_positive);
 }
 
+RestartResult adversarial_restart(const FoldedClos& ftree,
+                                  const routing::RouteCache& cache,
+                                  std::uint32_t steps, std::uint64_t seed,
+                                  bool stop_on_positive) {
+  DeltaState state(ftree, cache);
+  return run_restart(state, ftree.leaf_count(), steps, seed, stop_on_positive);
+}
+
 VerifyResult verify_adversarial(const FoldedClos& ftree,
                                 const PatternRouter& router,
                                 const AdversarialOptions& options,
@@ -248,7 +259,10 @@ VerifyResult verify_adversarial(const FoldedClos& ftree,
                                 const SinglePathRouting& routing,
                                 const AdversarialOptions& options,
                                 Xoshiro256& rng) {
-  return verify_adversarial_impl(ftree, routing, options, rng);
+  // One cache materialization amortized across every restart: the climbs
+  // replay flat link runs instead of re-routing <= 4 pairs per step.
+  const auto cache = routing::RouteCache::materialize(routing);
+  return verify_adversarial_impl(ftree, cache, options, rng);
 }
 
 WorstCaseResult worst_case_search(const FoldedClos& ftree,
@@ -262,7 +276,8 @@ WorstCaseResult worst_case_search(const FoldedClos& ftree,
                                   const SinglePathRouting& routing,
                                   const AdversarialOptions& options,
                                   Xoshiro256& rng) {
-  return worst_case_search_impl(ftree, routing, options, rng);
+  const auto cache = routing::RouteCache::materialize(routing);
+  return worst_case_search_impl(ftree, cache, options, rng);
 }
 
 }  // namespace nbclos

@@ -9,6 +9,7 @@
 #include "nbclos/fault/fault_oracle.hpp"
 #include "nbclos/obs/metrics.hpp"
 #include "nbclos/obs/trace.hpp"
+#include "nbclos/routing/route_cache.hpp"
 #include "nbclos/topology/network.hpp"
 
 namespace nbclos::analysis {
@@ -73,6 +74,23 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
               .value);
     }
     const fault::DegradedYuanRouting routing(ftree, view);
+    // One degraded route cache per failure level: the level's routing is
+    // fixed, so its paths, fallback choices, and unroutable pairs are
+    // materialized once (with per-pair flags) and every trial below
+    // replays flat link runs instead of calling try_route per pair.
+    // The cache is invalid the moment the failure set grows — the next
+    // level iteration rebuilds it from the new DegradedYuanRouting.
+    const routing::RouteCache cache(
+        ftree, [&](SDPair sd, FtreePath& path) -> std::uint8_t {
+          const auto routed = routing.try_route(sd);
+          if (!routed.has_value()) return routing::RouteCache::kUnroutable;
+          path = *routed;
+          std::uint8_t bits = 0;
+          if (!routed->direct && routing.uses_fallback(sd)) {
+            bits |= routing::RouteCache::kFallback;
+          }
+          return bits;
+        });
 
     // The trial split is over config.chunks *logical* chunks with
     // chunk-derived seeds, not over worker threads, so the counts are
@@ -89,21 +107,27 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
           Xoshiro256 rng(chunk_seed(config.seed, failures,
                                     static_cast<std::uint32_t>(chunk)));
           auto& counts = partials[chunk];
+          LinkLoadMap load(ftree);
+          std::uint64_t lookups = 0;
           for (std::uint32_t trial = lo; trial < hi; ++trial) {
             const auto pattern =
                 random_permutation(ftree.leaf_count(), rng);
-            LinkLoadMap load(ftree);
+            load.clear();
             bool unroutable = false;
+            // Pair iteration order matters: fallback_pairs counts pairs
+            // seen before the first unroutable one, exactly as the
+            // per-pair try_route loop did.
             for (const auto sd : pattern) {
-              const auto path = routing.try_route(sd);
-              if (!path.has_value()) {
+              const auto flags = cache.flags(sd.src.value, sd.dst.value);
+              if ((flags & routing::RouteCache::kUnroutable) != 0) {
                 unroutable = true;
                 break;
               }
-              if (!path->direct && routing.uses_fallback(sd)) {
+              if ((flags & routing::RouteCache::kFallback) != 0) {
                 ++counts.fallback_pairs;
               }
-              load.add_path(*path);
+              ++lookups;
+              load.add_run(cache.links(sd.src.value, sd.dst.value));
             }
             if (unroutable) {
               ++counts.unroutable;
@@ -114,6 +138,7 @@ FaultSweepResult run_fault_sweep(const FaultSweepConfig& config,
             counts.worst_collisions =
                 std::max(counts.worst_collisions, collisions);
           }
+          routing::RouteCache::note_lookups(lookups);
         });
 
     FaultSweepLevel level;

@@ -7,33 +7,21 @@ namespace nbclos::sim {
 ExplicitPathOracle::ExplicitPathOracle(const Network& net,
                                        const NetworkRouteFn& route,
                                        std::string name)
-    : name_(std::move(name)) {
-  const auto terminals = net.terminals();
-  NBCLOS_REQUIRE(net.vertex_count() < (1U << 21),
-                 "network too large for packed next-hop keys");
-  for (std::uint32_t s = 0; s < terminals.size(); ++s) {
-    for (std::uint32_t d = 0; d < terminals.size(); ++d) {
-      if (s == d) continue;
-      const auto path = route(SDPair{LeafId{s}, LeafId{d}});
-      validate_channel_path(net, terminals[s], terminals[d], path);
-      std::uint32_t at = terminals[s];
-      for (const auto c : path) {
-        next_hop_[key(at, terminals[s], terminals[d])] = c;
-        at = net.channel(c).dst;
-      }
-      NBCLOS_ASSERT(at == terminals[d]);
-    }
-  }
+    : name_(std::move(name)),
+      cache_(std::make_shared<routing::ChannelRouteCache>(net, route)) {}
+
+ExplicitPathOracle::ExplicitPathOracle(
+    std::shared_ptr<const routing::ChannelRouteCache> cache, std::string name)
+    : name_(std::move(name)), cache_(std::move(cache)) {
+  NBCLOS_REQUIRE(cache_ != nullptr, "route cache must not be null");
 }
 
 std::uint32_t ExplicitPathOracle::next_channel(const SimView& view,
                                                std::uint32_t vertex,
                                                const Packet& packet) {
   (void)view;
-  const auto it =
-      next_hop_.find(key(vertex, packet.src_terminal, packet.dst_terminal));
-  NBCLOS_REQUIRE(it != next_hop_.end(), "no next hop recorded for packet");
-  return it->second;
+  return cache_->next_channel_from(vertex, packet.src_terminal,
+                                   packet.dst_terminal);
 }
 
 }  // namespace nbclos::sim

@@ -23,14 +23,14 @@ LinkKind FoldedClos::kind_of(LinkId link) const {
 }
 
 FtreePath FoldedClos::direct_path(SDPair sd) const {
-  NBCLOS_REQUIRE(!needs_top(sd), "direct path requires same bottom switch");
-  NBCLOS_REQUIRE(sd.src != sd.dst, "self-loop SD pair");
+  NBCLOS_DEBUG_CHECK(!needs_top(sd), "direct path requires same bottom switch");
+  NBCLOS_DEBUG_CHECK(sd.src != sd.dst, "self-loop SD pair");
   return FtreePath{sd, /*direct=*/true, TopId{0}};
 }
 
 FtreePath FoldedClos::cross_path(SDPair sd, TopId top) const {
-  NBCLOS_REQUIRE(needs_top(sd), "cross path requires different switches");
-  NBCLOS_REQUIRE(top.value < m(), "top switch out of range");
+  NBCLOS_DEBUG_CHECK(needs_top(sd), "cross path requires different switches");
+  NBCLOS_DEBUG_CHECK(top.value < m(), "top switch out of range");
   return FtreePath{sd, /*direct=*/false, top};
 }
 

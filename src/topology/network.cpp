@@ -27,8 +27,9 @@ std::uint32_t Network::add_channel(std::uint32_t src, std::uint32_t dst) {
                      " out of range (have " +
                      std::to_string(vertices_.size()) + " vertices)");
   NBCLOS_REQUIRE(src != dst, "self-loop channel");
-  channels_.push_back(NetChannel{src, dst});
-  return static_cast<std::uint32_t>(channels_.size() - 1);
+  channel_src_.push_back(src);
+  channel_dst_.push_back(dst);
+  return static_cast<std::uint32_t>(channel_src_.size() - 1);
 }
 
 void Network::finalize() {
@@ -38,32 +39,31 @@ void Network::finalize() {
   // bad ids, but fault tooling builds partial/degraded graphs through
   // evolving builder paths, and an out-of-range endpoint here would be
   // undefined behavior in the CSR counting pass below.
-  for (std::size_t c = 0; c < channels_.size(); ++c) {
-    NBCLOS_REQUIRE(channels_[c].src < vertices_.size() &&
-                       channels_[c].dst < vertices_.size(),
+  for (std::size_t c = 0; c < channel_src_.size(); ++c) {
+    NBCLOS_REQUIRE(channel_src_[c] < vertices_.size() &&
+                       channel_dst_[c] < vertices_.size(),
                    "channel " + std::to_string(c) +
                        " references a vertex out of range");
   }
-  const auto build_csr = [this](bool outgoing) {
+  const auto build_csr = [this](const std::vector<std::uint32_t>& endpoints) {
     Csr csr;
     csr.offsets.assign(vertices_.size() + 1, 0);
-    for (const auto& ch : channels_) {
-      ++csr.offsets[(outgoing ? ch.src : ch.dst) + 1];
-    }
+    for (const auto v : endpoints) ++csr.offsets[v + 1];
     for (std::size_t v = 0; v < vertices_.size(); ++v) {
       csr.offsets[v + 1] += csr.offsets[v];
     }
-    csr.items.resize(channels_.size());
+    csr.items.resize(endpoints.size());
     std::vector<std::uint32_t> cursor(csr.offsets.begin(),
                                       csr.offsets.end() - 1);
-    for (std::uint32_t c = 0; c < channels_.size(); ++c) {
-      const auto v = outgoing ? channels_[c].src : channels_[c].dst;
-      csr.items[cursor[v]++] = c;
+    for (std::uint32_t c = 0; c < endpoints.size(); ++c) {
+      csr.items[cursor[endpoints[c]]++] = c;
     }
     return csr;
   };
-  out_ = build_csr(true);
-  in_ = build_csr(false);
+  out_ = build_csr(channel_src_);
+  in_ = build_csr(channel_dst_);
+  channel_src_.shrink_to_fit();
+  channel_dst_.shrink_to_fit();
   finalized_ = true;
 }
 
@@ -82,7 +82,7 @@ std::span<const std::uint32_t> Network::in_channels(std::uint32_t v) const {
 std::optional<std::uint32_t> Network::find_channel(std::uint32_t src,
                                                    std::uint32_t dst) const {
   for (const auto c : out_channels(src)) {
-    if (channels_[c].dst == dst) return c;
+    if (channel_dst_[c] == dst) return c;
   }
   return std::nullopt;
 }

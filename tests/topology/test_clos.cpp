@@ -12,7 +12,9 @@ TEST(ThreeStageClos, PortToSwitchMapping) {
   EXPECT_EQ(clos.input_switch_of(2), 0U);
   EXPECT_EQ(clos.input_switch_of(3), 1U);
   EXPECT_EQ(clos.output_switch_of(14), 4U);
-  EXPECT_THROW((void)clos.input_switch_of(15), precondition_error);
+  if (kDebugChecksEnabled) {
+    EXPECT_THROW((void)clos.input_switch_of(15), precondition_error);
+  }
 }
 
 TEST(ThreeStageClos, LinkIdsAreDistinct) {

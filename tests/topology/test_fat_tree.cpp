@@ -38,6 +38,11 @@ TEST(FoldedClos, RejectsInvalidParameters) {
 }
 
 TEST(FoldedClos, RejectsOutOfRangeIds) {
+  // Per-pair accessor bounds checks are NBCLOS_DEBUG_CHECK: present in
+  // Debug builds, compiled out of Release hot paths.
+  if (!kDebugChecksEnabled) {
+    GTEST_SKIP() << "debug checks compiled out (NDEBUG build)";
+  }
   const auto ft = make(2, 3, 4);
   EXPECT_THROW((void)ft.leaf(BottomId{4}, 0), precondition_error);
   EXPECT_THROW((void)ft.leaf(BottomId{0}, 2), precondition_error);
@@ -89,6 +94,9 @@ TEST(FoldedClos, DirectPathSkipsTopLevel) {
 }
 
 TEST(FoldedClos, PathConstructorsEnforcePreconditions) {
+  if (!kDebugChecksEnabled) {
+    GTEST_SKIP() << "debug checks compiled out (NDEBUG build)";
+  }
   const auto ft = make(2, 2, 3);
   const SDPair cross{ft.leaf(BottomId{0}, 0), ft.leaf(BottomId{1}, 0)};
   const SDPair local{ft.leaf(BottomId{0}, 0), ft.leaf(BottomId{0}, 1)};

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a bench JSON document and flag throughput regressions.
+
+Usage:
+    check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
+    check_bench_regression.py CURRENT.json --schema-only
+
+Two bench schemas are understood (dispatched on the "experiment" field):
+
+  * "scale"         (bench_scale)  — per-radix cases; the compared
+    metrics are route_cache.routes_per_sec, verify_random.perms_per_sec,
+    and load_probe.perms_per_sec, matched by radix;
+  * "verify_engine" (bench_verify) — the compared metrics are
+    adversarial.full.perms_per_sec and adversarial.delta.perms_per_sec.
+
+The gate is two-level, tuned so scheduler noise on a shared runner
+cannot flap it while a real code regression (which slows *every* case)
+still trips it:
+
+  * the GEOMETRIC MEAN of the current/baseline ratios over all metrics
+    must be >= 1 - tolerance (default 25%) — a genuine slowdown moves
+    every ratio, so the mean is far less noisy than any single timing;
+  * each INDIVIDUAL metric must stay >= 1 - 2*tolerance — a backstop
+    against one case cratering while the others mask it.
+
+Comparisons across *different* hardware are only meaningful for
+order-of-magnitude sanity, which is exactly what the CI smoke job uses
+them for.  Exit status: 0 = ok, 1 = regression or schema error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(doc, path, typ):
+    """Fetch a dotted path from nested dicts, checking its type."""
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            fail(f"missing field '{path}'")
+        node = node[part]
+    if not isinstance(node, typ):
+        fail(f"field '{path}' has type {type(node).__name__}, "
+             f"expected {typ.__name__}")
+    return node
+
+
+def validate_scale(doc):
+    cases = require(doc, "cases", list)
+    if not cases:
+        fail("scale document has no cases")
+    for case in cases:
+        require(case, "radix", int)
+        require(case, "leafs", int)
+        require(case, "links", int)
+        require(case, "route_cache.routes_per_sec", (int, float))
+        require(case, "route_cache.cache_bytes", int)
+        require(case, "verify_random.perms_per_sec", (int, float))
+        require(case, "verify_random.nonblocking", bool)
+        require(case, "load_probe.perms_per_sec", (int, float))
+        require(case, "cache_hit_rate", (int, float))
+        require(case, "peak_rss_kb", int)
+        if not case["verify_random"]["nonblocking"]:
+            fail(f"radix {case['radix']}: verification verdict regressed "
+                 "(expected nonblocking)")
+    require(doc, "manifest.build_type", str)
+
+
+def validate_verify(doc):
+    require(doc, "adversarial.full.perms_per_sec", (int, float))
+    require(doc, "adversarial.delta.perms_per_sec", (int, float))
+    require(doc, "adversarial.worst_collisions", int)
+    require(doc, "manifest.build_type", str)
+
+
+def scale_metrics(doc):
+    out = {}
+    for case in doc["cases"]:
+        r = case["radix"]
+        out[f"radix{r}.route_cache.routes_per_sec"] = \
+            case["route_cache"]["routes_per_sec"]
+        out[f"radix{r}.verify_random.perms_per_sec"] = \
+            case["verify_random"]["perms_per_sec"]
+        out[f"radix{r}.load_probe.perms_per_sec"] = \
+            case["load_probe"]["perms_per_sec"]
+    return out
+
+
+def verify_metrics(doc):
+    return {
+        "adversarial.full.perms_per_sec":
+            doc["adversarial"]["full"]["perms_per_sec"],
+        "adversarial.delta.perms_per_sec":
+            doc["adversarial"]["delta"]["perms_per_sec"],
+    }
+
+
+SCHEMAS = {
+    "scale": (validate_scale, scale_metrics),
+    "verify_engine": (validate_verify, verify_metrics),
+}
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+    kind = require(doc, "experiment", str)
+    if kind not in SCHEMAS:
+        fail(f"{path}: unknown experiment '{kind}'")
+    SCHEMAS[kind][0](doc)
+    return kind, doc
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional slowdown (default 0.25)")
+    parser.add_argument("--schema-only", action="store_true",
+                        help="validate the document, skip the comparison")
+    args = parser.parse_args()
+
+    kind, current = load(args.current)
+    print(f"{args.current}: valid '{kind}' document")
+    if args.schema_only or args.baseline is None:
+        return
+
+    base_kind, baseline = load(args.baseline)
+    if base_kind != kind:
+        fail(f"experiment mismatch: {kind} vs {base_kind}")
+
+    extract = SCHEMAS[kind][1]
+    cur, base = extract(current), extract(baseline)
+    hard_floor = 1.0 - 2.0 * args.tolerance
+    regressed = False
+    log_ratio_sum = 0.0
+    for name, base_value in base.items():
+        if name not in cur:
+            fail(f"current document is missing metric '{name}'")
+        if base_value <= 0:
+            fail(f"baseline metric '{name}' is not positive")
+        ratio = cur[name] / base_value
+        log_ratio_sum += math.log(max(ratio, 1e-12))
+        verdict = "ok"
+        if ratio < hard_floor:
+            verdict = f"REGRESSED (below hard floor {hard_floor:.0%})"
+            regressed = True
+        print(f"  {name}: {cur[name]:.3e} vs baseline {base_value:.3e} "
+              f"(ratio {ratio:.2f}) {verdict}")
+    geomean = math.exp(log_ratio_sum / len(base))
+    print(f"  geometric-mean ratio over {len(base)} metrics: {geomean:.3f}")
+    if geomean < 1.0 - args.tolerance:
+        fail(f"aggregate throughput regressed beyond {args.tolerance:.0%} "
+             f"tolerance (geomean ratio {geomean:.3f})")
+    if regressed:
+        fail("an individual metric regressed beyond the "
+             f"{2 * args.tolerance:.0%} hard floor")
+    print(f"no regression beyond {args.tolerance:.0%} tolerance")
+
+
+if __name__ == "__main__":
+    main()
