@@ -1,0 +1,168 @@
+/// \file buffers.hpp
+/// \brief Flit storage for the flow-control engine: a flat pool of
+///        per-(channel, VC) FIFOs plus the slab of live packets the
+///        flits point into.
+///
+/// Layout follows the PR 2 queue-pool idiom from sim::PacketSim: every
+/// finite switch buffer is a fixed slice of one contiguous allocation
+/// (slice = capacity rounded up to a power of two, so ring wrap-around
+/// is a mask), while unbounded terminal NIC buffers are growable
+/// power-of-two rings.  A flit is 8 bytes — (packet slot, flit index) —
+/// so even deep-buffer sweeps stay cache-compact.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/sim/packet.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::flow {
+
+/// One flit in a buffer or on a wire: the packet it belongs to (a slot
+/// in the PacketPool) and its position within that packet.  Index 0 is
+/// the head flit (carries the route), size_flits - 1 the tail (releases
+/// the downstream VC claim).
+struct FlitRef {
+  std::uint32_t packet_slot = 0;
+  std::uint32_t flit_index = 0;
+};
+
+/// Slab of live packets, indexed by slot.  Flits reference their packet
+/// through a slot id instead of carrying 40-byte descriptors, and a slot
+/// is recycled the cycle its tail flit is ejected.
+class PacketPool {
+ public:
+  [[nodiscard]] std::uint32_t acquire(const sim::Packet& packet) {
+    if (free_.empty()) {
+      packets_.push_back(packet);
+      return static_cast<std::uint32_t>(packets_.size() - 1);
+    }
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    packets_[slot] = packet;
+    return slot;
+  }
+
+  void release(std::uint32_t slot) {
+    NBCLOS_DEBUG_CHECK(slot < packets_.size(), "packet slot out of range");
+    free_.push_back(slot);
+  }
+
+  [[nodiscard]] const sim::Packet& at(std::uint32_t slot) const {
+    NBCLOS_DEBUG_CHECK(slot < packets_.size(), "packet slot out of range");
+    return packets_[slot];
+  }
+
+  [[nodiscard]] std::size_t live() const noexcept {
+    return packets_.size() - free_.size();
+  }
+  /// High-water slot count — how many packets were ever simultaneously
+  /// live (the slab never shrinks).
+  [[nodiscard]] std::size_t slot_count() const noexcept {
+    return packets_.size();
+  }
+
+ private:
+  std::vector<sim::Packet> packets_;
+  std::vector<std::uint32_t> free_;
+};
+
+/// All flit FIFOs of one FlowSim, addressed by dense buffer id: ids
+/// [0, switch_buffers) are finite switch FIFOs (capacity_flits each),
+/// ids [switch_buffers, switch_buffers + nic_buffers) are unbounded
+/// terminal NIC send queues.  The flow-control protocol — not this
+/// container — keeps switch occupancy within capacity; push asserts it.
+class FlitBufferPool {
+ public:
+  FlitBufferPool(std::uint32_t switch_buffers, std::uint32_t nic_buffers,
+                 std::uint32_t capacity_flits);
+
+  void push(std::uint32_t b, FlitRef flit) {
+    if (b < switch_count_) {
+      NBCLOS_ASSERT(size_[b] < capacity_);  // flow-control protocol bound
+      switch_pool_[std::size_t{b} * slice_ +
+                   ((head_[b] + size_[b]) & slice_mask_)] = flit;
+      ++switch_flits_total_;
+      if (++size_[b] > peak_switch_flits_) peak_switch_flits_ = size_[b];
+      return;
+    }
+    auto& ring = nic_rings_[b - switch_count_];
+    if (size_[b] == ring.size()) {
+      // Full (or first use): double and relinearize so head lands at 0.
+      std::vector<FlitRef> bigger(ring.empty() ? kNicRingInitialCapacity
+                                               : ring.size() * 2);
+      for (std::uint32_t i = 0; i < size_[b]; ++i) {
+        bigger[i] = ring[(head_[b] + i) & (ring.size() - 1)];
+      }
+      ring = std::move(bigger);
+      head_[b] = 0;
+    }
+    ring[(head_[b] + size_[b]) & (ring.size() - 1)] = flit;
+    ++size_[b];
+  }
+
+  FlitRef pop(std::uint32_t b) {
+    NBCLOS_ASSERT(size_[b] > 0);
+    FlitRef flit;
+    if (b < switch_count_) {
+      flit = switch_pool_[std::size_t{b} * slice_ + head_[b]];
+      head_[b] = (head_[b] + 1) & slice_mask_;
+      --switch_flits_total_;
+    } else {
+      const auto& ring = nic_rings_[b - switch_count_];
+      flit = ring[head_[b]];
+      head_[b] = (head_[b] + 1) &
+                 (static_cast<std::uint32_t>(ring.size()) - 1);
+    }
+    --size_[b];
+    return flit;
+  }
+
+  [[nodiscard]] FlitRef front(std::uint32_t b) const {
+    NBCLOS_ASSERT(size_[b] > 0);
+    if (b < switch_count_) {
+      return switch_pool_[std::size_t{b} * slice_ + head_[b]];
+    }
+    return nic_rings_[b - switch_count_][head_[b]];
+  }
+
+  [[nodiscard]] std::uint32_t size(std::uint32_t b) const {
+    NBCLOS_DEBUG_CHECK(b < size_.size(), "buffer id out of range");
+    return size_[b];
+  }
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t switch_buffer_count() const noexcept {
+    return switch_count_;
+  }
+  [[nodiscard]] std::uint32_t buffer_count() const noexcept {
+    return static_cast<std::uint32_t>(size_.size());
+  }
+  /// Flits currently held across all switch buffers (maintained
+  /// incrementally — feeds the per-cycle queue-depth sample).
+  [[nodiscard]] std::uint64_t switch_flits_total() const noexcept {
+    return switch_flits_total_;
+  }
+  /// High-water occupancy of any single switch buffer over the run.
+  [[nodiscard]] std::uint32_t peak_switch_flits() const noexcept {
+    return peak_switch_flits_;
+  }
+  /// Resident bytes of the flat arrays (reported as an obs gauge).
+  [[nodiscard]] std::size_t bytes() const noexcept;
+
+ private:
+  static constexpr std::uint32_t kNicRingInitialCapacity = 16;
+
+  std::uint32_t switch_count_ = 0;
+  std::uint32_t capacity_ = 0;
+  std::uint32_t slice_ = 0;       ///< bit_ceil(capacity)
+  std::uint32_t slice_mask_ = 0;  ///< slice - 1
+  std::vector<FlitRef> switch_pool_;
+  std::vector<std::vector<FlitRef>> nic_rings_;
+  std::vector<std::uint32_t> head_;  ///< per buffer, switch then NIC
+  std::vector<std::uint32_t> size_;
+  std::uint64_t switch_flits_total_ = 0;
+  std::uint32_t peak_switch_flits_ = 0;
+};
+
+}  // namespace nbclos::flow

@@ -1,0 +1,101 @@
+/// \file config.hpp
+/// \brief Configuration for the cycle-level flow-control engine.
+///
+/// flow::FlowSim models what sim::PacketSim abstracts away: *finite*
+/// router buffers and the backpressure protocol that keeps them from
+/// overflowing.  The configuration picks the three axes real routers
+/// differ on:
+///   * buffer depth — flits per (output channel, virtual channel) FIFO;
+///   * signaling    — credit-based (sender counts free downstream slots)
+///     or on/off (receiver asserts a stop signal near the high-water
+///     mark, one cycle of signaling delay);
+///   * switching    — wormhole (a head flit advances as soon as one
+///     downstream slot is free; the packet's flits may span several
+///     routers) or virtual cut-through (the head waits until the whole
+///     packet fits downstream, so a packet never straddles a stalled
+///     boundary).
+#pragma once
+
+#include <cstdint>
+
+namespace nbclos::flow {
+
+enum class Switching : std::uint8_t {
+  kWormhole,         ///< head needs 1 free downstream slot; worm may span routers
+  kVirtualCutThrough ///< head needs packet_flits free slots; packet moves whole
+};
+
+enum class Backpressure : std::uint8_t {
+  kCredit,  ///< per-buffer credit counters, returns delayed credit_delay cycles
+  kOnOff    ///< stop bit asserted at the high-water mark, 1-cycle signal delay
+};
+
+struct FlowConfig {
+  double injection_rate = 0.1;    ///< offered load, flits/cycle/terminal
+  std::uint32_t packet_flits = 4; ///< flits per packet
+  /// Capacity of every switch (channel, VC) output FIFO, in flits.
+  /// Terminal NIC send queues stay unbounded, exactly as in PacketSim.
+  std::uint32_t buffer_flits = 8;
+  std::uint32_t vcs = 1;          ///< virtual channels per physical channel
+  Switching switching = Switching::kWormhole;
+  Backpressure backpressure = Backpressure::kCredit;
+  /// Cycles before a freed buffer slot is visible upstream again (credit
+  /// mode only; on/off always signals with a 1-cycle delay).
+  std::uint32_t credit_delay = 1;
+  std::uint64_t warmup_cycles = 2000;
+  std::uint64_t measure_cycles = 8000;
+  std::uint64_t seed = 42;
+  /// Forward-progress check period for the deadlock watchdog: if a whole
+  /// epoch passes in which no flit moves while flits are in the system,
+  /// the run aborts cleanly with a diagnostic (FlowResult::deadlocked).
+  /// 0 disables the watchdog.
+  std::uint64_t watchdog_epoch = 1024;
+
+  /// Buffer depth at which no switch FIFO can fill in the ideal-switch
+  /// golden regime (see ideal_reference()); mirrors
+  /// sim::SimConfig::kEffectivelyInfiniteQueueCapacity, measured in flits
+  /// rather than packets because flow buffers hold flits.
+  static constexpr std::uint32_t kEffectivelyInfiniteBufferFlits = 1024;
+
+  /// The documented single-flit / effectively-infinite-buffer reference
+  /// configuration: with it, wormhole == VCT == store-and-forward and no
+  /// backpressure ever engages, so FlowSim must reproduce
+  /// sim::SimConfig::ideal_reference() PacketSim results bit-identically
+  /// on contention-free (nonblocking) routings.  Keep the two factories
+  /// in sync — the cross-engine golden tests rely on both.
+  [[nodiscard]] static FlowConfig ideal_reference(double injection_rate,
+                                                  std::uint64_t seed) {
+    FlowConfig config;
+    config.injection_rate = injection_rate;
+    config.packet_flits = 1;
+    config.buffer_flits = kEffectivelyInfiniteBufferFlits;
+    config.vcs = 1;
+    config.switching = Switching::kWormhole;
+    config.backpressure = Backpressure::kCredit;
+    config.seed = seed;
+    return config;
+  }
+
+  /// True when this configuration is in the ideal-switch regime the
+  /// golden equivalence tests rely on.
+  [[nodiscard]] bool ideal_switch_regime() const noexcept {
+    return packet_flits == 1 && vcs == 1 &&
+           buffer_flits >= kEffectivelyInfiniteBufferFlits;
+  }
+
+  /// Free downstream slots a head flit must see before it may start
+  /// transmitting (the switching-mode reservation).
+  [[nodiscard]] std::uint32_t head_reservation_flits() const noexcept {
+    return switching == Switching::kVirtualCutThrough ? packet_flits : 1u;
+  }
+
+  /// On/off high-water mark: the receiver asserts "off" once occupancy
+  /// reaches buffer_flits - head_reservation_flits().  The reservation
+  /// plus the 1-cycle signaling delay bound occupancy at buffer_flits
+  /// (see DESIGN.md "flow-control engine" for the overshoot argument).
+  [[nodiscard]] std::uint32_t onoff_off_threshold() const noexcept {
+    return buffer_flits - head_reservation_flits();
+  }
+};
+
+}  // namespace nbclos::flow

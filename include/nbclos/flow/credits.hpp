@@ -1,0 +1,113 @@
+/// \file credits.hpp
+/// \brief Backpressure signaling state: per-buffer credit counters with
+///        delayed returns, and the on/off stop-bit alternative.
+///
+/// Credit mode is conservative by construction: a credit is consumed the
+/// cycle a flit starts toward a buffer and returned `delay` cycles after
+/// a flit leaves it, so
+///
+///   credits(b) + occupancy(b) + flits_in_flight_to(b)
+///              + pending_returns(b) == capacity
+///
+/// holds at every cycle boundary (the conservation invariant the flow
+/// tests audit) and occupancy can never exceed capacity for any delay.
+///
+/// On/off mode models a stop bit latched at the end of each cycle and
+/// read by senders the next cycle (1-cycle signaling delay).  The stop
+/// threshold leaves `head_reservation` slots of slack, which together
+/// with the single-writer-per-buffer rule (VC claims) bounds occupancy
+/// at capacity — see DESIGN.md "flow-control engine" for the overshoot
+/// accounting.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nbclos/flow/buffers.hpp"
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::flow {
+
+/// Credit counters for every switch buffer, plus the delay line that
+/// models the upstream credit wire.  All ids are switch-buffer ids
+/// (< FlitBufferPool::switch_buffer_count()); NIC buffers are unbounded
+/// and never tracked.
+class CreditLedger {
+ public:
+  /// \param delay cycles between a downstream pop and the credit being
+  ///        visible upstream again; must be >= 1 (a same-cycle return
+  ///        would make transmissions order-dependent within the phase).
+  CreditLedger(std::uint32_t switch_buffers, std::uint32_t capacity,
+               std::uint32_t delay);
+
+  /// Apply the credit returns due this cycle.  Call once at the start of
+  /// every cycle, before transmissions read the counters.
+  void advance(std::uint64_t now);
+
+  [[nodiscard]] std::uint32_t credits(std::uint32_t b) const {
+    NBCLOS_DEBUG_CHECK(b < credits_.size(), "buffer id out of range");
+    return credits_[b];
+  }
+
+  /// A flit started toward buffer `b` this cycle.
+  void consume(std::uint32_t b) {
+    NBCLOS_ASSERT(credits_[b] > 0);
+    --credits_[b];
+  }
+
+  /// A flit left buffer `b` this cycle; its credit becomes visible at
+  /// now + delay.
+  void schedule_return(std::uint32_t b, std::uint64_t now) {
+    delay_line_[(now + delay_) % delay_line_.size()].push_back(b);
+  }
+
+  /// Returns scheduled but not yet applied for `b` (audit path, O(delay
+  /// line); the hot path never calls this).
+  [[nodiscard]] std::uint64_t pending_returns(std::uint32_t b) const;
+
+  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::uint32_t capacity_ = 0;
+  std::uint32_t delay_ = 1;
+  std::vector<std::uint32_t> credits_;
+  /// delay + 1 buckets of buffer ids, indexed by cycle mod size; a
+  /// bucket is drained by advance() before the cycle that refills it.
+  std::vector<std::vector<std::uint32_t>> delay_line_;
+};
+
+/// On/off stop bits for every switch buffer.  Senders read off() during
+/// the cycle; occupancy changes mark buffers dirty, and latch() recomputes
+/// the dirty bits at the end of the cycle — so a bit read at cycle t
+/// always reflects occupancy at the end of cycle t-1.
+class OnOffSignal {
+ public:
+  /// \param off_threshold occupancy at which the stop bit asserts
+  ///        (FlowConfig::onoff_off_threshold()); must be >= 1 so an
+  ///        empty buffer always reads "on".
+  OnOffSignal(std::uint32_t switch_buffers, std::uint32_t off_threshold);
+
+  [[nodiscard]] bool off(std::uint32_t b) const {
+    NBCLOS_DEBUG_CHECK(b < off_.size(), "buffer id out of range");
+    return off_[b] != 0;
+  }
+
+  /// Occupancy of `b` changed this cycle; recompute its bit at latch().
+  void mark_dirty(std::uint32_t b) {
+    if (in_dirty_[b]) return;
+    in_dirty_[b] = 1;
+    dirty_.push_back(b);
+  }
+
+  /// End-of-cycle: latch the stop bits of dirty buffers from current
+  /// occupancy.  Cost is O(buffers touched this cycle), not O(all).
+  void latch(const FlitBufferPool& pool);
+
+ private:
+  std::uint32_t threshold_ = 0;
+  std::vector<std::uint8_t> off_;
+  std::vector<std::uint32_t> dirty_;
+  std::vector<std::uint8_t> in_dirty_;
+};
+
+}  // namespace nbclos::flow

@@ -1,0 +1,246 @@
+/// \file engine.hpp
+/// \brief Cycle-level flow-control simulator: finite per-VC flit
+///        buffers, credit / on-off backpressure, wormhole or
+///        virtual-cut-through switching.
+///
+/// FlowSim refines sim::PacketSim from packet granularity down to flits.
+/// Where PacketSim teleports a whole packet into an (effectively sized)
+/// output queue, FlowSim moves one flit per channel per cycle between
+/// *finite* output FIFOs and blocks the upstream flit in place when the
+/// downstream FIFO has no room — which is exactly how head-of-line
+/// blocking, credit stalls, buffer-induced tree saturation, and wormhole
+/// deadlock arise in real folded-Clos routers (the effects the paper's
+/// ideal-switch Theorems 1-3 abstract away).
+///
+/// Model (output-buffered, Dally & Towles conventions):
+///   * every channel c owns `vcs` flit FIFOs at its source vertex; a
+///     flit transmitted on c lands one cycle later in the downstream
+///     FIFO its packet holds, or is ejected if dst(c) is a terminal;
+///   * a head flit must first allocate a downstream (channel, VC):
+///     the route comes from the shared routing::ChannelRouteCache, the
+///     VC from a first-free scan starting at the packet's current VC,
+///     and the VC is *claimed* until the tail flit arrives — packets
+///     never interleave inside a FIFO, and a buffer has at most one
+///     writer in flight (what makes the occupancy bounds provable);
+///   * wormhole: one free downstream slot admits the head, so a blocked
+///     worm spans routers and holds its claims (the deadlock mechanism);
+///     virtual cut-through: the head waits for the whole packet's worth
+///     of space, so a stalled packet always fits in one router;
+///   * backpressure is credit-based (conservative counters, delayed
+///     returns) or on/off (stop bit, 1-cycle signal delay) — see
+///     credits.hpp for the occupancy-bound arguments;
+///   * terminal NIC send queues stay unbounded and injection mirrors
+///     PacketSim's RNG call sequence exactly, which is what makes the
+///     cross-engine golden equivalence test possible (see
+///     FlowConfig::ideal_reference).
+///
+/// Per cycle: credit returns -> wire arrivals -> transmissions ->
+/// injection -> on/off latch -> depth sample -> watchdog.  All iteration
+/// orders are fixed (active lists re-sorted by channel id per sweep, the
+/// PacketSim discipline), so runs are bit-reproducible from seeds and
+/// sweeps are thread-count independent.
+///
+/// The deadlock watchdog is the robustness backstop: if a whole epoch
+/// passes with flits in the system but none transmitted, the run stops
+/// with a diagnostic instead of hanging — wormhole configurations on
+/// cyclic channel dependencies *should* trip it (see tests/flow).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nbclos/flow/buffers.hpp"
+#include "nbclos/flow/config.hpp"
+#include "nbclos/flow/credits.hpp"
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/routing/route_cache.hpp"
+#include "nbclos/sim/traffic.hpp"
+#include "nbclos/topology/network.hpp"
+#include "nbclos/util/prng.hpp"
+#include "nbclos/util/stats.hpp"
+#include "nbclos/util/thread_pool.hpp"
+
+namespace nbclos::flow {
+
+struct FlowResult {
+  // Fields shared with sim::SimResult (same names, same semantics, same
+  // arithmetic) — the golden equivalence tests compare these across
+  // engines field by field.
+  double offered_load = 0.0;          ///< config injection rate
+  double accepted_throughput = 0.0;   ///< ejected flits/terminal/cycle
+  double mean_latency = 0.0;          ///< cycles, tail ejection - injection
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double p999_latency = 0.0;
+  double latency_bucket_width = 1.0;
+  std::uint64_t injected_packets = 0;
+  std::uint64_t delivered_packets = 0;
+  /// Time-average flits queued per switch output channel (all VCs of a
+  /// channel summed) — with 1-flit packets and vcs = 1 this is unit-for-
+  /// unit PacketSim's mean_switch_queue_depth.
+  double mean_switch_queue_depth = 0.0;
+  double min_flow_throughput = 0.0;
+  double max_flow_throughput = 0.0;
+
+  // Flow-control-specific telemetry.
+  std::uint64_t credit_stall_cycles = 0;  ///< head/body refused by backpressure
+  std::uint64_t vc_stall_cycles = 0;      ///< head refused: no claimable VC
+  double mean_stall_cycles = 0.0;         ///< per stall episode
+  double p99_stall_cycles = 0.0;
+  std::uint32_t peak_buffer_flits = 0;    ///< high-water switch FIFO occupancy
+  std::uint64_t peak_live_packets = 0;    ///< high-water packets in system
+
+  // Deadlock watchdog diagnostic (run stops at deadlock_cycle when set).
+  bool deadlocked = false;
+  std::uint64_t deadlock_cycle = 0;
+  std::uint64_t stuck_flits = 0;
+  std::vector<std::uint32_t> stuck_buffers;  ///< sample of occupied buffer ids
+
+  /// accepted < 95% of offered — saturated at this load (PacketSim rule).
+  [[nodiscard]] bool saturated() const {
+    return accepted_throughput < 0.95 * offered_load;
+  }
+};
+
+class FlowSim {
+ public:
+  /// The cache pins the Network and the routing; it is shared read-only
+  /// across the sweep workers, so it arrives as a shared_ptr.
+  FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
+          const sim::TrafficPattern& traffic, FlowConfig config);
+
+  /// Run warmup + measurement; returns aggregate results.  Stops early
+  /// (with result.deadlocked set) if the watchdog trips.
+  [[nodiscard]] FlowResult run();
+
+  /// Flits transmitted per channel over the whole run.  Valid after run().
+  [[nodiscard]] const std::vector<std::uint64_t>& link_busy_flits() const {
+    return link_busy_flits_;
+  }
+
+  /// Credit-conservation audit over every switch buffer:
+  /// credits + occupancy + in-flight + pending returns == capacity.
+  /// Checked internally at every watchdog epoch and at end of run; public
+  /// so tests can probe it mid-run too.  \pre credit backpressure mode.
+  [[nodiscard]] bool credit_conservation_holds() const;
+
+ private:
+  static constexpr std::uint32_t kNone = UINT32_MAX;
+  static constexpr std::uint32_t kEject = UINT32_MAX;  ///< wire target
+  static constexpr std::uint64_t kNotBlocked = UINT64_MAX;
+
+  /// The flit a channel transmitted last cycle, landing this cycle.  At
+  /// most one per channel (one flit per channel per cycle), and at most
+  /// one wire targets any given buffer (the claim serializes writers).
+  struct Wire {
+    FlitRef flit;
+    std::uint32_t target = 0;  ///< downstream buffer id, or kEject
+    bool valid = false;
+  };
+
+  void step_arrivals();
+  void step_transmissions();
+  void step_injection();
+  /// Land one flit at its destination terminal; frees the packet slot on
+  /// the tail.
+  void eject(FlitRef flit);
+  /// Try to move one flit on channel `c` (VC round-robin); returns true
+  /// if a flit was transmitted.
+  bool try_transmit(std::uint32_t c);
+  /// Head-flit downstream (channel, VC) allocation; returns the claimed
+  /// buffer id or kNone (stall reasons accumulated into the counters).
+  std::uint32_t allocate_downstream(std::uint32_t from_vc,
+                                    const sim::Packet& packet,
+                                    std::uint32_t at_vertex, bool* credit_block);
+  [[nodiscard]] bool backpressure_ok(std::uint32_t b,
+                                     std::uint32_t reservation) const;
+  void note_blocked(std::uint32_t b, bool credit_block);
+  void note_unblocked(std::uint32_t b);
+  void activate(std::uint32_t channel);
+  /// True when the watchdog detects a whole epoch without forward
+  /// progress while flits remain in the system.
+  bool watchdog_tripped();
+  void fill_deadlock_diag(FlowResult& result) const;
+  void flush_obs(double wall_seconds);
+
+  std::shared_ptr<const routing::ChannelRouteCache> routes_;
+  const Network* net_;
+  const sim::TrafficPattern* traffic_;
+  FlowConfig config_;
+
+  // Per-channel precomputed facts and state.
+  std::vector<std::uint32_t> buf_base_;   ///< first buffer id of channel
+  std::vector<std::uint8_t> is_nic_;      ///< source vertex is a terminal
+  std::vector<std::uint32_t> channel_dst_;
+  std::vector<std::uint8_t> dst_is_terminal_;
+  std::vector<std::uint32_t> next_vc_;    ///< round-robin VC arbiter state
+  std::vector<Wire> wire_;
+  std::vector<std::uint32_t> busy_wires_;  ///< channels with a flit in flight
+  std::vector<std::uint32_t> channel_flits_;  ///< queued flits per channel
+
+  // Active-channel list: exactly the channels with queued flits, sorted
+  // by id before each transmission sweep (bit-reproducibility).
+  std::vector<std::uint32_t> active_;
+  std::vector<std::uint8_t> in_active_;
+
+  // Per-buffer state (switch buffers first, then NIC buffers).
+  std::vector<std::uint32_t> owner_channel_;  ///< buffer -> its channel
+  std::vector<std::uint32_t> out_alloc_;  ///< downstream buffer of head packet
+  std::vector<std::uint32_t> claim_;      ///< switch buffers: writing packet
+  std::vector<std::uint64_t> blocked_since_;  ///< stall episode start
+  std::uint32_t switch_buffer_count_ = 0;
+  std::uint64_t switch_channel_count_ = 0;
+
+  FlitBufferPool pool_;
+  PacketPool packets_;
+  std::unique_ptr<CreditLedger> ledger_;   ///< credit mode only
+  std::unique_ptr<OnOffSignal> onoff_;     ///< on/off mode only
+  std::uint32_t head_reservation_ = 1;
+
+  Xoshiro256 rng_;
+  std::uint64_t now_ = 0;
+  std::uint64_t next_packet_id_ = 0;
+  double packet_rate_ = 0.0;  ///< injection_rate / packet_flits
+  std::vector<std::uint32_t> terminal_vertices_;
+  std::vector<std::uint64_t> flow_sequence_;  ///< per source terminal
+
+  bool measuring_ = false;
+  std::uint64_t injected_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+  std::uint64_t delivered_measured_flits_ = 0;
+  std::vector<std::uint64_t> delivered_per_source_;  ///< measured flits
+  RunningStats latency_;
+  QuantileHistogram latency_hist_;
+  RunningStats queue_depth_samples_;
+
+  // Flow-control telemetry.
+  std::uint64_t credit_stall_cycles_ = 0;
+  std::uint64_t vc_stall_cycles_ = 0;
+  RunningStats stall_stats_;         ///< per-episode durations
+  QuantileHistogram stall_hist_;
+  std::vector<std::uint32_t> peak_per_vc_;  ///< per VC index, switch buffers
+  std::uint64_t peak_live_packets_ = 0;
+
+  // Watchdog.
+  std::uint64_t flits_in_system_ = 0;
+  std::uint64_t flits_moved_epoch_ = 0;
+  bool deadlocked_ = false;
+
+  // Observability (never feeds back into simulation state).
+  std::vector<std::uint64_t> link_busy_flits_;
+  std::uint64_t route_lookups_ = 0;
+  /// Stall-latency histogram handle, resolved once at construction (the
+  /// registry lookup never runs on the hot path).
+  obs::HistogramMetric* stall_metric_ = nullptr;
+};
+
+/// Run one FlowSim per injection rate over `pool` (nullptr = serial).
+/// Each run is fully determined by its config, so the results are
+/// field-for-field identical at any thread count.
+[[nodiscard]] std::vector<FlowResult> flow_load_sweep(
+    const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const sim::TrafficPattern& traffic, const FlowConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool);
+
+}  // namespace nbclos::flow

@@ -49,6 +49,34 @@ struct SimConfig {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t measure_cycles = 8000;
   std::uint64_t seed = 42;
+
+  /// Queue capacity at which no switch queue can fill on the topologies
+  /// and loads this library sweeps: in the nonblocking regime queues stay
+  /// a handful of packets deep, so 1024 behaves as infinite while keeping
+  /// the flat queue pool around ~10 MB on ftree(4+16, 8).
+  static constexpr std::uint32_t kEffectivelyInfiniteQueueCapacity = 1024;
+
+  /// The documented ideal-switch reference configuration: single-flit
+  /// packets and effectively-infinite queues, i.e. the regime the paper's
+  /// Theorems 1-3 assume.  flow::FlowConfig::ideal_reference mirrors this
+  /// factory, and the cross-engine golden tests require FlowSim to
+  /// reproduce PacketSim bit-identically under the pair.
+  [[nodiscard]] static SimConfig ideal_reference(double injection_rate,
+                                                 std::uint64_t seed) {
+    SimConfig config;
+    config.injection_rate = injection_rate;
+    config.packet_size = 1;
+    config.queue_capacity = kEffectivelyInfiniteQueueCapacity;
+    config.seed = seed;
+    return config;
+  }
+
+  /// True when this configuration is in the ideal-switch regime the
+  /// golden equivalence tests rely on.
+  [[nodiscard]] bool ideal_switch_regime() const noexcept {
+    return packet_size == 1 &&
+           queue_capacity >= kEffectivelyInfiniteQueueCapacity;
+  }
 };
 
 struct SimResult {

@@ -1,0 +1,82 @@
+#include "nbclos/flow/buffer_margin.hpp"
+
+#include "nbclos/obs/trace.hpp"
+
+namespace nbclos::analysis {
+
+namespace {
+
+/// Shallowest FIFO the configured switching/backpressure pair can host
+/// at all (the engine REQUIREs these; the sweep records thinner depths
+/// as infeasible instead of throwing).
+std::uint32_t min_feasible_depth(const flow::FlowConfig& base) {
+  const std::uint32_t reservation =
+      base.switching == flow::Switching::kVirtualCutThrough
+          ? base.packet_flits
+          : 1u;
+  if (base.backpressure == flow::Backpressure::kOnOff) {
+    return reservation + 1;
+  }
+  return reservation;
+}
+
+}  // namespace
+
+BufferMarginResult buffer_margin_sweep(
+    const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const sim::TrafficPattern& traffic, const BufferMarginConfig& config,
+    ThreadPool* pool) {
+  NBCLOS_REQUIRE(!config.buffer_sizes.empty(),
+                 "buffer-margin sweep needs at least one depth to probe");
+  for (std::size_t i = 1; i < config.buffer_sizes.size(); ++i) {
+    NBCLOS_REQUIRE(config.buffer_sizes[i - 1] < config.buffer_sizes[i],
+                   "buffer depths must be strictly ascending");
+  }
+  NBCLOS_REQUIRE(config.probe_load > 0.0 && config.probe_load <= 1.0,
+                 "probe load must be in (0, 1]");
+  NBCLOS_REQUIRE(
+      config.sustain_fraction > 0.0 && config.sustain_fraction <= 1.0,
+      "sustain fraction must be in (0, 1]");
+
+  obs::ScopedSpan span("flow.buffer_margin_sweep", "sweep");
+  span.arg("depths", static_cast<double>(config.buffer_sizes.size()));
+  const std::uint32_t floor_depth = min_feasible_depth(config.base);
+
+  BufferMarginResult result;
+  result.points.resize(config.buffer_sizes.size());
+  const auto probe_at = [&](std::size_t i) {
+    BufferMarginPoint& point = result.points[i];
+    point.buffer_flits = config.buffer_sizes[i];
+    if (point.buffer_flits < floor_depth) {
+      point.feasible = false;
+      return;
+    }
+    flow::FlowConfig probe = config.base;
+    probe.buffer_flits = point.buffer_flits;
+    probe.injection_rate = config.probe_load;
+    flow::FlowSim sim(routes, traffic, probe);
+    const auto run = sim.run();
+    point.accepted_throughput = run.accepted_throughput;
+    point.deadlocked = run.deadlocked;
+    point.credit_stall_cycles = run.credit_stall_cycles;
+    point.peak_buffer_flits = run.peak_buffer_flits;
+    point.sustained = !run.deadlocked &&
+                      run.accepted_throughput >=
+                          config.sustain_fraction * config.probe_load;
+  };
+  if (pool != nullptr && config.buffer_sizes.size() > 1) {
+    pool->parallel_for(0, config.buffer_sizes.size(), probe_at);
+  } else {
+    for (std::size_t i = 0; i < config.buffer_sizes.size(); ++i) probe_at(i);
+  }
+
+  for (const auto& point : result.points) {
+    if (point.sustained) {
+      result.min_flits_nonblocking = point.buffer_flits;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace nbclos::analysis

@@ -1,0 +1,508 @@
+#include "nbclos/flow/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "nbclos/obs/trace.hpp"
+
+namespace nbclos::flow {
+
+namespace {
+
+/// Channels whose source vertex is a switch — each owns `vcs` finite
+/// buffers; the rest are terminal NIC channels with one unbounded ring.
+std::uint32_t count_switch_source_channels(const Network& net) {
+  std::uint32_t count = 0;
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    if (net.vertex(net.channel_src(c)).kind != VertexKind::kTerminal) ++count;
+  }
+  return count;
+}
+
+/// Fixed geometry for the shared stall-latency histogram: the registry
+/// requires one geometry per name, so the cap cannot follow run length.
+constexpr std::uint64_t kStallHistCap = 1u << 20;
+
+}  // namespace
+
+FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
+                 const sim::TrafficPattern& traffic, FlowConfig config)
+    : routes_(std::move(routes)),
+      net_(&routes_->network()),
+      traffic_(&traffic),
+      config_(config),
+      buf_base_(net_->channel_count(), 0),
+      is_nic_(net_->channel_count(), 0),
+      channel_dst_(net_->channel_count(), 0),
+      dst_is_terminal_(net_->channel_count(), 0),
+      next_vc_(net_->channel_count(), 0),
+      wire_(net_->channel_count()),
+      channel_flits_(net_->channel_count(), 0),
+      in_active_(net_->channel_count(), 0),
+      pool_(count_switch_source_channels(routes_->network()) * config.vcs,
+            net_->channel_count() -
+                count_switch_source_channels(routes_->network()),
+            config.buffer_flits),
+      rng_(config.seed),
+      latency_hist_(config.warmup_cycles + config.measure_cycles),
+      stall_hist_(config.warmup_cycles + config.measure_cycles) {
+  NBCLOS_REQUIRE(config.injection_rate >= 0.0 && config.injection_rate <= 1.0,
+                 "injection rate must be in [0, 1] flits/cycle");
+  NBCLOS_REQUIRE(config.packet_flits >= 1, "packets need at least one flit");
+  NBCLOS_REQUIRE(config.vcs >= 1, "need at least one virtual channel");
+  head_reservation_ = config.head_reservation_flits();
+  if (config.switching == Switching::kVirtualCutThrough) {
+    NBCLOS_REQUIRE(config.buffer_flits >= config.packet_flits,
+                   "virtual cut-through buffers a whole packet per FIFO: "
+                   "buffer_flits must be >= packet_flits");
+  }
+  packet_rate_ =
+      config.injection_rate / static_cast<double>(config.packet_flits);
+  terminal_vertices_ = net_->terminals();
+  NBCLOS_REQUIRE(traffic.terminal_count() == terminal_vertices_.size(),
+                 "traffic pattern size does not match network");
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    NBCLOS_REQUIRE(terminal_vertices_[t] == t,
+                   "terminals must be vertices [0, T) (library builders "
+                   "guarantee this)");
+  }
+  flow_sequence_.assign(terminal_vertices_.size(), 0);
+  delivered_per_source_.assign(terminal_vertices_.size(), 0);
+
+  // Buffer id assignment: switch channels take `vcs` consecutive ids in
+  // channel order, NIC channels one id each after all switch buffers —
+  // matching the FlitBufferPool address split.
+  switch_buffer_count_ = pool_.switch_buffer_count();
+  owner_channel_.assign(pool_.buffer_count(), 0);
+  std::uint32_t switch_idx = 0;
+  std::uint32_t nic_idx = 0;
+  for (std::uint32_t c = 0; c < net_->channel_count(); ++c) {
+    channel_dst_[c] = net_->channel_dst(c);
+    dst_is_terminal_[c] =
+        net_->vertex(channel_dst_[c]).kind == VertexKind::kTerminal;
+    if (net_->vertex(net_->channel_src(c)).kind == VertexKind::kTerminal) {
+      is_nic_[c] = 1;
+      buf_base_[c] = switch_buffer_count_ + nic_idx++;
+      owner_channel_[buf_base_[c]] = c;
+    } else {
+      buf_base_[c] = switch_idx * config.vcs;
+      for (std::uint32_t v = 0; v < config.vcs; ++v) {
+        owner_channel_[buf_base_[c] + v] = c;
+      }
+      ++switch_idx;
+    }
+  }
+  switch_channel_count_ = switch_idx;
+
+  out_alloc_.assign(pool_.buffer_count(), kNone);
+  claim_.assign(switch_buffer_count_, kNone);
+  blocked_since_.assign(pool_.buffer_count(), kNotBlocked);
+  if (config.backpressure == Backpressure::kCredit) {
+    ledger_ = std::make_unique<CreditLedger>(
+        switch_buffer_count_, config.buffer_flits, config.credit_delay);
+  } else {
+    NBCLOS_REQUIRE(
+        config.buffer_flits >= head_reservation_ + 1,
+        "on/off signaling needs one slot of slack beyond the head "
+        "reservation (see onoff_off_threshold)");
+    onoff_ = std::make_unique<OnOffSignal>(switch_buffer_count_,
+                                           config.onoff_off_threshold());
+  }
+  peak_per_vc_.assign(config.vcs, 0);
+  busy_wires_.reserve(net_->channel_count());
+  active_.reserve(net_->channel_count());
+  link_busy_flits_.assign(net_->channel_count(), 0);
+  stall_metric_ = &obs::metrics().histogram("flow.stall_cycles", kStallHistCap);
+}
+
+void FlowSim::activate(std::uint32_t channel) {
+  if (in_active_[channel]) return;
+  in_active_[channel] = 1;
+  active_.push_back(channel);
+}
+
+void FlowSim::note_blocked(std::uint32_t b, bool credit_block) {
+  if (credit_block) {
+    ++credit_stall_cycles_;
+  } else {
+    ++vc_stall_cycles_;
+  }
+  if (blocked_since_[b] == kNotBlocked) blocked_since_[b] = now_;
+}
+
+void FlowSim::note_unblocked(std::uint32_t b) {
+  if (blocked_since_[b] == kNotBlocked) return;
+  const std::uint64_t duration = now_ - blocked_since_[b];
+  blocked_since_[b] = kNotBlocked;
+  stall_stats_.add(static_cast<double>(duration));
+  stall_hist_.add(duration);
+  stall_metric_->record(duration);
+}
+
+bool FlowSim::backpressure_ok(std::uint32_t b,
+                              std::uint32_t reservation) const {
+  // On/off encodes the reservation in its latched threshold; credits
+  // compare against it directly.
+  if (ledger_ != nullptr) return ledger_->credits(b) >= reservation;
+  return !onoff_->off(b);
+}
+
+std::uint32_t FlowSim::allocate_downstream(std::uint32_t from_vc,
+                                           const sim::Packet& packet,
+                                           std::uint32_t at_vertex,
+                                           bool* credit_block) {
+  ++route_lookups_;
+  const std::uint32_t nc = routes_->next_channel_from(
+      at_vertex, packet.src_terminal, packet.dst_terminal);
+  NBCLOS_DEBUG_CHECK(net_->channel_src(nc) == at_vertex,
+                     "route cache returned a foreign channel");
+  // First-free VC scan starting at the packet's current VC ("stay in
+  // lane when possible"); a VC is usable when no other packet holds its
+  // write claim and backpressure admits the head reservation.
+  bool saw_credit_block = false;
+  for (std::uint32_t j = 0; j < config_.vcs; ++j) {
+    const std::uint32_t nv = (from_vc + j) % config_.vcs;
+    const std::uint32_t nb = buf_base_[nc] + nv;
+    if (claim_[nb] != kNone) continue;
+    if (!backpressure_ok(nb, head_reservation_)) {
+      saw_credit_block = true;
+      continue;
+    }
+    return nb;
+  }
+  *credit_block = saw_credit_block;
+  return kNone;
+}
+
+bool FlowSim::try_transmit(std::uint32_t c) {
+  const std::uint32_t vc_count = is_nic_[c] ? 1u : config_.vcs;
+  const std::uint32_t start = next_vc_[c];
+  for (std::uint32_t k = 0; k < vc_count; ++k) {
+    const std::uint32_t vc = (start + k) % vc_count;
+    const std::uint32_t b = buf_base_[c] + vc;
+    if (pool_.size(b) == 0) continue;
+    const FlitRef flit = pool_.front(b);
+    const sim::Packet& packet = packets_.at(flit.packet_slot);
+    std::uint32_t target;
+    if (dst_is_terminal_[c]) {
+      target = kEject;  // the terminal sink always accepts
+    } else if (flit.flit_index == 0) {
+      NBCLOS_ASSERT(out_alloc_[b] == kNone);
+      bool credit_block = false;
+      const std::uint32_t nb =
+          allocate_downstream(vc, packet, channel_dst_[c], &credit_block);
+      if (nb == kNone) {
+        note_blocked(b, credit_block);
+        continue;  // this VC stalls; the next may still use the channel
+      }
+      claim_[nb] = flit.packet_slot;
+      out_alloc_[b] = nb;
+      target = nb;
+    } else {
+      target = out_alloc_[b];
+      NBCLOS_ASSERT(target != kNone);
+      // Wormhole body flits re-check backpressure every cycle; VCT
+      // reserved the whole packet at the head, so bodies stream freely.
+      if (config_.switching == Switching::kWormhole &&
+          !backpressure_ok(target, 1)) {
+        note_blocked(b, true);
+        continue;
+      }
+    }
+    pool_.pop(b);
+    --channel_flits_[c];
+    if (b < switch_buffer_count_) {
+      if (ledger_ != nullptr) ledger_->schedule_return(b, now_);
+      if (onoff_ != nullptr) onoff_->mark_dirty(b);
+    }
+    if (target != kEject && ledger_ != nullptr) ledger_->consume(target);
+    if (flit.flit_index + 1 == packet.size_flits) out_alloc_[b] = kNone;
+    wire_[c] = Wire{flit, target, true};
+    busy_wires_.push_back(c);
+    link_busy_flits_[c] += 1;
+    ++flits_moved_epoch_;
+    note_unblocked(b);
+    next_vc_[c] = (vc + 1) % vc_count;
+    return true;
+  }
+  return false;
+}
+
+void FlowSim::eject(FlitRef flit) {
+  const sim::Packet& packet = packets_.at(flit.packet_slot);
+  --flits_in_system_;
+  const bool tail = flit.flit_index + 1 == packet.size_flits;
+  if (tail) ++delivered_packets_;
+  if (measuring_) {
+    // Flit-level accrual: throughput counts every flit ejected inside
+    // the window (PacketSim books the whole packet at once; for 1-flit
+    // packets — the golden regime — the two are identical).
+    ++delivered_measured_flits_;
+    ++delivered_per_source_[packet.src_terminal];
+    if (tail && packet.injected_cycle >= config_.warmup_cycles) {
+      const std::uint64_t latency = now_ - packet.injected_cycle;
+      latency_.add(static_cast<double>(latency));
+      latency_hist_.add(latency);
+    }
+  }
+  if (tail) packets_.release(flit.packet_slot);
+}
+
+void FlowSim::step_arrivals() {
+  // Sorting fixes the ejection order, so the latency accumulators see
+  // deliveries in ascending channel order — the same order PacketSim's
+  // sorted flying_ sweep produces (bit-reproducibility of Welford sums).
+  std::sort(busy_wires_.begin(), busy_wires_.end());
+  for (const auto c : busy_wires_) {
+    Wire& w = wire_[c];
+    NBCLOS_ASSERT(w.valid);
+    if (w.target == kEject) {
+      eject(w.flit);
+    } else {
+      pool_.push(w.target, w.flit);
+      const std::uint32_t oc = owner_channel_[w.target];
+      ++channel_flits_[oc];
+      activate(oc);
+      if (onoff_ != nullptr) onoff_->mark_dirty(w.target);
+      const std::uint32_t vc = w.target - buf_base_[oc];
+      if (pool_.size(w.target) > peak_per_vc_[vc]) {
+        peak_per_vc_[vc] = pool_.size(w.target);
+      }
+      const sim::Packet& packet = packets_.at(w.flit.packet_slot);
+      if (w.flit.flit_index + 1 == packet.size_flits) {
+        // Tail landed: the VC is whole again and accepts a new claimant.
+        NBCLOS_ASSERT(claim_[w.target] == w.flit.packet_slot);
+        claim_[w.target] = kNone;
+      }
+    }
+    w.valid = false;
+  }
+  busy_wires_.clear();
+}
+
+void FlowSim::step_transmissions() {
+  std::sort(active_.begin(), active_.end());
+  std::size_t keep = 0;
+  const std::size_t active_count = active_.size();
+  for (std::size_t i = 0; i < active_count; ++i) {
+    const auto c = active_[i];
+    if (channel_flits_[c] == 0) {  // drained since the last sweep
+      in_active_[c] = 0;
+      continue;
+    }
+    (void)try_transmit(c);
+    if (channel_flits_[c] == 0) {
+      in_active_[c] = 0;
+      continue;
+    }
+    active_[keep++] = c;
+  }
+  active_.resize(keep);
+}
+
+void FlowSim::step_injection() {
+  // Mirrors PacketSim::step_injection draw for draw (one bernoulli, then
+  // one destination draw, terminals ascending) — the shared RNG sequence
+  // is what makes the cross-engine golden equivalence exact.
+  const auto terminal_count =
+      static_cast<std::uint32_t>(terminal_vertices_.size());
+  for (std::uint32_t t = 0; t < terminal_count; ++t) {
+    if (!rng_.bernoulli(packet_rate_)) continue;
+    const auto dst = traffic_->destination(t, rng_);
+    if (!dst.has_value()) continue;
+    sim::Packet packet;
+    packet.id = next_packet_id_++;
+    packet.src_terminal = terminal_vertices_[t];
+    packet.dst_terminal = terminal_vertices_[*dst];
+    packet.size_flits = config_.packet_flits;
+    packet.injected_cycle = now_;
+    packet.flow_sequence = flow_sequence_[t]++;
+    ++route_lookups_;
+    const std::uint32_t first = routes_->next_channel_from(
+        terminal_vertices_[t], packet.src_terminal, packet.dst_terminal);
+    NBCLOS_DEBUG_CHECK(is_nic_[first] != 0,
+                       "first hop must leave through the source NIC");
+    ++injected_;
+    const std::uint32_t slot = packets_.acquire(packet);
+    const std::uint32_t b = buf_base_[first];
+    for (std::uint32_t f = 0; f < config_.packet_flits; ++f) {
+      pool_.push(b, FlitRef{slot, f});
+    }
+    channel_flits_[first] += config_.packet_flits;
+    activate(first);
+    flits_in_system_ += config_.packet_flits;
+    if (packets_.live() > peak_live_packets_) {
+      peak_live_packets_ = packets_.live();
+    }
+  }
+}
+
+bool FlowSim::watchdog_tripped() {
+  if (config_.watchdog_epoch == 0) return false;
+  if ((now_ + 1) % config_.watchdog_epoch != 0) return false;
+  // Piggyback the credit-conservation audit on the epoch boundary: O(B)
+  // every epoch cycles is invisible, and a ledger bug surfaces here long
+  // before it corrupts results.
+  if (ledger_ != nullptr) NBCLOS_ASSERT(credit_conservation_holds());
+  if (flits_in_system_ > 0 && flits_moved_epoch_ == 0) {
+    deadlocked_ = true;
+    return true;
+  }
+  flits_moved_epoch_ = 0;
+  return false;
+}
+
+void FlowSim::fill_deadlock_diag(FlowResult& result) const {
+  constexpr std::size_t kMaxSample = 8;
+  for (std::uint32_t b = 0;
+       b < pool_.buffer_count() && result.stuck_buffers.size() < kMaxSample;
+       ++b) {
+    if (pool_.size(b) > 0) result.stuck_buffers.push_back(b);
+  }
+}
+
+bool FlowSim::credit_conservation_holds() const {
+  NBCLOS_REQUIRE(ledger_ != nullptr,
+                 "credit audit requires credit backpressure mode");
+  std::vector<std::uint64_t> in_flight(switch_buffer_count_, 0);
+  for (const auto c : busy_wires_) {
+    const Wire& w = wire_[c];
+    if (w.valid && w.target != kEject) ++in_flight[w.target];
+  }
+  for (std::uint32_t b = 0; b < switch_buffer_count_; ++b) {
+    const std::uint64_t sum = ledger_->credits(b) + pool_.size(b) +
+                              in_flight[b] + ledger_->pending_returns(b);
+    if (sum != config_.buffer_flits) return false;
+  }
+  return true;
+}
+
+FlowResult FlowSim::run() {
+  obs::ScopedSpan span("flow.run", "flow");
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  for (now_ = 0; now_ < total; ++now_) {
+    measuring_ = now_ >= config_.warmup_cycles;
+    if (ledger_ != nullptr) ledger_->advance(now_);
+    step_arrivals();
+    step_transmissions();
+    step_injection();
+    if (onoff_ != nullptr) onoff_->latch(pool_);
+    if (measuring_ && switch_channel_count_ > 0) {
+      // Same arithmetic as PacketSim's sample: total flits across switch
+      // buffers over the number of switch output channels.
+      queue_depth_samples_.add(
+          static_cast<double>(pool_.switch_flits_total()) /
+          static_cast<double>(switch_channel_count_));
+    }
+    if (watchdog_tripped()) break;
+  }
+
+  FlowResult result;
+  result.offered_load = config_.injection_rate;
+  result.injected_packets = injected_;
+  result.delivered_packets = delivered_packets_;
+  result.accepted_throughput =
+      static_cast<double>(delivered_measured_flits_) /
+      (static_cast<double>(config_.measure_cycles) *
+       static_cast<double>(terminal_vertices_.size()));
+  result.mean_latency = latency_.mean();
+  result.latency_bucket_width =
+      static_cast<double>(latency_hist_.bucket_width());
+  if (latency_hist_.count() > 0) {
+    result.p50_latency = latency_hist_.quantile(0.50);
+    result.p99_latency = latency_hist_.quantile(0.99);
+    result.p999_latency = latency_hist_.quantile(0.999);
+  }
+  result.mean_switch_queue_depth = queue_depth_samples_.mean();
+  bool first_flow = true;
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    if (flow_sequence_[t] == 0) continue;
+    const double rate = static_cast<double>(delivered_per_source_[t]) /
+                        static_cast<double>(config_.measure_cycles);
+    if (first_flow) {
+      result.min_flow_throughput = rate;
+      result.max_flow_throughput = rate;
+      first_flow = false;
+    } else {
+      result.min_flow_throughput = std::min(result.min_flow_throughput, rate);
+      result.max_flow_throughput = std::max(result.max_flow_throughput, rate);
+    }
+  }
+  result.credit_stall_cycles = credit_stall_cycles_;
+  result.vc_stall_cycles = vc_stall_cycles_;
+  result.mean_stall_cycles = stall_stats_.mean();
+  result.p99_stall_cycles =
+      stall_hist_.count() > 0 ? stall_hist_.quantile(0.99) : 0.0;
+  result.peak_buffer_flits = pool_.peak_switch_flits();
+  result.peak_live_packets = peak_live_packets_;
+  result.deadlocked = deadlocked_;
+  if (deadlocked_) {
+    result.deadlock_cycle = now_;
+    result.stuck_flits = flits_in_system_;
+    fill_deadlock_diag(result);
+  }
+  // End-of-run conservation audit: the wires and delay line still hold
+  // whatever was in flight when the loop ended, so the identity must
+  // close exactly here too.
+  if (ledger_ != nullptr) NBCLOS_ASSERT(credit_conservation_holds());
+  if constexpr (obs::kEnabled) {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    flush_obs(wall.count());
+    span.arg("cycles", static_cast<double>(now_));
+    span.arg("delivered", static_cast<double>(delivered_packets_));
+    span.arg("rate", config_.injection_rate);
+  }
+  return result;
+}
+
+void FlowSim::flush_obs(double wall_seconds) {
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("flow.runs").add(1);
+  m.counter("flow.cycles").add(now_);
+  m.counter("flow.packets.injected").add(injected_);
+  m.counter("flow.packets.delivered").add(delivered_packets_);
+  m.counter("flow.route.lookups").add(route_lookups_);
+  m.counter("flow.stall.credit_cycles").add(credit_stall_cycles_);
+  m.counter("flow.stall.vc_cycles").add(vc_stall_cycles_);
+  if (deadlocked_) m.counter("flow.deadlocks").add(1);
+  std::uint64_t busy_total = 0;
+  for (const auto b : link_busy_flits_) busy_total += b;
+  m.counter("flow.flits.transmitted").add(busy_total);
+  m.gauge("flow.buffer.peak_flits")
+      .set(static_cast<std::int64_t>(pool_.peak_switch_flits()));
+  m.gauge("flow.buffer.pool_bytes")
+      .set(static_cast<std::int64_t>(pool_.bytes()));
+  for (std::uint32_t v = 0; v < config_.vcs; ++v) {
+    m.gauge("flow.vc.peak_flits." + std::to_string(v))
+        .set(static_cast<std::int64_t>(peak_per_vc_[v]));
+  }
+  m.counter("flow.wall_us")
+      .add(static_cast<std::uint64_t>(wall_seconds * 1e6));
+}
+
+std::vector<FlowResult> flow_load_sweep(
+    const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const sim::TrafficPattern& traffic, const FlowConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool) {
+  std::vector<FlowResult> results(rates.size());
+  obs::ScopedSpan sweep_span("flow.load_sweep", "sweep");
+  sweep_span.arg("rates", static_cast<double>(rates.size()));
+  const auto run_at = [&](std::size_t i) {
+    FlowConfig config = base;
+    config.injection_rate = rates[i];
+    FlowSim sim(routes, traffic, config);
+    results[i] = sim.run();
+  };
+  if (pool != nullptr && rates.size() > 1) {
+    pool->parallel_for(0, rates.size(), run_at);
+  } else {
+    for (std::size_t i = 0; i < rates.size(); ++i) run_at(i);
+  }
+  return results;
+}
+
+}  // namespace nbclos::flow

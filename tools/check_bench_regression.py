@@ -5,13 +5,20 @@ Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
     check_bench_regression.py CURRENT.json --schema-only
 
-Two bench schemas are understood (dispatched on the "experiment" field):
+Three bench schemas are understood (dispatched on the "experiment"
+field):
 
   * "scale"         (bench_scale)  — per-radix cases; the compared
     metrics are route_cache.routes_per_sec, verify_random.perms_per_sec,
     and load_probe.perms_per_sec, matched by radix;
   * "verify_engine" (bench_verify) — the compared metrics are
-    adversarial.full.perms_per_sec and adversarial.delta.perms_per_sec.
+    adversarial.full.perms_per_sec and adversarial.delta.perms_per_sec;
+  * "flow"          (bench_flow)   — per-radix cases; the compared
+    metrics are engine.wormhole.cycles_per_sec and
+    engine.vct.cycles_per_sec, matched by radix.  The buffer-margin
+    verdicts double as correctness gates: the guaranteed routings
+    (Theorem 3 and the adaptive schedule) must report a nonzero
+    min_flits_nonblocking and no deadlock.
 
 The gate is two-level, tuned so scheduler noise on a shared runner
 cannot flap it while a real code regression (which slows *every* case)
@@ -80,6 +87,45 @@ def validate_verify(doc):
     require(doc, "manifest.build_type", str)
 
 
+FLOW_MARGIN_KEYS = ("thm3_wormhole", "thm3_vct", "dmodk_wormhole",
+                    "dmodk_vct", "adaptive_wormhole", "adaptive_vct")
+
+
+def validate_flow(doc):
+    cases = require(doc, "cases", list)
+    if not cases:
+        fail("flow document has no cases")
+    for case in cases:
+        require(case, "radix", int)
+        require(case, "leafs", int)
+        for mode in ("wormhole", "vct"):
+            require(case, f"engine.{mode}.cycles_per_sec", (int, float))
+            require(case, f"engine.{mode}.accepted_throughput", (int, float))
+            if require(case, f"engine.{mode}.deadlocked", bool):
+                fail(f"radix {case['radix']}: {mode} engine run deadlocked "
+                     "on the Theorem 3 routing")
+        for key in FLOW_MARGIN_KEYS:
+            require(case, f"margin.{key}.min_flits_nonblocking", int)
+            points = require(case, f"margin.{key}.points", list)
+            if not points:
+                fail(f"radix {case['radix']}: margin {key} has no points")
+            for point in points:
+                require(point, "buffer_flits", int)
+                require(point, "sustained", bool)
+                if require(point, "deadlocked", bool):
+                    fail(f"radix {case['radix']}: margin {key} deadlocked "
+                         f"at depth {point['buffer_flits']}")
+        # The guaranteed routings must keep sustaining the probe at some
+        # probed depth — a 0 here is a correctness regression, not noise.
+        for key in ("thm3_wormhole", "thm3_vct",
+                    "adaptive_wormhole", "adaptive_vct"):
+            if case["margin"][key]["min_flits_nonblocking"] == 0:
+                fail(f"radix {case['radix']}: {key} margin verdict "
+                     "regressed (guaranteed routing no longer sustains "
+                     "the probe at any depth)")
+    require(doc, "manifest.build_type", str)
+
+
 def scale_metrics(doc):
     out = {}
     for case in doc["cases"]:
@@ -102,9 +148,20 @@ def verify_metrics(doc):
     }
 
 
+def flow_metrics(doc):
+    out = {}
+    for case in doc["cases"]:
+        r = case["radix"]
+        for mode in ("wormhole", "vct"):
+            out[f"radix{r}.engine.{mode}.cycles_per_sec"] = \
+                case["engine"][mode]["cycles_per_sec"]
+    return out
+
+
 SCHEMAS = {
     "scale": (validate_scale, scale_metrics),
     "verify_engine": (validate_verify, verify_metrics),
+    "flow": (validate_flow, flow_metrics),
 }
 
 

@@ -8,6 +8,9 @@
 ///   nbclos certify <n> [r]
 ///   nbclos schedule <n> <r>
 ///   nbclos simulate <n> <r> <load> <routing: thm3|dmodk|random|adaptive>
+///   nbclos flow-sim <n> <r> <load> [thm3|dmodk] [--packet F] [--buffers F]
+///                   [--vcs V] [--switching wormhole|vct] [--credit|--onoff]
+///                   [--credit-delay D] [--seed S] [--json]
 ///   nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]
 ///   nbclos saturation <n> <r> <routing> [iterations] [threads]
 ///   nbclos circuit <n> <m> <r> [steps]
@@ -43,6 +46,8 @@
 #include "nbclos/core/designer.hpp"
 #include "nbclos/core/fabric.hpp"
 #include "nbclos/fault/sweep.hpp"
+#include "nbclos/flow/engine.hpp"
+#include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 #include "nbclos/sim/engine.hpp"
 #include "nbclos/topology/dot.hpp"
@@ -58,6 +63,11 @@ int usage() {
             << "  nbclos schedule <n> <r>\n"
             << "  nbclos sim|simulate <n> <r> <load> "
                "<thm3|dmodk|random|adaptive>\n"
+            << "  nbclos flow-sim <n> <r> <load> [thm3|dmodk]\n"
+               "                  [--packet F] [--buffers F] [--vcs V] "
+               "[--switching wormhole|vct]\n"
+               "                  [--credit|--onoff] [--credit-delay D] "
+               "[--seed S] [--json]\n"
             << "  nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]\n"
             << "  nbclos saturation <n> <r> <routing> [iterations] [threads]\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
@@ -233,6 +243,161 @@ int cmd_simulate(const std::vector<std::string>& args) {
             << "  saturated:           "
             << (result.saturated() ? "yes" : "no") << "\n";
   return 0;
+}
+
+/// Cycle-level flow-control run: finite buffers, credits/on-off, wormhole
+/// or virtual cut-through — the effects `simulate` (ideal switches)
+/// abstracts away.  Only deterministic single-path routings make sense
+/// here, because the flit engine consumes a materialized channel cache.
+int cmd_flow_sim(const std::vector<std::string>& args) {
+  const auto n = arg_u32(args, 0);
+  const auto r = arg_u32(args, 1);
+  const double load = std::stod(args.at(2));
+  std::string routing_name = "thm3";
+  std::size_t i = 3;
+  if (i < args.size() && args[i].rfind("--", 0) != 0) routing_name = args[i++];
+
+  nbclos::flow::FlowConfig config;
+  config.injection_rate = load;
+  bool json = false;
+  for (; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    const auto next = [&] { return args.at(++i); };
+    if (flag == "--packet") {
+      config.packet_flits = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--buffers") {
+      config.buffer_flits = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--vcs") {
+      config.vcs = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--switching") {
+      const std::string mode = next();
+      if (mode == "wormhole") {
+        config.switching = nbclos::flow::Switching::kWormhole;
+      } else if (mode == "vct") {
+        config.switching = nbclos::flow::Switching::kVirtualCutThrough;
+      } else {
+        throw std::invalid_argument("unknown switching mode: " + mode);
+      }
+    } else if (flag == "--credit") {
+      config.backpressure = nbclos::flow::Backpressure::kCredit;
+    } else if (flag == "--onoff") {
+      config.backpressure = nbclos::flow::Backpressure::kOnOff;
+    } else if (flag == "--credit-delay") {
+      config.credit_delay = static_cast<std::uint32_t>(std::stoul(next()));
+    } else if (flag == "--seed") {
+      config.seed = std::stoull(next());
+    } else if (flag == "--json") {
+      json = true;
+    } else {
+      throw std::invalid_argument("unknown flag: " + flag);
+    }
+  }
+
+  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
+  const auto net = nbclos::build_network(ft);
+  std::unique_ptr<nbclos::SinglePathRouting> routing;
+  if (routing_name == "thm3") {
+    routing = std::make_unique<nbclos::YuanNonblockingRouting>(ft);
+  } else if (routing_name == "dmodk") {
+    routing = std::make_unique<nbclos::DModKRouting>(ft);
+  } else {
+    throw std::invalid_argument("unknown routing: " + routing_name);
+  }
+  const auto cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
+      net, [&](nbclos::SDPair sd) {
+        nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
+        const auto count = ft.links_into(routing->route(sd), run);
+        std::vector<std::uint32_t> channels;
+        for (std::uint32_t k = 0; k < count; ++k) {
+          channels.push_back(run[k].value);
+        }
+        return channels;
+      });
+  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
+  const auto traffic =
+      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+
+  nbclos::flow::FlowSim sim(cache, traffic, config);
+  const auto result = sim.run();
+
+  const bool vct =
+      config.switching == nbclos::flow::Switching::kVirtualCutThrough;
+  const bool onoff =
+      config.backpressure == nbclos::flow::Backpressure::kOnOff;
+  std::ostringstream topo;
+  topo << "ftree(" << n << "+" << n * n << ", " << r << ")";
+
+  if (json) {
+    nbclos::JsonWriter jw(std::cout);
+    jw.begin_object();
+    jw.member("topology", topo.str());
+    jw.member("routing", routing->name());
+    jw.member("traffic", "shift_permutation");
+    jw.key("config").begin_object();
+    jw.member("injection_rate", config.injection_rate);
+    jw.member("packet_flits", config.packet_flits);
+    jw.member("buffer_flits", config.buffer_flits);
+    jw.member("vcs", config.vcs);
+    jw.member("switching", vct ? "vct" : "wormhole");
+    jw.member("backpressure", onoff ? "onoff" : "credit");
+    jw.member("credit_delay", config.credit_delay);
+    jw.member("warmup_cycles", config.warmup_cycles);
+    jw.member("measure_cycles", config.measure_cycles);
+    jw.member("seed", config.seed);
+    jw.end_object();
+    jw.key("result").begin_object();
+    jw.member("offered_load", result.offered_load);
+    jw.member("accepted_throughput", result.accepted_throughput);
+    jw.member("mean_latency", result.mean_latency);
+    jw.member("p50_latency", result.p50_latency);
+    jw.member("p99_latency", result.p99_latency);
+    jw.member("p999_latency", result.p999_latency);
+    jw.member("injected_packets", result.injected_packets);
+    jw.member("delivered_packets", result.delivered_packets);
+    jw.member("mean_switch_queue_depth", result.mean_switch_queue_depth);
+    jw.member("credit_stall_cycles", result.credit_stall_cycles);
+    jw.member("vc_stall_cycles", result.vc_stall_cycles);
+    jw.member("mean_stall_cycles", result.mean_stall_cycles);
+    jw.member("p99_stall_cycles", result.p99_stall_cycles);
+    jw.member("peak_buffer_flits", result.peak_buffer_flits);
+    jw.member("peak_live_packets", result.peak_live_packets);
+    jw.member("saturated", result.saturated());
+    jw.member("deadlocked", result.deadlocked);
+    if (result.deadlocked) {
+      jw.member("deadlock_cycle", result.deadlock_cycle);
+      jw.member("stuck_flits", result.stuck_flits);
+    }
+    jw.end_object();
+    jw.key("manifest");
+    nbclos::obs::RunInfo::current().write_json(jw);
+    jw.end_object();
+    std::cout << "\n";
+    return result.deadlocked ? 1 : 0;
+  }
+
+  std::cout << topo.str() << ", " << routing->name()
+            << ", shift permutation, offered " << load << ":\n"
+            << "  flow control:        " << (vct ? "vct" : "wormhole") << " + "
+            << (onoff ? "on/off" : "credit") << ", " << config.buffer_flits
+            << " flits/buffer, " << config.vcs << " VC(s), "
+            << config.packet_flits << "-flit packets\n"
+            << "  accepted throughput: "
+            << nbclos::format_double(result.accepted_throughput)
+            << " flits/cycle/terminal\n  mean latency:        "
+            << nbclos::format_double(result.mean_latency, 1)
+            << " cycles (p99 "
+            << nbclos::format_double(result.p99_latency, 1) << ")\n"
+            << "  backpressure stalls: " << result.credit_stall_cycles
+            << " credit + " << result.vc_stall_cycles << " vc cycles\n"
+            << "  peak buffer flits:   " << result.peak_buffer_flits << " of "
+            << config.buffer_flits << "\n"
+            << "  saturated:           "
+            << (result.saturated() ? "yes" : "no") << "\n";
+  if (result.deadlocked) {
+    std::cout << "  DEADLOCK at cycle " << result.deadlock_cycle << " ("
+              << result.stuck_flits << " flits wedged)\n";
+  }
+  return result.deadlocked ? 1 : 0;
 }
 
 /// Routing-policy name -> oracle factory for the parallel sweep drivers.
@@ -582,6 +747,8 @@ int main(int argc, char** argv) {
     } else if ((command == "simulate" || command == "sim") &&
                args.size() >= 4) {
       rc = cmd_simulate(args);
+    } else if (command == "flow-sim" && args.size() >= 3) {
+      rc = cmd_flow_sim(args);
     } else if (command == "load-sweep" && args.size() >= 3) {
       rc = cmd_load_sweep(args);
     } else if (command == "saturation" && args.size() >= 3) {
@@ -598,7 +765,8 @@ int main(int argc, char** argv) {
       const bool known =
           command == "design" || command == "certify" ||
           command == "schedule" || command == "simulate" || command == "sim" ||
-          command == "load-sweep" || command == "saturation" ||
+          command == "flow-sim" || command == "load-sweep" ||
+          command == "saturation" ||
           command == "circuit" || command == "fault-sweep" ||
           command == "verify" || command == "dot";
       if (!known) std::cerr << "nbclos: unknown command '" << command << "'\n";
