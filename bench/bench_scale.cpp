@@ -29,10 +29,6 @@
 #include <thread>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "nbclos/analysis/batch.hpp"
 #include "nbclos/analysis/parallel.hpp"
 #include "nbclos/obs/metrics.hpp"
@@ -68,21 +64,6 @@ double best_seconds(int reps, Fn&& fn) {
 // repetitions are cheap and squeeze out scheduler noise that best-of-3
 // lets through on busy machines.
 constexpr int kTimingReps = 5;
-
-/// Resident-set high-water mark in KiB (0 where getrusage is missing).
-std::uint64_t peak_rss_kb() {
-#if defined(__unix__) || defined(__APPLE__)
-  rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) == 0) {
-#if defined(__APPLE__)
-    return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
-#else
-    return static_cast<std::uint64_t>(usage.ru_maxrss);  // KiB
-#endif
-  }
-#endif
-  return 0;
-}
 
 }  // namespace
 
@@ -212,12 +193,16 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(lookups) /
                           static_cast<double>(lookups + routed)
                     : 0.0);
-    json.member("peak_rss_kb", peak_rss_kb());
+    json.member("peak_rss_kb", nbclos::obs::peak_rss_kb());
     json.end_object();
   }
   json.end_array();
 
   manifest.wall_seconds = seconds_since(wall_start);
+  // Sample the manifest's RSS high-water mark *after* every case's
+  // caches and kernel arenas have been built — sampling at startup
+  // under-reported by the size of everything the bench allocated.
+  manifest.peak_rss_kb = nbclos::obs::peak_rss_kb();
   json.key("manifest");
   manifest.write_json(json);
   json.end_object();

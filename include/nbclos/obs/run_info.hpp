@@ -32,6 +32,12 @@ struct RunInfo {
   std::uint32_t threads = 0;
   std::uint32_t hardware_concurrency = 0;
   double wall_seconds = 0.0;
+  /// Simulation shard count (0 = not a sharded run).
+  std::uint32_t shards = 0;
+  /// Peak resident set in KiB, sampled by the harness *after* the big
+  /// arenas exist (peak RSS is monotone, so sampling late is what makes
+  /// the number honest); 0 = not sampled.
+  std::uint64_t peak_rss_kb = 0;
 
   /// Build-time identity plus hardware_concurrency; run facts zeroed.
   [[nodiscard]] static RunInfo current();
@@ -43,5 +49,10 @@ struct RunInfo {
   /// One-line human summary for `nbclos --version`.
   [[nodiscard]] std::string summary() const;
 };
+
+/// Peak resident set size of this process in KiB (getrusage on POSIX;
+/// 0 where unavailable).  Monotone over the process lifetime — call it
+/// after the structures you want accounted for have been built.
+[[nodiscard]] std::uint64_t peak_rss_kb();
 
 }  // namespace nbclos::obs

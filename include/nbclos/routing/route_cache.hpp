@@ -34,6 +34,7 @@
 #include "nbclos/topology/fat_tree.hpp"
 #include "nbclos/topology/network.hpp"
 #include "nbclos/util/check.hpp"
+#include "nbclos/util/mmap_arena.hpp"
 
 namespace nbclos {
 class SinglePathRouting;
@@ -110,6 +111,11 @@ class RouteCache {
 /// All terminal-pair channel runs of a Network routing, flattened with
 /// the same CSR layout, plus the dense next-hop lookup the packet
 /// simulator needs (replacing the old per-hop hash map).
+///
+/// Storage is a `U32Store`: heap-backed by default, or spilled to an
+/// unlinked mmap'd file when the `NBCLOS_MMAP_CACHE` environment
+/// variable names a backing directory (see util/mmap_arena.hpp) — route
+/// tables past ~10^5 terminals are O(T^2) and otherwise exceed RAM.
 class ChannelRouteCache {
  public:
   /// Route function over terminal *indices* (positions in
@@ -149,19 +155,83 @@ class ChannelRouteCache {
     return channels_.size();
   }
   [[nodiscard]] std::size_t bytes() const noexcept {
-    return channels_.capacity() * sizeof(std::uint32_t) +
-           offsets_.capacity() * sizeof(std::uint32_t) +
+    return channels_.bytes() + offsets_.bytes() +
            terminal_index_.capacity() * sizeof(std::uint32_t);
   }
 
- private:
+  /// Whether the CSR arrays live in an mmap'd backing file (set by the
+  /// NBCLOS_MMAP_CACHE environment variable at construction).
+  [[nodiscard]] bool mmap_backed() const noexcept {
+    return channels_.file_backed();
+  }
+
   static constexpr std::uint32_t kNotATerminal = UINT32_MAX;
 
+  /// Terminal index of a vertex (kNotATerminal for switches).  Exposed
+  /// for the per-shard views, which share this mapping.
+  [[nodiscard]] std::uint32_t terminal_index(std::uint32_t vertex) const {
+    NBCLOS_DEBUG_CHECK(vertex < terminal_index_.size(),
+                       "vertex id out of range");
+    return terminal_index_[vertex];
+  }
+
+ private:
   const Network* net_;
   std::uint32_t terminals_ = 0;
   std::vector<std::uint32_t> terminal_index_;  ///< vertex id -> terminal index
-  std::vector<std::uint32_t> offsets_;         ///< terminals^2 + 1, src-major
-  std::vector<std::uint32_t> channels_;        ///< all runs, back to back
+  U32Store offsets_;                           ///< terminals^2 + 1, src-major
+  U32Store channels_;                          ///< all runs, back to back
+};
+
+/// Per-shard CSR slice of a ChannelRouteCache: for every terminal pair,
+/// only the path channels whose SOURCE vertex is owned by one shard of a
+/// contiguous vertex partition.  A shard worker resolving next hops for
+/// the vertices it owns touches exactly this view's arrays — a
+/// contiguous per-shard arena sized from (and reported like) the PR 5
+/// `route_cache.bytes` gauge, as `route_cache.shard.N.bytes`.
+class ShardRouteView {
+ public:
+  /// \param vertex_begin contiguous partition boundaries over vertex ids
+  ///        (shard s owns [vertex_begin[s], vertex_begin[s+1])).
+  /// \param shard which slice to materialize.
+  ShardRouteView(const ChannelRouteCache& cache,
+                 std::span<const std::uint32_t> vertex_begin,
+                 std::uint32_t shard);
+
+  [[nodiscard]] std::uint32_t shard() const noexcept { return shard_; }
+
+  /// Channel subrun of terminal-index pair (s, d) owned by this shard.
+  [[nodiscard]] std::span<const std::uint32_t> channels(std::uint32_t s,
+                                                        std::uint32_t d) const {
+    NBCLOS_DEBUG_CHECK(s < terminals_ && d < terminals_,
+                       "terminal pair out of range");
+    const std::size_t pair = std::size_t{s} * terminals_ + d;
+    const std::uint32_t begin = offsets_[pair];
+    return {channels_.data() + begin, offsets_[pair + 1] - begin};
+  }
+
+  /// Same contract as ChannelRouteCache::next_channel_from, restricted
+  /// to hops departing from this shard's vertices.  \pre `vertex` is
+  /// owned by this shard and lies on the pair's path.
+  [[nodiscard]] std::uint32_t next_channel_from(std::uint32_t vertex,
+                                                std::uint32_t src,
+                                                std::uint32_t dst) const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept {
+    return channels_.size();
+  }
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return channels_.capacity() * sizeof(std::uint32_t) +
+           offsets_.capacity() * sizeof(std::uint32_t);
+  }
+
+ private:
+  const ChannelRouteCache* cache_;
+  const Network* net_;
+  std::uint32_t terminals_ = 0;
+  std::uint32_t shard_ = 0;
+  std::vector<std::uint32_t> offsets_;   ///< terminals^2 + 1, src-major
+  std::vector<std::uint32_t> channels_;  ///< owned subruns, back to back
 };
 
 }  // namespace nbclos::routing

@@ -49,6 +49,13 @@ struct SimConfig {
   std::uint64_t warmup_cycles = 2000;
   std::uint64_t measure_cycles = 8000;
   std::uint64_t seed = 42;
+  /// Draw injection randomness from the counter-based discipline
+  /// (injection_rng.hpp) instead of the engine's sequential Xoshiro
+  /// stream: every (cycle, terminal) draw becomes a pure function of the
+  /// seed, which is what lets ShardedSim reproduce PacketSim
+  /// bit-identically at any shard count.  Off by default — the legacy
+  /// stream is part of the recorded golden results.
+  bool counter_injection = false;
 
   /// Queue capacity at which no switch queue can fill on the topologies
   /// and loads this library sweeps: in the nonblocking regime queues stay
@@ -160,6 +167,7 @@ class PacketSim {
   void step_arrivals();
   void step_transmissions();
   void step_injection();
+  void step_injection_counter();
   void deliver(const Packet& packet);
   /// Apply fault events due at now_; purge packets on channels that died.
   void apply_due_faults();
@@ -233,6 +241,12 @@ class PacketSim {
   std::vector<std::uint64_t> delivered_per_source_;  ///< measured flits
   std::uint64_t delivered_packets_ = 0;
   RunningStats latency_;
+  /// Exact integer latency accumulators: under counter_injection the
+  /// reported mean is latency_sum_/latency_count_ (order-independent, so
+  /// it matches ShardedSim's shard-merged mean bit-for-bit) instead of
+  /// the Welford stream above.
+  std::uint64_t latency_sum_ = 0;
+  std::uint64_t latency_count_ = 0;
   QuantileHistogram latency_hist_;  ///< streaming p50/p99/p999
   std::uint64_t switch_depth_sum_ = 0;      ///< running sum over switch queues
   std::uint64_t switch_channel_count_ = 0;

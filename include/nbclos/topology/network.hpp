@@ -40,6 +40,12 @@ class Network {
   /// Append a directed channel; returns its id.  Must precede finalize().
   std::uint32_t add_channel(std::uint32_t src, std::uint32_t dst);
 
+  /// Pre-size the vertex and channel arrays.  A construction-time hint
+  /// only — the million-terminal builders know their exact census up
+  /// front and otherwise pay log2(size) reallocation copies of arrays
+  /// that end up hundreds of megabytes.
+  void reserve(std::uint32_t vertices, std::uint32_t channels);
+
   /// Build adjacency indexes.  Construction methods are rejected after
   /// this; query methods are rejected before it.
   void finalize();

@@ -3,6 +3,10 @@
 #include <sstream>
 #include <thread>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "nbclos/obs/metrics.hpp"  // NBCLOS_OBS_ENABLED default
 #include "nbclos/util/json.hpp"
 
@@ -69,7 +73,23 @@ void RunInfo::write_json(JsonWriter& writer) const {
   writer.member("threads", threads);
   writer.member("hardware_concurrency", hardware_concurrency);
   writer.member("wall_seconds", wall_seconds);
+  writer.member("shards", shards);
+  writer.member("peak_rss_kb", peak_rss_kb);
   writer.end_object();
+}
+
+std::uint64_t peak_rss_kb() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(usage.ru_maxrss) / 1024;  // bytes
+#else
+  return static_cast<std::uint64_t>(usage.ru_maxrss);  // already KiB
+#endif
+#else
+  return 0;
+#endif
 }
 
 std::string RunInfo::summary() const {

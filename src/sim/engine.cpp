@@ -5,6 +5,7 @@
 #include <chrono>
 
 #include "nbclos/obs/metrics.hpp"
+#include "nbclos/sim/injection_rng.hpp"
 
 namespace nbclos::sim {
 
@@ -167,6 +168,8 @@ void PacketSim::deliver(const Packet& packet) {
   if (packet.injected_cycle >= config_.warmup_cycles) {
     const std::uint64_t latency = now_ - packet.injected_cycle;
     latency_.add(static_cast<double>(latency));
+    latency_sum_ += latency;
+    ++latency_count_;
     latency_hist_.add(latency);
   }
 }
@@ -312,6 +315,10 @@ void PacketSim::step_transmissions() {
 }
 
 void PacketSim::step_injection() {
+  if (config_.counter_injection) {
+    step_injection_counter();
+    return;
+  }
   for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
     if (!rng_.bernoulli(packet_rate_)) continue;
     const auto dst = traffic_->destination(t, rng_);
@@ -334,6 +341,36 @@ void PacketSim::step_injection() {
     }
     // Terminal source queues are unbounded: depth is not tracked against
     // capacity, matching an infinite NIC send queue.
+    queue_push(channel, packet);
+  }
+}
+
+void PacketSim::step_injection_counter() {
+  // Counter-based injection (SimConfig::counter_injection): the engine's
+  // sequential rng_ is never touched, and each terminal's draws come from
+  // a generator keyed purely by (seed, cycle, terminal) — the identical
+  // stream ShardedSim's workers produce, whichever shard owns `t`.
+  for (std::uint32_t t = 0; t < terminal_vertices_.size(); ++t) {
+    SplitMix64 sm(injection_counter_state(config_.seed, now_, t));
+    if (!injection_bernoulli(sm, packet_rate_)) continue;
+    Xoshiro256 dest_rng(sm.next());
+    const auto dst = traffic_->destination(t, dest_rng);
+    if (!dst.has_value()) continue;
+    Packet packet;
+    packet.id = next_packet_id_++;
+    packet.src_terminal = terminal_vertices_[t];
+    packet.dst_terminal = terminal_vertices_[*dst];
+    packet.size_flits = config_.packet_size;
+    packet.injected_cycle = now_;
+    packet.flow_sequence = flow_sequence_[t]++;
+    ++oracle_calls_;
+    const auto channel =
+        oracle_->next_channel(view_, terminal_vertices_[t], packet);
+    ++injected_;
+    if (channel == fault::kNoRoute || !channel_usable(channel)) {
+      ++dropped_packets_;
+      continue;
+    }
     queue_push(channel, packet);
   }
 }
@@ -395,7 +432,16 @@ SimResult PacketSim::run() {
       static_cast<double>(delivered_measured_flits_) /
       (static_cast<double>(config_.measure_cycles) *
        static_cast<double>(terminal_vertices_.size()));
-  result.mean_latency = latency_.mean();
+  // Under counter injection the mean comes from the exact integer sums —
+  // the order-independent arithmetic ShardedSim merges with, so the two
+  // engines agree bit-for-bit.  The legacy Welford mean is part of the
+  // recorded golden results and stays the default.
+  result.mean_latency =
+      config_.counter_injection
+          ? (latency_count_ > 0 ? static_cast<double>(latency_sum_) /
+                                      static_cast<double>(latency_count_)
+                                : 0.0)
+          : latency_.mean();
   result.latency_bucket_width =
       static_cast<double>(latency_hist_.bucket_width());
   if (latency_hist_.count() > 0) {

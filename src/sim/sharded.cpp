@@ -1,0 +1,785 @@
+#include "nbclos/sim/sharded.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <bit>
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "nbclos/obs/metrics.hpp"
+#include "nbclos/sim/injection_rng.hpp"
+
+namespace nbclos::sim {
+
+namespace {
+constexpr std::uint32_t kTermRingInitialCapacity = 16;
+constexpr std::uint32_t kMaxShards = 64;
+}  // namespace
+
+ShardPlan ShardPlan::build(const Network& net, std::uint32_t shards) {
+  NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
+  NBCLOS_REQUIRE(shards >= 1, "shard count must be >= 1");
+  ShardPlan plan;
+  const std::uint32_t vertices = net.vertex_count();
+  plan.shard_count =
+      std::min({shards, kMaxShards, std::max<std::uint32_t>(vertices, 1)});
+
+  // Balance by out-channel counts: a shard's arena holds queue, flight,
+  // and arbitration state per owned channel, so cutting the contiguous
+  // vertex range at equal out-channel prefix shares balances memory and
+  // per-cycle work together.
+  std::vector<std::uint64_t> prefix(vertices + 1, 0);
+  for (std::uint32_t v = 0; v < vertices; ++v) {
+    prefix[v + 1] = prefix[v] + net.out_channels(v).size();
+  }
+  plan.vertex_begin.reserve(plan.shard_count + 1);
+  plan.vertex_begin.push_back(0);
+  for (std::uint32_t s = 1; s < plan.shard_count; ++s) {
+    const std::uint64_t target =
+        prefix[vertices] * s / plan.shard_count;
+    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    plan.vertex_begin.push_back(
+        static_cast<std::uint32_t>(it - prefix.begin()));
+  }
+  plan.vertex_begin.push_back(vertices);
+
+  std::vector<std::uint8_t> vertex_owner(vertices, 0);
+  for (std::uint32_t s = 0; s < plan.shard_count; ++s) {
+    for (std::uint32_t v = plan.vertex_begin[s]; v < plan.vertex_begin[s + 1];
+         ++v) {
+      vertex_owner[v] = static_cast<std::uint8_t>(s);
+    }
+  }
+  const std::uint32_t channels = net.channel_count();
+  plan.channel_owner.resize(channels);
+  plan.channel_local.resize(channels);
+  plan.shard_channels.resize(plan.shard_count);
+  for (std::uint32_t c = 0; c < channels; ++c) {
+    const auto owner = vertex_owner[net.channel_src(c)];
+    plan.channel_owner[c] = owner;
+    plan.channel_local[c] =
+        static_cast<std::uint32_t>(plan.shard_channels[owner].size());
+    plan.shard_channels[owner].push_back(c);
+  }
+  return plan;
+}
+
+/// All mutable per-shard simulation state — one arena per worker, never
+/// touched by any other thread.  Per-channel arrays are locally indexed
+/// (plan.channel_local), and local ids ascend with global channel id, so
+/// sorted sweeps over `flying`/`sendable` (which store *global* ids)
+/// visit channels in the same relative order as PacketSim's global scan.
+struct ShardedSim::Shard {
+  struct InFlight {
+    Packet packet;
+    std::uint64_t arrival_cycle = 0;
+    bool valid = false;
+  };
+
+  std::uint32_t index = 0;
+  std::uint32_t term_lo = 0;  ///< owned terminal range [term_lo, term_hi)
+  std::uint32_t term_hi = 0;
+
+  // Per owned channel, locally indexed.
+  std::vector<InFlight> flight;
+  std::vector<std::uint32_t> q_head;
+  std::vector<std::uint32_t> q_size;
+  std::vector<std::uint32_t> pool_base;
+  std::vector<std::uint32_t> queue_depth;
+  std::vector<std::uint32_t> rr_last_winner;  ///< global id of last winner
+  std::vector<std::uint8_t> in_flying;
+  std::vector<std::uint8_t> in_sendable;
+  std::vector<std::uint8_t> dst_is_terminal;
+  std::vector<std::uint8_t> is_terminal_source_queue;
+  std::vector<std::uint32_t> channel_dst;
+  std::uint32_t switch_slice_mask = 0;
+  std::vector<Packet> switch_pool;               ///< the shard's queue arena
+  std::vector<std::vector<Packet>> term_rings;
+  std::vector<std::uint32_t> flying;    ///< global channel ids
+  std::vector<std::uint32_t> sendable;  ///< global channel ids
+
+  std::optional<fault::DegradedView> degraded;
+  std::size_t next_fault = 0;
+
+  // Phase scratch.
+  std::vector<Proposal> local_props;  ///< proposals targeting this shard
+  std::vector<Proposal> merged;
+
+  // Statistics, merged exactly after the run.
+  std::uint64_t switch_depth_sum = 0;
+  std::uint64_t switch_channel_count = 0;
+  std::uint64_t injected = 0;
+  std::uint64_t delivered_packets = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t delivered_measured_flits = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t latency_count = 0;
+  QuantileHistogram latency_hist;
+  std::vector<std::uint64_t> delivered_per_source;  ///< all T terminals
+  std::vector<std::uint64_t> flow_sequence;         ///< owned range only
+  std::vector<std::uint64_t> depth_sum_by_cycle;    ///< per cycle, replayed
+  std::uint64_t next_packet_id = 0;
+  std::uint64_t link_busy_flits = 0;
+  std::uint64_t cross_flits = 0;
+  std::uint64_t mailbox_peak = 0;
+  std::uint64_t barrier_wait_ns = 0;
+  std::uint64_t barrier_samples = 0;
+
+  explicit Shard(std::uint64_t latency_max) : latency_hist(latency_max) {}
+};
+
+/// Barrier + failure latch.  A worker that throws records the exception,
+/// raises `failed`, and drops from the barrier so the remaining shards
+/// never deadlock; they drain out at their next cycle boundary and the
+/// calling thread rethrows after joining.
+struct ShardedSim::Sync {
+  std::barrier<> barrier;
+  std::atomic<bool> failed{false};
+  std::mutex mutex;
+  std::exception_ptr eptr;
+
+  explicit Sync(std::ptrdiff_t n) : barrier(n) {}
+};
+
+ShardedSim::ShardedSim(const Network& net, const ShardRouter& router,
+                       const TrafficPattern& traffic, SimConfig config,
+                       std::uint32_t shards,
+                       const fault::DegradedView* degraded,
+                       std::vector<fault::FaultEvent> fault_events)
+    : net_(&net), router_(&router), traffic_(&traffic), config_(config),
+      fault_events_(std::move(fault_events)),
+      packet_rate_(config.injection_rate /
+                   static_cast<double>(config.packet_size)) {
+  NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
+  NBCLOS_REQUIRE(degraded == nullptr || &degraded->network() == &net,
+                 "degraded view was built over a different network");
+  NBCLOS_REQUIRE(fault_events_.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  NBCLOS_REQUIRE(config.injection_rate >= 0.0 && config.injection_rate <= 1.0,
+                 "injection rate must be in [0, 1] flits/cycle");
+  NBCLOS_REQUIRE(config.packet_size >= 1, "packets need at least one flit");
+  NBCLOS_REQUIRE(config.queue_capacity >= 1, "queues need capacity >= 1");
+  std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
+  const auto terminal_vertices = net.terminals();
+  terminal_count_ = static_cast<std::uint32_t>(terminal_vertices.size());
+  NBCLOS_REQUIRE(traffic.terminal_count() == terminal_count_,
+                 "traffic pattern size does not match network");
+  for (std::uint32_t t = 0; t < terminal_count_; ++t) {
+    NBCLOS_REQUIRE(terminal_vertices[t] == t,
+                   "terminals must be vertices [0, T) (library builders "
+                   "guarantee this)");
+  }
+  config_.counter_injection = true;  // the sharded engine's only mode
+
+  plan_ = ShardPlan::build(net, shards);
+  const std::uint32_t shard_count = plan_.shard_count;
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  const auto slice = std::bit_ceil(config_.queue_capacity);
+
+  shards_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    auto shard = std::make_unique<Shard>(total);
+    Shard& sh = *shard;
+    sh.index = s;
+    sh.term_lo = std::min(plan_.vertex_begin[s], terminal_count_);
+    sh.term_hi = std::min(plan_.vertex_begin[s + 1], terminal_count_);
+    const auto& owned = plan_.shard_channels[s];
+    const auto count = static_cast<std::uint32_t>(owned.size());
+    sh.flight.resize(count);
+    sh.q_head.assign(count, 0);
+    sh.q_size.assign(count, 0);
+    sh.pool_base.assign(count, 0);
+    sh.queue_depth.assign(count, 0);
+    sh.rr_last_winner.assign(count, 0);
+    sh.in_flying.assign(count, 0);
+    sh.in_sendable.assign(count, 0);
+    sh.dst_is_terminal.assign(count, 0);
+    sh.is_terminal_source_queue.assign(count, 0);
+    sh.channel_dst.assign(count, 0);
+    sh.switch_slice_mask = slice - 1;
+    std::uint32_t switch_channels = 0;
+    std::uint32_t term_channels = 0;
+    for (std::uint32_t li = 0; li < count; ++li) {
+      const auto c = owned[li];
+      const auto dst = net.channel_dst(c);
+      sh.channel_dst[li] = dst;
+      sh.dst_is_terminal[li] = net.vertex(dst).kind == VertexKind::kTerminal;
+      if (net.vertex(net.channel_src(c)).kind == VertexKind::kTerminal) {
+        sh.is_terminal_source_queue[li] = 1;
+        sh.pool_base[li] = term_channels++;
+      } else {
+        sh.pool_base[li] = switch_channels * slice;
+        ++switch_channels;
+      }
+    }
+    sh.switch_pool.resize(std::size_t{switch_channels} * slice);
+    sh.term_rings.resize(term_channels);
+    sh.switch_channel_count = switch_channels;
+    sh.flying.reserve(count);
+    sh.sendable.reserve(count);
+    sh.delivered_per_source.assign(terminal_count_, 0);
+    sh.flow_sequence.assign(sh.term_hi - sh.term_lo, 0);
+    sh.depth_sum_by_cycle.assign(total, 0);
+    if (degraded != nullptr) sh.degraded.emplace(*degraded);
+    shards_.push_back(std::move(shard));
+  }
+
+  proposal_box_.resize(std::size_t{shard_count} * shard_count);
+  ack_box_.resize(std::size_t{shard_count} * shard_count);
+  sync_ = std::make_unique<Sync>(static_cast<std::ptrdiff_t>(shard_count));
+}
+
+ShardedSim::~ShardedSim() = default;
+
+bool ShardedSim::channel_usable(const Shard& sh, std::uint32_t channel) const {
+  return !sh.degraded.has_value() || sh.degraded->channel_alive(channel);
+}
+
+void ShardedSim::queue_push(Shard& sh, std::uint32_t channel,
+                            const Packet& packet) {
+  const auto li = plan_.channel_local[channel];
+  if (sh.is_terminal_source_queue[li]) {
+    auto& ring = sh.term_rings[sh.pool_base[li]];
+    if (sh.q_size[li] == ring.size()) {
+      std::vector<Packet> bigger(
+          ring.empty() ? kTermRingInitialCapacity : ring.size() * 2);
+      for (std::uint32_t i = 0; i < sh.q_size[li]; ++i) {
+        bigger[i] = ring[(sh.q_head[li] + i) & (ring.size() - 1)];
+      }
+      ring = std::move(bigger);
+      sh.q_head[li] = 0;
+    }
+    ring[(sh.q_head[li] + sh.q_size[li]) & (ring.size() - 1)] = packet;
+  } else {
+    sh.switch_pool[sh.pool_base[li] +
+                   ((sh.q_head[li] + sh.q_size[li]) &
+                    sh.switch_slice_mask)] = packet;
+    ++sh.queue_depth[li];
+    ++sh.switch_depth_sum;
+  }
+  ++sh.q_size[li];
+  if (!sh.in_sendable[li]) {
+    sh.in_sendable[li] = 1;
+    sh.sendable.push_back(channel);
+  }
+}
+
+Packet ShardedSim::queue_pop(Shard& sh, std::uint32_t channel) {
+  const auto li = plan_.channel_local[channel];
+  NBCLOS_ASSERT(sh.q_size[li] > 0);
+  Packet packet;
+  if (sh.is_terminal_source_queue[li]) {
+    auto& ring = sh.term_rings[sh.pool_base[li]];
+    packet = ring[sh.q_head[li]];
+    sh.q_head[li] = (sh.q_head[li] + 1) &
+                    (static_cast<std::uint32_t>(ring.size()) - 1);
+  } else {
+    packet = sh.switch_pool[sh.pool_base[li] + sh.q_head[li]];
+    sh.q_head[li] = (sh.q_head[li] + 1) & sh.switch_slice_mask;
+    --sh.queue_depth[li];
+    --sh.switch_depth_sum;
+  }
+  --sh.q_size[li];
+  return packet;
+}
+
+void ShardedSim::queue_clear(Shard& sh, std::uint32_t channel) {
+  const auto li = plan_.channel_local[channel];
+  if (!sh.is_terminal_source_queue[li]) {
+    sh.switch_depth_sum -= sh.queue_depth[li];
+    sh.queue_depth[li] = 0;
+  }
+  sh.q_size[li] = 0;
+  sh.q_head[li] = 0;
+}
+
+void ShardedSim::deliver(Shard& sh, const Packet& packet, std::uint64_t now,
+                         bool measuring) {
+  ++sh.delivered_packets;
+  if (!measuring) return;
+  sh.delivered_measured_flits += packet.size_flits;
+  sh.delivered_per_source[packet.src_terminal] += packet.size_flits;
+  if (packet.injected_cycle >= config_.warmup_cycles) {
+    const std::uint64_t latency = now - packet.injected_cycle;
+    sh.latency_sum += latency;
+    ++sh.latency_count;
+    sh.latency_hist.add(latency);
+  }
+}
+
+void ShardedSim::cycle_faults(Shard& sh, std::uint64_t now) {
+  bool applied = false;
+  while (sh.next_fault < fault_events_.size() &&
+         fault_events_[sh.next_fault].cycle <= now) {
+    sh.degraded->apply(fault_events_[sh.next_fault]);
+    ++sh.next_fault;
+    applied = true;
+  }
+  if (!applied) return;
+  for (const auto c : sh.flying) {
+    const auto li = plan_.channel_local[c];
+    if (sh.flight[li].valid && !sh.degraded->channel_alive(c)) {
+      ++sh.dropped;
+      sh.flight[li].valid = false;
+    }
+  }
+  for (const auto c : sh.sendable) {
+    const auto li = plan_.channel_local[c];
+    if (sh.q_size[li] > 0 && !sh.degraded->channel_alive(c)) {
+      sh.dropped += sh.q_size[li];
+      queue_clear(sh, c);
+    }
+  }
+}
+
+void ShardedSim::phase_propose(Shard& sh, std::uint64_t now, bool measuring) {
+  std::sort(sh.flying.begin(), sh.flying.end());
+  std::size_t keep = 0;
+  const std::size_t flying_count = sh.flying.size();
+  const std::uint32_t shard_count = plan_.shard_count;
+  for (std::size_t i = 0; i < flying_count; ++i) {
+    const auto c = sh.flying[i];
+    const auto li = plan_.channel_local[c];
+    auto& fl = sh.flight[li];
+    if (!fl.valid) {  // purged by a fault since the last sweep
+      sh.in_flying[li] = 0;
+      continue;
+    }
+    if (fl.arrival_cycle > now) {
+      sh.flying[keep++] = c;
+      continue;
+    }
+    if (sh.dst_is_terminal[li]) {
+      NBCLOS_ASSERT(sh.channel_dst[li] == fl.packet.dst_terminal);
+      deliver(sh, fl.packet, now, measuring);
+      fl.valid = false;
+      sh.in_flying[li] = 0;
+      continue;
+    }
+    const std::uint32_t at = sh.channel_dst[li];
+    const auto next = router_->next_channel(at, fl.packet);
+    if (next == fault::kNoRoute || !channel_usable(sh, next)) {
+      ++sh.dropped;
+      fl.valid = false;
+      sh.in_flying[li] = 0;
+      continue;
+    }
+    NBCLOS_ASSERT(net_->channel_src(next) == at);
+    // Propose admission to the owner of the chosen channel.  The
+    // candidate leaves the kept range but stays marked in_flying with a
+    // valid flight; the ack in phase C either clears it (winner) or
+    // re-appends it (loser — backpressure, exactly PacketSim).
+    const Proposal proposal{next, c, fl.packet};
+    const auto owner = plan_.channel_owner[next];
+    if (owner == sh.index) {
+      sh.local_props.push_back(proposal);
+    } else {
+      proposal_box_[std::size_t{sh.index} * shard_count + owner].push_back(
+          proposal);
+      sh.cross_flits += fl.packet.size_flits;
+    }
+  }
+  sh.flying.resize(keep);
+}
+
+void ShardedSim::send_ack(Shard& sh, std::uint32_t from, bool accepted) {
+  const auto owner = plan_.channel_owner[from];
+  if (owner == sh.index) {
+    const auto li = plan_.channel_local[from];
+    if (accepted) {
+      sh.flight[li].valid = false;
+      sh.in_flying[li] = 0;
+    } else {
+      sh.flying.push_back(from);
+    }
+  } else {
+    ack_box_[std::size_t{sh.index} * plan_.shard_count + owner].push_back(
+        Ack{from, accepted});
+  }
+}
+
+void ShardedSim::phase_admit(Shard& sh) {
+  // Merge this cycle's proposals (local + one mailbox per peer) and sort
+  // by (target, from): per target the candidates are then in ascending
+  // proposing-channel order — the same order PacketSim's global
+  // ascending scan produces — so the round-robin arbitration below is
+  // verbatim step_arrivals phase 2.
+  auto& merged = sh.merged;
+  merged.clear();
+  merged.insert(merged.end(), sh.local_props.begin(), sh.local_props.end());
+  sh.local_props.clear();
+  const std::uint32_t shard_count = plan_.shard_count;
+  for (std::uint32_t src = 0; src < shard_count; ++src) {
+    if (src == sh.index) continue;
+    auto& box = proposal_box_[std::size_t{src} * shard_count + sh.index];
+    if (box.empty()) continue;
+    sh.mailbox_peak = std::max<std::uint64_t>(sh.mailbox_peak, box.size());
+    merged.insert(merged.end(), box.begin(), box.end());
+    box.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const Proposal& a, const Proposal& b) {
+              return a.target < b.target ||
+                     (a.target == b.target && a.from < b.from);
+            });
+  std::size_t g = 0;
+  while (g < merged.size()) {
+    const std::uint32_t target = merged[g].target;
+    std::size_t end = g + 1;
+    while (end < merged.size() && merged[end].target == target) ++end;
+    const std::size_t n = end - g;
+    const auto li = plan_.channel_local[target];
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (merged[g + i].from > sh.rr_last_winner[li]) {
+        start = i;
+        break;
+      }
+    }
+    std::size_t i = 0;
+    for (; i < n && sh.queue_depth[li] < config_.queue_capacity; ++i) {
+      const Proposal& winner = merged[g + (start + i) % n];
+      queue_push(sh, target, winner.packet);
+      sh.rr_last_winner[li] = winner.from;
+      send_ack(sh, winner.from, true);
+    }
+    for (; i < n; ++i) {
+      send_ack(sh, merged[g + (start + i) % n].from, false);
+    }
+    g = end;
+  }
+}
+
+void ShardedSim::phase_resolve(Shard& sh, std::uint64_t now) {
+  // Acks first: an accepted candidate frees its channel, which may load
+  // a new packet in this cycle's transmissions (as in PacketSim, where
+  // step_arrivals completes before step_transmissions).
+  const std::uint32_t shard_count = plan_.shard_count;
+  for (std::uint32_t src = 0; src < shard_count; ++src) {
+    if (src == sh.index) continue;
+    auto& box = ack_box_[std::size_t{src} * shard_count + sh.index];
+    for (const Ack& ack : box) {
+      const auto li = plan_.channel_local[ack.from];
+      if (ack.accepted) {
+        sh.flight[li].valid = false;
+        sh.in_flying[li] = 0;
+      } else {
+        sh.flying.push_back(ack.from);
+      }
+    }
+    box.clear();
+  }
+
+  // Transmissions (PacketSim::step_transmissions over owned channels).
+  std::sort(sh.sendable.begin(), sh.sendable.end());
+  std::size_t keep = 0;
+  const std::size_t sendable_count = sh.sendable.size();
+  for (std::size_t i = 0; i < sendable_count; ++i) {
+    const auto c = sh.sendable[i];
+    const auto li = plan_.channel_local[c];
+    if (sh.q_size[li] == 0) {
+      sh.in_sendable[li] = 0;
+      continue;
+    }
+    auto& fl = sh.flight[li];
+    if (!fl.valid && channel_usable(sh, c)) {
+      fl.packet = queue_pop(sh, c);
+      fl.valid = true;
+      fl.arrival_cycle = now + fl.packet.size_flits;
+      sh.link_busy_flits += fl.packet.size_flits;
+      if (!sh.in_flying[li]) {
+        sh.in_flying[li] = 1;
+        sh.flying.push_back(c);
+      }
+      if (sh.q_size[li] == 0) {
+        sh.in_sendable[li] = 0;
+        continue;
+      }
+    }
+    sh.sendable[keep++] = c;
+  }
+  sh.sendable.resize(keep);
+
+  // Injection over the owned terminal range with the counter-based RNG:
+  // every draw is a pure function of (seed, cycle, terminal), so the
+  // stream is independent of which shard evaluates which terminal.
+  for (std::uint32_t t = sh.term_lo; t < sh.term_hi; ++t) {
+    SplitMix64 sm(injection_counter_state(config_.seed, now, t));
+    if (!injection_bernoulli(sm, packet_rate_)) continue;
+    Xoshiro256 dest_rng(sm.next());
+    const auto dst = traffic_->destination(t, dest_rng);
+    if (!dst.has_value()) continue;
+    Packet packet;
+    packet.id = sh.next_packet_id++;
+    packet.src_terminal = t;
+    packet.dst_terminal = *dst;
+    packet.size_flits = config_.packet_size;
+    packet.injected_cycle = now;
+    packet.flow_sequence = sh.flow_sequence[t - sh.term_lo]++;
+    const auto channel = router_->next_channel(t, packet);
+    ++sh.injected;
+    if (channel == fault::kNoRoute || !channel_usable(sh, channel)) {
+      ++sh.dropped;
+      continue;
+    }
+    // A terminal's uplink departs from the terminal vertex, so the queue
+    // is always shard-local.
+    NBCLOS_ASSERT(plan_.channel_owner[channel] == sh.index);
+    queue_push(sh, channel, packet);
+  }
+}
+
+void ShardedSim::run_shard(std::uint32_t s) {
+  try {
+    Shard& sh = *shards_[s];
+    const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+    for (std::uint64_t now = 0; now < total; ++now) {
+      if (sync_->failed.load(std::memory_order_relaxed)) {
+        sync_->barrier.arrive_and_drop();
+        return;
+      }
+      const bool measuring = now >= config_.warmup_cycles;
+      if (sh.degraded.has_value()) cycle_faults(sh, now);
+      bool timed = false;
+      if constexpr (obs::kEnabled) {
+        timed = (now & 63u) == 0 && obs::enabled();
+      }
+      phase_propose(sh, now, measuring);
+      if (timed) {
+        using clock = std::chrono::steady_clock;
+        const auto t0 = clock::now();
+        sync_->barrier.arrive_and_wait();
+        const auto t1 = clock::now();
+        phase_admit(sh);
+        const auto t2 = clock::now();
+        sync_->barrier.arrive_and_wait();
+        const auto t3 = clock::now();
+        sh.barrier_wait_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                (t1 - t0) + (t3 - t2))
+                .count());
+        ++sh.barrier_samples;
+      } else {
+        sync_->barrier.arrive_and_wait();
+        phase_admit(sh);
+        sync_->barrier.arrive_and_wait();
+      }
+      phase_resolve(sh, now);
+      sh.depth_sum_by_cycle[now] = sh.switch_depth_sum;
+    }
+  } catch (...) {
+    {
+      const std::scoped_lock lock(sync_->mutex);
+      if (!sync_->eptr) sync_->eptr = std::current_exception();
+    }
+    sync_->failed.store(true, std::memory_order_relaxed);
+    sync_->barrier.arrive_and_drop();
+  }
+}
+
+SimResult ShardedSim::run() {
+  NBCLOS_REQUIRE(!ran_, "ShardedSim::run may only be called once");
+  ran_ = true;
+  obs::ScopedSpan span("sim.sharded.run", "sim");
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  workers.reserve(plan_.shard_count - 1);
+  for (std::uint32_t s = 1; s < plan_.shard_count; ++s) {
+    workers.emplace_back([this, s] { run_shard(s); });
+  }
+  run_shard(0);
+  for (auto& worker : workers) worker.join();
+  if (sync_->eptr) std::rethrow_exception(sync_->eptr);
+
+  SimResult result = merge_results();
+  if constexpr (obs::kEnabled) {
+    const std::chrono::duration<double> wall =
+        std::chrono::steady_clock::now() - wall_start;
+    flush_obs(wall.count());
+    span.arg("cycles", static_cast<double>(config_.warmup_cycles +
+                                           config_.measure_cycles));
+    span.arg("shards", static_cast<double>(plan_.shard_count));
+    span.arg("rate", config_.injection_rate);
+  }
+  return result;
+}
+
+SimResult ShardedSim::merge_results() {
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  SimResult result;
+  result.offered_load = config_.injection_rate;
+
+  std::uint64_t delivered_measured_flits = 0;
+  std::uint64_t latency_sum = 0;
+  std::uint64_t latency_count = 0;
+  std::uint64_t switch_channels = 0;
+  QuantileHistogram hist(total);
+  telemetry_ = Telemetry{};
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    result.injected_packets += sh.injected;
+    result.delivered_packets += sh.delivered_packets;
+    result.dropped_packets += sh.dropped;
+    delivered_measured_flits += sh.delivered_measured_flits;
+    latency_sum += sh.latency_sum;
+    latency_count += sh.latency_count;
+    switch_channels += sh.switch_channel_count;
+    hist.merge(sh.latency_hist);
+    telemetry_.cross_shard_flits += sh.cross_flits;
+    telemetry_.mailbox_peak =
+        std::max(telemetry_.mailbox_peak, sh.mailbox_peak);
+    for (const auto& fl : sh.flight) {
+      if (fl.valid) ++telemetry_.remaining_packets;
+    }
+    for (const auto q : sh.q_size) telemetry_.remaining_packets += q;
+  }
+
+  result.accepted_throughput =
+      static_cast<double>(delivered_measured_flits) /
+      (static_cast<double>(config_.measure_cycles) *
+       static_cast<double>(terminal_count_));
+  // Exact integer mean — the same arithmetic PacketSim uses in
+  // counter-injection mode, and independent of delivery order.
+  result.mean_latency =
+      latency_count > 0
+          ? static_cast<double>(latency_sum) / static_cast<double>(latency_count)
+          : 0.0;
+  result.latency_bucket_width = static_cast<double>(hist.bucket_width());
+  if (hist.count() > 0) {
+    result.p50_latency = hist.quantile(0.50);
+    result.p99_latency = hist.quantile(0.99);
+    result.p999_latency = hist.quantile(0.999);
+  }
+
+  // Mean switch-queue depth: replay the per-cycle global depth sums in
+  // cycle order through the same Welford accumulator PacketSim streams,
+  // so the result is bit-identical at any shard count.
+  RunningStats depth_samples;
+  if (switch_channels > 0) {
+    for (std::uint64_t cycle = config_.warmup_cycles; cycle < total; ++cycle) {
+      std::uint64_t sum = 0;
+      for (const auto& shard : shards_) {
+        sum += shard->depth_sum_by_cycle[cycle];
+      }
+      depth_samples.add(static_cast<double>(sum) /
+                        static_cast<double>(switch_channels));
+    }
+  }
+  result.mean_switch_queue_depth = depth_samples.mean();
+
+  // Fairness extremes over sources that injected anything, in ascending
+  // terminal order (PacketSim's loop).  flow_sequence lives with the
+  // injecting shard; deliveries are summed across all shards.
+  bool first_flow = true;
+  for (std::uint32_t t = 0; t < terminal_count_; ++t) {
+    const Shard& owner = *shards_[plan_.shard_of_vertex(t)];
+    if (owner.flow_sequence[t - owner.term_lo] == 0) continue;
+    std::uint64_t delivered_flits = 0;
+    for (const auto& shard : shards_) {
+      delivered_flits += shard->delivered_per_source[t];
+    }
+    const double rate = static_cast<double>(delivered_flits) /
+                        static_cast<double>(config_.measure_cycles);
+    if (first_flow) {
+      result.min_flow_throughput = rate;
+      result.max_flow_throughput = rate;
+      first_flow = false;
+    } else {
+      result.min_flow_throughput = std::min(result.min_flow_throughput, rate);
+      result.max_flow_throughput = std::max(result.max_flow_throughput, rate);
+    }
+  }
+  return result;
+}
+
+std::size_t ShardedSim::arena_bytes() const noexcept {
+  std::size_t bytes = 0;
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    bytes += sh.switch_pool.capacity() * sizeof(Packet);
+    for (const auto& ring : sh.term_rings) {
+      bytes += ring.capacity() * sizeof(Packet);
+    }
+    bytes += sh.term_rings.capacity() * sizeof(std::vector<Packet>);
+    bytes += sh.flight.capacity() * sizeof(Shard::InFlight);
+    bytes += (sh.q_head.capacity() + sh.q_size.capacity() +
+              sh.pool_base.capacity() + sh.queue_depth.capacity() +
+              sh.rr_last_winner.capacity() + sh.channel_dst.capacity() +
+              sh.flying.capacity() + sh.sendable.capacity()) *
+             sizeof(std::uint32_t);
+    bytes += sh.in_flying.capacity() + sh.in_sendable.capacity() +
+             sh.dst_is_terminal.capacity() +
+             sh.is_terminal_source_queue.capacity();
+    bytes += (sh.delivered_per_source.capacity() +
+              sh.flow_sequence.capacity() +
+              sh.depth_sum_by_cycle.capacity()) *
+             sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+void ShardedSim::flush_obs(double wall_seconds) {
+  if (!obs::enabled()) return;
+  auto& m = obs::metrics();
+  m.counter("sim.sharded.runs").add(1);
+  m.gauge("sim.sharded.shards").set(plan_.shard_count);
+  std::uint64_t injected = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t busy = 0;
+  for (const auto& shard : shards_) {
+    injected += shard->injected;
+    delivered += shard->delivered_packets;
+    dropped += shard->dropped;
+    busy += shard->link_busy_flits;
+  }
+  m.counter("sim.packets.injected").add(injected);
+  m.counter("sim.packets.delivered").add(delivered);
+  m.counter("sim.packets.dropped").add(dropped);
+  m.counter("sim.link.busy_flit_cycles").add(busy);
+  m.counter("sim.sharded.cross_shard_flits")
+      .add(telemetry_.cross_shard_flits);
+  m.gauge("sim.sharded.mailbox_peak")
+      .set(static_cast<std::int64_t>(telemetry_.mailbox_peak));
+  // Per-shard arena occupancy: queued packets left at end of run plus
+  // the arena footprint, one gauge pair per shard.
+  for (const auto& shard : shards_) {
+    const Shard& sh = *shard;
+    m.gauge("sim.sharded.shard." + std::to_string(sh.index) + ".depth_sum")
+        .set(static_cast<std::int64_t>(sh.switch_depth_sum));
+    // Sampled epoch-barrier wait: mean ns per sampled cycle, per shard.
+    if (sh.barrier_samples > 0) {
+      m.histogram("sim.sharded.barrier_wait_ns", 1'000'000)
+          .record(sh.barrier_wait_ns / sh.barrier_samples);
+    }
+  }
+  m.counter("sim.wall_us")
+      .add(static_cast<std::uint64_t>(wall_seconds * 1e6));
+}
+
+std::vector<SimResult> load_sweep_sharded(
+    const Network& net, const ShardRouter& router,
+    const TrafficPattern& traffic, const SimConfig& base,
+    const std::vector<double>& rates, std::uint32_t shards,
+    const fault::DegradedView* degraded,
+    const std::vector<fault::FaultEvent>& fault_events) {
+  NBCLOS_REQUIRE(fault_events.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  std::vector<SimResult> results;
+  results.reserve(rates.size());
+  for (const double rate : rates) {
+    SimConfig config = base;
+    config.injection_rate = rate;
+    ShardedSim sim(net, router, traffic, config, shards, degraded,
+                   fault_events);
+    results.push_back(sim.run());
+  }
+  return results;
+}
+
+}  // namespace nbclos::sim

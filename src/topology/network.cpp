@@ -32,6 +32,13 @@ std::uint32_t Network::add_channel(std::uint32_t src, std::uint32_t dst) {
   return static_cast<std::uint32_t>(channel_src_.size() - 1);
 }
 
+void Network::reserve(std::uint32_t vertices, std::uint32_t channels) {
+  NBCLOS_REQUIRE(!finalized_, "network already finalized");
+  vertices_.reserve(vertices);
+  channel_src_.reserve(channels);
+  channel_dst_.reserve(channels);
+}
+
 void Network::finalize() {
   NBCLOS_REQUIRE(!finalized_, "network already finalized");
   NBCLOS_REQUIRE(!vertices_.empty(), "network needs at least one vertex");
@@ -159,6 +166,14 @@ Network build_kary_ntree(std::uint32_t k, std::uint32_t h) {
   NBCLOS_REQUIRE(terminals + h * per_level <= UINT32_MAX, "tree too large");
 
   Network net;
+  // Exact census up front: k^h terminals + h*k^(h-1) switches; 2 channels
+  // per terminal attachment + 2 per (switch, up-neighbor) pair.  At 10^6
+  // terminals the channel arrays alone are ~100 MB — growing them by
+  // doubling would copy that several times over.
+  const std::uint64_t switch_links =
+      h >= 2 ? 2ULL * (h - 1) * per_level * k : 0;
+  net.reserve(static_cast<std::uint32_t>(terminals + h * per_level),
+              static_cast<std::uint32_t>(2 * terminals + switch_links));
   // Terminals: ids [0, k^h).
   for (std::uint32_t t = 0; t < terminals; ++t) {
     net.add_vertex(VertexKind::kTerminal, 0, t);
@@ -183,9 +198,15 @@ Network build_kary_ntree(std::uint32_t k, std::uint32_t h) {
   // strings of w and w' agree except possibly in digit l.
   if (h >= 2) {
     const DigitCodec codec(k, h - 1);
+    std::vector<std::uint32_t> digits(h - 1);  // hoisted: one buffer, no
+                                               // per-(l, w) allocation
     for (std::uint32_t l = 0; l + 1 < h; ++l) {
       for (std::uint32_t w = 0; w < per_level; ++w) {
-        auto digits = codec.digits(w);
+        std::uint64_t rest = w;
+        for (auto& digit : digits) {
+          digit = static_cast<std::uint32_t>(rest % k);
+          rest /= k;
+        }
         for (std::uint32_t d = 0; d < k; ++d) {
           digits[l] = d;
           const auto w_up =
@@ -193,7 +214,6 @@ Network build_kary_ntree(std::uint32_t k, std::uint32_t h) {
           net.add_channel(switch_vertex(l, w), switch_vertex(l + 1, w_up));
           net.add_channel(switch_vertex(l + 1, w_up), switch_vertex(l, w));
         }
-        digits[l] = codec.digit(w, l);  // restore for clarity
       }
     }
   }

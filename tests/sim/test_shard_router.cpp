@@ -1,0 +1,216 @@
+/// Path-equivalence tests for the pure shard routers: the O(1)
+/// arithmetic routers must walk exactly the paths of the table/index
+/// routers they replace, and the per-shard CSR route views must
+/// partition the full cache without losing a hop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "nbclos/routing/kary_updown.hpp"
+#include "nbclos/routing/route_cache.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/sim/shard_router.hpp"
+#include "nbclos/sim/sharded.hpp"
+#include "nbclos/topology/network.hpp"
+
+namespace nbclos {
+namespace {
+
+using sim::FtreeDmodkRouter;
+using sim::KaryDmodkRouter;
+using sim::ShardPlan;
+
+/// Walk `router` hop by hop from terminal `src` until the packet reaches
+/// terminal `dst`; returns the channel ids in path order.
+std::vector<std::uint32_t> walk(const Network& net,
+                                const sim::ShardRouter& router,
+                                std::uint32_t src, std::uint32_t dst,
+                                std::uint32_t max_hops) {
+  sim::Packet packet;
+  packet.src_terminal = src;
+  packet.dst_terminal = dst;
+  std::vector<std::uint32_t> path;
+  std::uint32_t at = src;
+  while (at != dst) {
+    if (path.size() >= max_hops) {
+      ADD_FAILURE() << "no convergence " << src << "->" << dst;
+      return path;
+    }
+    const auto c = router.next_channel(at, packet);
+    EXPECT_LT(c, net.channel_count());
+    EXPECT_EQ(net.channel_src(c), at) << src << "->" << dst;
+    path.push_back(c);
+    at = net.channel_dst(c);
+  }
+  return path;
+}
+
+void expect_kary_paths_match(std::uint32_t k, std::uint32_t h) {
+  const Network net = build_kary_ntree(k, h);
+  const KaryTreeRouter table(net, k, h);
+  const KaryDmodkRouter arith(net, k, h);
+  const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
+  for (std::uint32_t s = 0; s < terminals; ++s) {
+    for (std::uint32_t d = 0; d < terminals; ++d) {
+      if (s == d) continue;
+      const auto expect = table.route(SDPair{LeafId{s}, LeafId{d}});
+      const auto got = walk(net, arith, s, d, 2 * h + 2);
+      ASSERT_EQ(got.size(), expect.size()) << s << "->" << d;
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        EXPECT_EQ(got[i], expect[i]) << s << "->" << d << " hop " << i;
+      }
+    }
+  }
+}
+
+TEST(KaryDmodkRouter, MatchesTableRouterOnEveryPair3ary3tree) {
+  expect_kary_paths_match(3, 3);
+}
+
+TEST(KaryDmodkRouter, MatchesTableRouterOnEveryPair4ary2tree) {
+  expect_kary_paths_match(4, 2);
+}
+
+TEST(KaryDmodkRouter, MatchesTableRouterOnEveryPair2ary4tree) {
+  expect_kary_paths_match(2, 4);
+}
+
+TEST(KaryDmodkRouter, RejectsMismatchedNetwork) {
+  const Network net = build_kary_ntree(3, 2);
+  EXPECT_THROW(KaryDmodkRouter(net, 3, 3), precondition_error);
+  EXPECT_THROW(KaryDmodkRouter(net, 2, 2), precondition_error);
+}
+
+TEST(FtreeDmodkRouter, WalksValidMinimalPaths) {
+  const FoldedClos ft(FtreeParams{3, 9, 5});
+  const Network net = build_network(ft);
+  const FtreeDmodkRouter router(ft);
+  for (std::uint32_t s = 0; s < ft.leaf_count(); ++s) {
+    for (std::uint32_t d = 0; d < ft.leaf_count(); ++d) {
+      if (s == d) continue;
+      const auto path = walk(net, router, s, d, FoldedClos::kMaxPathLinks);
+      const bool direct =
+          ft.switch_of(LeafId{s}) == ft.switch_of(LeafId{d});
+      EXPECT_EQ(path.size(), direct ? 2U : 4U) << s << "->" << d;
+      // d-mod-k: cross-pair uplink choice is keyed by the destination.
+      if (!direct) {
+        EXPECT_EQ(path[1],
+                  ft.up_link(ft.switch_of(LeafId{s}), TopId{d % ft.m()}).value);
+      }
+    }
+  }
+}
+
+TEST(ShardRouteView, ViewsPartitionTheFullCache) {
+  const FoldedClos ft(FtreeParams{2, 4, 3});
+  const Network net = build_network(ft);
+  const YuanNonblockingRouting yuan(ft);
+  const routing::ChannelRouteCache cache(net, [&](SDPair sd) {
+    LinkId run[FoldedClos::kMaxPathLinks];
+    const auto count = ft.links_into(yuan.route(sd), run);
+    std::vector<std::uint32_t> channels;
+    for (std::uint32_t i = 0; i < count; ++i) channels.push_back(run[i].value);
+    return channels;
+  });
+
+  for (const std::uint32_t shards : {1U, 2U, 3U, 4U}) {
+    const auto plan = ShardPlan::build(net, shards);
+    std::vector<routing::ShardRouteView> views;
+    std::size_t entries = 0;
+    for (std::uint32_t s = 0; s < plan.shard_count; ++s) {
+      views.emplace_back(cache, plan.vertex_begin, s);
+      entries += views.back().entry_count();
+    }
+    // Every (pair, hop) entry lands in exactly one shard's view...
+    EXPECT_EQ(entries, cache.entry_count());
+    // ...and concatenating the per-shard subruns in path order
+    // reproduces the full run.
+    const auto T = cache.terminal_count();
+    for (std::uint32_t s = 0; s < T; ++s) {
+      for (std::uint32_t d = 0; d < T; ++d) {
+        for (const auto c : cache.channels(s, d)) {
+          const auto owner = plan.shard_of_vertex(net.channel_src(c));
+          const auto sub = views[owner].channels(s, d);
+          EXPECT_NE(std::find(sub.begin(), sub.end(), c), sub.end());
+          // The view answers the same next hop as the full cache.
+          EXPECT_EQ(views[owner].next_channel_from(net.channel_src(c), s, d),
+                    cache.next_channel_from(net.channel_src(c), s, d));
+        }
+      }
+    }
+  }
+}
+
+TEST(CachedShardRouter, MatchesCacheWithAndWithoutViews) {
+  const FoldedClos ft(FtreeParams{2, 4, 3});
+  const Network net = build_network(ft);
+  const YuanNonblockingRouting yuan(ft);
+  const routing::ChannelRouteCache cache(net, [&](SDPair sd) {
+    LinkId run[FoldedClos::kMaxPathLinks];
+    const auto count = ft.links_into(yuan.route(sd), run);
+    std::vector<std::uint32_t> channels;
+    for (std::uint32_t i = 0; i < count; ++i) channels.push_back(run[i].value);
+    return channels;
+  });
+  sim::CachedShardRouter plain(cache);
+  sim::CachedShardRouter viewed(cache);
+  const auto plan = ShardPlan::build(net, 3);
+  viewed.attach_views(plan.vertex_begin);
+  ASSERT_EQ(viewed.views().size(), plan.shard_count);
+  const auto T = cache.terminal_count();
+  for (std::uint32_t s = 0; s < T; ++s) {
+    for (std::uint32_t d = 0; d < T; ++d) {
+      if (s == d) continue;
+      std::uint32_t at = s;
+      sim::Packet packet;
+      packet.src_terminal = s;
+      packet.dst_terminal = d;
+      while (at != d) {
+        const auto c = plain.next_channel(at, packet);
+        EXPECT_EQ(viewed.next_channel(at, packet), c);
+        at = net.channel_dst(c);
+      }
+    }
+  }
+}
+
+TEST(ShardPlan, PartitionIsContiguousBalancedAndComplete) {
+  const Network net = build_kary_ntree(3, 3);
+  for (const std::uint32_t shards : {1U, 2U, 4U, 8U}) {
+    const auto plan = ShardPlan::build(net, shards);
+    ASSERT_EQ(plan.shard_count, shards);
+    ASSERT_EQ(plan.vertex_begin.size(), shards + 1);
+    EXPECT_EQ(plan.vertex_begin.front(), 0U);
+    EXPECT_EQ(plan.vertex_begin.back(), net.vertex_count());
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      EXPECT_LE(plan.vertex_begin[s], plan.vertex_begin[s + 1]);
+    }
+    // Every channel is owned by the shard of its source vertex, with
+    // local ids ascending in global id order.
+    std::size_t covered = 0;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      std::uint32_t prev_local = 0;
+      for (std::size_t i = 0; i < plan.shard_channels[s].size(); ++i) {
+        const auto c = plan.shard_channels[s][i];
+        EXPECT_EQ(plan.channel_owner[c], s);
+        EXPECT_EQ(plan.channel_local[c], i);
+        const auto src = net.channel_src(c);
+        EXPECT_GE(src, plan.vertex_begin[s]);
+        EXPECT_LT(src, plan.vertex_begin[s + 1]);
+        if (i > 0) {
+          EXPECT_GT(plan.channel_local[c], prev_local);
+        }
+        prev_local = plan.channel_local[c];
+      }
+      covered += plan.shard_channels[s].size();
+    }
+    EXPECT_EQ(covered, net.channel_count());
+  }
+  // Requested counts beyond the vertex count are clamped, never fatal.
+  const auto clamped = ShardPlan::build(build_crossbar(2), 64);
+  EXPECT_LE(clamped.shard_count, build_crossbar(2).vertex_count());
+}
+
+}  // namespace
+}  // namespace nbclos

@@ -5,12 +5,17 @@ Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
     check_bench_regression.py CURRENT.json --schema-only
 
-Three bench schemas are understood (dispatched on the "experiment"
+Four bench schemas are understood (dispatched on the "experiment"
 field):
 
   * "scale"         (bench_scale)  — per-radix cases; the compared
     metrics are route_cache.routes_per_sec, verify_random.perms_per_sec,
     and load_probe.perms_per_sec, matched by radix;
+  * "scale_mt"      (bench_scale_mt) — per-topology cases, each run at
+    several shard counts; the compared metrics are terminals_per_sec,
+    matched by (topology, shards).  Every shard count must report
+    identical_to_single_shard == true — a bit-exact divergence from the
+    1-shard run is a correctness regression, not noise;
   * "verify_engine" (bench_verify) — the compared metrics are
     adversarial.full.perms_per_sec and adversarial.delta.perms_per_sec;
   * "flow"          (bench_flow)   — per-radix cases; the compared
@@ -80,6 +85,31 @@ def validate_scale(doc):
     require(doc, "manifest.build_type", str)
 
 
+def validate_scale_mt(doc):
+    cases = require(doc, "cases", list)
+    if not cases:
+        fail("scale_mt document has no cases")
+    for case in cases:
+        topo = require(case, "topology", str)
+        require(case, "terminals", int)
+        require(case, "channels", int)
+        require(case, "peak_rss_kb", int)
+        points = require(case, "shard_counts", list)
+        if not points:
+            fail(f"{topo}: no shard-count points")
+        for point in points:
+            shards = require(point, "shards", int)
+            require(point, "seconds", (int, float))
+            require(point, "terminals_per_sec", (int, float))
+            require(point, "bytes_per_terminal", (int, float))
+            require(point, "cross_shard_flits", int)
+            require(point, "accepted_throughput", (int, float))
+            if not require(point, "identical_to_single_shard", bool):
+                fail(f"{topo} at {shards} shards: results diverged from "
+                     "the single-shard run (determinism regression)")
+    require(doc, "manifest.build_type", str)
+
+
 def validate_verify(doc):
     require(doc, "adversarial.full.perms_per_sec", (int, float))
     require(doc, "adversarial.delta.perms_per_sec", (int, float))
@@ -139,6 +169,16 @@ def scale_metrics(doc):
     return out
 
 
+def scale_mt_metrics(doc):
+    out = {}
+    for case in doc["cases"]:
+        topo = case["topology"]
+        for point in case["shard_counts"]:
+            out[f"{topo}.shards{point['shards']}.terminals_per_sec"] = \
+                point["terminals_per_sec"]
+    return out
+
+
 def verify_metrics(doc):
     return {
         "adversarial.full.perms_per_sec":
@@ -160,6 +200,7 @@ def flow_metrics(doc):
 
 SCHEMAS = {
     "scale": (validate_scale, scale_metrics),
+    "scale_mt": (validate_scale_mt, scale_mt_metrics),
     "verify_engine": (validate_verify, verify_metrics),
     "flow": (validate_flow, flow_metrics),
 }

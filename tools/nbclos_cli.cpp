@@ -7,11 +7,19 @@
 ///   nbclos design <radix> [target_ports]
 ///   nbclos certify <n> [r]
 ///   nbclos schedule <n> <r>
-///   nbclos simulate <n> <r> <load> <routing: thm3|dmodk|random|adaptive>
+///   nbclos simulate <topo> <load> <routing: thm3|dmodk|random|adaptive>
+///                   [--shards N]
 ///   nbclos flow-sim <n> <r> <load> [thm3|dmodk] [--packet F] [--buffers F]
 ///                   [--vcs V] [--switching wormhole|vct] [--credit|--onoff]
 ///                   [--credit-delay D] [--seed S] [--json]
-///   nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]
+///   nbclos load-sweep <topo> <routing> [rates_csv] [threads] [--shards N]
+///
+/// `<topo>` is either `<n> <r>` (two tokens, the ftree(n + n^2, r)
+/// fabric) or `kary:K,H` (one token, the K-ary H-tree from
+/// build_kary_ntree).  `--shards N` routes the run through the
+/// switch-partitioned `ShardedSim` engine — results are bit-identical at
+/// any shard count, and only pure routings (thm3, dmodk) qualify;
+/// `random` and `adaptive` consult global queue state and are rejected.
 ///   nbclos saturation <n> <r> <routing> [iterations] [threads]
 ///   nbclos circuit <n> <m> <r> [steps]
 ///   nbclos fault-sweep <n> <r> <max_failures> [perms] [seed]
@@ -26,8 +34,11 @@
 ///   --trace-out FILE  collect a span/event trace during the command and
 ///                     write it on exit — Chrome trace_event JSON, or
 ///                     JSONL when FILE ends in ".jsonl"
+#include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -50,6 +61,8 @@
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 #include "nbclos/sim/engine.hpp"
+#include "nbclos/sim/shard_router.hpp"
+#include "nbclos/sim/sharded.hpp"
 #include "nbclos/topology/dot.hpp"
 #include "nbclos/util/table.hpp"
 #include "nbclos/util/thread_pool.hpp"
@@ -61,14 +74,16 @@ int usage() {
             << "  nbclos design <radix> [target_ports]\n"
             << "  nbclos certify <n> [r]\n"
             << "  nbclos schedule <n> <r>\n"
-            << "  nbclos sim|simulate <n> <r> <load> "
-               "<thm3|dmodk|random|adaptive>\n"
+            << "  nbclos sim|simulate <topo> <load> "
+               "<thm3|dmodk|random|adaptive> [--shards N]\n"
             << "  nbclos flow-sim <n> <r> <load> [thm3|dmodk]\n"
                "                  [--packet F] [--buffers F] [--vcs V] "
                "[--switching wormhole|vct]\n"
                "                  [--credit|--onoff] [--credit-delay D] "
                "[--seed S] [--json]\n"
-            << "  nbclos load-sweep <n> <r> <routing> [rates_csv] [threads]\n"
+            << "  nbclos load-sweep <topo> <routing> [rates_csv] [threads] "
+               "[--shards N]\n"
+            << "  (<topo> = <n> <r> for ftree(n+n^2, r), or kary:K,H)\n"
             << "  nbclos saturation <n> <r> <routing> [iterations] [threads]\n"
             << "  nbclos circuit <n> <m> <r> [steps]\n"
             << "  nbclos dot <n> [r]           (Graphviz to stdout)\n"
@@ -82,6 +97,10 @@ int usage() {
             << "global options: --metrics FILE|-   --trace-out FILE[.jsonl]\n";
   return 2;
 }
+
+/// Shard count of the command that ran (0 = not a sharded run) —
+/// recorded in the manifest of the --metrics dump.
+std::uint32_t g_manifest_shards = 0;
 
 /// Merged metrics snapshot as a JSON document (empty array in an
 /// NBCLOS_OBS=OFF build) with the build manifest attached.
@@ -114,8 +133,11 @@ void write_metrics_json(std::ostream& out) {
     json.end_object();
   }
   json.end_array();
+  auto manifest = nbclos::obs::RunInfo::current();
+  manifest.shards = g_manifest_shards;
+  manifest.peak_rss_kb = nbclos::obs::peak_rss_kb();  // after the command ran
   json.key("manifest");
-  nbclos::obs::RunInfo::current().write_json(json);
+  manifest.write_json(json);
   json.end_object();
   out << "\n";
 }
@@ -127,6 +149,98 @@ bool ends_with(const std::string& text, const std::string& suffix) {
 
 std::uint32_t arg_u32(const std::vector<std::string>& args, std::size_t i) {
   return static_cast<std::uint32_t>(std::stoul(args.at(i)));
+}
+
+/// Remove `name <value>` from `args` wherever it appears; returns the
+/// parsed value, or nullopt when the flag is absent.
+std::optional<std::uint32_t> take_u32_flag(std::vector<std::string>& args,
+                                           const std::string& name) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (args[i] != name) continue;
+    if (i + 1 >= args.size()) {
+      throw std::invalid_argument(name + " needs a value");
+    }
+    const auto value = static_cast<std::uint32_t>(std::stoul(args[i + 1]));
+    args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+               args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+    return value;
+  }
+  return std::nullopt;
+}
+
+/// A simulated fabric: ftree(n + n^2, r) from two positional tokens, or
+/// a K-ary H-tree from one "kary:K,H" token.  Advances `i` past what it
+/// consumed.
+struct TopoSpec {
+  bool kary = false;
+  std::uint32_t n = 0, r = 0;  // ftree, when !kary
+  std::uint32_t k = 0, h = 0;  // k-ary h-tree, when kary
+  std::string name;
+};
+
+TopoSpec parse_topo(const std::vector<std::string>& args, std::size_t& i) {
+  TopoSpec topo;
+  const std::string& first = args.at(i);
+  if (first.rfind("kary:", 0) == 0) {
+    const auto comma = first.find(',');
+    if (comma == std::string::npos) {
+      throw std::invalid_argument("k-ary spec is kary:K,H");
+    }
+    topo.kary = true;
+    topo.k = static_cast<std::uint32_t>(std::stoul(first.substr(5, comma - 5)));
+    topo.h = static_cast<std::uint32_t>(std::stoul(first.substr(comma + 1)));
+    topo.name = "kary(" + std::to_string(topo.k) + "," +
+                std::to_string(topo.h) + ")";
+    i += 1;
+  } else {
+    topo.n = arg_u32(args, i);
+    topo.r = arg_u32(args, i + 1);
+    topo.name = "ftree(" + std::to_string(topo.n) + "+" +
+                std::to_string(topo.n * topo.n) + ", " +
+                std::to_string(topo.r) + ")";
+    i += 2;
+  }
+  return topo;
+}
+
+/// Pure ShardRouter for a ShardedSim run.  `cache` receives the route
+/// cache a thm3 router replays (the caller keeps it alive); `views_plan`
+/// is the partition its per-shard CSR views are carved on.
+std::unique_ptr<nbclos::sim::ShardRouter> make_shard_router(
+    const TopoSpec& topo, const nbclos::FoldedClos* ft,
+    const nbclos::Network& net, const std::string& routing,
+    std::uint32_t shards,
+    std::shared_ptr<const nbclos::routing::ChannelRouteCache>& cache) {
+  if (topo.kary) {
+    if (routing != "dmodk") {
+      throw std::invalid_argument(
+          "k-ary fabrics support only the dmodk routing");
+    }
+    return std::make_unique<nbclos::sim::KaryDmodkRouter>(net, topo.k, topo.h);
+  }
+  if (routing == "dmodk") {
+    return std::make_unique<nbclos::sim::FtreeDmodkRouter>(*ft);
+  }
+  if (routing == "thm3") {
+    const nbclos::YuanNonblockingRouting yuan(*ft);
+    cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
+        net, [&](nbclos::SDPair sd) {
+          nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
+          const auto count = ft->links_into(yuan.route(sd), run);
+          std::vector<std::uint32_t> channels;
+          for (std::uint32_t j = 0; j < count; ++j) {
+            channels.push_back(run[j].value);
+          }
+          return channels;
+        });
+    auto router = std::make_unique<nbclos::sim::CachedShardRouter>(*cache);
+    const auto plan = nbclos::sim::ShardPlan::build(net, shards);
+    router->attach_views(plan.vertex_begin);
+    return router;
+  }
+  throw std::invalid_argument(
+      "routing '" + routing +
+      "' consults global queue state and cannot run sharded");
 }
 
 int cmd_design(const std::vector<std::string>& args) {
@@ -194,48 +308,81 @@ int cmd_schedule(const std::vector<std::string>& args) {
   return 0;
 }
 
-int cmd_simulate(const std::vector<std::string>& args) {
-  const auto n = arg_u32(args, 0);
-  const auto r = arg_u32(args, 1);
-  const double load = std::stod(args.at(2));
-  const std::string routing = args.at(3);
+int cmd_simulate(std::vector<std::string> args) {
+  const auto shards = take_u32_flag(args, "--shards");
+  std::size_t i = 0;
+  const auto topo = parse_topo(args, i);
+  const double load = std::stod(args.at(i++));
+  const std::string routing = args.at(i++);
+  g_manifest_shards = shards.value_or(0);
 
-  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
-  const auto net = nbclos::build_network(ft);
-  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
-  const auto traffic =
-      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
-
-  std::unique_ptr<nbclos::sim::RoutingOracle> oracle;
-  std::unique_ptr<nbclos::RoutingTable> table;
-  std::unique_ptr<nbclos::YuanNonblockingRouting> yuan;
-  if (routing == "thm3") {
-    yuan = std::make_unique<nbclos::YuanNonblockingRouting>(ft);
-    table = std::make_unique<nbclos::RoutingTable>(
-        nbclos::RoutingTable::materialize(*yuan));
-    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
-        ft, nbclos::sim::UplinkPolicy::kTable, table.get());
-  } else if (routing == "dmodk") {
-    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
-        ft, nbclos::sim::UplinkPolicy::kDModK);
-  } else if (routing == "random") {
-    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
-        ft, nbclos::sim::UplinkPolicy::kRandom);
-  } else if (routing == "adaptive") {
-    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
-        ft, nbclos::sim::UplinkPolicy::kLeastQueue);
-  } else {
-    return usage();
-  }
+  std::unique_ptr<nbclos::FoldedClos> ft;
+  nbclos::Network net = [&] {
+    if (topo.kary) return nbclos::build_kary_ntree(topo.k, topo.h);
+    ft = std::make_unique<nbclos::FoldedClos>(
+        nbclos::FtreeParams{topo.n, topo.n * topo.n, topo.r});
+    return nbclos::build_network(*ft);
+  }();
+  const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
+  const auto shift = topo.kary ? topo.k + 1 : topo.n + 1;
+  const auto traffic = nbclos::sim::TrafficPattern::permutation(
+      nbclos::shift_permutation(terminals, shift), terminals);
 
   nbclos::sim::SimConfig config;
   config.injection_rate = load;
   config.warmup_cycles = 2000;
   config.measure_cycles = 8000;
+
+  // Sharded engine (or any k-ary run — its routing is already a pure
+  // ShardRouter, so one shard is the natural engine for it too).
+  if (shards.has_value() || topo.kary) {
+    std::shared_ptr<const nbclos::routing::ChannelRouteCache> cache;
+    const auto router = make_shard_router(topo, ft.get(), net, routing,
+                                          shards.value_or(1), cache);
+    nbclos::sim::ShardedSim sim(net, *router, traffic, config,
+                                shards.value_or(1));
+    const auto result = sim.run();
+    std::cout << topo.name << ", " << router->name()
+              << ", shift permutation, offered " << load << ", "
+              << sim.shard_count()
+              << " shard(s) [results are shard-count independent]:\n"
+              << "  accepted throughput: "
+              << nbclos::format_double(result.accepted_throughput)
+              << " flits/cycle/terminal\n  mean latency:        "
+              << nbclos::format_double(result.mean_latency, 1) << " cycles\n"
+              << "  cross-shard flits:   "
+              << sim.telemetry().cross_shard_flits << "\n"
+              << "  saturated:           "
+              << (result.saturated() ? "yes" : "no") << "\n";
+    return 0;
+  }
+
+  std::unique_ptr<nbclos::sim::RoutingOracle> oracle;
+  std::unique_ptr<nbclos::RoutingTable> table;
+  std::unique_ptr<nbclos::YuanNonblockingRouting> yuan;
+  if (routing == "thm3") {
+    yuan = std::make_unique<nbclos::YuanNonblockingRouting>(*ft);
+    table = std::make_unique<nbclos::RoutingTable>(
+        nbclos::RoutingTable::materialize(*yuan));
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        *ft, nbclos::sim::UplinkPolicy::kTable, table.get());
+  } else if (routing == "dmodk") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        *ft, nbclos::sim::UplinkPolicy::kDModK);
+  } else if (routing == "random") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        *ft, nbclos::sim::UplinkPolicy::kRandom);
+  } else if (routing == "adaptive") {
+    oracle = std::make_unique<nbclos::sim::FtreeOracle>(
+        *ft, nbclos::sim::UplinkPolicy::kLeastQueue);
+  } else {
+    return usage();
+  }
+
   nbclos::sim::PacketSim sim(net, *oracle, traffic, config);
   const auto result = sim.run();
-  std::cout << "ftree(" << n << "+" << n * n << ", " << r << "), "
-            << oracle->name() << ", shift permutation, offered " << load
+  std::cout << topo.name << ", " << oracle->name()
+            << ", shift permutation, offered " << load
             << ":\n  accepted throughput: "
             << nbclos::format_double(result.accepted_throughput)
             << " flits/cycle/terminal\n  mean latency:        "
@@ -433,38 +580,60 @@ std::vector<double> parse_rates_csv(const std::string& csv) {
   return rates;
 }
 
-int cmd_load_sweep(const std::vector<std::string>& args) {
-  const auto n = arg_u32(args, 0);
-  const auto r = arg_u32(args, 1);
-  const std::string routing = args.at(2);
+int cmd_load_sweep(std::vector<std::string> args) {
+  const auto shards = take_u32_flag(args, "--shards");
+  std::size_t i = 0;
+  const auto topo = parse_topo(args, i);
+  const std::string routing = args.at(i++);
   const std::vector<double> rates =
-      args.size() >= 4 ? parse_rates_csv(args[3])
-                       : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
-  const std::size_t threads = args.size() >= 5 ? std::stoull(args[4]) : 0;
+      i < args.size() ? parse_rates_csv(args[i++])
+                      : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9, 1.0};
+  const std::size_t threads = i < args.size() ? std::stoull(args[i++]) : 0;
+  g_manifest_shards = shards.value_or(0);
 
-  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
-  const auto net = nbclos::build_network(ft);
-  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
-  const auto traffic =
-      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
-  std::unique_ptr<nbclos::RoutingTable> table;
-  if (routing == "thm3") {
-    const nbclos::YuanNonblockingRouting yuan(ft);
-    table = std::make_unique<nbclos::RoutingTable>(
-        nbclos::RoutingTable::materialize(yuan));
-  }
-  const auto factory = make_oracle_factory(ft, table.get(), routing);
+  std::unique_ptr<nbclos::FoldedClos> ft;
+  nbclos::Network net = [&] {
+    if (topo.kary) return nbclos::build_kary_ntree(topo.k, topo.h);
+    ft = std::make_unique<nbclos::FoldedClos>(
+        nbclos::FtreeParams{topo.n, topo.n * topo.n, topo.r});
+    return nbclos::build_network(*ft);
+  }();
+  const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
+  const auto shift = topo.kary ? topo.k + 1 : topo.n + 1;
+  const auto traffic = nbclos::sim::TrafficPattern::permutation(
+      nbclos::shift_permutation(terminals, shift), terminals);
 
   nbclos::sim::SimConfig config;
   config.warmup_cycles = 2000;
   config.measure_cycles = 8000;
-  nbclos::ThreadPool pool(threads);
-  const auto results = nbclos::sim::load_sweep(net, factory, traffic, config,
-                                               rates, &pool);
 
-  std::cout << "Load sweep on ftree(" << n << "+" << n * n << ", " << r
-            << "), " << routing << ", shift permutation (" << pool.thread_count()
-            << " threads; results are thread-count independent):\n";
+  std::vector<nbclos::sim::SimResult> results;
+  std::string engine_note;
+  if (shards.has_value() || topo.kary) {
+    std::shared_ptr<const nbclos::routing::ChannelRouteCache> cache;
+    const auto router = make_shard_router(topo, ft.get(), net, routing,
+                                          shards.value_or(1), cache);
+    results = nbclos::sim::load_sweep_sharded(net, *router, traffic, config,
+                                              rates, shards.value_or(1));
+    engine_note = std::to_string(shards.value_or(1)) +
+                  " shard(s); results are shard-count independent";
+  } else {
+    std::unique_ptr<nbclos::RoutingTable> table;
+    if (routing == "thm3") {
+      const nbclos::YuanNonblockingRouting yuan(*ft);
+      table = std::make_unique<nbclos::RoutingTable>(
+          nbclos::RoutingTable::materialize(yuan));
+    }
+    const auto factory = make_oracle_factory(*ft, table.get(), routing);
+    nbclos::ThreadPool pool(threads);
+    results = nbclos::sim::load_sweep(net, factory, traffic, config, rates,
+                                      &pool);
+    engine_note = std::to_string(pool.thread_count()) +
+                  " threads; results are thread-count independent";
+  }
+
+  std::cout << "Load sweep on " << topo.name << ", " << routing
+            << ", shift permutation (" << engine_note << "):\n";
   nbclos::TextTable out({"offered", "accepted", "mean lat", "p50", "p99",
                          "p99.9", "queue depth", "saturated"});
   for (const auto& result : results) {
@@ -745,11 +914,11 @@ int main(int argc, char** argv) {
     } else if (command == "schedule" && args.size() >= 2) {
       rc = cmd_schedule(args);
     } else if ((command == "simulate" || command == "sim") &&
-               args.size() >= 4) {
+               args.size() >= 3) {
       rc = cmd_simulate(args);
     } else if (command == "flow-sim" && args.size() >= 3) {
       rc = cmd_flow_sim(args);
-    } else if (command == "load-sweep" && args.size() >= 3) {
+    } else if (command == "load-sweep" && args.size() >= 2) {
       rc = cmd_load_sweep(args);
     } else if (command == "saturation" && args.size() >= 3) {
       rc = cmd_saturation(args);
