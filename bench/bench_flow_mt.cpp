@@ -1,0 +1,312 @@
+/// \file bench_flow_mt.cpp
+/// \brief Sharded flow-control engine scaling and buffer-margin studies
+///        past radix 16: cycles/sec at 1/2/4/8 shards, bit-identity
+///        verdict per shard count, and the early-exit bisection margins
+///        (wormhole + VCT) on radix-32/48 fabrics and a 10-ary 4-tree.
+///
+/// One JSON document on stdout (schema "flow_mt" in EXPERIMENTS.md).
+/// For each topology case the harness:
+///   * times serial `FlowSim` (counter injection) as the reference and
+///     reports simulated cycles/sec;
+///   * times `ShardedFlowSim` at 1, 2, 4, and 8 shards and compares
+///     every FlowResult field against the serial run (bit-exact,
+///     doubles included) — `identical_to_serial: false` is a
+///     correctness regression and the bench exits nonzero on it, even
+///     without the baseline gate.  `speedup_vs_serial` is reported for
+///     measurement, never gated: CI runners may expose a single
+///     hardware thread, where the epoch barriers can only cost;
+///   * finds the buffer margin (min flits/port sustaining the 0.9
+///     probe) with `analysis::buffer_margin_bisect` — O(log N) sharded
+///     probes instead of the full sweep, which is what keeps radix 32
+///     inside the quick budget.
+///
+/// --quick runs the radix-32 ftree only; the full run adds radix 48 and
+/// the 10-ary 4-tree (10,000 terminals — its O(T^2) route cache honors
+/// NBCLOS_MMAP_CACHE for RAM-constrained hosts).  Traffic is a seeded
+/// random derangement on ftree fabrics (the pattern that separates
+/// guaranteed routings from colliding ones) and a shift permutation on
+/// the k-ary tree.  Results are seeded and bit-reproducible.
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/flow/buffer_margin.hpp"
+#include "nbclos/flow/engine.hpp"
+#include "nbclos/flow/sharded.hpp"
+#include "nbclos/obs/run_info.hpp"
+#include "nbclos/routing/kary_updown.hpp"
+#include "nbclos/routing/route_cache.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/topology/fat_tree.hpp"
+#include "nbclos/topology/network.hpp"
+#include "nbclos/util/json.hpp"
+
+namespace {
+
+using namespace nbclos;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// One untimed warm-up call, then the minimum wall time over `reps`
+/// timed calls (deterministic work; only the timing varies).
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double secs = seconds_since(t0);
+    if (secs < best) best = secs;
+  }
+  return best;
+}
+
+constexpr int kTimingReps = 3;
+
+std::shared_ptr<const routing::ChannelRouteCache> make_ftree_cache(
+    const FoldedClos& ft, const Network& net,
+    const SinglePathRouting& routing) {
+  return std::make_shared<const routing::ChannelRouteCache>(
+      net, [&](SDPair sd) {
+        LinkId run[FoldedClos::kMaxPathLinks];
+        const auto count = ft.links_into(routing.route(sd), run);
+        std::vector<std::uint32_t> channels;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          channels.push_back(run[i].value);
+        }
+        return channels;
+      });
+}
+
+/// Every FlowResult field — the same contract the golden tests assert
+/// with EXPECT_EQ, restated as one predicate for the bench verdict.
+bool identical(const flow::FlowResult& a, const flow::FlowResult& b) {
+  return a.offered_load == b.offered_load &&
+         a.accepted_throughput == b.accepted_throughput &&
+         a.mean_latency == b.mean_latency && a.p50_latency == b.p50_latency &&
+         a.p99_latency == b.p99_latency && a.p999_latency == b.p999_latency &&
+         a.latency_bucket_width == b.latency_bucket_width &&
+         a.injected_packets == b.injected_packets &&
+         a.delivered_packets == b.delivered_packets &&
+         a.dropped_packets == b.dropped_packets &&
+         a.mean_switch_queue_depth == b.mean_switch_queue_depth &&
+         a.min_flow_throughput == b.min_flow_throughput &&
+         a.max_flow_throughput == b.max_flow_throughput &&
+         a.credit_stall_cycles == b.credit_stall_cycles &&
+         a.vc_stall_cycles == b.vc_stall_cycles &&
+         a.mean_stall_cycles == b.mean_stall_cycles &&
+         a.p99_stall_cycles == b.p99_stall_cycles &&
+         a.peak_buffer_flits == b.peak_buffer_flits &&
+         a.peak_live_packets == b.peak_live_packets &&
+         a.deadlocked == b.deadlocked &&
+         a.deadlock_cycle == b.deadlock_cycle &&
+         a.stuck_flits == b.stuck_flits;
+}
+
+struct Case {
+  std::string name;
+  std::uint32_t ftree_r = 0;           ///< ftree(4+16, r) when nonzero
+  std::uint32_t kary_k = 0, kary_h = 0;  ///< k-ary h-tree otherwise
+  std::uint64_t warmup = 0, measure = 0;
+  double rate = 0.9;
+  std::vector<std::uint32_t> depths;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--quick") quick = true;
+  }
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  auto manifest = obs::RunInfo::current();
+  manifest.seed = 20260809;
+  manifest.threads = 8;  // widest shard fan-out benched
+  manifest.shards = 8;
+
+  std::vector<Case> cases;
+  cases.push_back({"ftree(4+16,32)", 32, 0, 0, 200, 800, 0.9,
+                   {1, 2, 4, 8, 16}});
+  if (!quick) {
+    cases.push_back({"ftree(4+16,48)", 48, 0, 0, 300, 1200, 0.9,
+                     {1, 2, 4, 8, 16}});
+    // 10-ary 4-tree: 10,000 terminals at low load — the point is shard
+    // scaling of the flit arenas, not saturation throughput.
+    cases.push_back({"kary(10,4)", 0, 10, 4, 50, 200, 0.1, {2, 4, 8}});
+  }
+  const std::vector<std::uint32_t> shard_counts = {1, 2, 4, 8};
+
+  JsonWriter json(std::cout);
+  json.begin_object();
+  json.member("experiment", "flow_mt");
+  json.member("quick", quick);
+  json.member("hardware_concurrency",
+              static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  bool all_identical = true;
+  json.key("cases").begin_array();
+  for (const auto& c : cases) {
+    const bool is_ftree = c.ftree_r > 0;
+    std::unique_ptr<FoldedClos> ftree;
+    std::unique_ptr<YuanNonblockingRouting> yuan;
+    Network net = [&] {
+      if (is_ftree) {
+        ftree = std::make_unique<FoldedClos>(FtreeParams{4, 16, c.ftree_r});
+        return build_network(*ftree);
+      }
+      return build_kary_ntree(c.kary_k, c.kary_h);
+    }();
+    std::shared_ptr<const routing::ChannelRouteCache> cache;
+    std::uint32_t terminals = 0;
+    if (is_ftree) {
+      yuan = std::make_unique<YuanNonblockingRouting>(*ftree);
+      cache = make_ftree_cache(*ftree, net, *yuan);
+      terminals = ftree->leaf_count();
+    } else {
+      const KaryTreeRouter router(net, c.kary_k, c.kary_h);
+      cache = std::make_shared<const routing::ChannelRouteCache>(
+          net, [&](SDPair sd) { return router.route(sd); });
+      terminals = static_cast<std::uint32_t>(net.terminals().size());
+    }
+    const auto traffic = [&] {
+      if (is_ftree) {
+        // Fixed-point-free random permutation (see bench_flow.cpp: a
+        // fixed point would leave its terminal silent and dilute the
+        // sustain fraction).
+        Xoshiro256 pattern_rng(7);
+        auto pattern = random_permutation(terminals, pattern_rng);
+        while (pattern.size() < terminals) {
+          pattern = random_permutation(terminals, pattern_rng);
+        }
+        return sim::TrafficPattern::permutation(pattern, terminals);
+      }
+      return sim::TrafficPattern::permutation(
+          shift_permutation(terminals, 5), terminals);
+    }();
+
+    flow::FlowConfig config;
+    config.injection_rate = c.rate;
+    config.packet_flits = 4;
+    config.buffer_flits = 8;
+    config.warmup_cycles = c.warmup;
+    config.measure_cycles = c.measure;
+    config.seed = manifest.seed;
+    config.counter_injection = true;
+    const double total_cycles = static_cast<double>(c.warmup + c.measure);
+
+    json.begin_object();
+    json.member("topology", c.name);
+    json.member("radix", c.ftree_r);
+    json.member("terminals", terminals);
+    json.member("channels", static_cast<std::uint64_t>(net.channel_count()));
+    json.member("injection_rate", c.rate);
+    json.member("warmup_cycles", c.warmup);
+    json.member("measure_cycles", c.measure);
+    json.member("route_cache_bytes",
+                static_cast<std::uint64_t>(cache->bytes()));
+
+    // --- serial reference: the identity baseline and the speedup denom.
+    flow::FlowResult serial{};
+    const double serial_secs = best_seconds(kTimingReps, [&] {
+      flow::FlowSim sim(cache, traffic, config);
+      serial = sim.run();
+    });
+    json.key("serial").begin_object();
+    json.member("seconds", serial_secs);
+    json.member("cycles_per_sec", total_cycles / serial_secs);
+    json.member("accepted_throughput", serial.accepted_throughput);
+    json.member("delivered_packets", serial.delivered_packets);
+    json.member("deadlocked", serial.deadlocked);
+    json.end_object();
+
+    json.key("shard_counts").begin_array();
+    for (const auto shards : shard_counts) {
+      flow::FlowResult result{};
+      flow::ShardedFlowSim::Telemetry telemetry{};
+      std::size_t arena_bytes = 0;
+      const double secs = best_seconds(kTimingReps, [&] {
+        flow::ShardedFlowSim sim(cache, traffic, config, shards);
+        result = sim.run();
+        telemetry = sim.telemetry();
+        arena_bytes = sim.arena_bytes();
+      });
+      const bool same = identical(result, serial);
+      if (!same) {
+        std::cerr << c.name << " at " << shards
+                  << " shards diverged from the serial FlowSim run\n";
+        all_identical = false;
+      }
+      json.begin_object();
+      json.member("shards", static_cast<std::uint64_t>(shards));
+      json.member("seconds", secs);
+      json.member("cycles_per_sec", total_cycles / secs);
+      json.member("speedup_vs_serial", serial_secs / secs);
+      json.member("arena_bytes", static_cast<std::uint64_t>(arena_bytes));
+      json.member("cross_shard_flits", telemetry.cross_shard_flits);
+      json.member("cross_shard_credits", telemetry.cross_shard_credits);
+      json.member("mailbox_peak", telemetry.mailbox_peak);
+      json.member("accepted_throughput", result.accepted_throughput);
+      json.member("delivered_packets", result.delivered_packets);
+      json.member("peak_buffer_flits", result.peak_buffer_flits);
+      json.member("identical_to_serial", same);
+      json.end_object();
+    }
+    json.end_array();
+
+    // --- buffer margin past radix 16: O(log N) sharded bisection ------
+    json.key("margin").begin_object();
+    for (const bool vct : {false, true}) {
+      analysis::BufferMarginConfig margin;
+      margin.buffer_sizes = c.depths;
+      margin.probe_load = c.rate;
+      margin.base = config;
+      margin.base.switching = vct ? flow::Switching::kVirtualCutThrough
+                                  : flow::Switching::kWormhole;
+      const auto bisect =
+          analysis::buffer_margin_bisect(cache, traffic, margin, 8);
+      json.key(vct ? "vct" : "wormhole").begin_object();
+      json.member("min_flits_nonblocking", bisect.min_flits_nonblocking);
+      json.member("probes",
+                  static_cast<std::uint64_t>(bisect.points.size()));
+      json.key("points").begin_array();
+      for (const auto& point : bisect.points) {
+        json.begin_object();
+        json.member("buffer_flits", point.buffer_flits);
+        json.member("feasible", point.feasible);
+        json.member("sustained", point.sustained);
+        json.member("accepted_throughput", point.accepted_throughput);
+        json.member("deadlocked", point.deadlocked);
+        json.member("peak_buffer_flits", point.peak_buffer_flits);
+        json.end_object();
+      }
+      json.end_array();
+      json.end_object();
+    }
+    json.member("shards", std::uint64_t{8});
+    json.end_object();
+
+    json.member("peak_rss_kb", obs::peak_rss_kb());
+    json.end_object();
+  }
+  json.end_array();
+
+  manifest.wall_seconds = seconds_since(wall_start);
+  manifest.peak_rss_kb = obs::peak_rss_kb();
+  json.key("manifest");
+  manifest.write_json(json);
+  json.end_object();
+  std::cout << "\n";
+  return all_identical ? 0 : 1;
+}

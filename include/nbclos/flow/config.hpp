@@ -50,6 +50,19 @@ struct FlowConfig {
   /// the run aborts cleanly with a diagnostic (FlowResult::deadlocked).
   /// 0 disables the watchdog.
   std::uint64_t watchdog_epoch = 1024;
+  /// Draw injection randomness from the counter-based discipline
+  /// (sim/injection_rng.hpp) instead of the sequential Xoshiro stream:
+  /// every (cycle, terminal) draw becomes a pure function of the seed,
+  /// which is what lets ShardedFlowSim reproduce FlowSim bit-identically
+  /// at any shard count.  Also switches mean latency / mean stall to
+  /// exact integer accumulators (order-independent, shard-mergeable).
+  /// Off by default — the legacy stream is part of the recorded golden
+  /// results.
+  bool counter_injection = false;
+  /// Pin ShardedFlowSim's workers to CPUs (node-major) so first-touch
+  /// arena allocation lands each shard's pages on its worker's NUMA
+  /// node.  No effect on the serial engine; failures are never fatal.
+  bool pin_shards = false;
 
   /// Buffer depth at which no switch FIFO can fill in the ideal-switch
   /// golden regime (see ideal_reference()); mirrors

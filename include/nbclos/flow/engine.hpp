@@ -48,8 +48,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "nbclos/fault/degraded_view.hpp"
 #include "nbclos/flow/buffers.hpp"
 #include "nbclos/flow/config.hpp"
 #include "nbclos/flow/credits.hpp"
@@ -76,6 +78,11 @@ struct FlowResult {
   double latency_bucket_width = 1.0;
   std::uint64_t injected_packets = 0;
   std::uint64_t delivered_packets = 0;
+  /// Packets refused at injection because the source NIC uplink was dead
+  /// (fail-stop fault model: in-network flits are never purged — they
+  /// block in place and eventually trip the watchdog; only packets that
+  /// cannot even enter the network are dropped).
+  std::uint64_t dropped_packets = 0;
   /// Time-average flits queued per switch output channel (all VCs of a
   /// channel summed) — with 1-flit packets and vcs = 1 this is unit-for-
   /// unit PacketSim's mean_switch_queue_depth.
@@ -107,8 +114,19 @@ class FlowSim {
  public:
   /// The cache pins the Network and the routing; it is shared read-only
   /// across the sweep workers, so it arrives as a shared_ptr.
+  ///
+  /// Optional faults: `degraded` seeds a PRIVATE copy of the liveness
+  /// mask (the caller's view is never mutated — unlike PacketSim) and
+  /// `fault_events` are applied to the copy at their scheduled cycles.
+  /// Semantics are fail-stop blocking: a dead channel transmits nothing
+  /// (its flits wait in place — deadlock territory, by design), a head
+  /// flit whose route leads into a dead channel stalls as a credit
+  /// block, and only injection onto a dead NIC uplink drops the packet
+  /// (FlowResult::dropped_packets).
   FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
-          const sim::TrafficPattern& traffic, FlowConfig config);
+          const sim::TrafficPattern& traffic, FlowConfig config,
+          const fault::DegradedView* degraded = nullptr,
+          std::vector<fault::FaultEvent> fault_events = {});
 
   /// Run warmup + measurement; returns aggregate results.  Stops early
   /// (with result.deadlocked set) if the watchdog trips.
@@ -142,6 +160,15 @@ class FlowSim {
   void step_arrivals();
   void step_transmissions();
   void step_injection();
+  /// Build and enqueue one packet from terminal t to dst (or drop it if
+  /// the NIC uplink is dead) — shared by both injection RNG modes.
+  void inject_packet(std::uint32_t t, std::uint32_t dst);
+  /// Apply every scheduled fault whose cycle has arrived to the private
+  /// degraded copy.  No queue purging (fail-stop blocking semantics).
+  void apply_due_faults();
+  [[nodiscard]] bool channel_usable(std::uint32_t c) const {
+    return !degraded_.has_value() || degraded_->channel_alive(c);
+  }
   /// Land one flit at its destination terminal; frees the packet slot on
   /// the tail.
   void eject(FlitRef flit);
@@ -168,6 +195,9 @@ class FlowSim {
   const Network* net_;
   const sim::TrafficPattern* traffic_;
   FlowConfig config_;
+  std::optional<fault::DegradedView> degraded_;  ///< private copy
+  std::vector<fault::FaultEvent> fault_events_;  ///< sorted by cycle
+  std::size_t next_fault_ = 0;
 
   // Per-channel precomputed facts and state.
   std::vector<std::uint32_t> buf_base_;   ///< first buffer id of channel
@@ -208,9 +238,16 @@ class FlowSim {
   bool measuring_ = false;
   std::uint64_t injected_ = 0;
   std::uint64_t delivered_packets_ = 0;
+  std::uint64_t dropped_ = 0;  ///< packets refused at a dead NIC uplink
   std::uint64_t delivered_measured_flits_ = 0;
   std::vector<std::uint64_t> delivered_per_source_;  ///< measured flits
   RunningStats latency_;
+  /// Exact integer latency accumulators: under counter_injection the
+  /// reported mean is latency_sum_/latency_count_ (order-independent, so
+  /// it matches ShardedFlowSim's shard-merged mean bit-for-bit) instead
+  /// of the Welford stream above.
+  std::uint64_t latency_sum_ = 0;
+  std::uint64_t latency_count_ = 0;
   QuantileHistogram latency_hist_;
   RunningStats queue_depth_samples_;
 
@@ -218,6 +255,9 @@ class FlowSim {
   std::uint64_t credit_stall_cycles_ = 0;
   std::uint64_t vc_stall_cycles_ = 0;
   RunningStats stall_stats_;         ///< per-episode durations
+  /// Integer stall accumulators, same role as latency_sum_/count_ above.
+  std::uint64_t stall_duration_sum_ = 0;
+  std::uint64_t stall_episode_count_ = 0;
   QuantileHistogram stall_hist_;
   std::vector<std::uint32_t> peak_per_vc_;  ///< per VC index, switch buffers
   std::uint64_t peak_live_packets_ = 0;

@@ -56,6 +56,11 @@ struct SimConfig {
   /// bit-identically at any shard count.  Off by default — the legacy
   /// stream is part of the recorded golden results.
   bool counter_injection = false;
+  /// Pin each shard worker of a sharded engine to one CPU (node-major
+  /// order from sim::NumaTopology) so first-touch arena allocation lands
+  /// every shard's pages on its worker's NUMA node.  No effect on the
+  /// serial engines; pinning failures are recorded, never fatal.
+  bool pin_shards = false;
 
   /// Queue capacity at which no switch queue can fill on the topologies
   /// and loads this library sweeps: in the nonblocking regime queues stay

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "nbclos/core/multilevel.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/sim/oracle.hpp"
 #include "nbclos/sim/packet.hpp"
@@ -100,6 +101,31 @@ class FtreeDmodkRouter final : public ShardRouter {
  private:
   const FoldedClos* ftree_;
   FtreeNetworkMap map_;
+};
+
+/// The recursive Theorem 3 (i, j) rule on a `MultiLevelFabric`, as a
+/// pure router: each hop re-derives the fabric's fixed single path for
+/// the packet's SD pair and returns the path channel leaving `vertex`.
+/// Deriving the path is O(levels) digit recursion with no shared state,
+/// so the router is safe from every shard worker — and, unlike a
+/// materialized `ChannelRouteCache`, needs no O(T^2) table.  The leaf
+/// index space of the fabric IS its terminal vertex id space (leaves are
+/// vertices 0..P-1), so packets address it directly.
+class RecursiveShardRouter final : public ShardRouter {
+ public:
+  /// \param fabric must outlive the router; its network must be the one
+  ///        the simulation runs on.
+  explicit RecursiveShardRouter(const MultiLevelFabric& fabric);
+
+  [[nodiscard]] std::string name() const override {
+    return "multilevel-thm3";
+  }
+  [[nodiscard]] std::uint32_t next_channel(
+      std::uint32_t vertex, const Packet& packet) const override;
+
+ private:
+  const MultiLevelFabric* fabric_;
+  const Network* net_;
 };
 
 /// Replays a deterministic routing from a shared `ChannelRouteCache`.

@@ -53,49 +53,13 @@
 
 #include "nbclos/fault/degraded_view.hpp"
 #include "nbclos/sim/engine.hpp"
+#include "nbclos/sim/shard_exchange.hpp"
 #include "nbclos/sim/shard_router.hpp"
 #include "nbclos/sim/traffic.hpp"
 #include "nbclos/topology/network.hpp"
 #include "nbclos/util/stats.hpp"
 
 namespace nbclos::sim {
-
-/// Deterministic contiguous vertex partition, balanced by out-channel
-/// counts (a proxy for queue + in-flight state, which is what each shard
-/// arena actually holds).  Shard s owns vertices
-/// [vertex_begin[s], vertex_begin[s+1]) and every channel whose source
-/// lies in that range.  Library builders number terminals [0, T) first,
-/// so each shard also owns a contiguous terminal range and injection is
-/// always shard-local.
-struct ShardPlan {
-  std::uint32_t shard_count = 1;
-  std::vector<std::uint32_t> vertex_begin;  ///< shard_count + 1 boundaries
-  std::vector<std::uint8_t> channel_owner;  ///< per channel: owning shard
-  /// Per channel: index into the owner's local per-channel arrays (local
-  /// ids ascend with global channel id within each shard, so per-shard
-  /// sorted sweeps visit channels in global order).
-  std::vector<std::uint32_t> channel_local;
-  std::vector<std::vector<std::uint32_t>> shard_channels;  ///< global ids, asc
-
-  /// Build the plan for `net` (requested shard count is clamped to
-  /// [1, min(vertex_count, 64)]).  Pure function of (net, shards).
-  [[nodiscard]] static ShardPlan build(const Network& net,
-                                       std::uint32_t shards);
-
-  [[nodiscard]] std::uint32_t shard_of_vertex(std::uint32_t v) const {
-    std::uint32_t lo = 0;
-    std::uint32_t hi = shard_count;
-    while (hi - lo > 1) {
-      const std::uint32_t mid = lo + (hi - lo) / 2;
-      if (vertex_begin[mid] <= v) {
-        lo = mid;
-      } else {
-        hi = mid;
-      }
-    }
-    return lo;
-  }
-};
 
 class ShardedSim {
  public:
@@ -153,6 +117,7 @@ class ShardedSim {
   };
 
   void run_shard(std::uint32_t s);
+  void init_shard_arena(std::uint32_t s);  ///< called on the worker thread
   void cycle_faults(Shard& sh, std::uint64_t now);
   void phase_propose(Shard& sh, std::uint64_t now, bool measuring);
   void phase_admit(Shard& sh);
@@ -173,19 +138,19 @@ class ShardedSim {
   const TrafficPattern* traffic_;
   SimConfig config_;
   std::vector<fault::FaultEvent> fault_events_;  ///< sorted by cycle
+  const fault::DegradedView* degraded_ = nullptr;  ///< copied per shard
   ShardPlan plan_;
   std::uint32_t terminal_count_ = 0;
   double packet_rate_ = 0.0;
 
   std::vector<std::unique_ptr<Shard>> shards_;
-  /// SPSC mailboxes, src-shard-major: box [src * S + dst] is written only
-  /// by shard `src` and drained (read + cleared) only by shard `dst`, in
-  /// disjoint epoch windows (see file comment).
-  std::vector<std::vector<Proposal>> proposal_box_;
-  std::vector<std::vector<Ack>> ack_box_;
+  /// SPSC mailboxes (shard_exchange.hpp): written in disjoint epoch
+  /// windows — proposals downstream in phase A, acks upstream in B.
+  MailboxGrid<Proposal> proposal_box_;
+  MailboxGrid<Ack> ack_box_;
 
-  struct Sync;  ///< barrier + failure latch (hides <barrier> from users)
-  std::unique_ptr<Sync> sync_;
+  std::unique_ptr<ShardSync> sync_;
+  NumaTopology numa_;
   Telemetry telemetry_;
   bool ran_ = false;
 };

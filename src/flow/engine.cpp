@@ -5,6 +5,7 @@
 #include <string>
 
 #include "nbclos/obs/trace.hpp"
+#include "nbclos/sim/injection_rng.hpp"
 
 namespace nbclos::flow {
 
@@ -27,11 +28,14 @@ constexpr std::uint64_t kStallHistCap = 1u << 20;
 }  // namespace
 
 FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
-                 const sim::TrafficPattern& traffic, FlowConfig config)
+                 const sim::TrafficPattern& traffic, FlowConfig config,
+                 const fault::DegradedView* degraded,
+                 std::vector<fault::FaultEvent> fault_events)
     : routes_(std::move(routes)),
       net_(&routes_->network()),
       traffic_(&traffic),
       config_(config),
+      fault_events_(std::move(fault_events)),
       buf_base_(net_->channel_count(), 0),
       is_nic_(net_->channel_count(), 0),
       channel_dst_(net_->channel_count(), 0),
@@ -51,6 +55,15 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
                  "injection rate must be in [0, 1] flits/cycle");
   NBCLOS_REQUIRE(config.packet_flits >= 1, "packets need at least one flit");
   NBCLOS_REQUIRE(config.vcs >= 1, "need at least one virtual channel");
+  NBCLOS_REQUIRE(degraded == nullptr || &degraded->network() == net_,
+                 "degraded view was built over a different network");
+  NBCLOS_REQUIRE(fault_events_.empty() || degraded != nullptr,
+                 "fault events need a degraded view to apply to");
+  if (degraded != nullptr) degraded_.emplace(*degraded);
+  std::stable_sort(fault_events_.begin(), fault_events_.end(),
+                   [](const fault::FaultEvent& a, const fault::FaultEvent& b) {
+                     return a.cycle < b.cycle;
+                   });
   head_reservation_ = config.head_reservation_flits();
   if (config.switching == Switching::kVirtualCutThrough) {
     NBCLOS_REQUIRE(config.buffer_flits >= config.packet_flits,
@@ -136,8 +149,18 @@ void FlowSim::note_unblocked(std::uint32_t b) {
   const std::uint64_t duration = now_ - blocked_since_[b];
   blocked_since_[b] = kNotBlocked;
   stall_stats_.add(static_cast<double>(duration));
+  stall_duration_sum_ += duration;
+  ++stall_episode_count_;
   stall_hist_.add(duration);
   stall_metric_->record(duration);
+}
+
+void FlowSim::apply_due_faults() {
+  while (next_fault_ < fault_events_.size() &&
+         fault_events_[next_fault_].cycle <= now_) {
+    degraded_->apply(fault_events_[next_fault_]);
+    ++next_fault_;
+  }
 }
 
 bool FlowSim::backpressure_ok(std::uint32_t b,
@@ -157,6 +180,12 @@ std::uint32_t FlowSim::allocate_downstream(std::uint32_t from_vc,
       at_vertex, packet.src_terminal, packet.dst_terminal);
   NBCLOS_DEBUG_CHECK(net_->channel_src(nc) == at_vertex,
                      "route cache returned a foreign channel");
+  // A dead next channel blocks the head in place (fail-stop: the worm
+  // waits, it is never purged) — accounted as a credit stall.
+  if (!channel_usable(nc)) {
+    *credit_block = true;
+    return kNone;
+  }
   // First-free VC scan starting at the packet's current VC ("stay in
   // lane when possible"); a VC is usable when no other packet holds its
   // write claim and backpressure admits the head reservation.
@@ -176,6 +205,9 @@ std::uint32_t FlowSim::allocate_downstream(std::uint32_t from_vc,
 }
 
 bool FlowSim::try_transmit(std::uint32_t c) {
+  // A dead channel transmits nothing: its queued flits wait in place
+  // (and eventually trip the watchdog if nothing recovers them).
+  if (!channel_usable(c)) return false;
   const std::uint32_t vc_count = is_nic_[c] ? 1u : config_.vcs;
   const std::uint32_t start = next_vc_[c];
   for (std::uint32_t k = 0; k < vc_count; ++k) {
@@ -243,6 +275,8 @@ void FlowSim::eject(FlitRef flit) {
     if (tail && packet.injected_cycle >= config_.warmup_cycles) {
       const std::uint64_t latency = now_ - packet.injected_cycle;
       latency_.add(static_cast<double>(latency));
+      latency_sum_ += latency;
+      ++latency_count_;
       latency_hist_.add(latency);
     }
   }
@@ -301,40 +335,63 @@ void FlowSim::step_transmissions() {
   active_.resize(keep);
 }
 
+void FlowSim::inject_packet(std::uint32_t t, std::uint32_t dst) {
+  sim::Packet packet;
+  packet.id = next_packet_id_++;
+  packet.src_terminal = terminal_vertices_[t];
+  packet.dst_terminal = terminal_vertices_[dst];
+  packet.size_flits = config_.packet_flits;
+  packet.injected_cycle = now_;
+  packet.flow_sequence = flow_sequence_[t]++;
+  ++route_lookups_;
+  const std::uint32_t first = routes_->next_channel_from(
+      terminal_vertices_[t], packet.src_terminal, packet.dst_terminal);
+  NBCLOS_DEBUG_CHECK(is_nic_[first] != 0,
+                     "first hop must leave through the source NIC");
+  ++injected_;
+  // A dead NIC uplink is the one place a packet is dropped: it never
+  // entered the network, so there is nothing to purge or conserve.
+  if (!channel_usable(first)) {
+    ++dropped_;
+    return;
+  }
+  const std::uint32_t slot = packets_.acquire(packet);
+  const std::uint32_t b = buf_base_[first];
+  for (std::uint32_t f = 0; f < config_.packet_flits; ++f) {
+    pool_.push(b, FlitRef{slot, f});
+  }
+  channel_flits_[first] += config_.packet_flits;
+  activate(first);
+  flits_in_system_ += config_.packet_flits;
+  if (packets_.live() > peak_live_packets_) {
+    peak_live_packets_ = packets_.live();
+  }
+}
+
 void FlowSim::step_injection() {
+  const auto terminal_count =
+      static_cast<std::uint32_t>(terminal_vertices_.size());
+  if (config_.counter_injection) {
+    // Every draw is a pure function of (seed, cycle, terminal) — the
+    // discipline ShardedFlowSim replays over its owned terminal ranges.
+    for (std::uint32_t t = 0; t < terminal_count; ++t) {
+      SplitMix64 sm(sim::injection_counter_state(config_.seed, now_, t));
+      if (!sim::injection_bernoulli(sm, packet_rate_)) continue;
+      Xoshiro256 dest_rng(sm.next());
+      const auto dst = traffic_->destination(t, dest_rng);
+      if (!dst.has_value()) continue;
+      inject_packet(t, *dst);
+    }
+    return;
+  }
   // Mirrors PacketSim::step_injection draw for draw (one bernoulli, then
   // one destination draw, terminals ascending) — the shared RNG sequence
   // is what makes the cross-engine golden equivalence exact.
-  const auto terminal_count =
-      static_cast<std::uint32_t>(terminal_vertices_.size());
   for (std::uint32_t t = 0; t < terminal_count; ++t) {
     if (!rng_.bernoulli(packet_rate_)) continue;
     const auto dst = traffic_->destination(t, rng_);
     if (!dst.has_value()) continue;
-    sim::Packet packet;
-    packet.id = next_packet_id_++;
-    packet.src_terminal = terminal_vertices_[t];
-    packet.dst_terminal = terminal_vertices_[*dst];
-    packet.size_flits = config_.packet_flits;
-    packet.injected_cycle = now_;
-    packet.flow_sequence = flow_sequence_[t]++;
-    ++route_lookups_;
-    const std::uint32_t first = routes_->next_channel_from(
-        terminal_vertices_[t], packet.src_terminal, packet.dst_terminal);
-    NBCLOS_DEBUG_CHECK(is_nic_[first] != 0,
-                       "first hop must leave through the source NIC");
-    ++injected_;
-    const std::uint32_t slot = packets_.acquire(packet);
-    const std::uint32_t b = buf_base_[first];
-    for (std::uint32_t f = 0; f < config_.packet_flits; ++f) {
-      pool_.push(b, FlitRef{slot, f});
-    }
-    channel_flits_[first] += config_.packet_flits;
-    activate(first);
-    flits_in_system_ += config_.packet_flits;
-    if (packets_.live() > peak_live_packets_) {
-      peak_live_packets_ = packets_.live();
-    }
+    inject_packet(t, *dst);
   }
 }
 
@@ -384,6 +441,7 @@ FlowResult FlowSim::run() {
   const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
   for (now_ = 0; now_ < total; ++now_) {
     measuring_ = now_ >= config_.warmup_cycles;
+    if (degraded_.has_value()) apply_due_faults();
     if (ledger_ != nullptr) ledger_->advance(now_);
     step_arrivals();
     step_transmissions();
@@ -403,11 +461,19 @@ FlowResult FlowSim::run() {
   result.offered_load = config_.injection_rate;
   result.injected_packets = injected_;
   result.delivered_packets = delivered_packets_;
+  result.dropped_packets = dropped_;
   result.accepted_throughput =
       static_cast<double>(delivered_measured_flits_) /
       (static_cast<double>(config_.measure_cycles) *
        static_cast<double>(terminal_vertices_.size()));
-  result.mean_latency = latency_.mean();
+  // Counter mode reports the exact integer mean (order-independent, so
+  // it merges across shards); the legacy mode keeps its Welford stream.
+  result.mean_latency =
+      config_.counter_injection
+          ? (latency_count_ > 0 ? static_cast<double>(latency_sum_) /
+                                      static_cast<double>(latency_count_)
+                                : 0.0)
+          : latency_.mean();
   result.latency_bucket_width =
       static_cast<double>(latency_hist_.bucket_width());
   if (latency_hist_.count() > 0) {
@@ -432,7 +498,13 @@ FlowResult FlowSim::run() {
   }
   result.credit_stall_cycles = credit_stall_cycles_;
   result.vc_stall_cycles = vc_stall_cycles_;
-  result.mean_stall_cycles = stall_stats_.mean();
+  result.mean_stall_cycles =
+      config_.counter_injection
+          ? (stall_episode_count_ > 0
+                 ? static_cast<double>(stall_duration_sum_) /
+                       static_cast<double>(stall_episode_count_)
+                 : 0.0)
+          : stall_stats_.mean();
   result.p99_stall_cycles =
       stall_hist_.count() > 0 ? stall_hist_.quantile(0.99) : 0.0;
   result.peak_buffer_flits = pool_.peak_switch_flits();
@@ -465,6 +537,7 @@ void FlowSim::flush_obs(double wall_seconds) {
   m.counter("flow.cycles").add(now_);
   m.counter("flow.packets.injected").add(injected_);
   m.counter("flow.packets.delivered").add(delivered_packets_);
+  m.counter("flow.packets.dropped").add(dropped_);
   m.counter("flow.route.lookups").add(route_lookups_);
   m.counter("flow.stall.credit_cycles").add(credit_stall_cycles_);
   m.counter("flow.stall.vc_cycles").add(vc_stall_cycles_);

@@ -84,6 +84,24 @@ std::uint32_t FtreeDmodkRouter::next_channel(std::uint32_t vertex,
   return ft.up_link(here, TopId{dst.value % ft.m()}).value;
 }
 
+RecursiveShardRouter::RecursiveShardRouter(const MultiLevelFabric& fabric)
+    : fabric_(&fabric), net_(&fabric.network()) {
+  NBCLOS_REQUIRE(net_->finalized(), "fabric network must be finalized");
+}
+
+std::uint32_t RecursiveShardRouter::next_channel(std::uint32_t vertex,
+                                                 const Packet& packet) const {
+  if (packet.src_terminal == packet.dst_terminal) return fault::kNoRoute;
+  // The Theorem 3 path is fixed per SD pair; every vertex appears on it
+  // at most once, so at most one path channel leaves `vertex`.
+  const auto path = fabric_->route(
+      {LeafId{packet.src_terminal}, LeafId{packet.dst_terminal}});
+  for (const auto c : path) {
+    if (net_->channel_src(c) == vertex) return c;
+  }
+  return fault::kNoRoute;
+}
+
 void CachedShardRouter::attach_views(
     std::span<const std::uint32_t> vertex_begin) {
   NBCLOS_REQUIRE(vertex_begin.size() >= 2, "partition needs >= 1 shard");

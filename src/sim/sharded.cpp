@@ -1,11 +1,8 @@
 #include "nbclos/sim/sharded.hpp"
 
 #include <algorithm>
-#include <atomic>
-#include <barrier>
 #include <bit>
 #include <chrono>
-#include <mutex>
 #include <thread>
 
 #include "nbclos/obs/metrics.hpp"
@@ -15,56 +12,7 @@ namespace nbclos::sim {
 
 namespace {
 constexpr std::uint32_t kTermRingInitialCapacity = 16;
-constexpr std::uint32_t kMaxShards = 64;
 }  // namespace
-
-ShardPlan ShardPlan::build(const Network& net, std::uint32_t shards) {
-  NBCLOS_REQUIRE(net.finalized(), "network must be finalized");
-  NBCLOS_REQUIRE(shards >= 1, "shard count must be >= 1");
-  ShardPlan plan;
-  const std::uint32_t vertices = net.vertex_count();
-  plan.shard_count =
-      std::min({shards, kMaxShards, std::max<std::uint32_t>(vertices, 1)});
-
-  // Balance by out-channel counts: a shard's arena holds queue, flight,
-  // and arbitration state per owned channel, so cutting the contiguous
-  // vertex range at equal out-channel prefix shares balances memory and
-  // per-cycle work together.
-  std::vector<std::uint64_t> prefix(vertices + 1, 0);
-  for (std::uint32_t v = 0; v < vertices; ++v) {
-    prefix[v + 1] = prefix[v] + net.out_channels(v).size();
-  }
-  plan.vertex_begin.reserve(plan.shard_count + 1);
-  plan.vertex_begin.push_back(0);
-  for (std::uint32_t s = 1; s < plan.shard_count; ++s) {
-    const std::uint64_t target =
-        prefix[vertices] * s / plan.shard_count;
-    const auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
-    plan.vertex_begin.push_back(
-        static_cast<std::uint32_t>(it - prefix.begin()));
-  }
-  plan.vertex_begin.push_back(vertices);
-
-  std::vector<std::uint8_t> vertex_owner(vertices, 0);
-  for (std::uint32_t s = 0; s < plan.shard_count; ++s) {
-    for (std::uint32_t v = plan.vertex_begin[s]; v < plan.vertex_begin[s + 1];
-         ++v) {
-      vertex_owner[v] = static_cast<std::uint8_t>(s);
-    }
-  }
-  const std::uint32_t channels = net.channel_count();
-  plan.channel_owner.resize(channels);
-  plan.channel_local.resize(channels);
-  plan.shard_channels.resize(plan.shard_count);
-  for (std::uint32_t c = 0; c < channels; ++c) {
-    const auto owner = vertex_owner[net.channel_src(c)];
-    plan.channel_owner[c] = owner;
-    plan.channel_local[c] =
-        static_cast<std::uint32_t>(plan.shard_channels[owner].size());
-    plan.shard_channels[owner].push_back(c);
-  }
-  return plan;
-}
 
 /// All mutable per-shard simulation state — one arena per worker, never
 /// touched by any other thread.  Per-channel arrays are locally indexed
@@ -102,6 +50,8 @@ struct ShardedSim::Shard {
 
   std::optional<fault::DegradedView> degraded;
   std::size_t next_fault = 0;
+  std::uint32_t numa_node = 0;  ///< node the worker ran (and touched) on
+  std::uint8_t pinned = 0;
 
   // Phase scratch.
   std::vector<Proposal> local_props;  ///< proposals targeting this shard
@@ -128,19 +78,6 @@ struct ShardedSim::Shard {
   std::uint64_t barrier_samples = 0;
 
   explicit Shard(std::uint64_t latency_max) : latency_hist(latency_max) {}
-};
-
-/// Barrier + failure latch.  A worker that throws records the exception,
-/// raises `failed`, and drops from the barrier so the remaining shards
-/// never deadlock; they drain out at their next cycle boundary and the
-/// calling thread rethrows after joining.
-struct ShardedSim::Sync {
-  std::barrier<> barrier;
-  std::atomic<bool> failed{false};
-  std::mutex mutex;
-  std::exception_ptr eptr;
-
-  explicit Sync(std::ptrdiff_t n) : barrier(n) {}
 };
 
 ShardedSim::ShardedSim(const Network& net, const ShardRouter& router,
@@ -175,63 +112,74 @@ ShardedSim::ShardedSim(const Network& net, const ShardRouter& router,
                    "guarantee this)");
   }
   config_.counter_injection = true;  // the sharded engine's only mode
+  degraded_ = degraded;
 
   plan_ = ShardPlan::build(net, shards);
   const std::uint32_t shard_count = plan_.shard_count;
   const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
-  const auto slice = std::bit_ceil(config_.queue_capacity);
 
+  // Shard objects carry only metadata here; the heavy arena vectors are
+  // allocated (and thus first-touched) inside each worker thread in
+  // run_shard, so with pinning enabled every arena's pages land on the
+  // worker's own NUMA node.
   shards_.reserve(shard_count);
   for (std::uint32_t s = 0; s < shard_count; ++s) {
     auto shard = std::make_unique<Shard>(total);
-    Shard& sh = *shard;
-    sh.index = s;
-    sh.term_lo = std::min(plan_.vertex_begin[s], terminal_count_);
-    sh.term_hi = std::min(plan_.vertex_begin[s + 1], terminal_count_);
-    const auto& owned = plan_.shard_channels[s];
-    const auto count = static_cast<std::uint32_t>(owned.size());
-    sh.flight.resize(count);
-    sh.q_head.assign(count, 0);
-    sh.q_size.assign(count, 0);
-    sh.pool_base.assign(count, 0);
-    sh.queue_depth.assign(count, 0);
-    sh.rr_last_winner.assign(count, 0);
-    sh.in_flying.assign(count, 0);
-    sh.in_sendable.assign(count, 0);
-    sh.dst_is_terminal.assign(count, 0);
-    sh.is_terminal_source_queue.assign(count, 0);
-    sh.channel_dst.assign(count, 0);
-    sh.switch_slice_mask = slice - 1;
-    std::uint32_t switch_channels = 0;
-    std::uint32_t term_channels = 0;
-    for (std::uint32_t li = 0; li < count; ++li) {
-      const auto c = owned[li];
-      const auto dst = net.channel_dst(c);
-      sh.channel_dst[li] = dst;
-      sh.dst_is_terminal[li] = net.vertex(dst).kind == VertexKind::kTerminal;
-      if (net.vertex(net.channel_src(c)).kind == VertexKind::kTerminal) {
-        sh.is_terminal_source_queue[li] = 1;
-        sh.pool_base[li] = term_channels++;
-      } else {
-        sh.pool_base[li] = switch_channels * slice;
-        ++switch_channels;
-      }
-    }
-    sh.switch_pool.resize(std::size_t{switch_channels} * slice);
-    sh.term_rings.resize(term_channels);
-    sh.switch_channel_count = switch_channels;
-    sh.flying.reserve(count);
-    sh.sendable.reserve(count);
-    sh.delivered_per_source.assign(terminal_count_, 0);
-    sh.flow_sequence.assign(sh.term_hi - sh.term_lo, 0);
-    sh.depth_sum_by_cycle.assign(total, 0);
-    if (degraded != nullptr) sh.degraded.emplace(*degraded);
+    shard->index = s;
+    shard->term_lo = std::min(plan_.vertex_begin[s], terminal_count_);
+    shard->term_hi = std::min(plan_.vertex_begin[s + 1], terminal_count_);
     shards_.push_back(std::move(shard));
   }
 
-  proposal_box_.resize(std::size_t{shard_count} * shard_count);
-  ack_box_.resize(std::size_t{shard_count} * shard_count);
-  sync_ = std::make_unique<Sync>(static_cast<std::ptrdiff_t>(shard_count));
+  proposal_box_ = MailboxGrid<Proposal>(shard_count);
+  ack_box_ = MailboxGrid<Ack>(shard_count);
+  sync_ =
+      std::make_unique<ShardSync>(static_cast<std::ptrdiff_t>(shard_count));
+  numa_ = NumaTopology::detect();
+}
+
+void ShardedSim::init_shard_arena(std::uint32_t s) {
+  Shard& sh = *shards_[s];
+  const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
+  const auto slice = std::bit_ceil(config_.queue_capacity);
+  const auto& owned = plan_.shard_channels[s];
+  const auto count = static_cast<std::uint32_t>(owned.size());
+  sh.flight.resize(count);
+  sh.q_head.assign(count, 0);
+  sh.q_size.assign(count, 0);
+  sh.pool_base.assign(count, 0);
+  sh.queue_depth.assign(count, 0);
+  sh.rr_last_winner.assign(count, 0);
+  sh.in_flying.assign(count, 0);
+  sh.in_sendable.assign(count, 0);
+  sh.dst_is_terminal.assign(count, 0);
+  sh.is_terminal_source_queue.assign(count, 0);
+  sh.channel_dst.assign(count, 0);
+  sh.switch_slice_mask = slice - 1;
+  std::uint32_t switch_channels = 0;
+  std::uint32_t term_channels = 0;
+  for (std::uint32_t li = 0; li < count; ++li) {
+    const auto c = owned[li];
+    const auto dst = net_->channel_dst(c);
+    sh.channel_dst[li] = dst;
+    sh.dst_is_terminal[li] = net_->vertex(dst).kind == VertexKind::kTerminal;
+    if (net_->vertex(net_->channel_src(c)).kind == VertexKind::kTerminal) {
+      sh.is_terminal_source_queue[li] = 1;
+      sh.pool_base[li] = term_channels++;
+    } else {
+      sh.pool_base[li] = switch_channels * slice;
+      ++switch_channels;
+    }
+  }
+  sh.switch_pool.resize(std::size_t{switch_channels} * slice);
+  sh.term_rings.resize(term_channels);
+  sh.switch_channel_count = switch_channels;
+  sh.flying.reserve(count);
+  sh.sendable.reserve(count);
+  sh.delivered_per_source.assign(terminal_count_, 0);
+  sh.flow_sequence.assign(sh.term_hi - sh.term_lo, 0);
+  sh.depth_sum_by_cycle.assign(total, 0);
+  if (degraded_ != nullptr) sh.degraded.emplace(*degraded_);
 }
 
 ShardedSim::~ShardedSim() = default;
@@ -341,7 +289,6 @@ void ShardedSim::phase_propose(Shard& sh, std::uint64_t now, bool measuring) {
   std::sort(sh.flying.begin(), sh.flying.end());
   std::size_t keep = 0;
   const std::size_t flying_count = sh.flying.size();
-  const std::uint32_t shard_count = plan_.shard_count;
   for (std::size_t i = 0; i < flying_count; ++i) {
     const auto c = sh.flying[i];
     const auto li = plan_.channel_local[c];
@@ -379,8 +326,7 @@ void ShardedSim::phase_propose(Shard& sh, std::uint64_t now, bool measuring) {
     if (owner == sh.index) {
       sh.local_props.push_back(proposal);
     } else {
-      proposal_box_[std::size_t{sh.index} * shard_count + owner].push_back(
-          proposal);
+      proposal_box_.box(sh.index, owner).push_back(proposal);
       sh.cross_flits += fl.packet.size_flits;
     }
   }
@@ -398,8 +344,7 @@ void ShardedSim::send_ack(Shard& sh, std::uint32_t from, bool accepted) {
       sh.flying.push_back(from);
     }
   } else {
-    ack_box_[std::size_t{sh.index} * plan_.shard_count + owner].push_back(
-        Ack{from, accepted});
+    ack_box_.box(sh.index, owner).push_back(Ack{from, accepted});
   }
 }
 
@@ -413,15 +358,11 @@ void ShardedSim::phase_admit(Shard& sh) {
   merged.clear();
   merged.insert(merged.end(), sh.local_props.begin(), sh.local_props.end());
   sh.local_props.clear();
-  const std::uint32_t shard_count = plan_.shard_count;
-  for (std::uint32_t src = 0; src < shard_count; ++src) {
-    if (src == sh.index) continue;
-    auto& box = proposal_box_[std::size_t{src} * shard_count + sh.index];
-    if (box.empty()) continue;
+  proposal_box_.drain_to(sh.index, [&](std::uint32_t,
+                                       const std::vector<Proposal>& box) {
     sh.mailbox_peak = std::max<std::uint64_t>(sh.mailbox_peak, box.size());
     merged.insert(merged.end(), box.begin(), box.end());
-    box.clear();
-  }
+  });
   std::sort(merged.begin(), merged.end(),
             [](const Proposal& a, const Proposal& b) {
               return a.target < b.target ||
@@ -459,10 +400,8 @@ void ShardedSim::phase_resolve(Shard& sh, std::uint64_t now) {
   // Acks first: an accepted candidate frees its channel, which may load
   // a new packet in this cycle's transmissions (as in PacketSim, where
   // step_arrivals completes before step_transmissions).
-  const std::uint32_t shard_count = plan_.shard_count;
-  for (std::uint32_t src = 0; src < shard_count; ++src) {
-    if (src == sh.index) continue;
-    auto& box = ack_box_[std::size_t{src} * shard_count + sh.index];
+  ack_box_.drain_to(sh.index, [&](std::uint32_t,
+                                  const std::vector<Ack>& box) {
     for (const Ack& ack : box) {
       const auto li = plan_.channel_local[ack.from];
       if (ack.accepted) {
@@ -472,8 +411,7 @@ void ShardedSim::phase_resolve(Shard& sh, std::uint64_t now) {
         sh.flying.push_back(ack.from);
       }
     }
-    box.clear();
-  }
+  });
 
   // Transmissions (PacketSim::step_transmissions over owned channels).
   std::sort(sh.sendable.begin(), sh.sendable.end());
@@ -537,9 +475,19 @@ void ShardedSim::phase_resolve(Shard& sh, std::uint64_t now) {
 void ShardedSim::run_shard(std::uint32_t s) {
   try {
     Shard& sh = *shards_[s];
+    if (config_.pin_shards && !numa_.pin_order.empty()) {
+      sh.pinned =
+          pin_current_thread(numa_.pin_order[s % numa_.pin_order.size()])
+              ? 1
+              : 0;
+    }
+    // First-touch: the arena vectors are allocated here, on the worker's
+    // own thread (after pinning), so their pages land on this node.
+    init_shard_arena(s);
+    sh.numa_node = current_numa_node(numa_);
     const std::uint64_t total = config_.warmup_cycles + config_.measure_cycles;
     for (std::uint64_t now = 0; now < total; ++now) {
-      if (sync_->failed.load(std::memory_order_relaxed)) {
+      if (sync_->poisoned()) {
         sync_->barrier.arrive_and_drop();
         return;
       }
@@ -573,12 +521,7 @@ void ShardedSim::run_shard(std::uint32_t s) {
       sh.depth_sum_by_cycle[now] = sh.switch_depth_sum;
     }
   } catch (...) {
-    {
-      const std::scoped_lock lock(sync_->mutex);
-      if (!sync_->eptr) sync_->eptr = std::current_exception();
-    }
-    sync_->failed.store(true, std::memory_order_relaxed);
-    sync_->barrier.arrive_and_drop();
+    sync_->record_failure();
   }
 }
 
@@ -588,13 +531,19 @@ SimResult ShardedSim::run() {
   obs::ScopedSpan span("sim.sharded.run", "sim");
   const auto wall_start = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
-  workers.reserve(plan_.shard_count - 1);
+  workers.reserve(plan_.shard_count);
   for (std::uint32_t s = 1; s < plan_.shard_count; ++s) {
     workers.emplace_back([this, s] { run_shard(s); });
   }
-  run_shard(0);
+  // With pinning, shard 0 gets its own thread too — running it inline
+  // would permanently re-pin the caller's thread.
+  if (config_.pin_shards) {
+    workers.emplace_back([this] { run_shard(0); });
+  } else {
+    run_shard(0);
+  }
   for (auto& worker : workers) worker.join();
-  if (sync_->eptr) std::rethrow_exception(sync_->eptr);
+  sync_->rethrow_if_failed();
 
   SimResult result = merge_results();
   if constexpr (obs::kEnabled) {
@@ -752,6 +701,10 @@ void ShardedSim::flush_obs(double wall_seconds) {
     const Shard& sh = *shard;
     m.gauge("sim.sharded.shard." + std::to_string(sh.index) + ".depth_sum")
         .set(static_cast<std::int64_t>(sh.switch_depth_sum));
+    // Arena node residency: with pinning + first-touch this is the node
+    // the shard's arena pages live on.
+    m.gauge("sim.sharded.shard." + std::to_string(sh.index) + ".numa_node")
+        .set(static_cast<std::int64_t>(sh.numa_node));
     // Sampled epoch-barrier wait: mean ns per sampled cycle, per shard.
     if (sh.barrier_samples > 0) {
       m.histogram("sim.sharded.barrier_wait_ns", 1'000'000)

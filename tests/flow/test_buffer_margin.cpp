@@ -152,6 +152,46 @@ TEST_F(BufferMargin, SingleFlitPacketsNeedOnlyShallowBuffers) {
   EXPECT_LE(result.min_flits_nonblocking, 4U);
 }
 
+TEST_F(BufferMargin, BisectionMatchesTheFullSweepAtEveryShardCount) {
+  // Same grid, same probes modulo injection mode: with counter injection
+  // in the base config the serial sweep and the sharded bisection probe
+  // identical simulations, so the margin must agree — and the bisection
+  // must get there in O(log N) probes at every shard count.
+  BufferMarginConfig config = margin_config();
+  config.base.counter_injection = true;
+  const auto sweep = buffer_margin_sweep(cache, traffic, config);
+  ASSERT_GT(sweep.min_flits_nonblocking, 0U);
+  for (const std::uint32_t shards : {1U, 2U, 4U}) {
+    const auto bisect =
+        analysis::buffer_margin_bisect(cache, traffic, config, shards);
+    EXPECT_EQ(bisect.min_flits_nonblocking, sweep.min_flits_nonblocking)
+        << "shards=" << shards;
+    EXPECT_LE(bisect.points.size(), 4U) << "log2(5) probes + boundary";
+    // Probed points carry real evidence and ascend by depth.
+    for (std::size_t i = 0; i < bisect.points.size(); ++i) {
+      if (i > 0) {
+        EXPECT_GT(bisect.points[i].buffer_flits,
+                  bisect.points[i - 1].buffer_flits);
+      }
+      if (bisect.points[i].buffer_flits >= sweep.min_flits_nonblocking) {
+        EXPECT_TRUE(bisect.points[i].sustained);
+      }
+    }
+  }
+}
+
+TEST_F(BufferMargin, BisectionReportsZeroWhenNoDepthSustains) {
+  BufferMarginConfig config = margin_config();
+  config.probe_load = 1.0;
+  config.base.packet_flits = 8;
+  config.base.credit_delay = 8;
+  config.buffer_sizes = {1};
+  const auto result = analysis::buffer_margin_bisect(cache, traffic, config, 2);
+  ASSERT_EQ(result.points.size(), 1U);
+  EXPECT_FALSE(result.points[0].sustained);
+  EXPECT_EQ(result.min_flits_nonblocking, 0U);
+}
+
 TEST_F(BufferMargin, ReportsZeroWhenNoDepthSustains) {
   // Probing only depth 1 under long wormhole packets at full load: the
   // credit round trip throttles every channel well below the sustain

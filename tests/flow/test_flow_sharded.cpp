@@ -1,0 +1,304 @@
+/// \file test_flow_sharded.cpp
+/// \brief ShardedFlowSim determinism: bit-identical FlowResults against
+///        serial FlowSim (counter injection) at 1/2/4/8 shards — for
+///        wormhole and virtual cut-through, credit and on/off
+///        backpressure, under mid-run fault schedules, and through a
+///        genuine cross-shard deadlock where the watchdog verdict must
+///        come from epoch totals aggregated over ALL shards.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "nbclos/analysis/permutations.hpp"
+#include "nbclos/fault/degraded_view.hpp"
+#include "nbclos/flow/engine.hpp"
+#include "nbclos/flow/sharded.hpp"
+#include "nbclos/routing/route_cache.hpp"
+#include "nbclos/routing/yuan_nonblocking.hpp"
+
+namespace nbclos {
+namespace {
+
+using flow::Backpressure;
+using flow::FlowConfig;
+using flow::FlowResult;
+using flow::FlowSim;
+using flow::ShardedFlowSim;
+using flow::Switching;
+
+std::shared_ptr<const routing::ChannelRouteCache> make_cache(
+    const FoldedClos& ft, const Network& net,
+    const SinglePathRouting& routing) {
+  return std::make_shared<const routing::ChannelRouteCache>(
+      net, [&](SDPair sd) {
+        LinkId run[FoldedClos::kMaxPathLinks];
+        const auto count = ft.links_into(routing.route(sd), run);
+        std::vector<std::uint32_t> channels;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          channels.push_back(run[i].value);
+        }
+        return channels;
+      });
+}
+
+/// EXPECT_EQ on every FlowResult field.  Doubles compare exactly: the
+/// sharded merges are defined to replay serial's arithmetic bit for bit.
+void expect_identical(const FlowResult& a, const FlowResult& b,
+                      std::uint32_t shards) {
+  SCOPED_TRACE("shards=" + std::to_string(shards));
+  EXPECT_EQ(a.offered_load, b.offered_load);
+  EXPECT_EQ(a.accepted_throughput, b.accepted_throughput);
+  EXPECT_EQ(a.mean_latency, b.mean_latency);
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.p999_latency, b.p999_latency);
+  EXPECT_EQ(a.latency_bucket_width, b.latency_bucket_width);
+  EXPECT_EQ(a.injected_packets, b.injected_packets);
+  EXPECT_EQ(a.delivered_packets, b.delivered_packets);
+  EXPECT_EQ(a.dropped_packets, b.dropped_packets);
+  EXPECT_EQ(a.mean_switch_queue_depth, b.mean_switch_queue_depth);
+  EXPECT_EQ(a.min_flow_throughput, b.min_flow_throughput);
+  EXPECT_EQ(a.max_flow_throughput, b.max_flow_throughput);
+  EXPECT_EQ(a.credit_stall_cycles, b.credit_stall_cycles);
+  EXPECT_EQ(a.vc_stall_cycles, b.vc_stall_cycles);
+  EXPECT_EQ(a.mean_stall_cycles, b.mean_stall_cycles);
+  EXPECT_EQ(a.p99_stall_cycles, b.p99_stall_cycles);
+  EXPECT_EQ(a.peak_buffer_flits, b.peak_buffer_flits);
+  EXPECT_EQ(a.peak_live_packets, b.peak_live_packets);
+  EXPECT_EQ(a.deadlocked, b.deadlocked);
+  EXPECT_EQ(a.deadlock_cycle, b.deadlock_cycle);
+  EXPECT_EQ(a.stuck_flits, b.stuck_flits);
+  EXPECT_EQ(a.stuck_buffers, b.stuck_buffers);
+}
+
+/// ftree(2+4, 3): 16 terminals, enough levels for multi-hop worms, small
+/// enough that 4 engines x 4 shard counts stay fast.
+class FlowSharded : public ::testing::Test {
+ protected:
+  FlowSharded()
+      : ft(FtreeParams{2, 4, 3}),
+        net(build_network(ft)),
+        yuan(ft),
+        cache(make_cache(ft, net, yuan)),
+        traffic(sim::TrafficPattern::permutation(
+            shift_permutation(ft.leaf_count(), 5), ft.leaf_count())) {}
+
+  FlowConfig base_config() const {
+    FlowConfig config;
+    config.injection_rate = 0.6;  // deep enough to engage backpressure
+    config.packet_flits = 3;
+    config.buffer_flits = 4;
+    config.vcs = 1;
+    config.warmup_cycles = 300;
+    config.measure_cycles = 1700;
+    config.watchdog_epoch = 256;
+    config.seed = 20260809;
+    config.counter_injection = true;
+    return config;
+  }
+
+  void check_all_shard_counts(const FlowConfig& config,
+                              const fault::DegradedView* degraded = nullptr,
+                              std::vector<fault::FaultEvent> events = {}) {
+    FlowSim serial(cache, traffic, config, degraded, events);
+    const FlowResult golden = serial.run();
+    const auto serial_busy = serial.link_busy_flits();
+    for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+      ShardedFlowSim sharded(cache, traffic, config, shards, degraded, events);
+      const FlowResult got = sharded.run();
+      expect_identical(golden, got, shards);
+      EXPECT_EQ(serial_busy, sharded.link_busy_flits())
+          << "link_busy diverged at " << shards << " shards";
+    }
+  }
+
+  FoldedClos ft;
+  Network net;
+  YuanNonblockingRouting yuan;
+  std::shared_ptr<const routing::ChannelRouteCache> cache;
+  sim::TrafficPattern traffic;
+};
+
+TEST_F(FlowSharded, BitIdenticalWormholeCredit) {
+  check_all_shard_counts(base_config());
+}
+
+TEST_F(FlowSharded, BitIdenticalWormholeOnOff) {
+  FlowConfig config = base_config();
+  config.backpressure = Backpressure::kOnOff;
+  check_all_shard_counts(config);
+}
+
+TEST_F(FlowSharded, BitIdenticalVctCredit) {
+  FlowConfig config = base_config();
+  config.switching = Switching::kVirtualCutThrough;
+  check_all_shard_counts(config);
+}
+
+TEST_F(FlowSharded, BitIdenticalVctOnOff) {
+  FlowConfig config = base_config();
+  config.switching = Switching::kVirtualCutThrough;
+  config.backpressure = Backpressure::kOnOff;
+  check_all_shard_counts(config);
+}
+
+TEST_F(FlowSharded, BitIdenticalMultiVcUniformTraffic) {
+  traffic = sim::TrafficPattern::uniform(ft.leaf_count());
+  FlowConfig config = base_config();
+  config.vcs = 2;
+  config.injection_rate = 0.8;
+  check_all_shard_counts(config);
+}
+
+TEST_F(FlowSharded, BitIdenticalWithPinning) {
+  FlowConfig config = base_config();
+  config.pin_shards = true;
+  check_all_shard_counts(config);
+}
+
+/// Mid-run fault schedule: a spine channel dies (worms block in place, a
+/// stall signature), a NIC uplink dies (injection drops), and the spine
+/// recovers — every shard replays the same schedule on its private copy.
+TEST_F(FlowSharded, BitIdenticalUnderFaultSchedule) {
+  fault::DegradedView view(net);
+  std::uint32_t spine = UINT32_MAX;
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    const bool from_switch =
+        net.vertex(net.channel_src(c)).kind != VertexKind::kTerminal;
+    const bool to_switch =
+        net.vertex(net.channel_dst(c)).kind != VertexKind::kTerminal;
+    if (from_switch && to_switch) {
+      spine = c;
+      break;
+    }
+  }
+  ASSERT_NE(spine, UINT32_MAX);
+  std::uint32_t nic = UINT32_MAX;
+  for (std::uint32_t c = 0; c < net.channel_count(); ++c) {
+    if (net.vertex(net.channel_src(c)).kind == VertexKind::kTerminal) {
+      nic = c;
+      break;
+    }
+  }
+  ASSERT_NE(nic, UINT32_MAX);
+  const std::vector<fault::FaultEvent> events{
+      {500, fault::FaultAction::kFailChannel, spine},
+      {700, fault::FaultAction::kFailChannel, nic},
+      {1100, fault::FaultAction::kRecoverChannel, spine},
+  };
+  FlowConfig config = base_config();
+  config.watchdog_epoch = 0;  // blocked worms are expected mid-schedule
+  check_all_shard_counts(config, &view, events);
+  // The schedule must actually have bitten: rerun serially and check the
+  // drop counter engaged (regression against a silently dead schedule).
+  FlowSim probe(cache, traffic, config, &view, events);
+  EXPECT_GT(probe.run().dropped_packets, 0U);
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog aggregation across shards: the canonical 4-switch directed
+// ring wedge (see test_flow_deadlock.cpp).  The cycle spans every shard
+// cut, so each shard alone sees partial (even negative) flit counts —
+// only the aggregated epoch totals give the serial verdict.
+
+constexpr std::uint32_t kRing = 4;
+
+struct RingFabric {
+  RingFabric() {
+    for (std::uint32_t i = 0; i < kRing; ++i) {
+      net.add_vertex(VertexKind::kTerminal, 0, i);
+    }
+    for (std::uint32_t i = 0; i < kRing; ++i) {
+      net.add_vertex(VertexKind::kSwitch, 1, i);
+    }
+    for (std::uint32_t i = 0; i < kRing; ++i) {
+      nic[i] = net.add_channel(i, kRing + i);
+    }
+    for (std::uint32_t i = 0; i < kRing; ++i) {
+      eject[i] = net.add_channel(kRing + i, i);
+    }
+    for (std::uint32_t i = 0; i < kRing; ++i) {
+      ring[i] = net.add_channel(kRing + i, kRing + (i + 1) % kRing);
+    }
+    net.finalize();
+    cache = std::make_shared<const routing::ChannelRouteCache>(
+        net, [this](SDPair sd) {
+          std::vector<std::uint32_t> path{nic[sd.src.value]};
+          for (std::uint32_t at = sd.src.value; at != sd.dst.value;
+               at = (at + 1) % kRing) {
+            path.push_back(ring[at]);
+          }
+          path.push_back(eject[sd.dst.value]);
+          return path;
+        });
+  }
+
+  Network net;
+  std::uint32_t nic[kRing];
+  std::uint32_t eject[kRing];
+  std::uint32_t ring[kRing];
+  std::shared_ptr<const routing::ChannelRouteCache> cache;
+};
+
+FlowConfig wedge_config() {
+  FlowConfig config;
+  config.injection_rate = 1.0;
+  config.packet_flits = 6;  // worm longer than the buffer: spans routers
+  config.buffer_flits = 2;
+  config.vcs = 1;
+  config.switching = Switching::kWormhole;
+  config.backpressure = Backpressure::kCredit;
+  config.warmup_cycles = 200;
+  config.measure_cycles = 1800;
+  config.watchdog_epoch = 128;
+  config.seed = 99;
+  config.counter_injection = true;
+  return config;
+}
+
+TEST(FlowShardedWatchdog, VerdictMatchesSerialAcrossShardCuts) {
+  RingFabric fab;
+  const auto traffic =
+      sim::TrafficPattern::permutation(shift_permutation(kRing, 2), kRing);
+  FlowSim serial(fab.cache, traffic, wedge_config());
+  const FlowResult golden = serial.run();
+  ASSERT_TRUE(golden.deadlocked);
+  ASSERT_GT(golden.stuck_flits, 0U);
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedFlowSim sharded(fab.cache, traffic, wedge_config(), shards);
+    const FlowResult got = sharded.run();
+    expect_identical(golden, got, shards);
+  }
+}
+
+/// A fault-induced global stall: at cycle 600 every channel dies, so
+/// in-flight flits freeze while injection keeps dropping.  The watchdog
+/// must still aggregate the (now static) flit counts across shards and
+/// trip at the same epoch as serial.
+TEST(FlowShardedWatchdog, FaultInducedTripMatchesSerial) {
+  RingFabric fab;
+  const auto traffic =
+      sim::TrafficPattern::permutation(shift_permutation(kRing, 1), kRing);
+  fault::DegradedView view(fab.net);
+  std::vector<fault::FaultEvent> events;
+  for (std::uint32_t c = 0; c < fab.net.channel_count(); ++c) {
+    events.push_back({600, fault::FaultAction::kFailChannel, c});
+  }
+  FlowConfig config = wedge_config();
+  config.packet_flits = 2;  // no intrinsic wedge: only the fault stalls it
+  config.buffer_flits = 4;
+  FlowSim serial(fab.cache, traffic, config, &view, events);
+  const FlowResult golden = serial.run();
+  ASSERT_TRUE(golden.deadlocked);
+  EXPECT_GE(golden.deadlock_cycle, 600U);
+  EXPECT_GT(golden.dropped_packets, 0U);
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedFlowSim sharded(fab.cache, traffic, config, shards, &view, events);
+    const FlowResult got = sharded.run();
+    expect_identical(golden, got, shards);
+  }
+}
+
+}  // namespace
+}  // namespace nbclos

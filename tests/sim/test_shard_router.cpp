@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
+#include "nbclos/core/multilevel.hpp"
+#include "nbclos/fault/degraded_view.hpp"
 #include "nbclos/routing/kary_updown.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
@@ -100,6 +103,37 @@ TEST(FtreeDmodkRouter, WalksValidMinimalPaths) {
       }
     }
   }
+}
+
+TEST(RecursiveShardRouter, MatchesFabricRouteOnEveryPair) {
+  for (const std::uint32_t levels : {2U, 3U}) {
+    const MultiLevelFabric fabric(2, levels);
+    const auto& net = fabric.network();
+    const sim::RecursiveShardRouter router(fabric);
+    EXPECT_EQ(router.name(), "multilevel-thm3");
+    for (std::uint32_t s = 0; s < fabric.port_count(); ++s) {
+      for (std::uint32_t d = 0; d < fabric.port_count(); ++d) {
+        if (s == d) continue;
+        const auto expect = fabric.route(SDPair{LeafId{s}, LeafId{d}});
+        const auto got = walk(net, router, s, d, 32);
+        ASSERT_EQ(got.size(), expect.size())
+            << "levels=" << levels << " " << s << "->" << d;
+        for (std::size_t i = 0; i < expect.size(); ++i) {
+          EXPECT_EQ(got[i], expect[i])
+              << "levels=" << levels << " " << s << "->" << d << " hop " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(RecursiveShardRouter, SelfPairHasNoRoute) {
+  const MultiLevelFabric fabric(2, 2);
+  const sim::RecursiveShardRouter router(fabric);
+  sim::Packet p;
+  p.src_terminal = 3;
+  p.dst_terminal = 3;
+  EXPECT_EQ(router.next_channel(3, p), fault::kNoRoute);
 }
 
 TEST(ShardRouteView, ViewsPartitionTheFullCache) {
@@ -210,6 +244,39 @@ TEST(ShardPlan, PartitionIsContiguousBalancedAndComplete) {
   // Requested counts beyond the vertex count are clamped, never fatal.
   const auto clamped = ShardPlan::build(build_crossbar(2), 64);
   EXPECT_LE(clamped.shard_count, build_crossbar(2).vertex_count());
+}
+
+TEST(ShardPlan, CutIsOutChannelBalancedOnTreeAndRecursiveFabrics) {
+  // The plan cuts the contiguous vertex range at equal out-channel
+  // prefix shares, so no shard's owned-channel count can drift from the
+  // ideal C/S share by more than one vertex's out-degree — on the k-ary
+  // tree AND on the recursive multi-level construction, whose out-degree
+  // profile (leaves of degree 1 next to bottom switches of degree
+  // n + n^2) is exactly the skew that a vertex-count cut gets wrong.
+  const MultiLevelFabric fabric(2, 3);
+  const Network kary = build_kary_ntree(3, 3);
+  for (const Network* net : {&kary, &fabric.network()}) {
+    std::uint64_t max_degree = 0;
+    for (std::uint32_t v = 0; v < net->vertex_count(); ++v) {
+      max_degree = std::max<std::uint64_t>(max_degree,
+                                           net->out_channels(v).size());
+    }
+    for (const std::uint32_t shards : {2U, 4U, 8U}) {
+      const auto plan = ShardPlan::build(*net, shards);
+      ASSERT_EQ(plan.shard_count, shards);
+      EXPECT_EQ(plan.vertex_begin.front(), 0U);
+      EXPECT_EQ(plan.vertex_begin.back(), net->vertex_count());
+      const double ideal =
+          static_cast<double>(net->channel_count()) / shards;
+      for (std::uint32_t s = 0; s < shards; ++s) {
+        EXPECT_LE(plan.vertex_begin[s], plan.vertex_begin[s + 1]);
+        const auto owned =
+            static_cast<double>(plan.shard_channels[s].size());
+        EXPECT_LE(std::abs(owned - ideal), static_cast<double>(max_degree))
+            << "shards=" << shards << " s=" << s;
+      }
+    }
+  }
 }
 
 }  // namespace

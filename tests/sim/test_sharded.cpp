@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "nbclos/analysis/permutations.hpp"
+#include "nbclos/core/multilevel.hpp"
 #include "nbclos/sim/engine.hpp"
 #include "nbclos/sim/shard_router.hpp"
 #include "nbclos/sim/sharded.hpp"
@@ -129,6 +130,26 @@ TEST(ShardedSim, BitIdenticalUnderAFaultSchedule) {
     const auto got = sim.run();
     expect_identical(got, expect,
                      ("faulted shards=" + std::to_string(shards)).c_str());
+  }
+}
+
+TEST(ShardedSim, BitIdenticalToPacketSimOnMultiLevelFabric) {
+  // The recursive Theorem 3 fabric through the pure RecursiveShardRouter:
+  // the golden contract extends beyond the formulaic tree builders to
+  // the paper's §IV construction.
+  const MultiLevelFabric fabric(2, 3);  // 24 ports
+  const auto& net = fabric.network();
+  const RecursiveShardRouter router(fabric);
+  const auto traffic = TrafficPattern::permutation(
+      shift_permutation(fabric.port_count(), 5), fabric.port_count());
+  const auto config = sharded_config(0.6);
+  const auto expect = reference_run(net, router, traffic, config);
+  EXPECT_GT(expect.delivered_packets, 0U);
+  for (const std::uint32_t shards : {1U, 2U, 4U, 8U}) {
+    ShardedSim sim(net, router, traffic, config, shards);
+    const auto got = sim.run();
+    expect_identical(got, expect,
+                     ("multilevel shards=" + std::to_string(shards)).c_str());
   }
 }
 

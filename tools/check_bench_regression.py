@@ -5,7 +5,7 @@ Usage:
     check_bench_regression.py CURRENT.json BASELINE.json [--tolerance 0.25]
     check_bench_regression.py CURRENT.json --schema-only
 
-Four bench schemas are understood (dispatched on the "experiment"
+Five bench schemas are understood (dispatched on the "experiment"
 field):
 
   * "scale"         (bench_scale)  — per-radix cases; the compared
@@ -23,7 +23,16 @@ field):
     engine.vct.cycles_per_sec, matched by radix.  The buffer-margin
     verdicts double as correctness gates: the guaranteed routings
     (Theorem 3 and the adaptive schedule) must report a nonzero
-    min_flits_nonblocking and no deadlock.
+    min_flits_nonblocking and no deadlock;
+  * "flow_mt"       (bench_flow_mt) — per-topology cases, each run
+    serially and at several shard counts; the compared metrics are the
+    serial and per-shard-count cycles_per_sec, matched by (topology,
+    shards).  Every shard count must report identical_to_serial == true
+    — a bit-exact divergence from serial FlowSim is a correctness
+    regression, not noise — and the bisection margins on the Theorem 3
+    routing must stay nonzero and deadlock-free.  speedup_vs_serial is
+    reported but never gated: single-hardware-thread CI runners make
+    any speedup floor meaningless.
 
 The gate is two-level, tuned so scheduler noise on a shared runner
 cannot flap it while a real code regression (which slows *every* case)
@@ -156,6 +165,51 @@ def validate_flow(doc):
     require(doc, "manifest.build_type", str)
 
 
+def validate_flow_mt(doc):
+    cases = require(doc, "cases", list)
+    if not cases:
+        fail("flow_mt document has no cases")
+    for case in cases:
+        topo = require(case, "topology", str)
+        require(case, "terminals", int)
+        require(case, "channels", int)
+        require(case, "peak_rss_kb", int)
+        require(case, "serial.cycles_per_sec", (int, float))
+        if require(case, "serial.deadlocked", bool):
+            fail(f"{topo}: serial reference run deadlocked")
+        points = require(case, "shard_counts", list)
+        if not points:
+            fail(f"{topo}: no shard-count points")
+        for point in points:
+            shards = require(point, "shards", int)
+            require(point, "seconds", (int, float))
+            require(point, "cycles_per_sec", (int, float))
+            require(point, "speedup_vs_serial", (int, float))
+            require(point, "cross_shard_flits", int)
+            require(point, "cross_shard_credits", int)
+            require(point, "accepted_throughput", (int, float))
+            if not require(point, "identical_to_serial", bool):
+                fail(f"{topo} at {shards} shards: results diverged from "
+                     "the serial FlowSim run (determinism regression)")
+        for mode in ("wormhole", "vct"):
+            min_flits = require(case, f"margin.{mode}.min_flits_nonblocking",
+                                int)
+            points = require(case, f"margin.{mode}.points", list)
+            if not points:
+                fail(f"{topo}: margin {mode} probed no depths")
+            for point in points:
+                require(point, "buffer_flits", int)
+                require(point, "sustained", bool)
+                if require(point, "deadlocked", bool):
+                    fail(f"{topo}: margin {mode} deadlocked at depth "
+                         f"{point['buffer_flits']}")
+            if min_flits == 0:
+                fail(f"{topo}: {mode} margin verdict regressed (the "
+                     "nonblocking routing no longer sustains the probe "
+                     "at any depth)")
+    require(doc, "manifest.build_type", str)
+
+
 def scale_metrics(doc):
     out = {}
     for case in doc["cases"]:
@@ -198,11 +252,24 @@ def flow_metrics(doc):
     return out
 
 
+def flow_mt_metrics(doc):
+    out = {}
+    for case in doc["cases"]:
+        topo = case["topology"]
+        out[f"{topo}.serial.cycles_per_sec"] = \
+            case["serial"]["cycles_per_sec"]
+        for point in case["shard_counts"]:
+            out[f"{topo}.shards{point['shards']}.cycles_per_sec"] = \
+                point["cycles_per_sec"]
+    return out
+
+
 SCHEMAS = {
     "scale": (validate_scale, scale_metrics),
     "scale_mt": (validate_scale_mt, scale_mt_metrics),
     "verify_engine": (validate_verify, verify_metrics),
     "flow": (validate_flow, flow_metrics),
+    "flow_mt": (validate_flow_mt, flow_mt_metrics),
 }
 
 

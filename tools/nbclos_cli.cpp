@@ -58,6 +58,8 @@
 #include "nbclos/core/fabric.hpp"
 #include "nbclos/fault/sweep.hpp"
 #include "nbclos/flow/engine.hpp"
+#include "nbclos/flow/sharded.hpp"
+#include "nbclos/routing/kary_updown.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 #include "nbclos/sim/engine.hpp"
@@ -76,7 +78,7 @@ int usage() {
             << "  nbclos schedule <n> <r>\n"
             << "  nbclos sim|simulate <topo> <load> "
                "<thm3|dmodk|random|adaptive> [--shards N]\n"
-            << "  nbclos flow-sim <n> <r> <load> [thm3|dmodk]\n"
+            << "  nbclos flow-sim <topo> <load> [thm3|dmodk] [--shards N]\n"
                "                  [--packet F] [--buffers F] [--vcs V] "
                "[--switching wormhole|vct]\n"
                "                  [--credit|--onoff] [--credit-delay D] "
@@ -396,12 +398,16 @@ int cmd_simulate(std::vector<std::string> args) {
 /// or virtual cut-through — the effects `simulate` (ideal switches)
 /// abstracts away.  Only deterministic single-path routings make sense
 /// here, because the flit engine consumes a materialized channel cache.
-int cmd_flow_sim(const std::vector<std::string>& args) {
-  const auto n = arg_u32(args, 0);
-  const auto r = arg_u32(args, 1);
-  const double load = std::stod(args.at(2));
-  std::string routing_name = "thm3";
-  std::size_t i = 3;
+/// `--shards N` routes the run through flow::ShardedFlowSim (counter
+/// injection; results are shard-count independent); `kary:K,H` fabrics
+/// route destination-based up/down (the d-mod-k analogue).
+int cmd_flow_sim(std::vector<std::string> args) {
+  const auto shards = take_u32_flag(args, "--shards");
+  g_manifest_shards = shards.value_or(0);
+  std::size_t i = 0;
+  const auto topo = parse_topo(args, i);
+  const double load = std::stod(args.at(i++));
+  std::string routing_name = topo.kary ? "dmodk" : "thm3";
   if (i < args.size() && args[i].rfind("--", 0) != 0) routing_name = args[i++];
 
   nbclos::flow::FlowConfig config;
@@ -440,47 +446,73 @@ int cmd_flow_sim(const std::vector<std::string>& args) {
     }
   }
 
-  const nbclos::FoldedClos ft(nbclos::FtreeParams{n, n * n, r});
-  const auto net = nbclos::build_network(ft);
-  std::unique_ptr<nbclos::SinglePathRouting> routing;
-  if (routing_name == "thm3") {
-    routing = std::make_unique<nbclos::YuanNonblockingRouting>(ft);
-  } else if (routing_name == "dmodk") {
-    routing = std::make_unique<nbclos::DModKRouting>(ft);
+  std::unique_ptr<nbclos::FoldedClos> ft;
+  const nbclos::Network net = [&] {
+    if (topo.kary) return nbclos::build_kary_ntree(topo.k, topo.h);
+    ft = std::make_unique<nbclos::FoldedClos>(
+        nbclos::FtreeParams{topo.n, topo.n * topo.n, topo.r});
+    return nbclos::build_network(*ft);
+  }();
+  std::shared_ptr<const nbclos::routing::ChannelRouteCache> cache;
+  std::string routing_label;
+  if (topo.kary) {
+    if (routing_name != "dmodk") {
+      throw std::invalid_argument(
+          "k-ary fabrics support only the dmodk routing");
+    }
+    const nbclos::KaryTreeRouter router(net, topo.k, topo.h);
+    cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
+        net, [&](nbclos::SDPair sd) { return router.route(sd); });
+    routing_label = "kary-dmodk";
   } else {
-    throw std::invalid_argument("unknown routing: " + routing_name);
+    std::unique_ptr<nbclos::SinglePathRouting> routing;
+    if (routing_name == "thm3") {
+      routing = std::make_unique<nbclos::YuanNonblockingRouting>(*ft);
+    } else if (routing_name == "dmodk") {
+      routing = std::make_unique<nbclos::DModKRouting>(*ft);
+    } else {
+      throw std::invalid_argument("unknown routing: " + routing_name);
+    }
+    cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
+        net, [&](nbclos::SDPair sd) {
+          nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
+          const auto count = ft->links_into(routing->route(sd), run);
+          std::vector<std::uint32_t> channels;
+          for (std::uint32_t k = 0; k < count; ++k) {
+            channels.push_back(run[k].value);
+          }
+          return channels;
+        });
+    routing_label = routing->name();
   }
-  const auto cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
-      net, [&](nbclos::SDPair sd) {
-        nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
-        const auto count = ft.links_into(routing->route(sd), run);
-        std::vector<std::uint32_t> channels;
-        for (std::uint32_t k = 0; k < count; ++k) {
-          channels.push_back(run[k].value);
-        }
-        return channels;
-      });
-  const auto pattern = nbclos::shift_permutation(ft.leaf_count(), n + 1);
-  const auto traffic =
-      nbclos::sim::TrafficPattern::permutation(pattern, ft.leaf_count());
+  const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
+  const auto shift = topo.kary ? topo.k + 1 : topo.n + 1;
+  const auto traffic = nbclos::sim::TrafficPattern::permutation(
+      nbclos::shift_permutation(terminals, shift), terminals);
 
-  nbclos::flow::FlowSim sim(cache, traffic, config);
-  const auto result = sim.run();
+  nbclos::flow::FlowResult result;
+  if (shards.has_value()) {
+    config.counter_injection = true;  // the sharded engine's only mode
+    nbclos::flow::ShardedFlowSim sim(cache, traffic, config, *shards);
+    result = sim.run();
+  } else {
+    nbclos::flow::FlowSim sim(cache, traffic, config);
+    result = sim.run();
+  }
 
   const bool vct =
       config.switching == nbclos::flow::Switching::kVirtualCutThrough;
   const bool onoff =
       config.backpressure == nbclos::flow::Backpressure::kOnOff;
-  std::ostringstream topo;
-  topo << "ftree(" << n << "+" << n * n << ", " << r << ")";
 
   if (json) {
     nbclos::JsonWriter jw(std::cout);
     jw.begin_object();
-    jw.member("topology", topo.str());
-    jw.member("routing", routing->name());
+    jw.member("topology", topo.name);
+    jw.member("routing", routing_label);
     jw.member("traffic", "shift_permutation");
     jw.key("config").begin_object();
+    jw.member("shards", static_cast<std::uint64_t>(shards.value_or(0)));
     jw.member("injection_rate", config.injection_rate);
     jw.member("packet_flits", config.packet_flits);
     jw.member("buffer_flits", config.buffer_flits);
@@ -516,14 +548,21 @@ int cmd_flow_sim(const std::vector<std::string>& args) {
     }
     jw.end_object();
     jw.key("manifest");
-    nbclos::obs::RunInfo::current().write_json(jw);
+    auto manifest = nbclos::obs::RunInfo::current();
+    manifest.shards = shards.value_or(0);
+    manifest.write_json(jw);
     jw.end_object();
     std::cout << "\n";
     return result.deadlocked ? 1 : 0;
   }
 
-  std::cout << topo.str() << ", " << routing->name()
-            << ", shift permutation, offered " << load << ":\n"
+  std::cout << topo.name << ", " << routing_label
+            << ", shift permutation, offered " << load;
+  if (shards.has_value()) {
+    std::cout << ", " << *shards
+              << " shard(s) [results are shard-count independent]";
+  }
+  std::cout << ":\n"
             << "  flow control:        " << (vct ? "vct" : "wormhole") << " + "
             << (onoff ? "on/off" : "credit") << ", " << config.buffer_flits
             << " flits/buffer, " << config.vcs << " VC(s), "
