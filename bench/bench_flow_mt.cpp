@@ -19,6 +19,9 @@
 ///     probe) with `analysis::buffer_margin_bisect` — O(log N) sharded
 ///     probes instead of the full sweep, which is what keeps radix 32
 ///     inside the quick budget.
+/// A final recorder_overhead section times the flight recorder live vs
+/// paused on a serial run (< 5% budget) and checks that the merged
+/// invariant time-series is bit-identical at every shard count.
 ///
 /// --quick runs the radix-32 ftree only; the full run adds radix 48 and
 /// the 10-ary 4-tree (10,000 terminals — its O(T^2) route cache honors
@@ -39,6 +42,7 @@
 #include "nbclos/flow/buffer_margin.hpp"
 #include "nbclos/flow/engine.hpp"
 #include "nbclos/flow/sharded.hpp"
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/obs/run_info.hpp"
 #include "nbclos/routing/kary_updown.hpp"
 #include "nbclos/routing/route_cache.hpp"
@@ -301,6 +305,96 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+
+  // --- flight-recorder overhead and shard-count series identity --------
+  // Serial FlowSim with the recorder armed, sampling live vs paused via
+  // the runtime switch (budget < 5%), then the sharded engine at every
+  // shard count checking the merged invariant series against serial bit
+  // for bit — the time-series analogue of identical_to_serial above.
+  {
+    const FoldedClos ftree(FtreeParams{4, 16, 16});
+    const Network net = build_network(ftree);
+    const YuanNonblockingRouting yuan(ftree);
+    const auto cache = make_ftree_cache(ftree, net, yuan);
+    const auto terminals = ftree.leaf_count();
+    const auto traffic = sim::TrafficPattern::permutation(
+        shift_permutation(terminals, 5), terminals);
+    flow::FlowConfig config;
+    config.injection_rate = 0.8;
+    config.packet_flits = 4;
+    config.buffer_flits = 8;
+    config.warmup_cycles = 200;
+    config.measure_cycles = quick ? 800 : 4000;
+    config.seed = manifest.seed;
+    config.counter_injection = true;
+    config.record_timeseries = true;
+    config.record_cadence = 32;
+
+    flow::FlowResult serial{};
+    std::vector<obs::MergedSeries> serial_series;
+    const auto run_serial = [&] {
+      flow::FlowSim sim(cache, traffic, config);
+      serial = sim.run();
+      serial_series.clear();
+      for (auto& series : sim.recorder().merged()) {
+        if (series.scope == obs::SeriesScope::kInvariant) {
+          serial_series.push_back(std::move(series));
+        }
+      }
+    };
+    obs::set_enabled(true);
+    const double on_secs = best_seconds(kTimingReps, run_serial);
+    const auto on_result = serial;
+    std::size_t points = 0;
+    for (const auto& series : serial_series) points += series.points.size();
+    const auto golden = serial_series;
+    obs::set_enabled(false);  // want() goes false: sampling pauses
+    const double off_secs = best_seconds(kTimingReps, run_serial);
+    obs::set_enabled(true);
+    const bool same_result = identical(on_result, serial);
+    if (!same_result) {
+      std::cerr << "recorder on/off changed the flow engine result\n";
+      all_identical = false;
+    }
+
+    json.key("recorder_overhead").begin_object();
+    json.member("compiled_in", obs::kEnabled);
+    json.member("cycles", config.warmup_cycles + config.measure_cycles);
+    json.member("enabled_seconds", on_secs);
+    json.member("paused_seconds", off_secs);
+    json.member("overhead_pct", (on_secs / off_secs - 1.0) * 100.0);
+    json.member("points_recorded", static_cast<std::uint64_t>(points));
+    json.member("results_identical", same_result);
+    json.key("series_identity").begin_array();
+    for (const auto shards : shard_counts) {
+      flow::ShardedFlowSim sim(cache, traffic, config, shards);
+      const auto result = sim.run();
+      std::vector<obs::MergedSeries> got;
+      for (auto& series : sim.recorder().merged()) {
+        if (series.scope == obs::SeriesScope::kInvariant) {
+          got.push_back(std::move(series));
+        }
+      }
+      bool same_series = identical(result, on_result) &&
+                         got.size() == golden.size();
+      for (std::size_t i = 0; same_series && i < golden.size(); ++i) {
+        same_series = got[i].name == golden[i].name &&
+                      got[i].stride_cycles == golden[i].stride_cycles &&
+                      got[i].points == golden[i].points;
+      }
+      if (!same_series) {
+        std::cerr << "merged time-series diverged at " << shards
+                  << " shards\n";
+        all_identical = false;
+      }
+      json.begin_object();
+      json.member("shards", static_cast<std::uint64_t>(shards));
+      json.member("identical_to_serial", same_series);
+      json.end_object();
+    }
+    json.end_array();
+    json.end_object();
+  }
 
   manifest.wall_seconds = seconds_since(wall_start);
   manifest.peak_rss_kb = obs::peak_rss_kb();

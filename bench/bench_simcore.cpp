@@ -17,12 +17,19 @@
 /// into the engine); a mismatch fails the bench.  The compiled-off cost
 /// is measured separately by building with -DNBCLOS_OBS=OFF.
 ///
+/// The recorder_overhead section does the same comparison with the
+/// flight recorder armed (record_timeseries) — sampling live vs paused
+/// via the runtime switch — with an acceptance budget of < 5%.
+///
 /// Simulation results are seeded and bit-reproducible; the timings, of
 /// course, are not.
 #include <chrono>
+#include <cstddef>
 #include <iostream>
 #include <limits>
 #include <string>
+#include <tuple>
+#include <utility>
 
 #include "nbclos/analysis/permutations.hpp"
 #include "nbclos/obs/metrics.hpp"
@@ -156,6 +163,66 @@ int main(int argc, char** argv) {
     json.member("enabled_seconds", on_secs);
     json.member("paused_seconds", off_secs);
     json.member("overhead_pct", (on_secs / off_secs - 1.0) * 100.0);
+    json.member("results_identical", true);
+    json.end_object();
+  }
+
+  // --- flight-recorder overhead: sampling live vs paused ---------------
+  {
+    const std::uint64_t cycles = std::min<std::uint64_t>(measure_cycles,
+                                                         100000);
+    const double load = 0.5;
+    const auto run_recording = [&](double rate, std::uint64_t window) {
+      nbclos::sim::SimConfig config;
+      config.injection_rate = rate;
+      config.warmup_cycles = 2000;
+      config.measure_cycles = window;
+      config.seed = kSeed;
+      config.record_timeseries = true;
+      nbclos::sim::FtreeOracle oracle(ftree, nbclos::sim::UplinkPolicy::kTable,
+                                      &table);
+      nbclos::sim::PacketSim sim(net, oracle, traffic, config);
+      const auto result = sim.run();
+      std::size_t points = 0;
+      for (const auto& series : sim.recorder().merged()) {
+        points += series.points.size();
+      }
+      return std::make_pair(result, points);
+    };
+    const auto best_of = [&](int reps) {
+      double best = std::numeric_limits<double>::infinity();
+      auto [result, points] = run_recording(load, cycles);  // warm-up
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto [r, p] = run_recording(load, cycles);
+        const double secs = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+        if (!same_result(r, result) || p != points) {
+          std::cerr << "nondeterministic recorder result\n";
+          std::exit(1);
+        }
+        if (secs < best) best = secs;
+      }
+      return std::make_tuple(best, result, points);
+    };
+    nbclos::obs::set_enabled(true);
+    const auto [on_secs, on_result, on_points] = best_of(3);
+    nbclos::obs::set_enabled(false);  // want() goes false: sampling pauses
+    const auto [off_secs, off_result, off_points] = best_of(3);
+    nbclos::obs::set_enabled(true);
+    if (!same_result(on_result, off_result)) {
+      std::cerr << "recorder on/off changed the engine result\n";
+      return 1;
+    }
+    json.key("recorder_overhead").begin_object();
+    json.member("compiled_in", nbclos::obs::kEnabled);
+    json.member("cycles", cycles);
+    json.member("enabled_seconds", on_secs);
+    json.member("paused_seconds", off_secs);
+    json.member("overhead_pct", (on_secs / off_secs - 1.0) * 100.0);
+    json.member("points_recorded", static_cast<std::uint64_t>(on_points));
+    json.member("points_paused", static_cast<std::uint64_t>(off_points));
     json.member("results_identical", true);
     json.end_object();
   }

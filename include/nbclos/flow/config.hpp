@@ -63,6 +63,15 @@ struct FlowConfig {
   /// arena allocation lands each shard's pages on its worker's NUMA
   /// node.  No effect on the serial engine; failures are never fatal.
   bool pin_shards = false;
+  /// Arm the obs::FlightRecorder: sample engine-level time series
+  /// (buffer occupancy, stall counters, blocked heads) every
+  /// record_cadence cycles into fixed-budget rings.  Off by default and
+  /// a no-op when the library is built with -DNBCLOS_OBS=OFF.  The
+  /// kInvariant series merge bit-identically at any shard count (same
+  /// contract as the FlowResult itself).
+  bool record_timeseries = false;
+  std::uint64_t record_cadence = 64;      ///< cycles between samples
+  std::uint32_t record_ring_capacity = 512;  ///< samples kept per series
 
   /// Buffer depth at which no switch FIFO can fill in the ideal-switch
   /// golden regime (see ideal_reference()); mirrors

@@ -55,6 +55,7 @@
 #include "nbclos/flow/buffers.hpp"
 #include "nbclos/flow/config.hpp"
 #include "nbclos/flow/credits.hpp"
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/obs/metrics.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/sim/traffic.hpp"
@@ -110,6 +111,55 @@ struct FlowResult {
   }
 };
 
+/// One blocked FIFO in a deadlock forensics report: where its head is
+/// stuck, what it is waiting for, and since when.
+struct BlockedBufferReport {
+  /// waiting_for when the wait target is unknown (empty FIFO, or a
+  /// terminal-bound head, which never blocks downstream).
+  static constexpr std::uint32_t kWaitsOnNone = UINT32_MAX;
+
+  std::uint32_t buffer = 0;   ///< global buffer id (serial FlowSim's space)
+  std::uint32_t channel = 0;  ///< channel owning the buffer
+  std::uint32_t occupancy = 0;  ///< flits queued in the FIFO at the trip
+  /// The downstream buffer the head flit needs space in: the worm's
+  /// out_alloc for body flits, the allocation scan's first candidate for
+  /// a head still waiting to claim a VC.
+  std::uint32_t waiting_for = kWaitsOnNone;
+  std::uint64_t blocked_since = 0;  ///< cycle the stall episode began
+  bool on_cycle = false;  ///< member of the circular-wait chain, if any
+};
+
+/// Stall forensics captured when the deadlock watchdog trips: every
+/// genuinely blocked FIFO (capped at kMaxBlocked, circular-wait members
+/// kept preferentially), the circular-wait chain found by following the
+/// waiting_for edges, and the last kTailPoints samples of each
+/// flight-recorder series — "what the system looked like just before it
+/// stopped".  The chain walk is exact for body flits (the worm's
+/// out_alloc IS the wait edge) and first-candidate for blocked heads,
+/// which with one VC — the classic wormhole-deadlock configuration — is
+/// exact too.
+struct DeadlockForensics {
+  static constexpr std::size_t kTailPoints = 16;
+  static constexpr std::size_t kMaxBlocked = 32;
+
+  bool valid = false;  ///< set iff the watchdog tripped
+  std::uint64_t trip_cycle = 0;
+  std::uint64_t stuck_flits = 0;
+  std::vector<BlockedBufferReport> blocked;  ///< ascending buffer id
+  /// Buffers forming one circular wait (first found, walk order), empty
+  /// when the blocked set is acyclic inside the report.
+  std::vector<std::uint32_t> wait_cycle;
+  std::vector<obs::MergedSeries> tail;  ///< recorder tail at the trip
+};
+
+namespace detail {
+/// Shared forensics finisher (serial + sharded engines): sort the raw
+/// blocked list by buffer id, find a circular wait by following the
+/// waiting_for edges, mark its members, and cap the list keeping chain
+/// members preferentially.
+void finalize_forensics(DeadlockForensics& forensics);
+}  // namespace detail
+
 class FlowSim {
  public:
   /// The cache pins the Network and the routing; it is shared read-only
@@ -142,6 +192,18 @@ class FlowSim {
   /// Checked internally at every watchdog epoch and at end of run; public
   /// so tests can probe it mid-run too.  \pre credit backpressure mode.
   [[nodiscard]] bool credit_conservation_holds() const;
+
+  /// The per-epoch time-series recorder (inactive unless
+  /// FlowConfig::record_timeseries).  Valid after run().
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+
+  /// Deadlock forensics — valid (forensics().valid) only when the
+  /// watchdog tripped.  Valid after run().
+  [[nodiscard]] const DeadlockForensics& forensics() const {
+    return forensics_;
+  }
 
  private:
   static constexpr std::uint32_t kNone = UINT32_MAX;
@@ -190,6 +252,11 @@ class FlowSim {
   bool watchdog_tripped();
   void fill_deadlock_diag(FlowResult& result) const;
   void flush_obs(double wall_seconds);
+  void arm_recorder();
+  void sample_recorder();
+  /// Freeze the blocked-FIFO picture + recorder tail after a watchdog
+  /// trip (the run loop has stopped; all state is final).
+  void capture_forensics();
 
   std::shared_ptr<const routing::ChannelRouteCache> routes_;
   const Network* net_;
@@ -273,6 +340,19 @@ class FlowSim {
   /// Stall-latency histogram handle, resolved once at construction (the
   /// registry lookup never runs on the hot path).
   obs::HistogramMetric* stall_metric_ = nullptr;
+  /// FIFOs currently inside a stall episode (blocked_since_ set) — the
+  /// flight recorder's blocked-head series; partitions additively across
+  /// shards because every buffer has exactly one owner.
+  std::uint64_t blocked_heads_ = 0;
+  obs::FlightRecorder recorder_;
+  obs::FlightRecorder::SeriesId rec_in_system_ = 0;
+  obs::FlightRecorder::SeriesId rec_buffer_occupancy_ = 0;
+  obs::FlightRecorder::SeriesId rec_credit_stalls_ = 0;
+  obs::FlightRecorder::SeriesId rec_vc_stalls_ = 0;
+  obs::FlightRecorder::SeriesId rec_blocked_heads_ = 0;
+  obs::FlightRecorder::SeriesId rec_injected_ = 0;
+  obs::FlightRecorder::SeriesId rec_delivered_ = 0;
+  DeadlockForensics forensics_;
 };
 
 /// Run one FlowSim per injection rate over `pool` (nullptr = serial).

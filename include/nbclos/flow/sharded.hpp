@@ -117,6 +117,22 @@ class ShardedFlowSim {
   /// Resident bytes of the per-shard flit/credit arenas.
   [[nodiscard]] std::size_t arena_bytes() const noexcept;
 
+  /// The per-epoch time-series recorder (inactive unless
+  /// FlowConfig::record_timeseries).  Every shard samples the same
+  /// global cycles into its own slot; the kInvariant series merge
+  /// bit-identically to a serial FlowSim recording at any shard count.
+  /// Valid after run().
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+
+  /// Deadlock forensics, merged across shards into serial FlowSim's
+  /// global buffer id space — valid (forensics().valid) only when the
+  /// watchdog tripped.  Valid after run().
+  [[nodiscard]] const DeadlockForensics& forensics() const {
+    return forensics_;
+  }
+
  private:
   struct Shard;
 
@@ -175,6 +191,11 @@ class ShardedFlowSim {
   [[nodiscard]] bool local_credit_conservation_holds(const Shard& sh) const;
   [[nodiscard]] FlowResult merge_results();
   void flush_obs(double wall_seconds);
+  void arm_recorder();
+  void sample_recorder(Shard& sh, std::uint64_t now);
+  /// Merge every shard's frozen blocked-FIFO picture (after the workers
+  /// have joined) into one global forensics report.
+  void capture_forensics();
 
   std::shared_ptr<const routing::ChannelRouteCache> routes_;
   const Network* net_;
@@ -220,6 +241,18 @@ class ShardedFlowSim {
   sim::NumaTopology numa_;
   Telemetry telemetry_;
   std::vector<std::uint64_t> merged_link_busy_;
+  obs::FlightRecorder recorder_;
+  obs::FlightRecorder::SeriesId rec_in_system_ = 0;
+  obs::FlightRecorder::SeriesId rec_buffer_occupancy_ = 0;
+  obs::FlightRecorder::SeriesId rec_credit_stalls_ = 0;
+  obs::FlightRecorder::SeriesId rec_vc_stalls_ = 0;
+  obs::FlightRecorder::SeriesId rec_blocked_heads_ = 0;
+  obs::FlightRecorder::SeriesId rec_injected_ = 0;
+  obs::FlightRecorder::SeriesId rec_delivered_ = 0;
+  obs::FlightRecorder::SeriesId rec_mailbox_flits_ = 0;
+  obs::FlightRecorder::SeriesId rec_mailbox_credits_ = 0;
+  obs::FlightRecorder::SeriesId rec_mailbox_peak_ = 0;
+  DeadlockForensics forensics_;
   bool ran_ = false;
 };
 

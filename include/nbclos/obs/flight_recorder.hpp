@@ -1,0 +1,194 @@
+/// \file flight_recorder.hpp
+/// \brief Fixed-budget time-series telemetry: per-shard ring buffers with
+///        deterministic downsampling, merged into ordered series.
+///
+/// The PR 4 metrics registry answers "what happened over the whole run";
+/// the flight recorder answers "how did it evolve": which signals grew,
+/// when congestion set in, what the last epochs before a watchdog trip
+/// looked like.  Design constraints (see DESIGN.md §"flight recorder"):
+///
+///   * FIXED BUDGET — every series is a ring of at most `ring_capacity`
+///     (timestamp, value) samples per shard.  When the ring fills, the
+///     series drops every other retained sample and doubles its sampling
+///     stride, so an arbitrarily long run costs the same memory as a
+///     short one and resolution degrades gracefully (never below
+///     ring_capacity/2 points spanning the whole run).  Engines record
+///     *aggregate* signals (total queue depth, busy-flit totals, blocked
+///     heads, mailbox occupancy), never one series per link: at 10^6
+///     terminals per-link rings would dwarf the simulation arenas.
+///
+///   * DETERMINISTIC — which samples survive downsampling is a pure
+///     function of the sequence of recorded timestamps and the ring
+///     capacity, never of wall-clock time or shard count.  Every shard
+///     of a sharded engine samples at the same global cycles with the
+///     same capacity, so all shards retain exactly the same timestamps
+///     and the merged series is bit-identical at any shard count
+///     (asserted by tests and the bench identity verdicts) — provided
+///     the recorded quantity partitions additively across shards.
+///     Series that exist only in sharded runs (mailbox occupancy,
+///     which is identically zero at one shard and absent serially) are
+///     tagged Scope::kShardTopology and excluded from that contract.
+///
+///   * WRITER-SAFE — each (series, shard) cell is written by exactly one
+///     shard thread; cells are preallocated at configure() so recording
+///     never allocates or locks.  merged() is called after the writers
+///     have joined (end of run / watchdog trip), where it aggregates
+///     across shards by exact integer sum or max.
+///
+/// Like the rest of nbclos/obs, the whole class collapses to an inline
+/// no-op stub under -DNBCLOS_OBS=OFF.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nbclos/obs/metrics.hpp"  // NBCLOS_OBS_ENABLED + runtime switch
+
+namespace nbclos::obs {
+
+/// One retained sample: simulation cycle and the (integer) value there.
+struct SeriesPoint {
+  std::uint64_t t = 0;   ///< simulation cycle of the sample
+  std::int64_t v = 0;    ///< recorded value (exact integers only)
+  friend bool operator==(const SeriesPoint&, const SeriesPoint&) = default;
+};
+
+/// How per-shard values combine into the merged series.
+enum class SeriesAgg : std::uint8_t {
+  kSum,  ///< value partitions additively across shards (totals, counters)
+  kMax   ///< value is a per-shard peak; the merged peak is the max
+};
+
+/// Whether the merged series is part of the shard-count-invariance
+/// contract.
+enum class SeriesScope : std::uint8_t {
+  kInvariant,      ///< must merge bit-identically at any shard count
+  kShardTopology   ///< depends on the shard cut (mailboxes, barriers)
+};
+
+/// One merged, ordered series as returned by FlightRecorder::merged().
+struct MergedSeries {
+  std::string name;
+  SeriesAgg agg = SeriesAgg::kSum;
+  SeriesScope scope = SeriesScope::kInvariant;
+  /// Cycles between retained samples after downsampling
+  /// (= cadence * 2^halvings); 0 when the series never recorded.
+  std::uint64_t stride_cycles = 0;
+  std::vector<SeriesPoint> points;  ///< strictly increasing t
+};
+
+#if NBCLOS_OBS_ENABLED
+
+class FlightRecorder {
+ public:
+  struct Config {
+    /// Cycles between samples before any downsampling.  Engines call
+    /// want(cycle) and only sample on multiples of the cadence, so the
+    /// per-cycle cost of an idle recorder is one branch.
+    std::uint64_t cadence = 64;
+    /// Per-(series, shard) ring budget in samples.  Must be >= 2; when
+    /// the ring fills resolution halves (stride doubles).
+    std::uint32_t ring_capacity = 512;
+    /// Writer slots; shard s of a sharded engine records into slot s.
+    std::uint32_t shards = 1;
+  };
+
+  using SeriesId = std::uint32_t;
+
+  /// Default-constructed recorder is inactive: want() is false and
+  /// record() is a no-op until configure() is called.
+  FlightRecorder() = default;
+  explicit FlightRecorder(const Config& config) { configure(config); }
+
+  /// (Re)arm the recorder: clears all series and sets the geometry.
+  /// Not thread-safe; call before the writer threads start.
+  void configure(const Config& config);
+
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+
+  /// Register a series (before the writers start).  Registering the
+  /// same name twice returns the same id.
+  SeriesId series(const std::string& name, SeriesAgg agg,
+                  SeriesScope scope = SeriesScope::kInvariant);
+
+  /// True when `cycle` is a sampling point.  Hot-path guard: engines
+  /// wrap their sampling block in `if (recorder.want(now))`.
+  [[nodiscard]] bool want(std::uint64_t cycle) const noexcept {
+    return active_ && cycle % config_.cadence == 0 &&
+           detail::runtime_enabled();
+  }
+
+  /// Append one sample to (series, shard).  \pre want(cycle) was true
+  /// this cycle and every shard records the same cycles in order.
+  /// Single writer per (series, shard) cell; never allocates beyond the
+  /// ring capacity reserved at configure().
+  void record(SeriesId id, std::uint32_t shard, std::uint64_t cycle,
+              std::int64_t value);
+
+  /// Merge every series across shards into ordered series (timestamps
+  /// strictly increasing).  Shards retain identical timestamps by
+  /// construction; defensively, only timestamps present in every
+  /// nonempty shard are merged.  Call after writers have joined.
+  [[nodiscard]] std::vector<MergedSeries> merged() const;
+
+  /// merged(), truncated to the last `k` points of each series — the
+  /// forensics tail dumped on a watchdog trip.
+  [[nodiscard]] std::vector<MergedSeries> tail(std::size_t k) const;
+
+  /// Total bytes reserved for sample storage (memory-bound checks).
+  [[nodiscard]] std::size_t sample_bytes() const noexcept;
+
+ private:
+  struct Cell {
+    std::vector<SeriesPoint> ring;   ///< size <= ring_capacity, ordered
+    std::uint64_t stride = 1;        ///< in cadence units; doubles on fill
+  };
+  struct SeriesState {
+    std::string name;
+    SeriesAgg agg;
+    SeriesScope scope;
+    std::vector<Cell> cells;  ///< one per shard, single-writer each
+  };
+
+  bool active_ = false;
+  Config config_{};
+  std::vector<SeriesState> series_;
+};
+
+#else  // !NBCLOS_OBS_ENABLED — inline no-op stubs
+
+class FlightRecorder {
+ public:
+  struct Config {
+    std::uint64_t cadence = 64;
+    std::uint32_t ring_capacity = 512;
+    std::uint32_t shards = 1;
+  };
+  using SeriesId = std::uint32_t;
+
+  FlightRecorder() = default;
+  explicit FlightRecorder(const Config&) {}
+  void configure(const Config&) {}
+  [[nodiscard]] bool active() const noexcept { return false; }
+  [[nodiscard]] const Config& config() const noexcept { return config_; }
+  SeriesId series(const std::string&, SeriesAgg,
+                  SeriesScope = SeriesScope::kInvariant) {
+    return 0;
+  }
+  [[nodiscard]] bool want(std::uint64_t) const noexcept { return false; }
+  void record(SeriesId, std::uint32_t, std::uint64_t, std::int64_t) {}
+  [[nodiscard]] std::vector<MergedSeries> merged() const { return {}; }
+  [[nodiscard]] std::vector<MergedSeries> tail(std::size_t) const {
+    return {};
+  }
+  [[nodiscard]] std::size_t sample_bytes() const noexcept { return 0; }
+
+ private:
+  Config config_{};
+};
+
+#endif  // NBCLOS_OBS_ENABLED
+
+}  // namespace nbclos::obs

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "nbclos/fault/degraded_view.hpp"
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/obs/trace.hpp"
 #include "nbclos/sim/oracle.hpp"
 #include "nbclos/sim/traffic.hpp"
@@ -61,6 +62,16 @@ struct SimConfig {
   /// every shard's pages on its worker's NUMA node.  No effect on the
   /// serial engines; pinning failures are recorded, never fatal.
   bool pin_shards = false;
+  /// Arm the flight recorder (obs::FlightRecorder): sample aggregate
+  /// engine telemetry every record_cadence cycles into fixed-budget ring
+  /// buffers (per shard in the sharded engine, merged bit-identically at
+  /// any shard count).  Recording never feeds back into simulation
+  /// state, so results are identical with it off, on, or compiled out.
+  bool record_timeseries = false;
+  /// Cycles between flight-recorder samples (before downsampling).
+  std::uint64_t record_cadence = 64;
+  /// Per-series per-shard ring budget in samples.
+  std::uint32_t record_ring_capacity = 512;
 
   /// Queue capacity at which no switch queue can fill on the topologies
   /// and loads this library sweeps: in the nonblocking regime queues stay
@@ -157,7 +168,17 @@ class PacketSim {
   }
 
   /// Per-link utilization report over the whole run.  Valid after run().
+  /// Recorder-backed: the per-link sums and the `sim.link.busy_flits`
+  /// flight-recorder series are fed by the same accumulator, and the
+  /// `sim.link.busy_flit_cycles` registry counter is flushed on the
+  /// sampling cadence, so a mid-run snapshot reports exact totals.
   [[nodiscard]] LinkUtilization link_utilization() const;
+
+  /// The per-epoch time-series recorder (inactive unless
+  /// SimConfig::record_timeseries).  Series are stable after run().
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
 
  private:
   /// The packet occupying a channel, if any (one per channel: a channel
@@ -262,7 +283,27 @@ class PacketSim {
   /// Aggregate engine telemetry into obs::metrics() + sampled per-phase
   /// timings; called once at the end of run() when obs is enabled.
   void flush_obs(double wall_seconds);
+  /// Flush busy flit-cycles accumulated since the last flush into the
+  /// `sim.link.busy_flit_cycles` counter.  Called on the 64-cycle obs
+  /// cadence *and* at end of run, so a concurrent registry snapshot
+  /// (metrics-serve, --metrics) sees exact mid-run totals instead of 0
+  /// until the run ends.
+  void flush_busy_flits();
+  /// Register the flight-recorder series (constructor) and append one
+  /// sample of every series at cycle `now_` into shard slot 0.
+  void arm_recorder();
+  void sample_recorder();
   std::vector<std::uint64_t> link_busy_flits_;  ///< per channel, whole run
+  std::uint64_t busy_flit_total_ = 0;    ///< running sum of link_busy_flits_
+  std::uint64_t busy_flits_flushed_ = 0; ///< counter-flush watermark
+  obs::Counter* busy_counter_ = nullptr; ///< resolved once, hot-path handle
+  obs::FlightRecorder recorder_;
+  obs::FlightRecorder::SeriesId rec_queue_depth_ = 0;
+  obs::FlightRecorder::SeriesId rec_active_flying_ = 0;
+  obs::FlightRecorder::SeriesId rec_active_sendable_ = 0;
+  obs::FlightRecorder::SeriesId rec_busy_flits_ = 0;
+  obs::FlightRecorder::SeriesId rec_injected_ = 0;
+  obs::FlightRecorder::SeriesId rec_delivered_ = 0;
   std::uint64_t oracle_calls_ = 0;
   std::uint64_t active_flying_sum_ = 0;    ///< per-cycle |flying_| summed
   std::uint64_t active_sendable_sum_ = 0;  ///< per-cycle |sendable_| summed

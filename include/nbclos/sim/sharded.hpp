@@ -104,6 +104,15 @@ class ShardedSim {
   /// as bytes/terminal.
   [[nodiscard]] std::size_t arena_bytes() const noexcept;
 
+  /// The per-epoch time-series recorder (inactive unless
+  /// SimConfig::record_timeseries).  Every shard samples the same global
+  /// cycles into its own ring slot; merged() aggregates by exact integer
+  /// sum/max, and the kInvariant series are bit-identical to a serial
+  /// PacketSim recording at any shard count.  Valid after run().
+  [[nodiscard]] const obs::FlightRecorder& recorder() const {
+    return recorder_;
+  }
+
  private:
   struct Shard;
   struct Proposal {
@@ -132,6 +141,8 @@ class ShardedSim {
                                     std::uint32_t channel) const;
   [[nodiscard]] SimResult merge_results();
   void flush_obs(double wall_seconds);
+  void arm_recorder();
+  void sample_recorder(Shard& sh, std::uint64_t now);
 
   const Network* net_;
   const ShardRouter* router_;
@@ -152,6 +163,15 @@ class ShardedSim {
   std::unique_ptr<ShardSync> sync_;
   NumaTopology numa_;
   Telemetry telemetry_;
+  obs::FlightRecorder recorder_;
+  obs::FlightRecorder::SeriesId rec_queue_depth_ = 0;
+  obs::FlightRecorder::SeriesId rec_active_flying_ = 0;
+  obs::FlightRecorder::SeriesId rec_active_sendable_ = 0;
+  obs::FlightRecorder::SeriesId rec_busy_flits_ = 0;
+  obs::FlightRecorder::SeriesId rec_injected_ = 0;
+  obs::FlightRecorder::SeriesId rec_delivered_ = 0;
+  obs::FlightRecorder::SeriesId rec_mailbox_flits_ = 0;
+  obs::FlightRecorder::SeriesId rec_mailbox_peak_ = 0;
   bool ran_ = false;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstddef>
 #include <string>
 
 #include "nbclos/obs/trace.hpp"
@@ -127,6 +128,46 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
   active_.reserve(net_->channel_count());
   link_busy_flits_.assign(net_->channel_count(), 0);
   stall_metric_ = &obs::metrics().histogram("flow.stall_cycles", kStallHistCap);
+  if constexpr (obs::kEnabled) arm_recorder();
+}
+
+void FlowSim::arm_recorder() {
+  if (!config_.record_timeseries) return;
+  obs::FlightRecorder::Config rec;
+  rec.cadence = config_.record_cadence;
+  rec.ring_capacity = config_.record_ring_capacity;
+  rec.shards = 1;
+  recorder_.configure(rec);
+  // Same names, cadence, and capacity as ShardedFlowSim's recorder, so
+  // the per-shard sums of these kInvariant series are bit-identical to
+  // this serial recording at any shard count.
+  using obs::SeriesAgg;
+  rec_in_system_ = recorder_.series("flow.flits.in_system", SeriesAgg::kSum);
+  rec_buffer_occupancy_ =
+      recorder_.series("flow.buffer.occupancy", SeriesAgg::kSum);
+  rec_credit_stalls_ =
+      recorder_.series("flow.stall.credit_cycles", SeriesAgg::kSum);
+  rec_vc_stalls_ = recorder_.series("flow.stall.vc_cycles", SeriesAgg::kSum);
+  rec_blocked_heads_ = recorder_.series("flow.blocked.heads", SeriesAgg::kSum);
+  rec_injected_ = recorder_.series("flow.packets.injected", SeriesAgg::kSum);
+  rec_delivered_ = recorder_.series("flow.packets.delivered", SeriesAgg::kSum);
+}
+
+void FlowSim::sample_recorder() {
+  recorder_.record(rec_in_system_, 0, now_,
+                   static_cast<std::int64_t>(flits_in_system_));
+  recorder_.record(rec_buffer_occupancy_, 0, now_,
+                   static_cast<std::int64_t>(pool_.switch_flits_total()));
+  recorder_.record(rec_credit_stalls_, 0, now_,
+                   static_cast<std::int64_t>(credit_stall_cycles_));
+  recorder_.record(rec_vc_stalls_, 0, now_,
+                   static_cast<std::int64_t>(vc_stall_cycles_));
+  recorder_.record(rec_blocked_heads_, 0, now_,
+                   static_cast<std::int64_t>(blocked_heads_));
+  recorder_.record(rec_injected_, 0, now_,
+                   static_cast<std::int64_t>(injected_));
+  recorder_.record(rec_delivered_, 0, now_,
+                   static_cast<std::int64_t>(delivered_packets_));
 }
 
 void FlowSim::activate(std::uint32_t channel) {
@@ -141,13 +182,17 @@ void FlowSim::note_blocked(std::uint32_t b, bool credit_block) {
   } else {
     ++vc_stall_cycles_;
   }
-  if (blocked_since_[b] == kNotBlocked) blocked_since_[b] = now_;
+  if (blocked_since_[b] == kNotBlocked) {
+    blocked_since_[b] = now_;
+    ++blocked_heads_;
+  }
 }
 
 void FlowSim::note_unblocked(std::uint32_t b) {
   if (blocked_since_[b] == kNotBlocked) return;
   const std::uint64_t duration = now_ - blocked_since_[b];
   blocked_since_[b] = kNotBlocked;
+  --blocked_heads_;
   stall_stats_.add(static_cast<double>(duration));
   stall_duration_sum_ += duration;
   ++stall_episode_count_;
@@ -419,6 +464,98 @@ void FlowSim::fill_deadlock_diag(FlowResult& result) const {
   }
 }
 
+namespace detail {
+
+void finalize_forensics(DeadlockForensics& forensics) {
+  auto& blocked = forensics.blocked;
+  std::sort(blocked.begin(), blocked.end(),
+            [](const BlockedBufferReport& a, const BlockedBufferReport& b) {
+              return a.buffer < b.buffer;
+            });
+  const auto find = [&](std::uint32_t buffer) -> std::ptrdiff_t {
+    const auto it = std::lower_bound(
+        blocked.begin(), blocked.end(), buffer,
+        [](const BlockedBufferReport& r, std::uint32_t key) {
+          return r.buffer < key;
+        });
+    if (it == blocked.end() || it->buffer != buffer) return -1;
+    return it - blocked.begin();
+  };
+  // Walk the waiting_for edges (each node has out-degree <= 1, so the
+  // reachable set from any start is a rho shape: tail + at most one
+  // cycle).  Three-state marking keeps the whole pass O(n).
+  std::vector<std::uint8_t> state(blocked.size(), 0);  // 0 new, 1 path, 2 done
+  std::vector<std::ptrdiff_t> path;
+  for (std::size_t s = 0; s < blocked.size() && forensics.wait_cycle.empty();
+       ++s) {
+    if (state[s] != 0) continue;
+    path.clear();
+    std::ptrdiff_t i = static_cast<std::ptrdiff_t>(s);
+    while (i >= 0 && state[i] == 0) {
+      state[i] = 1;
+      path.push_back(i);
+      const std::uint32_t next = blocked[i].waiting_for;
+      i = next == BlockedBufferReport::kWaitsOnNone ? -1 : find(next);
+    }
+    if (i >= 0 && state[i] == 1) {
+      const auto start = std::find(path.begin(), path.end(), i);
+      for (auto it = start; it != path.end(); ++it) {
+        blocked[*it].on_cycle = true;
+        forensics.wait_cycle.push_back(blocked[*it].buffer);
+      }
+    }
+    for (const auto p : path) state[p] = 2;
+  }
+  if (blocked.size() > DeadlockForensics::kMaxBlocked) {
+    std::stable_partition(
+        blocked.begin(), blocked.end(),
+        [](const BlockedBufferReport& r) { return r.on_cycle; });
+    blocked.resize(DeadlockForensics::kMaxBlocked);
+    std::sort(blocked.begin(), blocked.end(),
+              [](const BlockedBufferReport& a, const BlockedBufferReport& b) {
+                return a.buffer < b.buffer;
+              });
+  }
+}
+
+}  // namespace detail
+
+void FlowSim::capture_forensics() {
+  forensics_.valid = true;
+  forensics_.trip_cycle = now_;
+  forensics_.stuck_flits = flits_in_system_;
+  for (std::uint32_t b = 0; b < pool_.buffer_count(); ++b) {
+    if (blocked_since_[b] == kNotBlocked) continue;
+    BlockedBufferReport report;
+    report.buffer = b;
+    report.channel = owner_channel_[b];
+    report.occupancy = pool_.size(b);
+    report.blocked_since = blocked_since_[b];
+    if (pool_.size(b) > 0) {
+      const FlitRef head = pool_.front(b);
+      const std::uint32_t c = owner_channel_[b];
+      if (head.flit_index > 0) {
+        // Body flit: the worm already holds its downstream allocation —
+        // that buffer IS the wait edge, exactly.
+        report.waiting_for = out_alloc_[b];
+      } else if (!dst_is_terminal_[c]) {
+        // Head waiting to allocate: name the scan's first candidate —
+        // next channel from the route cache, scan-start VC.
+        const sim::Packet& packet = packets_.at(head.packet_slot);
+        const std::uint32_t nc = routes_->next_channel_from(
+            channel_dst_[c], packet.src_terminal, packet.dst_terminal);
+        const std::uint32_t from_vc =
+            b < switch_buffer_count_ ? b - buf_base_[c] : 0u;
+        report.waiting_for =
+            buf_base_[nc] + (is_nic_[nc] ? 0u : from_vc % config_.vcs);
+      }
+    }
+    forensics_.blocked.push_back(report);
+  }
+  forensics_.tail = recorder_.tail(DeadlockForensics::kTailPoints);
+  detail::finalize_forensics(forensics_);
+}
+
 bool FlowSim::credit_conservation_holds() const {
   NBCLOS_REQUIRE(ledger_ != nullptr,
                  "credit audit requires credit backpressure mode");
@@ -454,6 +591,7 @@ FlowResult FlowSim::run() {
           static_cast<double>(pool_.switch_flits_total()) /
           static_cast<double>(switch_channel_count_));
     }
+    if (recorder_.want(now_)) sample_recorder();
     if (watchdog_tripped()) break;
   }
 
@@ -514,6 +652,7 @@ FlowResult FlowSim::run() {
     result.deadlock_cycle = now_;
     result.stuck_flits = flits_in_system_;
     fill_deadlock_diag(result);
+    capture_forensics();
   }
   // End-of-run conservation audit: the wires and delay line still hold
   // whatever was in flight when the loop ended, so the identity must

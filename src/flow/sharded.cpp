@@ -94,6 +94,7 @@ struct ShardedFlowSim::Shard {
   std::uint64_t vc_stall_cycles = 0;
   std::uint64_t stall_duration_sum = 0;
   std::uint64_t stall_episode_count = 0;
+  std::uint64_t blocked_heads = 0;  ///< owned FIFOs inside a stall episode
   std::vector<std::uint32_t> peak_per_vc;         ///< per VC index
   std::vector<std::uint64_t> depth_sum_by_cycle;  ///< end-of-cycle total
   std::vector<std::uint32_t> acq_by_cycle;  ///< packets entering network
@@ -239,6 +240,65 @@ ShardedFlowSim::ShardedFlowSim(
   sync_ = std::make_unique<sim::ShardSync>(
       static_cast<std::ptrdiff_t>(shard_count));
   numa_ = sim::NumaTopology::detect();
+  if constexpr (obs::kEnabled) arm_recorder();
+}
+
+void ShardedFlowSim::arm_recorder() {
+  if (!config_.record_timeseries) return;
+  obs::FlightRecorder::Config rec;
+  rec.cadence = config_.record_cadence;
+  rec.ring_capacity = config_.record_ring_capacity;
+  rec.shards = plan_.shard_count;
+  recorder_.configure(rec);
+  // Same names, cadence, and capacity as the serial FlowSim recorder, so
+  // after the per-shard sum these kInvariant series are bit-identical to
+  // a serial recording of the same run at any shard count.
+  using obs::SeriesAgg;
+  using obs::SeriesScope;
+  rec_in_system_ = recorder_.series("flow.flits.in_system", SeriesAgg::kSum);
+  rec_buffer_occupancy_ =
+      recorder_.series("flow.buffer.occupancy", SeriesAgg::kSum);
+  rec_credit_stalls_ =
+      recorder_.series("flow.stall.credit_cycles", SeriesAgg::kSum);
+  rec_vc_stalls_ = recorder_.series("flow.stall.vc_cycles", SeriesAgg::kSum);
+  rec_blocked_heads_ = recorder_.series("flow.blocked.heads", SeriesAgg::kSum);
+  rec_injected_ = recorder_.series("flow.packets.injected", SeriesAgg::kSum);
+  rec_delivered_ = recorder_.series("flow.packets.delivered", SeriesAgg::kSum);
+  // Mailbox pressure exists only under a shard cut (zero messages cross
+  // at one shard), so these are excluded from the invariance contract.
+  rec_mailbox_flits_ = recorder_.series(
+      "flow.mailbox.cross_flits", SeriesAgg::kSum, SeriesScope::kShardTopology);
+  rec_mailbox_credits_ =
+      recorder_.series("flow.mailbox.cross_credits", SeriesAgg::kSum,
+                       SeriesScope::kShardTopology);
+  rec_mailbox_peak_ = recorder_.series(
+      "flow.mailbox.peak", SeriesAgg::kMax, SeriesScope::kShardTopology);
+}
+
+void ShardedFlowSim::sample_recorder(Shard& sh, std::uint64_t now) {
+  const std::uint32_t slot = sh.index;
+  // Per-shard in-system counts partition additively but can be negative
+  // (a shard that only ejects foreign packets), which is why SeriesPoint
+  // values are signed.
+  recorder_.record(rec_in_system_, slot, now, sh.flits_in_system);
+  recorder_.record(rec_buffer_occupancy_, slot, now,
+                   static_cast<std::int64_t>(sh.pool->switch_flits_total()));
+  recorder_.record(rec_credit_stalls_, slot, now,
+                   static_cast<std::int64_t>(sh.credit_stall_cycles));
+  recorder_.record(rec_vc_stalls_, slot, now,
+                   static_cast<std::int64_t>(sh.vc_stall_cycles));
+  recorder_.record(rec_blocked_heads_, slot, now,
+                   static_cast<std::int64_t>(sh.blocked_heads));
+  recorder_.record(rec_injected_, slot, now,
+                   static_cast<std::int64_t>(sh.injected));
+  recorder_.record(rec_delivered_, slot, now,
+                   static_cast<std::int64_t>(sh.delivered_packets));
+  recorder_.record(rec_mailbox_flits_, slot, now,
+                   static_cast<std::int64_t>(sh.cross_flits));
+  recorder_.record(rec_mailbox_credits_, slot, now,
+                   static_cast<std::int64_t>(sh.cross_credits));
+  recorder_.record(rec_mailbox_peak_, slot, now,
+                   static_cast<std::int64_t>(sh.mailbox_peak));
 }
 
 ShardedFlowSim::~ShardedFlowSim() = default;
@@ -296,7 +356,10 @@ void ShardedFlowSim::note_blocked(Shard& sh, std::uint32_t global_b,
     ++sh.vc_stall_cycles;
   }
   const std::uint32_t lb = buf_local_of_global_[global_b];
-  if (sh.blocked_since[lb] == kNotBlocked) sh.blocked_since[lb] = now;
+  if (sh.blocked_since[lb] == kNotBlocked) {
+    sh.blocked_since[lb] = now;
+    ++sh.blocked_heads;
+  }
 }
 
 void ShardedFlowSim::note_unblocked(Shard& sh, std::uint32_t global_b,
@@ -305,6 +368,7 @@ void ShardedFlowSim::note_unblocked(Shard& sh, std::uint32_t global_b,
   if (sh.blocked_since[lb] == kNotBlocked) return;
   const std::uint64_t duration = now - sh.blocked_since[lb];
   sh.blocked_since[lb] = kNotBlocked;
+  --sh.blocked_heads;
   sh.stall_duration_sum += duration;
   ++sh.stall_episode_count;
   sh.stall_hist.add(duration);
@@ -683,6 +747,11 @@ void ShardedFlowSim::phase_owner_post(Shard& sh, std::uint64_t now) {
 
   if (sh.onoff != nullptr) sh.onoff->latch(*sh.pool);
   sh.depth_sum_by_cycle[now] = sh.pool->switch_flits_total();
+  // End-of-cycle sample, the same point serial FlowSim samples at — all
+  // shards see want(now) identically (same recorder geometry).
+  if constexpr (obs::kEnabled) {
+    if (recorder_.want(now)) sample_recorder(sh, now);
+  }
 }
 
 bool ShardedFlowSim::epoch_watchdog(Shard& sh, std::uint64_t now) {
@@ -811,6 +880,7 @@ FlowResult ShardedFlowSim::run() {
   sync_->rethrow_if_failed();
 
   FlowResult result = merge_results();
+  if (result.deadlocked) capture_forensics();
   if constexpr (obs::kEnabled) {
     const std::chrono::duration<double> wall =
         std::chrono::steady_clock::now() - wall_start;
@@ -967,6 +1037,47 @@ FlowResult ShardedFlowSim::merge_results() {
     telemetry_.mailbox_peak = std::max(telemetry_.mailbox_peak, sh.mailbox_peak);
   }
   return result;
+}
+
+void ShardedFlowSim::capture_forensics() {
+  forensics_.valid = true;
+  forensics_.trip_cycle = shards_[0]->deadlock_cycle;
+  forensics_.stuck_flits = shards_[0]->stuck_total;
+  // Every blocked FIFO lives in exactly one shard's frozen arena; the
+  // reports use serial FlowSim's global buffer ids, so the merged walk
+  // (finalize_forensics sorts and follows cross-shard waiting_for edges)
+  // names the same chain a serial run would.
+  for (const auto& shp : shards_) {
+    const Shard& sh = *shp;
+    for (const auto c : plan_.shard_channels[sh.index]) {
+      const std::uint32_t vc_count = is_nic_[c] ? 1u : config_.vcs;
+      for (std::uint32_t v = 0; v < vc_count; ++v) {
+        const std::uint32_t b = buf_base_[c] + v;
+        const std::uint32_t lb = buf_local_of_global_[b];
+        if (sh.blocked_since[lb] == kNotBlocked) continue;
+        BlockedBufferReport report;
+        report.buffer = b;
+        report.channel = c;
+        report.occupancy = sh.pool->size(lb);
+        report.blocked_since = sh.blocked_since[lb];
+        if (sh.pool->size(lb) > 0) {
+          const FlitRef head = sh.pool->front(lb);
+          if (head.flit_index > 0) {
+            report.waiting_for = sh.out_alloc[lb];  // global id already
+          } else if (!dst_is_terminal_[c]) {
+            const sim::Packet& packet = sh.packets.at(head.packet_slot);
+            const std::uint32_t nc = routes_->next_channel_from(
+                channel_dst_[c], packet.src_terminal, packet.dst_terminal);
+            report.waiting_for =
+                buf_base_[nc] + (is_nic_[nc] ? 0u : v % config_.vcs);
+          }
+        }
+        forensics_.blocked.push_back(report);
+      }
+    }
+  }
+  forensics_.tail = recorder_.tail(DeadlockForensics::kTailPoints);
+  detail::finalize_forensics(forensics_);
 }
 
 std::size_t ShardedFlowSim::arena_bytes() const noexcept {

@@ -1,0 +1,137 @@
+#include "nbclos/obs/flight_recorder.hpp"
+
+#if NBCLOS_OBS_ENABLED
+
+#include <algorithm>
+
+#include "nbclos/util/check.hpp"
+
+namespace nbclos::obs {
+
+void FlightRecorder::configure(const Config& config) {
+  NBCLOS_REQUIRE(config.cadence > 0, "flight recorder cadence must be > 0");
+  NBCLOS_REQUIRE(config.ring_capacity >= 2,
+                 "flight recorder ring needs at least 2 samples");
+  NBCLOS_REQUIRE(config.shards >= 1, "flight recorder needs >= 1 shard");
+  config_ = config;
+  series_.clear();
+  active_ = true;
+}
+
+FlightRecorder::SeriesId FlightRecorder::series(const std::string& name,
+                                                SeriesAgg agg,
+                                                SeriesScope scope) {
+  NBCLOS_REQUIRE(active_, "register series after configure()");
+  for (SeriesId id = 0; id < series_.size(); ++id) {
+    if (series_[id].name == name) return id;
+  }
+  SeriesState state;
+  state.name = name;
+  state.agg = agg;
+  state.scope = scope;
+  state.cells.resize(config_.shards);
+  for (auto& cell : state.cells) {
+    cell.ring.reserve(config_.ring_capacity);
+  }
+  series_.push_back(std::move(state));
+  return static_cast<SeriesId>(series_.size() - 1);
+}
+
+void FlightRecorder::record(SeriesId id, std::uint32_t shard,
+                            std::uint64_t cycle, std::int64_t value) {
+  if (!active_) return;
+  NBCLOS_DEBUG_CHECK(id < series_.size(), "unknown series id");
+  NBCLOS_DEBUG_CHECK(shard < config_.shards, "shard out of range");
+  Cell& cell = series_[id].cells[shard];
+  const std::uint64_t idx = cycle / config_.cadence;
+  // Downsampled-away sample: the cell's stride has outgrown this index.
+  if (idx % cell.stride != 0) return;
+  if (cell.ring.size() == config_.ring_capacity) {
+    // Halve resolution: keep the samples whose index is a multiple of
+    // the doubled stride.  Pure function of the retained timestamps, so
+    // every shard (which recorded the same cycles) compacts identically.
+    const std::uint64_t doubled = cell.stride * 2;
+    auto keep = cell.ring.begin();
+    for (const auto& point : cell.ring) {
+      if ((point.t / config_.cadence) % doubled == 0) *keep++ = point;
+    }
+    cell.ring.erase(keep, cell.ring.end());
+    cell.stride = doubled;
+    if (idx % cell.stride != 0) return;
+  }
+  cell.ring.push_back(SeriesPoint{cycle, value});
+}
+
+std::vector<MergedSeries> FlightRecorder::merged() const {
+  std::vector<MergedSeries> out;
+  if (!active_) return out;
+  out.reserve(series_.size());
+  for (const auto& state : series_) {
+    MergedSeries merged;
+    merged.name = state.name;
+    merged.agg = state.agg;
+    merged.scope = state.scope;
+    // Timestamps are identical across shards by construction; merge the
+    // intersection defensively so a shard that stopped early (e.g. an
+    // exception path) degrades to a shorter series instead of a skewed
+    // sum.  All cells share one stride once they recorded the same
+    // cycles, so the intersection is a simple sorted-list walk.
+    std::uint64_t stride = 0;
+    std::vector<const Cell*> cells;
+    for (const auto& cell : state.cells) {
+      if (cell.ring.empty()) continue;
+      cells.push_back(&cell);
+      stride = std::max(stride, cell.stride);
+    }
+    merged.stride_cycles = stride * config_.cadence;
+    if (!cells.empty()) {
+      std::vector<std::size_t> cursor(cells.size(), 0);
+      for (const auto& point : cells[0]->ring) {
+        bool everywhere = true;
+        std::int64_t sum = point.v;
+        std::int64_t peak = point.v;
+        for (std::size_t c = 1; c < cells.size(); ++c) {
+          const auto& ring = cells[c]->ring;
+          std::size_t& at = cursor[c];
+          while (at < ring.size() && ring[at].t < point.t) ++at;
+          if (at == ring.size() || ring[at].t != point.t) {
+            everywhere = false;
+            break;
+          }
+          sum += ring[at].v;
+          peak = std::max(peak, ring[at].v);
+        }
+        if (!everywhere) continue;
+        merged.points.push_back(SeriesPoint{
+            point.t, state.agg == SeriesAgg::kSum ? sum : peak});
+      }
+    }
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+std::vector<MergedSeries> FlightRecorder::tail(std::size_t k) const {
+  auto all = merged();
+  for (auto& series : all) {
+    if (series.points.size() > k) {
+      series.points.erase(series.points.begin(),
+                          series.points.end() - static_cast<std::ptrdiff_t>(k));
+    }
+  }
+  return all;
+}
+
+std::size_t FlightRecorder::sample_bytes() const noexcept {
+  std::size_t total = 0;
+  for (const auto& state : series_) {
+    for (const auto& cell : state.cells) {
+      total += cell.ring.capacity() * sizeof(SeriesPoint);
+    }
+  }
+  return total;
+}
+
+}  // namespace nbclos::obs
+
+#endif  // NBCLOS_OBS_ENABLED

@@ -1,0 +1,78 @@
+#include "nbclos/obs/prom_export.hpp"
+
+#include <cctype>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "nbclos/util/json.hpp"  // write_json_double: shortest round-trip
+
+namespace nbclos::obs {
+
+namespace {
+
+/// Prometheus sample values are floats; emit doubles in shortest
+/// round-trip form (write_json_double) except the non-finite cases,
+/// where Prometheus spells them NaN / +Inf / -Inf rather than null.
+void write_prom_double(std::ostream& out, double value) {
+  if (value != value) {
+    out << "NaN";
+  } else if (value == std::numeric_limits<double>::infinity()) {
+    out << "+Inf";
+  } else if (value == -std::numeric_limits<double>::infinity()) {
+    out << "-Inf";
+  } else {
+    write_json_double(out, value);
+  }
+}
+
+void write_quantile(std::ostream& out, const std::string& name,
+                    const char* quantile, double value) {
+  out << name << "{quantile=\"" << quantile << "\"} ";
+  write_prom_double(out, value);
+  out << "\n";
+}
+
+}  // namespace
+
+std::string prom_name(std::string_view name) {
+  std::string out = "nbclos_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void prom_export(std::ostream& out,
+                 const std::vector<MetricSample>& snapshot) {
+  for (const auto& sample : snapshot) {
+    const std::string name = prom_name(sample.name);
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+        out << "# TYPE " << name << " counter\n"
+            << name << " " << sample.count << "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out << "# TYPE " << name << " gauge\n"
+            << name << " " << sample.gauge << "\n";
+        break;
+      case MetricSample::Kind::kHistogram:
+        out << "# TYPE " << name << " summary\n";
+        write_quantile(out, name, "0.5", sample.p50);
+        write_quantile(out, name, "0.99", sample.p99);
+        write_quantile(out, name, "0.999", sample.p999);
+        out << name << "_count " << sample.count << "\n";
+        break;
+    }
+  }
+}
+
+std::string prom_export_global() {
+  std::ostringstream out;
+  prom_export(out, metrics().snapshot());
+  return out.str();
+}
+
+}  // namespace nbclos::obs

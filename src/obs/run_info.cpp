@@ -5,6 +5,7 @@
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <sys/resource.h>
+#include <unistd.h>
 #endif
 
 #include "nbclos/obs/metrics.hpp"  // NBCLOS_OBS_ENABLED default
@@ -28,6 +29,25 @@
 namespace nbclos::obs {
 
 namespace {
+
+/// Online NUMA node count parsed from sysfs.  Deliberately duplicates a
+/// sliver of sim::NumaTopology::detect(): run_info lives in nbclos_util,
+/// below the sim library in the dependency order, and a manifest must
+/// not pull the simulation engine in.
+std::uint32_t numa_node_count() {
+#if defined(__linux__)
+  std::uint32_t nodes = 0;
+  while (true) {
+    const std::string path =
+        "/sys/devices/system/node/node" + std::to_string(nodes);
+    if (::access(path.c_str(), F_OK) != 0) break;
+    ++nodes;
+  }
+  return nodes > 0 ? nodes : 1;
+#else
+  return 1;
+#endif
+}
 
 std::string compiler_string() {
 #if defined(__clang__)
@@ -58,6 +78,7 @@ RunInfo RunInfo::current() {
   info.obs_enabled = false;
 #endif
   info.hardware_concurrency = std::thread::hardware_concurrency();
+  info.numa_nodes = numa_node_count();
   return info;
 }
 
@@ -72,6 +93,8 @@ void RunInfo::write_json(JsonWriter& writer) const {
   writer.member("seed", seed);
   writer.member("threads", threads);
   writer.member("hardware_concurrency", hardware_concurrency);
+  writer.member("numa_nodes", numa_nodes);
+  writer.member("pin_threads", pin_threads);
   writer.member("wall_seconds", wall_seconds);
   writer.member("shards", shards);
   writer.member("peak_rss_kb", peak_rss_kb);

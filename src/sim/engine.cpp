@@ -96,6 +96,46 @@ PacketSim::PacketSim(const Network& net, RoutingOracle& oracle,
   flying_.reserve(net.channel_count());
   sendable_.reserve(net.channel_count());
   link_busy_flits_.assign(net.channel_count(), 0);
+  if constexpr (obs::kEnabled) {
+    busy_counter_ = &obs::metrics().counter("sim.link.busy_flit_cycles");
+    arm_recorder();
+  }
+}
+
+void PacketSim::arm_recorder() {
+  if (!config_.record_timeseries) return;
+  obs::FlightRecorder::Config rec;
+  rec.cadence = config_.record_cadence;
+  rec.ring_capacity = config_.record_ring_capacity;
+  rec.shards = 1;
+  recorder_.configure(rec);
+  rec_queue_depth_ =
+      recorder_.series("sim.queue.depth_sum", obs::SeriesAgg::kSum);
+  rec_active_flying_ =
+      recorder_.series("sim.active.flying", obs::SeriesAgg::kSum);
+  rec_active_sendable_ =
+      recorder_.series("sim.active.sendable", obs::SeriesAgg::kSum);
+  rec_busy_flits_ =
+      recorder_.series("sim.link.busy_flits", obs::SeriesAgg::kSum);
+  rec_injected_ =
+      recorder_.series("sim.packets.injected", obs::SeriesAgg::kSum);
+  rec_delivered_ =
+      recorder_.series("sim.packets.delivered", obs::SeriesAgg::kSum);
+}
+
+void PacketSim::sample_recorder() {
+  recorder_.record(rec_queue_depth_, 0, now_,
+                   static_cast<std::int64_t>(switch_depth_sum_));
+  recorder_.record(rec_active_flying_, 0, now_,
+                   static_cast<std::int64_t>(flying_.size()));
+  recorder_.record(rec_active_sendable_, 0, now_,
+                   static_cast<std::int64_t>(sendable_.size()));
+  recorder_.record(rec_busy_flits_, 0, now_,
+                   static_cast<std::int64_t>(busy_flit_total_));
+  recorder_.record(rec_injected_, 0, now_,
+                   static_cast<std::int64_t>(injected_));
+  recorder_.record(rec_delivered_, 0, now_,
+                   static_cast<std::int64_t>(delivered_packets_));
 }
 
 void PacketSim::queue_push(std::uint32_t channel, const Packet& packet) {
@@ -298,8 +338,11 @@ void PacketSim::step_transmissions() {
       fl.valid = true;
       fl.arrival_cycle = now_ + fl.packet.size_flits;
       // The channel is now busy for size_flits cycles — the whole-run sum
-      // is the per-link utilization report (link_utilization()).
+      // is the per-link utilization report (link_utilization()); the
+      // running total feeds the mid-run counter flush and the
+      // `sim.link.busy_flits` recorder series.
       link_busy_flits_[c] += fl.packet.size_flits;
+      busy_flit_total_ += fl.packet.size_flits;
       if (!in_flying_[c]) {
         in_flying_[c] = 1;
         flying_.push_back(c);
@@ -414,6 +457,12 @@ SimResult PacketSim::run() {
     if constexpr (obs::kEnabled) {
       active_flying_sum_ += flying_.size();
       active_sendable_sum_ += sendable_.size();
+      // Exact mid-run busy-flit totals: flush the running sum into the
+      // registry counter on the same 64-cycle cadence as the phase
+      // timers, so a concurrent snapshot (metrics-serve) is never a full
+      // run stale.
+      if ((now_ & 63u) == 0 && obs::enabled()) flush_busy_flits();
+      if (recorder_.want(now_)) sample_recorder();
     }
     if (measuring_ && switch_channel_count_ > 0) {
       // Sample switch queue depths (terminal source queues excluded);
@@ -501,6 +550,17 @@ LinkUtilization PacketSim::link_utilization() const {
   return report;
 }
 
+void PacketSim::flush_busy_flits() {
+  if (busy_counter_ == nullptr) return;  // NBCLOS_OBS=OFF build
+  const std::uint64_t delta = busy_flit_total_ - busy_flits_flushed_;
+  if (delta == 0) return;
+  busy_counter_->add(delta);
+  // The watermark only advances when the counter actually recorded the
+  // delta; while recording is paused the add above is dropped and the
+  // flits stay pending for the next enabled flush.
+  if (obs::enabled()) busy_flits_flushed_ = busy_flit_total_;
+}
+
 void PacketSim::flush_obs(double wall_seconds) {
   if (!obs::enabled()) return;
   auto& m = obs::metrics();
@@ -518,11 +578,10 @@ void PacketSim::flush_obs(double wall_seconds) {
   // Queue depth at end of run plus the high-water over runs (gauge max).
   m.gauge("sim.queue.switch_depth_sum")
       .set(static_cast<std::int64_t>(switch_depth_sum_));
-  // Link utilization: total busy flit-cycles and the hottest link in
-  // parts-per-million (gauges are integers).
-  std::uint64_t busy_total = 0;
-  for (const auto b : link_busy_flits_) busy_total += b;
-  m.counter("sim.link.busy_flit_cycles").add(busy_total);
+  // Link utilization: the busy flit-cycle counter is flushed on the
+  // 64-cycle cadence during the run; this final flush drains whatever
+  // accumulated since the last cadence boundary.
+  flush_busy_flits();
   const auto util = link_utilization();
   m.gauge("sim.link.max_util_ppm")
       .set(static_cast<std::int64_t>(util.max * 1e6));

@@ -136,6 +136,59 @@ ShardedSim::ShardedSim(const Network& net, const ShardRouter& router,
   sync_ =
       std::make_unique<ShardSync>(static_cast<std::ptrdiff_t>(shard_count));
   numa_ = NumaTopology::detect();
+  if constexpr (obs::kEnabled) arm_recorder();
+}
+
+void ShardedSim::arm_recorder() {
+  if (!config_.record_timeseries) return;
+  obs::FlightRecorder::Config rec;
+  rec.cadence = config_.record_cadence;
+  rec.ring_capacity = config_.record_ring_capacity;
+  rec.shards = plan_.shard_count;
+  recorder_.configure(rec);
+  // Same names, cadence, and capacity as the serial PacketSim recorder,
+  // so after the per-shard sum these kInvariant series are bit-identical
+  // to a serial recording of the same run at any shard count.
+  rec_queue_depth_ =
+      recorder_.series("sim.queue.depth_sum", obs::SeriesAgg::kSum);
+  rec_active_flying_ =
+      recorder_.series("sim.active.flying", obs::SeriesAgg::kSum);
+  rec_active_sendable_ =
+      recorder_.series("sim.active.sendable", obs::SeriesAgg::kSum);
+  rec_busy_flits_ =
+      recorder_.series("sim.link.busy_flits", obs::SeriesAgg::kSum);
+  rec_injected_ =
+      recorder_.series("sim.packets.injected", obs::SeriesAgg::kSum);
+  rec_delivered_ =
+      recorder_.series("sim.packets.delivered", obs::SeriesAgg::kSum);
+  // Cross-shard fabric health: only meaningful relative to the shard
+  // cut, so excluded from the shard-count-invariance contract.
+  rec_mailbox_flits_ =
+      recorder_.series("sim.mailbox.cross_flits", obs::SeriesAgg::kSum,
+                       obs::SeriesScope::kShardTopology);
+  rec_mailbox_peak_ =
+      recorder_.series("sim.mailbox.peak", obs::SeriesAgg::kMax,
+                       obs::SeriesScope::kShardTopology);
+}
+
+void ShardedSim::sample_recorder(Shard& sh, std::uint64_t now) {
+  const std::uint32_t slot = sh.index;
+  recorder_.record(rec_queue_depth_, slot, now,
+                   static_cast<std::int64_t>(sh.switch_depth_sum));
+  recorder_.record(rec_active_flying_, slot, now,
+                   static_cast<std::int64_t>(sh.flying.size()));
+  recorder_.record(rec_active_sendable_, slot, now,
+                   static_cast<std::int64_t>(sh.sendable.size()));
+  recorder_.record(rec_busy_flits_, slot, now,
+                   static_cast<std::int64_t>(sh.link_busy_flits));
+  recorder_.record(rec_injected_, slot, now,
+                   static_cast<std::int64_t>(sh.injected));
+  recorder_.record(rec_delivered_, slot, now,
+                   static_cast<std::int64_t>(sh.delivered_packets));
+  recorder_.record(rec_mailbox_flits_, slot, now,
+                   static_cast<std::int64_t>(sh.cross_flits));
+  recorder_.record(rec_mailbox_peak_, slot, now,
+                   static_cast<std::int64_t>(sh.mailbox_peak));
 }
 
 void ShardedSim::init_shard_arena(std::uint32_t s) {
@@ -519,6 +572,9 @@ void ShardedSim::run_shard(std::uint32_t s) {
       }
       phase_resolve(sh, now);
       sh.depth_sum_by_cycle[now] = sh.switch_depth_sum;
+      if constexpr (obs::kEnabled) {
+        if (recorder_.want(now)) sample_recorder(sh, now);
+      }
     }
   } catch (...) {
     sync_->record_failure();

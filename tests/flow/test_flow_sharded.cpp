@@ -14,6 +14,7 @@
 #include "nbclos/fault/degraded_view.hpp"
 #include "nbclos/flow/engine.hpp"
 #include "nbclos/flow/sharded.hpp"
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
 
@@ -297,6 +298,120 @@ TEST(FlowShardedWatchdog, FaultInducedTripMatchesSerial) {
     ShardedFlowSim sharded(fab.cache, traffic, config, shards, &view, events);
     const FlowResult got = sharded.run();
     expect_identical(golden, got, shards);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: the merged invariant series must replay serial's
+// samples bit for bit at every shard count, and a watchdog trip must
+// produce the same forensics (blocked FIFOs + circular wait) everywhere.
+
+/// The invariant subset of merged(), as comparable values.
+std::vector<obs::MergedSeries> invariant_series(
+    const obs::FlightRecorder& recorder) {
+  std::vector<obs::MergedSeries> out;
+  for (auto& series : recorder.merged()) {
+    if (series.scope == obs::SeriesScope::kInvariant) {
+      out.push_back(std::move(series));
+    }
+  }
+  return out;
+}
+
+void expect_identical_series(const std::vector<obs::MergedSeries>& golden,
+                             const std::vector<obs::MergedSeries>& got,
+                             std::uint32_t shards) {
+  SCOPED_TRACE("shards=" + std::to_string(shards));
+  ASSERT_EQ(golden.size(), got.size());
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    SCOPED_TRACE("series=" + golden[i].name);
+    EXPECT_EQ(golden[i].name, got[i].name);
+    EXPECT_EQ(golden[i].agg, got[i].agg);
+    EXPECT_EQ(golden[i].stride_cycles, got[i].stride_cycles);
+    EXPECT_EQ(golden[i].points, got[i].points);
+  }
+}
+
+TEST_F(FlowSharded, MergedTimeseriesBitIdenticalAcrossShardCounts) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlowConfig config = base_config();
+  config.record_timeseries = true;
+  config.record_cadence = 32;
+  config.record_ring_capacity = 24;  // small ring: downsampling engages
+  FlowSim serial(cache, traffic, config);
+  const FlowResult golden_result = serial.run();
+  const auto golden = invariant_series(serial.recorder());
+  ASSERT_GE(golden.size(), 7U);
+  ASSERT_FALSE(golden[0].points.empty());
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    ShardedFlowSim sharded(cache, traffic, config, shards);
+    const FlowResult got = sharded.run();
+    expect_identical(golden_result, got, shards);
+    expect_identical_series(golden, invariant_series(sharded.recorder()),
+                            shards);
+  }
+}
+
+TEST(FlowShardedForensics, WatchdogTripNamesTheDeadlockedFifos) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  RingFabric fab;
+  const auto traffic =
+      sim::TrafficPattern::permutation(shift_permutation(kRing, 2), kRing);
+  FlowConfig config = wedge_config();
+  config.record_timeseries = true;
+  config.record_cadence = 32;
+  FlowSim serial(fab.cache, traffic, config);
+  ASSERT_TRUE(serial.run().deadlocked);
+  const auto& golden = serial.forensics();
+  ASSERT_TRUE(golden.valid);
+  ASSERT_FALSE(golden.blocked.empty());
+  EXPECT_GT(golden.stuck_flits, 0U);
+  // The wedge is a genuine circular wait around the 4 ring buffers: the
+  // chain walk must find it, and every on-cycle report must both wait on
+  // another buffer and hold flits.
+  ASSERT_GE(golden.wait_cycle.size(), 2U);
+  for (const auto& report : golden.blocked) {
+    EXPECT_GT(report.occupancy, 0U);
+    if (report.on_cycle) {
+      EXPECT_NE(report.waiting_for, flow::BlockedBufferReport::kWaitsOnNone);
+    }
+  }
+  // The cycle closes: each chain member's wait target is the next member.
+  for (std::size_t i = 0; i < golden.wait_cycle.size(); ++i) {
+    const auto next = golden.wait_cycle[(i + 1) % golden.wait_cycle.size()];
+    const auto at = golden.wait_cycle[i];
+    bool found = false;
+    for (const auto& report : golden.blocked) {
+      if (report.buffer == at) {
+        EXPECT_EQ(report.waiting_for, next);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << "chain member " << at << " has no report";
+  }
+  // The recorder tail rode along with the trip.
+  EXPECT_FALSE(golden.tail.empty());
+
+  // Sharded runs reconstruct the same global-id forensics from per-shard
+  // state, even when the wait cycle crosses every shard boundary.
+  for (const std::uint32_t shards : {1u, 2u, 4u, 8u}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedFlowSim sharded(fab.cache, traffic, config, shards);
+    ASSERT_TRUE(sharded.run().deadlocked);
+    const auto& got = sharded.forensics();
+    ASSERT_TRUE(got.valid);
+    EXPECT_EQ(got.trip_cycle, golden.trip_cycle);
+    EXPECT_EQ(got.stuck_flits, golden.stuck_flits);
+    ASSERT_EQ(got.blocked.size(), golden.blocked.size());
+    for (std::size_t i = 0; i < golden.blocked.size(); ++i) {
+      EXPECT_EQ(got.blocked[i].buffer, golden.blocked[i].buffer);
+      EXPECT_EQ(got.blocked[i].channel, golden.blocked[i].channel);
+      EXPECT_EQ(got.blocked[i].occupancy, golden.blocked[i].occupancy);
+      EXPECT_EQ(got.blocked[i].waiting_for, golden.blocked[i].waiting_for);
+      EXPECT_EQ(got.blocked[i].blocked_since, golden.blocked[i].blocked_since);
+      EXPECT_EQ(got.blocked[i].on_cycle, golden.blocked[i].on_cycle);
+    }
+    EXPECT_EQ(got.wait_cycle, golden.wait_cycle);
   }
 }
 

@@ -1,0 +1,300 @@
+/// \file test_flight_recorder.cpp
+/// \brief FlightRecorder: ring-downsampling invariants, shard-count
+///        merge determinism, forensics tails, and the Prometheus and
+///        time-series exporters.  Everything here drives the recorder
+///        synthetically; the engine-level identity checks live in
+///        tests/sim/test_sharded.cpp and tests/flow/test_flow_sharded.cpp.
+#include "nbclos/obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nbclos/obs/prom_export.hpp"
+#include "nbclos/obs/series_export.hpp"
+
+namespace nbclos::obs {
+namespace {
+
+/// Drive one series through `cycles` cycles at the recorder's cadence,
+/// writing `value_of(cycle)` into every shard slot.
+template <typename ValueOf>
+void drive(FlightRecorder& rec, FlightRecorder::SeriesId id,
+           std::uint64_t cycles, ValueOf value_of) {
+  const auto shards = rec.config().shards;
+  for (std::uint64_t cycle = 0; cycle <= cycles; ++cycle) {
+    if (!rec.want(cycle)) continue;
+    for (std::uint32_t s = 0; s < shards; ++s) {
+      rec.record(id, s, cycle, value_of(cycle, s));
+    }
+  }
+}
+
+TEST(FlightRecorder, InactiveUntilConfigured) {
+  FlightRecorder rec;
+  EXPECT_FALSE(rec.active());
+  EXPECT_FALSE(rec.want(0));
+  EXPECT_TRUE(rec.merged().empty());
+}
+
+TEST(FlightRecorder, WantFiresOnCadenceMultiplesOnly) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/8, /*ring_capacity=*/16, /*shards=*/1});
+  EXPECT_TRUE(rec.want(0));
+  EXPECT_FALSE(rec.want(1));
+  EXPECT_FALSE(rec.want(7));
+  EXPECT_TRUE(rec.want(8));
+  EXPECT_TRUE(rec.want(800));
+}
+
+TEST(FlightRecorder, RingKeepsEverySampleUntilFull) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/4, /*ring_capacity=*/64, /*shards=*/1});
+  const auto id = rec.series("test.ring.underfull", SeriesAgg::kSum);
+  drive(rec, id, 100, [](std::uint64_t t, std::uint32_t) {
+    return static_cast<std::int64_t>(t * 2);
+  });
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 1U);
+  EXPECT_EQ(merged[0].stride_cycles, 4U);  // no downsampling happened
+  ASSERT_EQ(merged[0].points.size(), 26U);  // cycles 0, 4, ..., 100
+  for (std::size_t i = 0; i < merged[0].points.size(); ++i) {
+    EXPECT_EQ(merged[0].points[i].t, 4 * i);
+    EXPECT_EQ(merged[0].points[i].v, static_cast<std::int64_t>(8 * i));
+  }
+}
+
+TEST(FlightRecorder, DownsamplingHalvesResolutionAndKeepsBudget) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  const std::uint32_t ring = 8;
+  FlightRecorder rec({/*cadence=*/1, ring, /*shards=*/1});
+  const auto id = rec.series("test.ring.downsample", SeriesAgg::kSum);
+  // 1000 samples through an 8-slot ring: stride must reach the smallest
+  // power of two that fits, and the survivors are exactly the multiples
+  // of the final stride — a uniform grid over the whole run.
+  drive(rec, id, 999, [](std::uint64_t t, std::uint32_t) {
+    return static_cast<std::int64_t>(t);
+  });
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 1U);
+  const auto& series = merged[0];
+  EXPECT_LE(series.points.size(), ring);
+  EXPECT_GE(series.points.size(), ring / 2U);  // never below half budget
+  const auto stride = series.stride_cycles;
+  EXPECT_EQ(stride & (stride - 1), 0U);  // cadence 1 => power of two
+  for (std::size_t i = 0; i < series.points.size(); ++i) {
+    EXPECT_EQ(series.points[i].t, stride * i);
+    EXPECT_EQ(series.points[i].v, static_cast<std::int64_t>(stride * i));
+  }
+}
+
+TEST(FlightRecorder, RetainedTimestampsAreAPureFunctionOfTheInput) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  // Two independent recorders fed the same cycles retain the same
+  // samples — the downsampling decision depends only on the data.
+  FlightRecorder a({/*cadence=*/2, /*ring_capacity=*/16, /*shards=*/1});
+  FlightRecorder b({/*cadence=*/2, /*ring_capacity=*/16, /*shards=*/1});
+  const auto ia = a.series("test.pure", SeriesAgg::kSum);
+  const auto ib = b.series("test.pure", SeriesAgg::kSum);
+  const auto value = [](std::uint64_t t, std::uint32_t) {
+    return static_cast<std::int64_t>(t % 7);
+  };
+  drive(a, ia, 500, value);
+  drive(b, ib, 500, value);
+  EXPECT_EQ(a.merged()[0].points, b.merged()[0].points);
+}
+
+TEST(FlightRecorder, MergeSumsAdditiveShardsBitIdentically) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  // An additively partitioned signal merges to the same series at any
+  // shard count: shard s holds value(t)/shards plus the remainder on
+  // shard 0, so the per-cycle sum is exactly value(t) everywhere.
+  const auto value = [](std::uint64_t t) {
+    return static_cast<std::int64_t>(3 * t + 17);
+  };
+  std::vector<MergedSeries> reference;
+  for (const std::uint32_t shards : {1U, 2U, 4U, 8U}) {
+    FlightRecorder rec({/*cadence=*/16, /*ring_capacity=*/32, shards});
+    const auto id = rec.series("test.merge.sum", SeriesAgg::kSum);
+    drive(rec, id, 2000, [&](std::uint64_t t, std::uint32_t s) {
+      const auto each = value(t) / shards;
+      const auto rest = value(t) - each * shards;
+      return each + (s == 0 ? rest : 0);
+    });
+    const auto merged = rec.merged();
+    ASSERT_EQ(merged.size(), 1U);
+    if (shards == 1) {
+      reference = merged;
+      for (const auto& point : merged[0].points) {
+        EXPECT_EQ(point.v, value(point.t));
+      }
+    } else {
+      EXPECT_EQ(merged[0].points, reference[0].points)
+          << "merged series diverged at " << shards << " shards";
+      EXPECT_EQ(merged[0].stride_cycles, reference[0].stride_cycles);
+    }
+  }
+}
+
+TEST(FlightRecorder, MergeSumHandlesNegativePerShardValues) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  // Per-shard flow in-system counts go negative when a shard ejects
+  // flits injected elsewhere; only the sum is meaningful.
+  FlightRecorder rec({/*cadence=*/1, /*ring_capacity=*/8, /*shards=*/2});
+  const auto id = rec.series("test.merge.negative", SeriesAgg::kSum);
+  rec.record(id, 0, 0, -5);
+  rec.record(id, 1, 0, 9);
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 1U);
+  ASSERT_EQ(merged[0].points.size(), 1U);
+  EXPECT_EQ(merged[0].points[0].v, 4);
+}
+
+TEST(FlightRecorder, MergeMaxTakesPerShardPeak) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/1, /*ring_capacity=*/8, /*shards=*/3});
+  const auto id = rec.series("test.merge.max", SeriesAgg::kMax,
+                             SeriesScope::kShardTopology);
+  for (std::uint32_t s = 0; s < 3; ++s) rec.record(id, s, 0, 10 + s);
+  const auto merged = rec.merged();
+  ASSERT_EQ(merged.size(), 1U);
+  EXPECT_EQ(merged[0].scope, SeriesScope::kShardTopology);
+  EXPECT_EQ(merged[0].points[0].v, 12);
+}
+
+TEST(FlightRecorder, TailReturnsLastKPoints) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/10, /*ring_capacity=*/64, /*shards=*/1});
+  const auto id = rec.series("test.tail", SeriesAgg::kSum);
+  drive(rec, id, 400, [](std::uint64_t t, std::uint32_t) {
+    return static_cast<std::int64_t>(t);
+  });
+  const auto tail = rec.tail(4);
+  ASSERT_EQ(tail.size(), 1U);
+  ASSERT_EQ(tail[0].points.size(), 4U);
+  EXPECT_EQ(tail[0].points.back().t, 400U);
+  EXPECT_EQ(tail[0].points.front().t, 370U);
+  // A tail longer than the series returns the whole series.
+  EXPECT_EQ(rec.tail(10'000)[0].points.size(),
+            rec.merged()[0].points.size());
+}
+
+TEST(FlightRecorder, ReregisteringANameReturnsTheSameId) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/1, /*ring_capacity=*/4, /*shards=*/1});
+  const auto a = rec.series("test.same", SeriesAgg::kSum);
+  const auto b = rec.series("test.same", SeriesAgg::kSum);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(rec.merged().size(), 1U);
+}
+
+TEST(FlightRecorder, SampleBytesStayWithinTheConfiguredBudget) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/1, /*ring_capacity=*/32, /*shards=*/4});
+  const auto id = rec.series("test.budget", SeriesAgg::kSum);
+  const auto budget = rec.sample_bytes();
+  EXPECT_EQ(budget, 4U * 32U * sizeof(SeriesPoint));
+  drive(rec, id, 100'000, [](std::uint64_t, std::uint32_t) {
+    return std::int64_t{1};
+  });
+  EXPECT_EQ(rec.sample_bytes(), budget);  // rings never grow past capacity
+}
+
+TEST(FlightRecorder, RuntimePauseSuppressesSampling) {
+  if constexpr (!kEnabled) GTEST_SKIP() << "obs compiled out";
+  FlightRecorder rec({/*cadence=*/1, /*ring_capacity=*/8, /*shards=*/1});
+  const auto id = rec.series("test.pause", SeriesAgg::kSum);
+  set_enabled(false);
+  EXPECT_FALSE(rec.want(0));
+  set_enabled(true);
+  EXPECT_TRUE(rec.want(0));
+  rec.record(id, 0, 0, 1);
+  EXPECT_EQ(rec.merged()[0].points.size(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+TEST(PromExport, SanitizesNamesIntoThePrometheusGrammar) {
+  EXPECT_EQ(prom_name("sim.link.busy_flits"), "nbclos_sim_link_busy_flits");
+  EXPECT_EQ(prom_name("flow/odd-name"), "nbclos_flow_odd_name");
+}
+
+TEST(PromExport, RoundTripsCounterAndGaugeSamples) {
+  std::vector<MetricSample> snapshot(2);
+  snapshot[0].name = "test.counter";
+  snapshot[0].kind = MetricSample::Kind::kCounter;
+  snapshot[0].count = 42;
+  snapshot[1].name = "test.gauge";
+  snapshot[1].kind = MetricSample::Kind::kGauge;
+  snapshot[1].gauge = -7;
+  std::ostringstream out;
+  prom_export(out, snapshot);
+  const auto text = out.str();
+  EXPECT_NE(text.find("# TYPE nbclos_test_counter counter\n"
+                      "nbclos_test_counter 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE nbclos_test_gauge gauge\n"
+                      "nbclos_test_gauge -7\n"),
+            std::string::npos);
+}
+
+TEST(PromExport, GlobalExportIsValidInBothBuildConfigurations) {
+  // Under NBCLOS_OBS=OFF the registry snapshot is empty and the export
+  // is the empty string — still a valid exposition document.
+  const auto text = prom_export_global();
+  if constexpr (!kEnabled) {
+    EXPECT_TRUE(text.empty());
+  } else if (!text.empty()) {
+    EXPECT_EQ(text.back(), '\n');
+  }
+}
+
+TEST(SeriesExport, JsonCarriesSchemaGeometryAndPoints) {
+  FlightRecorder::Config config;
+  config.cadence = 32;
+  config.ring_capacity = 128;
+  config.shards = 2;
+  std::vector<MergedSeries> series(1);
+  series[0].name = "test.export";
+  series[0].agg = SeriesAgg::kSum;
+  series[0].scope = SeriesScope::kInvariant;
+  series[0].stride_cycles = 32;
+  series[0].points = {{0, 1}, {32, -2}};
+  std::ostringstream out;
+  write_timeseries_json(out, series, config);
+  const auto text = out.str();
+  EXPECT_NE(text.find("\"schema\": \"nbclos-timeseries-v1\""),
+            std::string::npos);
+  EXPECT_NE(text.find("\"cadence_cycles\": 32"), std::string::npos);
+  EXPECT_NE(text.find("\"test.export\""), std::string::npos);
+  EXPECT_NE(text.find("-2"), std::string::npos);
+}
+
+TEST(SeriesExport, CsvHeaderAndRowsMatchTheDocumentedSchema) {
+  FlightRecorder::Config config;
+  config.cadence = 8;
+  config.ring_capacity = 16;
+  config.shards = 1;
+  std::vector<MergedSeries> series(1);
+  series[0].name = "test.csv";
+  series[0].agg = SeriesAgg::kMax;
+  series[0].scope = SeriesScope::kShardTopology;
+  series[0].stride_cycles = 8;
+  series[0].points = {{8, 5}};
+  std::ostringstream out;
+  write_timeseries_csv(out, series, config);
+  const auto text = out.str();
+  EXPECT_NE(text.find("# nbclos-timeseries-v1 cadence=8 ring=16 shards=1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("series,agg,scope,stride_cycles,t,v\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test.csv,max,shard_topology,8,8,5\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nbclos::obs

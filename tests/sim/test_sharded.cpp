@@ -13,6 +13,7 @@
 
 #include "nbclos/analysis/permutations.hpp"
 #include "nbclos/core/multilevel.hpp"
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/sim/engine.hpp"
 #include "nbclos/sim/shard_router.hpp"
 #include "nbclos/sim/sharded.hpp"
@@ -212,6 +213,50 @@ TEST(ShardedSim, LoadSweepShardedMatchesSingleShardSweep) {
   for (std::size_t i = 0; i < rates.size(); ++i) {
     expect_identical(four[i], one[i],
                      ("sweep rate=" + std::to_string(rates[i])).c_str());
+  }
+}
+
+TEST(ShardedSim, MergedTimeseriesBitIdenticalAcrossShardCounts) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  const FoldedClos ft(FtreeParams{4, 16, 8});
+  const Network net = build_network(ft);
+  const FtreeDmodkRouter router(ft);
+  const auto traffic = TrafficPattern::permutation(
+      shift_permutation(ft.leaf_count(), 5), ft.leaf_count());
+  auto config = sharded_config(0.8);
+  config.record_timeseries = true;
+  config.record_cadence = 32;
+  config.record_ring_capacity = 16;  // small ring: downsampling engages
+  // The invariant subset of merged(), as comparable values.
+  const auto invariant = [](const obs::FlightRecorder& recorder) {
+    std::vector<obs::MergedSeries> out;
+    for (auto& series : recorder.merged()) {
+      if (series.scope == obs::SeriesScope::kInvariant) {
+        out.push_back(std::move(series));
+      }
+    }
+    return out;
+  };
+  ShardRouterOracle oracle(router);
+  PacketSim serial(net, oracle, traffic, config);
+  const auto golden_result = serial.run();
+  const auto golden = invariant(serial.recorder());
+  ASSERT_GE(golden.size(), 6U);
+  ASSERT_FALSE(golden[0].points.empty());
+  for (const std::uint32_t shards : {1U, 2U, 4U, 8U}) {
+    ShardedSim sim(net, router, traffic, config, shards);
+    const auto got_result = sim.run();
+    expect_identical(got_result, golden_result,
+                     ("timeseries shards=" + std::to_string(shards)).c_str());
+    const auto got = invariant(sim.recorder());
+    ASSERT_EQ(got.size(), golden.size());
+    for (std::size_t i = 0; i < golden.size(); ++i) {
+      SCOPED_TRACE("series=" + golden[i].name +
+                   " shards=" + std::to_string(shards));
+      EXPECT_EQ(got[i].name, golden[i].name);
+      EXPECT_EQ(got[i].stride_cycles, golden[i].stride_cycles);
+      EXPECT_EQ(got[i].points, golden[i].points);
+    }
   }
 }
 

@@ -32,7 +32,11 @@ field):
     regression, not noise — and the bisection margins on the Theorem 3
     routing must stay nonzero and deadlock-free.  speedup_vs_serial is
     reported but never gated: single-hardware-thread CI runners make
-    any speedup floor meaningless.
+    any speedup floor meaningless.  When the document carries a
+    recorder_overhead section (newer benches), its results_identical
+    and per-shard-count series identity verdicts are fatal gates and
+    the live-vs-paused overhead must stay under a generous cap; older
+    baselines without the section still validate.
 
 The gate is two-level, tuned so scheduler noise on a shared runner
 cannot flap it while a real code regression (which slows *every* case)
@@ -165,6 +169,35 @@ def validate_flow(doc):
     require(doc, "manifest.build_type", str)
 
 
+# The acceptance budget for the flight recorder is < 5% on a quiet
+# machine; the hard gate is looser because CI runners time noisily.  The
+# identity verdicts, in contrast, are exact and always fatal.
+RECORDER_OVERHEAD_CAP_PCT = 25.0
+
+
+def check_recorder_overhead(doc, where):
+    """Validate an optional recorder_overhead section (newer benches
+    emit it; older baseline documents without one must keep passing)."""
+    if "recorder_overhead" not in doc:
+        return
+    section = require(doc, "recorder_overhead", dict)
+    require(doc, "recorder_overhead.compiled_in", bool)
+    require(doc, "recorder_overhead.enabled_seconds", (int, float))
+    require(doc, "recorder_overhead.paused_seconds", (int, float))
+    overhead = require(doc, "recorder_overhead.overhead_pct", (int, float))
+    if not require(doc, "recorder_overhead.results_identical", bool):
+        fail(f"{where}: recording changed the engine result "
+             "(instrumentation fed back into the simulation)")
+    if section["compiled_in"] and overhead > RECORDER_OVERHEAD_CAP_PCT:
+        fail(f"{where}: recorder overhead {overhead:.1f}% exceeds the "
+             f"{RECORDER_OVERHEAD_CAP_PCT:.0f}% gate")
+    for point in section.get("series_identity", []):
+        shards = require(point, "shards", int)
+        if not require(point, "identical_to_serial", bool):
+            fail(f"{where}: merged time-series at {shards} shards "
+                 "diverged from the serial run (determinism regression)")
+
+
 def validate_flow_mt(doc):
     cases = require(doc, "cases", list)
     if not cases:
@@ -207,6 +240,7 @@ def validate_flow_mt(doc):
                 fail(f"{topo}: {mode} margin verdict regressed (the "
                      "nonblocking routing no longer sustains the probe "
                      "at any depth)")
+    check_recorder_overhead(doc, "flow_mt")
     require(doc, "manifest.build_type", str)
 
 

@@ -34,6 +34,13 @@
 ///   --trace-out FILE  collect a span/event trace during the command and
 ///                     write it on exit — Chrome trace_event JSON, or
 ///                     JSONL when FILE ends in ".jsonl"
+///   --prom-out FILE   write the metrics snapshot in Prometheus text
+///                     exposition format on exit ("-" = stdout)
+///   --timeseries-out FILE
+///                     arm the flight recorder for the command's engine
+///                     run and write the merged time series on exit —
+///                     CSV when FILE ends in ".csv", else JSON
+///                     ("-" = JSON to stdout)
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -44,8 +51,17 @@
 #include <string>
 #include <vector>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/obs/metrics.hpp"
+#include "nbclos/obs/prom_export.hpp"
 #include "nbclos/obs/run_info.hpp"
+#include "nbclos/obs/series_export.hpp"
 #include "nbclos/obs/trace.hpp"
 #include "nbclos/util/json.hpp"
 
@@ -95,14 +111,32 @@ int usage() {
             << "                [--m M] [--threads T] [--trials N] "
                "[--restarts R] [--steps S]\n"
             << "                [--seed S] [--json]\n"
+            << "  nbclos metrics-serve [--port P] [--max-requests N]\n"
             << "  nbclos --version\n"
-            << "global options: --metrics FILE|-   --trace-out FILE[.jsonl]\n";
+            << "global options: --metrics FILE|-   --trace-out FILE[.jsonl]\n"
+            << "                --prom-out FILE|-  --timeseries-out "
+               "FILE[.csv]|-\n";
   return 2;
 }
 
 /// Shard count of the command that ran (0 = not a sharded run) —
 /// recorded in the manifest of the --metrics dump.
 std::uint32_t g_manifest_shards = 0;
+
+/// --timeseries-out destination; non-empty arms the flight recorder in
+/// the single-run engine commands (simulate, flow-sim).
+std::string g_timeseries_out;
+
+/// Recorder output stashed by the command that ran, written by main()
+/// on exit (empty when the command has no recorder or recording was
+/// not armed — still a valid, empty document).
+std::vector<nbclos::obs::MergedSeries> g_series;
+nbclos::obs::FlightRecorder::Config g_series_config;
+
+void stash_recorder(const nbclos::obs::FlightRecorder& recorder) {
+  g_series = recorder.merged();
+  g_series_config = recorder.config();
+}
 
 /// Merged metrics snapshot as a JSON document (empty array in an
 /// NBCLOS_OBS=OFF build) with the build manifest attached.
@@ -334,6 +368,7 @@ int cmd_simulate(std::vector<std::string> args) {
   config.injection_rate = load;
   config.warmup_cycles = 2000;
   config.measure_cycles = 8000;
+  config.record_timeseries = !g_timeseries_out.empty();
 
   // Sharded engine (or any k-ary run — its routing is already a pure
   // ShardRouter, so one shard is the natural engine for it too).
@@ -344,6 +379,7 @@ int cmd_simulate(std::vector<std::string> args) {
     nbclos::sim::ShardedSim sim(net, *router, traffic, config,
                                 shards.value_or(1));
     const auto result = sim.run();
+    stash_recorder(sim.recorder());
     std::cout << topo.name << ", " << router->name()
               << ", shift permutation, offered " << load << ", "
               << sim.shard_count()
@@ -383,6 +419,7 @@ int cmd_simulate(std::vector<std::string> args) {
 
   nbclos::sim::PacketSim sim(net, *oracle, traffic, config);
   const auto result = sim.run();
+  stash_recorder(sim.recorder());
   std::cout << topo.name << ", " << oracle->name()
             << ", shift permutation, offered " << load
             << ":\n  accepted throughput: "
@@ -490,14 +527,20 @@ int cmd_flow_sim(std::vector<std::string> args) {
   const auto traffic = nbclos::sim::TrafficPattern::permutation(
       nbclos::shift_permutation(terminals, shift), terminals);
 
+  config.record_timeseries = !g_timeseries_out.empty();
   nbclos::flow::FlowResult result;
+  nbclos::flow::DeadlockForensics forensics;
   if (shards.has_value()) {
     config.counter_injection = true;  // the sharded engine's only mode
     nbclos::flow::ShardedFlowSim sim(cache, traffic, config, *shards);
     result = sim.run();
+    stash_recorder(sim.recorder());
+    forensics = sim.forensics();
   } else {
     nbclos::flow::FlowSim sim(cache, traffic, config);
     result = sim.run();
+    stash_recorder(sim.recorder());
+    forensics = sim.forensics();
   }
 
   const bool vct =
@@ -547,6 +590,30 @@ int cmd_flow_sim(std::vector<std::string> args) {
       jw.member("stuck_flits", result.stuck_flits);
     }
     jw.end_object();
+    if (forensics.valid) {
+      jw.key("forensics").begin_object();
+      jw.member("trip_cycle", forensics.trip_cycle);
+      jw.member("stuck_flits", forensics.stuck_flits);
+      jw.key("blocked").begin_array();
+      for (const auto& report : forensics.blocked) {
+        jw.begin_object();
+        jw.member("buffer", report.buffer);
+        jw.member("channel", report.channel);
+        jw.member("occupancy", report.occupancy);
+        if (report.waiting_for !=
+            nbclos::flow::BlockedBufferReport::kWaitsOnNone) {
+          jw.member("waiting_for", report.waiting_for);
+        }
+        jw.member("blocked_since", report.blocked_since);
+        jw.member("on_cycle", report.on_cycle);
+        jw.end_object();
+      }
+      jw.end_array();
+      jw.key("wait_cycle").begin_array();
+      for (const auto buffer : forensics.wait_cycle) jw.value(buffer);
+      jw.end_array();
+      jw.end_object();
+    }
     jw.key("manifest");
     auto manifest = nbclos::obs::RunInfo::current();
     manifest.shards = shards.value_or(0);
@@ -582,6 +649,28 @@ int cmd_flow_sim(std::vector<std::string> args) {
   if (result.deadlocked) {
     std::cout << "  DEADLOCK at cycle " << result.deadlock_cycle << " ("
               << result.stuck_flits << " flits wedged)\n";
+    if (forensics.valid) {
+      std::cout << "  blocked FIFOs (" << forensics.blocked.size() << "):\n";
+      for (const auto& report : forensics.blocked) {
+        std::cout << "    buffer " << report.buffer << " (channel "
+                  << report.channel << ", " << report.occupancy
+                  << " flits, blocked since cycle " << report.blocked_since
+                  << ")";
+        if (report.waiting_for !=
+            nbclos::flow::BlockedBufferReport::kWaitsOnNone) {
+          std::cout << " -> waits on buffer " << report.waiting_for;
+        }
+        if (report.on_cycle) std::cout << "  [circular wait]";
+        std::cout << "\n";
+      }
+      if (!forensics.wait_cycle.empty()) {
+        std::cout << "  circular wait chain:";
+        for (const auto buffer : forensics.wait_cycle) {
+          std::cout << " " << buffer;
+        }
+        std::cout << " -> " << forensics.wait_cycle.front() << "\n";
+      }
+    }
   }
   return result.deadlocked ? 1 : 0;
 }
@@ -898,6 +987,119 @@ int cmd_verify(const std::vector<std::string>& args) {
   return result.nonblocking ? 0 : 1;
 }
 
+/// Minimal Prometheus scrape endpoint: warm the registry with one small
+/// deterministic flow run (so a standalone scrape sees real content),
+/// then serve the text exposition on 127.0.0.1.  `--max-requests N`
+/// exits cleanly after N responses — what the CI smoke uses; the
+/// default serves until killed.
+int cmd_metrics_serve(std::vector<std::string> args) {
+  std::uint32_t port = 9464;  // the Prometheus-convention exporter range
+  std::uint64_t max_requests = 0;
+  if (const auto p = take_u32_flag(args, "--port")) port = *p;
+  if (const auto n = take_u32_flag(args, "--max-requests")) max_requests = *n;
+  if (!args.empty()) {
+    throw std::invalid_argument("unknown flag: " + args.front());
+  }
+#if !(defined(__unix__) || defined(__APPLE__))
+  std::cerr << "metrics-serve needs POSIX sockets on this platform\n";
+  return 1;
+#else
+  {
+    nbclos::FoldedClos ft(nbclos::FtreeParams{4, 16, 8});
+    const auto net = nbclos::build_network(ft);
+    const nbclos::YuanNonblockingRouting routing(ft);
+    const auto cache =
+        std::make_shared<const nbclos::routing::ChannelRouteCache>(
+            net, [&](nbclos::SDPair sd) {
+              nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
+              const auto count = ft.links_into(routing.route(sd), run);
+              std::vector<std::uint32_t> channels;
+              for (std::uint32_t j = 0; j < count; ++j) {
+                channels.push_back(run[j].value);
+              }
+              return channels;
+            });
+    const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
+    const auto traffic = nbclos::sim::TrafficPattern::permutation(
+        nbclos::shift_permutation(terminals, 5), terminals);
+    nbclos::flow::FlowConfig config;
+    config.injection_rate = 0.2;
+    config.warmup_cycles = 256;
+    config.measure_cycles = 1024;
+    config.record_timeseries = true;
+    nbclos::flow::FlowSim sim(cache, traffic, config);
+    (void)sim.run();
+    stash_recorder(sim.recorder());
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::cerr << "metrics-serve: socket() failed\n";
+    return 1;
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    std::cerr << "metrics-serve: cannot listen on 127.0.0.1:" << port << "\n";
+    ::close(fd);
+    return 1;
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  std::cout << "serving metrics on http://127.0.0.1:" << ntohs(addr.sin_port)
+            << "/metrics" << std::endl;
+
+#ifdef MSG_NOSIGNAL
+  constexpr int kSendFlags = MSG_NOSIGNAL;  // no SIGPIPE on a closed peer
+#else
+  constexpr int kSendFlags = 0;
+#endif
+  std::uint64_t served = 0;
+  while (max_requests == 0 || served < max_requests) {
+    const int client = ::accept(fd, nullptr, nullptr);
+    if (client < 0) continue;
+    char buf[2048];
+    const auto got = ::recv(client, buf, sizeof(buf) - 1, 0);
+    const std::string request(buf, got > 0 ? static_cast<std::size_t>(got)
+                                           : 0);
+    const bool want_metrics = request.rfind("GET /metrics", 0) == 0 ||
+                              request.rfind("GET / ", 0) == 0;
+    std::string body;
+    std::string head;
+    if (want_metrics) {
+      body = nbclos::obs::prom_export_global();
+      head =
+          "HTTP/1.1 200 OK\r\n"
+          "Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n";
+    } else {
+      body = "not found\n";
+      head =
+          "HTTP/1.1 404 Not Found\r\n"
+          "Content-Type: text/plain; charset=utf-8\r\n";
+    }
+    const std::string response = head + "Content-Length: " +
+                                 std::to_string(body.size()) +
+                                 "\r\nConnection: close\r\n\r\n" + body;
+    std::size_t off = 0;
+    while (off < response.size()) {
+      const auto sent = ::send(client, response.data() + off,
+                               response.size() - off, kSendFlags);
+      if (sent <= 0) break;
+      off += static_cast<std::size_t>(sent);
+    }
+    ::close(client);
+    ++served;
+  }
+  ::close(fd);
+  return 0;
+#endif
+}
+
 int cmd_dot(const std::vector<std::string>& args) {
   const auto n = arg_u32(args, 0);
   const std::optional<std::uint32_t> r =
@@ -916,6 +1118,7 @@ int main(int argc, char** argv) {
   // them before dispatch so every subcommand supports them uniformly.
   std::string metrics_out;
   std::string trace_out;
+  std::string prom_out;
   std::vector<std::string> words;
   for (int i = 1; i < argc; ++i) {
     const std::string word = argv[i];
@@ -925,6 +1128,14 @@ int main(int argc, char** argv) {
     }
     if (word == "--trace-out" && i + 1 < argc) {
       trace_out = argv[++i];
+      continue;
+    }
+    if (word == "--prom-out" && i + 1 < argc) {
+      prom_out = argv[++i];
+      continue;
+    }
+    if (word == "--timeseries-out" && i + 1 < argc) {
+      g_timeseries_out = argv[++i];
       continue;
     }
     words.push_back(word);
@@ -969,6 +1180,8 @@ int main(int argc, char** argv) {
       rc = cmd_verify(args);
     } else if (command == "dot" && args.size() >= 1) {
       rc = cmd_dot(args);
+    } else if (command == "metrics-serve") {
+      rc = cmd_metrics_serve(args);
     } else {
       const bool known =
           command == "design" || command == "certify" ||
@@ -1009,6 +1222,29 @@ int main(int argc, char** argv) {
         return rc != 0 ? rc : 1;
       }
       write_metrics_json(out);
+    }
+  }
+  if (!prom_out.empty()) {
+    const auto body = nbclos::obs::prom_export_global();
+    if (prom_out == "-") {
+      std::cout << body;
+    } else {
+      std::ofstream out(prom_out);
+      if (!out) {
+        std::cerr << "error: cannot write metrics to '" << prom_out << "'\n";
+        return rc != 0 ? rc : 1;
+      }
+      out << body;
+    }
+  }
+  if (!g_timeseries_out.empty()) {
+    if (g_timeseries_out == "-") {
+      nbclos::obs::write_timeseries_json(std::cout, g_series, g_series_config);
+    } else if (!nbclos::obs::write_timeseries_file(g_timeseries_out, g_series,
+                                                   g_series_config)) {
+      std::cerr << "error: cannot write timeseries to '" << g_timeseries_out
+                << "'\n";
+      return rc != 0 ? rc : 1;
     }
   }
   return rc;

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Validate nbclos flight-recorder time-series output (JSON or CSV).
+
+Schema "nbclos-timeseries-v1" (see EXPERIMENTS.md §"time-series schema"):
+
+  JSON: { "schema": "nbclos-timeseries-v1", "cadence_cycles": C >= 1,
+          "ring_capacity": R >= 2, "shards": S >= 1,
+          "series": [ { "name": str, "agg": "sum"|"max",
+                        "scope": "invariant"|"shard_topology",
+                        "stride_cycles": int, "points": [[t, v], ...] } ] }
+
+  CSV:  leading comment `# nbclos-timeseries-v1 cadence=C ring=R shards=S`,
+        header `series,agg,scope,stride_cycles,t,v`, one row per point.
+
+Invariants checked per series:
+  * stride_cycles is cadence_cycles * 2^k for some k >= 0 (the ring
+    halves its resolution by doubling the stride);
+  * timestamps are strictly increasing, each a multiple of stride_cycles,
+    and consecutive points are exactly stride_cycles apart (the retained
+    samples form a uniform grid — downsampling never leaves gaps);
+  * point count never exceeds ring_capacity;
+  * values are integers (the recorder stores exact int64 counts).
+
+Usage: validate_timeseries.py [--format json|csv] [--min-series N]
+                              [--min-points N] FILE
+Exit status 0 when the file validates, 1 with a message otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+VALID_AGG = {"sum", "max"}
+VALID_SCOPE = {"invariant", "shard_topology"}
+SCHEMA = "nbclos-timeseries-v1"
+
+
+def fail(message):
+    print(f"validate_timeseries: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_geometry(cadence, ring, shards, where):
+    if not isinstance(cadence, int) or cadence < 1:
+        fail(f"{where}: cadence_cycles must be a positive integer")
+    if not isinstance(ring, int) or ring < 2:
+        fail(f"{where}: ring_capacity must be an integer >= 2")
+    if not isinstance(shards, int) or shards < 1:
+        fail(f"{where}: shards must be a positive integer")
+
+
+def check_series(name, agg, scope, stride, points, cadence, ring):
+    where = f"series '{name}'"
+    if not isinstance(name, str) or not name:
+        fail("series name must be a non-empty string")
+    if agg not in VALID_AGG:
+        fail(f"{where}: agg is {agg!r}, expected one of {sorted(VALID_AGG)}")
+    if scope not in VALID_SCOPE:
+        fail(f"{where}: scope is {scope!r}, expected one of "
+             f"{sorted(VALID_SCOPE)}")
+    if not isinstance(stride, int) or stride < cadence:
+        fail(f"{where}: stride_cycles {stride!r} below cadence {cadence}")
+    ratio = stride // cadence
+    if stride != cadence * ratio or ratio & (ratio - 1):
+        fail(f"{where}: stride_cycles {stride} is not cadence * power of two")
+    if len(points) > ring:
+        fail(f"{where}: {len(points)} points exceed ring capacity {ring}")
+    prev_t = None
+    for t, v in points:
+        if not isinstance(t, int) or t < 0:
+            fail(f"{where}: timestamp {t!r} is not a non-negative integer")
+        if not isinstance(v, int):
+            fail(f"{where}: value {v!r} at t={t} is not an integer")
+        if t % stride != 0:
+            fail(f"{where}: timestamp {t} is not a multiple of stride "
+                 f"{stride}")
+        if prev_t is not None and t - prev_t != stride:
+            fail(f"{where}: gap {t - prev_t} between t={prev_t} and t={t}, "
+                 f"expected uniform stride {stride}")
+        prev_t = t
+
+
+def load_json(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as error:
+            fail(f"{path}: invalid JSON: {error}")
+    if not isinstance(doc, dict):
+        fail(f"{path}: top level is not an object")
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+             f"'{SCHEMA}'")
+    for field in ("cadence_cycles", "ring_capacity", "shards", "series"):
+        if field not in doc:
+            fail(f"{path}: missing field '{field}'")
+    cadence = doc["cadence_cycles"]
+    ring = doc["ring_capacity"]
+    check_geometry(cadence, ring, doc["shards"], path)
+    if not isinstance(doc["series"], list):
+        fail(f"{path}: 'series' must be an array")
+    series = []
+    for entry in doc["series"]:
+        if not isinstance(entry, dict):
+            fail(f"{path}: series entry is not an object")
+        for field in ("name", "agg", "scope", "stride_cycles", "points"):
+            if field not in entry:
+                fail(f"{path}: series entry missing '{field}'")
+        points = entry["points"]
+        if not isinstance(points, list) or any(
+                not isinstance(p, list) or len(p) != 2 for p in points):
+            fail(f"series '{entry['name']}': points must be [t, v] pairs")
+        series.append((entry["name"], entry["agg"], entry["scope"],
+                       entry["stride_cycles"], [tuple(p) for p in points]))
+    return cadence, ring, series
+
+
+def load_csv(path):
+    with open(path, encoding="utf-8") as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    if not lines or not lines[0].startswith(f"# {SCHEMA} "):
+        fail(f"{path}: missing '# {SCHEMA} ...' geometry comment")
+    geometry = {}
+    for token in lines[0].split()[2:]:
+        key, _, value = token.partition("=")
+        if not value.isdigit():
+            fail(f"{path}: bad geometry token {token!r}")
+        geometry[key] = int(value)
+    for key in ("cadence", "ring", "shards"):
+        if key not in geometry:
+            fail(f"{path}: geometry comment missing '{key}='")
+    cadence, ring = geometry["cadence"], geometry["ring"]
+    check_geometry(cadence, ring, geometry["shards"], path)
+    if len(lines) < 2 or lines[1] != "series,agg,scope,stride_cycles,t,v":
+        fail(f"{path}: missing CSV header "
+             f"'series,agg,scope,stride_cycles,t,v'")
+    series = {}
+    order = []
+    for number, line in enumerate(lines[2:], start=3):
+        if not line:
+            continue
+        cells = line.split(",")
+        if len(cells) != 6:
+            fail(f"{path}:{number}: expected 6 cells, got {len(cells)}")
+        name, agg, scope, stride_text, t_text, v_text = cells
+        try:
+            stride, t, v = int(stride_text), int(t_text), int(v_text)
+        except ValueError:
+            fail(f"{path}:{number}: non-integer stride/t/v")
+        key = (name, agg, scope, stride)
+        if key not in series:
+            if any(existing[0] == name for existing in series):
+                fail(f"{path}:{number}: series '{name}' rows are not "
+                     f"contiguous or change agg/scope/stride")
+            series[key] = []
+            order.append(key)
+        if order[-1] != key:
+            fail(f"{path}:{number}: series '{name}' rows are interleaved")
+        series[key].append((t, v))
+    return cadence, ring, [key + (series[key],) for key in order]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Validate nbclos flight-recorder time-series output.")
+    parser.add_argument("file")
+    parser.add_argument("--format", choices=("json", "csv"),
+                        help="override the extension-based format pick")
+    parser.add_argument("--min-series", type=int, default=0,
+                        help="require at least N series")
+    parser.add_argument("--min-points", type=int, default=0,
+                        help="require at least N points in some series")
+    options = parser.parse_args()
+
+    form = options.format or (
+        "csv" if options.file.endswith(".csv") else "json")
+    cadence, ring, series = (
+        load_csv(options.file) if form == "csv" else load_json(options.file))
+
+    names = set()
+    for name, agg, scope, stride, points in series:
+        if name in names:
+            fail(f"duplicate series '{name}'")
+        names.add(name)
+        check_series(name, agg, scope, stride, points, cadence, ring)
+
+    if len(series) < options.min_series:
+        fail(f"{len(series)} series, expected at least {options.min_series}")
+    most = max((len(points) for *_, points in series), default=0)
+    if most < options.min_points:
+        fail(f"longest series has {most} points, expected at least "
+             f"{options.min_points}")
+
+    total = sum(len(points) for *_, points in series)
+    print(f"validate_timeseries: OK ({len(series)} series, {total} points, "
+          f"cadence {cadence}, ring {ring})")
+
+
+if __name__ == "__main__":
+    main()
