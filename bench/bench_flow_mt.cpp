@@ -19,9 +19,15 @@
 ///     probe) with `analysis::buffer_margin_bisect` — O(log N) sharded
 ///     probes instead of the full sweep, which is what keeps radix 32
 ///     inside the quick budget.
-/// A final recorder_overhead section times the flight recorder live vs
-/// paused on a serial run (< 5% budget) and checks that the merged
-/// invariant time-series is bit-identical at every shard count.
+/// A scale section then probes 10-ary trees with pure O(1) dmodk
+/// routing and the lazy slab arenas — bytes/terminal, slab residency,
+/// spill bytes, and cycles/sec per tree, gated against a committed
+/// budget — quick stops at 10^4 terminals, full climbs to the
+/// 10^6-terminal 10-ary 6-tree (serial only) and reruns the margin
+/// bisection on the 10-ary 5-tree.  A final recorder_overhead section
+/// times the flight recorder live vs paused on a serial run (< 5%
+/// budget) and checks that the merged invariant time-series is
+/// bit-identical at every shard count.
 ///
 /// --quick runs the radix-32 ftree only; the full run adds radix 48 and
 /// the 10-ary 4-tree (10,000 terminals — its O(T^2) route cache honors
@@ -47,6 +53,7 @@
 #include "nbclos/routing/kary_updown.hpp"
 #include "nbclos/routing/route_cache.hpp"
 #include "nbclos/routing/yuan_nonblocking.hpp"
+#include "nbclos/sim/shard_router.hpp"
 #include "nbclos/topology/fat_tree.hpp"
 #include "nbclos/topology/network.hpp"
 #include "nbclos/util/json.hpp"
@@ -305,6 +312,140 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+
+  // --- flow-level scale-out: sparse arenas on 10-ary trees -------------
+  // Pure O(1) dmodk routing (no per-pair table) plus the lazy slab
+  // arenas are what let a 10^6-terminal fabric run at all; this section
+  // records bytes/terminal, slab residency, and cycles/sec so the gate
+  // catches a densification regression.  Short low-load windows — the
+  // point is memory shape, not saturation behavior.
+  {
+    // Committed ceiling for (flit + packet arena bytes) / terminal at
+    // the largest tree; see EXPERIMENTS.md for the derivation.
+    constexpr double kScaleBudgetBytesPerTerminal = 256.0;
+    struct ScalePoint {
+      std::uint32_t k, h;
+      bool identity;  ///< also run ShardedFlowSim(4) and compare
+    };
+    std::vector<ScalePoint> points = {{10, 3, true}, {10, 4, true}};
+    if (!quick) {
+      points.push_back({10, 5, true});
+      points.push_back({10, 6, false});  // serial only: memory headroom
+    }
+    json.key("scale").begin_object();
+    json.member("budget_bytes_per_terminal", kScaleBudgetBytesPerTerminal);
+    json.key("points").begin_array();
+    for (const auto& p : points) {
+      const Network net = build_kary_ntree(p.k, p.h);
+      const auto terminals =
+          static_cast<std::uint32_t>(net.terminals().size());
+      const auto routes =
+          std::make_shared<const flow::PureRouteSource>(
+              net, std::make_shared<const sim::KaryDmodkRouter>(net, p.k,
+                                                                p.h));
+      const auto traffic = sim::TrafficPattern::permutation(
+          shift_permutation(terminals, 7), terminals);
+      flow::FlowConfig config;
+      config.injection_rate = 0.05;
+      config.packet_flits = 4;
+      config.buffer_flits = 8;
+      config.warmup_cycles = 20;
+      config.measure_cycles = 80;
+      config.seed = manifest.seed;
+      config.counter_injection = true;
+      const double total_cycles =
+          static_cast<double>(config.warmup_cycles + config.measure_cycles);
+
+      // One timed run per point: a 10^6-terminal probe is too large for
+      // best-of-3, and the memory numbers are deterministic anyway.
+      flow::FlowResult serial{};
+      flow::ArenaStats stats{};
+      const auto t0 = std::chrono::steady_clock::now();
+      {
+        flow::FlowSim sim(routes, traffic, config);
+        serial = sim.run();
+        stats = sim.arena_stats();
+      }
+      const double secs = seconds_since(t0);
+      const double bytes_per_terminal =
+          static_cast<double>(stats.flit_arena_bytes +
+                              stats.packet_arena_bytes) /
+          static_cast<double>(terminals);
+      const bool within =
+          bytes_per_terminal <= kScaleBudgetBytesPerTerminal;
+      if (!within) {
+        std::cerr << "kary(" << p.k << "," << p.h << ") arenas at "
+                  << bytes_per_terminal
+                  << " bytes/terminal exceed the committed budget\n";
+        all_identical = false;
+      }
+      bool same = true;
+      if (p.identity) {
+        flow::ShardedFlowSim sharded(routes, traffic, config, 4);
+        same = identical(sharded.run(), serial);
+        if (!same) {
+          std::cerr << "kary(" << p.k << "," << p.h
+                    << ") sharded run diverged from serial at scale\n";
+          all_identical = false;
+        }
+      }
+      json.begin_object();
+      json.member("topology", "kary(" + std::to_string(p.k) + "," +
+                                  std::to_string(p.h) + ")");
+      json.member("terminals", terminals);
+      json.member("channels",
+                  static_cast<std::uint64_t>(net.channel_count()));
+      json.member("route_source", routes->label());
+      json.member("route_bytes", static_cast<std::uint64_t>(routes->bytes()));
+      json.member("seconds", secs);
+      json.member("cycles_per_sec", total_cycles / secs);
+      json.member("delivered_packets", serial.delivered_packets);
+      json.member("deadlocked", serial.deadlocked);
+      json.member("flit_arena_bytes",
+                  static_cast<std::uint64_t>(stats.flit_arena_bytes));
+      json.member("packet_arena_bytes",
+                  static_cast<std::uint64_t>(stats.packet_arena_bytes));
+      json.member("bytes_per_terminal", bytes_per_terminal);
+      json.member("resident_slots", stats.resident_slots);
+      json.member("peak_slots", stats.peak_slots);
+      json.member("spill_bytes",
+                  static_cast<std::uint64_t>(stats.spill_bytes));
+      json.member("within_budget", within);
+      json.member("identity_checked", p.identity);
+      json.member("identical_to_serial", same);
+      json.member("peak_rss_kb", obs::peak_rss_kb());
+      json.end_object();
+    }
+    json.end_array();
+
+    // Margin bisection rerun at the new scale: the 10-ary 5-tree margin
+    // via sharded probes over the pure route source (full mode only —
+    // each probe is a 10^5-terminal run).
+    if (!quick) {
+      const std::uint32_t k = 10, h = 5;
+      const Network net = build_kary_ntree(k, h);
+      const auto terminals =
+          static_cast<std::uint32_t>(net.terminals().size());
+      const auto routes = std::make_shared<const flow::PureRouteSource>(
+          net, std::make_shared<const sim::KaryDmodkRouter>(net, k, h));
+      const auto traffic = sim::TrafficPattern::permutation(
+          shift_permutation(terminals, 7), terminals);
+      analysis::BufferMarginConfig margin;
+      margin.buffer_sizes = {2, 4, 8};
+      margin.probe_load = 0.1;
+      margin.base.packet_flits = 4;
+      margin.base.warmup_cycles = 20;
+      margin.base.measure_cycles = 80;
+      margin.base.seed = manifest.seed;
+      const auto bisect =
+          analysis::buffer_margin_bisect(routes, traffic, margin, 4);
+      json.key("margin_kary_10_5").begin_object();
+      json.member("min_flits_nonblocking", bisect.min_flits_nonblocking);
+      json.member("probes", static_cast<std::uint64_t>(bisect.points.size()));
+      json.end_object();
+    }
+    json.end_object();
+  }
 
   // --- flight-recorder overhead and shard-count series identity --------
   // Serial FlowSim with the recorder armed, sampling live vs paused via

@@ -18,6 +18,14 @@
 /// with the single-writer-per-buffer rule (VC claims) bounds occupancy
 /// at capacity — see DESIGN.md "flow-control engine" for the overshoot
 /// accounting.
+///
+/// Since the slot-sparse pool rewrite, both classes are protocol layers
+/// over the FlitBufferPool they are constructed against: the per-buffer
+/// counters/bits live in the pool's BufferSlot records (so idle buffers
+/// cost nothing), while these classes keep only the temporal structure —
+/// the credit delay line and the dirty list.  Buffer ids are
+/// switch-buffer ids (< pool.switch_buffer_count()); NIC buffers are
+/// unbounded and never tracked.
 #pragma once
 
 #include <cstdint>
@@ -29,48 +37,46 @@
 namespace nbclos::flow {
 
 /// Credit counters for every switch buffer, plus the delay line that
-/// models the upstream credit wire.  All ids are switch-buffer ids
-/// (< FlitBufferPool::switch_buffer_count()); NIC buffers are unbounded
-/// and never tracked.
+/// models the upstream credit wire.  The pool reference must outlive
+/// the ledger.
 class CreditLedger {
  public:
   /// \param delay cycles between a downstream pop and the credit being
   ///        visible upstream again; must be >= 1 (a same-cycle return
   ///        would make transmissions order-dependent within the phase).
-  CreditLedger(std::uint32_t switch_buffers, std::uint32_t capacity,
-               std::uint32_t delay);
+  CreditLedger(FlitBufferPool& pool, std::uint32_t delay);
 
   /// Apply the credit returns due this cycle.  Call once at the start of
   /// every cycle, before transmissions read the counters.
   void advance(std::uint64_t now);
 
   [[nodiscard]] std::uint32_t credits(std::uint32_t b) const {
-    NBCLOS_DEBUG_CHECK(b < credits_.size(), "buffer id out of range");
-    return credits_[b];
+    return pool_->credits(b);
   }
 
   /// A flit started toward buffer `b` this cycle.
-  void consume(std::uint32_t b) {
-    NBCLOS_ASSERT(credits_[b] > 0);
-    --credits_[b];
-  }
+  void consume(std::uint32_t b) { pool_->consume_credit(b); }
 
   /// A flit left buffer `b` this cycle; its credit becomes visible at
   /// now + delay.
   void schedule_return(std::uint32_t b, std::uint64_t now) {
+    pool_->note_pending_return(b);
     delay_line_[(now + delay_) % delay_line_.size()].push_back(b);
   }
 
-  /// Returns scheduled but not yet applied for `b` (audit path, O(delay
-  /// line); the hot path never calls this).
-  [[nodiscard]] std::uint64_t pending_returns(std::uint32_t b) const;
+  /// Returns scheduled but not yet applied for `b` (O(1) — the slot
+  /// carries the counter).
+  [[nodiscard]] std::uint64_t pending_returns(std::uint32_t b) const {
+    return pool_->pending_returns(b);
+  }
 
-  [[nodiscard]] std::uint32_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint32_t capacity() const noexcept {
+    return pool_->capacity();
+  }
 
  private:
-  std::uint32_t capacity_ = 0;
+  FlitBufferPool* pool_;
   std::uint32_t delay_ = 1;
-  std::vector<std::uint32_t> credits_;
   /// delay + 1 buckets of buffer ids, indexed by cycle mod size; a
   /// bucket is drained by advance() before the cycle that refills it.
   std::vector<std::vector<std::uint32_t>> delay_line_;
@@ -85,29 +91,23 @@ class OnOffSignal {
   /// \param off_threshold occupancy at which the stop bit asserts
   ///        (FlowConfig::onoff_off_threshold()); must be >= 1 so an
   ///        empty buffer always reads "on".
-  OnOffSignal(std::uint32_t switch_buffers, std::uint32_t off_threshold);
+  OnOffSignal(FlitBufferPool& pool, std::uint32_t off_threshold);
 
-  [[nodiscard]] bool off(std::uint32_t b) const {
-    NBCLOS_DEBUG_CHECK(b < off_.size(), "buffer id out of range");
-    return off_[b] != 0;
-  }
+  [[nodiscard]] bool off(std::uint32_t b) const { return pool_->off_bit(b); }
 
   /// Occupancy of `b` changed this cycle; recompute its bit at latch().
   void mark_dirty(std::uint32_t b) {
-    if (in_dirty_[b]) return;
-    in_dirty_[b] = 1;
-    dirty_.push_back(b);
+    if (pool_->test_and_set_dirty(b)) dirty_.push_back(b);
   }
 
   /// End-of-cycle: latch the stop bits of dirty buffers from current
   /// occupancy.  Cost is O(buffers touched this cycle), not O(all).
-  void latch(const FlitBufferPool& pool);
+  void latch();
 
  private:
+  FlitBufferPool* pool_;
   std::uint32_t threshold_ = 0;
-  std::vector<std::uint8_t> off_;
   std::vector<std::uint32_t> dirty_;
-  std::vector<std::uint8_t> in_dirty_;
 };
 
 }  // namespace nbclos::flow

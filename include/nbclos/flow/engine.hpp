@@ -17,7 +17,8 @@
 ///     flit transmitted on c lands one cycle later in the downstream
 ///     FIFO its packet holds, or is ejected if dst(c) is a terminal;
 ///   * a head flit must first allocate a downstream (channel, VC):
-///     the route comes from the shared routing::ChannelRouteCache, the
+///     the route comes from the shared flow::RouteSource (a
+///     ChannelRouteCache table or a pure O(1) router), the
 ///     VC from a first-free scan starting at the packet's current VC,
 ///     and the VC is *claimed* until the tail flit arrives — packets
 ///     never interleave inside a FIFO, and a buffer has at most one
@@ -55,6 +56,7 @@
 #include "nbclos/flow/buffers.hpp"
 #include "nbclos/flow/config.hpp"
 #include "nbclos/flow/credits.hpp"
+#include "nbclos/flow/route_source.hpp"
 #include "nbclos/obs/flight_recorder.hpp"
 #include "nbclos/obs/metrics.hpp"
 #include "nbclos/routing/route_cache.hpp"
@@ -178,6 +180,14 @@ class FlowSim {
           const fault::DegradedView* degraded = nullptr,
           std::vector<fault::FaultEvent> fault_events = {});
 
+  /// Same engine over any RouteSource — with a PureRouteSource this is
+  /// the only constructor that works at 10^6 terminals (no O(T^2) pair
+  /// table is ever built).
+  FlowSim(std::shared_ptr<const RouteSource> routes,
+          const sim::TrafficPattern& traffic, FlowConfig config,
+          const fault::DegradedView* degraded = nullptr,
+          std::vector<fault::FaultEvent> fault_events = {});
+
   /// Run warmup + measurement; returns aggregate results.  Stops early
   /// (with result.deadlocked set) if the watchdog trips.
   [[nodiscard]] FlowResult run();
@@ -205,6 +215,10 @@ class FlowSim {
     return forensics_;
   }
 
+  /// Flit/packet arena accounting (slab residency, spill) — valid any
+  /// time; benches and the CLI manifest read it after run().
+  [[nodiscard]] ArenaStats arena_stats() const;
+
  private:
   static constexpr std::uint32_t kNone = UINT32_MAX;
   static constexpr std::uint32_t kEject = UINT32_MAX;  ///< wire target
@@ -213,10 +227,12 @@ class FlowSim {
   /// The flit a channel transmitted last cycle, landing this cycle.  At
   /// most one per channel (one flit per channel per cycle), and at most
   /// one wire targets any given buffer (the claim serializes writers).
-  struct Wire {
-    FlitRef flit;
+  /// Kept as a compact list instead of a dense per-channel array: the
+  /// set of busy wires tracks live flits, not fabric size.
+  struct BusyWire {
+    std::uint32_t channel = 0;
     std::uint32_t target = 0;  ///< downstream buffer id, or kEject
-    bool valid = false;
+    FlitRef flit;
   };
 
   void step_arrivals();
@@ -258,7 +274,7 @@ class FlowSim {
   /// trip (the run loop has stopped; all state is final).
   void capture_forensics();
 
-  std::shared_ptr<const routing::ChannelRouteCache> routes_;
+  std::shared_ptr<const RouteSource> routes_;
   const Network* net_;
   const sim::TrafficPattern* traffic_;
   FlowConfig config_;
@@ -272,8 +288,7 @@ class FlowSim {
   std::vector<std::uint32_t> channel_dst_;
   std::vector<std::uint8_t> dst_is_terminal_;
   std::vector<std::uint32_t> next_vc_;    ///< round-robin VC arbiter state
-  std::vector<Wire> wire_;
-  std::vector<std::uint32_t> busy_wires_;  ///< channels with a flit in flight
+  std::vector<BusyWire> busy_wires_;      ///< flits in flight this cycle
   std::vector<std::uint32_t> channel_flits_;  ///< queued flits per channel
 
   // Active-channel list: exactly the channels with queued flits, sorted
@@ -281,13 +296,19 @@ class FlowSim {
   std::vector<std::uint32_t> active_;
   std::vector<std::uint8_t> in_active_;
 
-  // Per-buffer state (switch buffers first, then NIC buffers).
-  std::vector<std::uint32_t> owner_channel_;  ///< buffer -> its channel
-  std::vector<std::uint32_t> out_alloc_;  ///< downstream buffer of head packet
-  std::vector<std::uint32_t> claim_;      ///< switch buffers: writing packet
-  std::vector<std::uint64_t> blocked_since_;  ///< stall episode start
+  // Buffer id space (switch buffers first, then NIC buffers).  All
+  // per-buffer *state* lives slot-sparse in pool_; only the id→channel
+  // decoding tables remain, and those are per channel, not per buffer.
+  std::vector<std::uint32_t> channel_of_switch_idx_;  ///< switch index -> c
+  std::vector<std::uint32_t> channel_of_nic_idx_;     ///< NIC index -> c
   std::uint32_t switch_buffer_count_ = 0;
   std::uint64_t switch_channel_count_ = 0;
+
+  [[nodiscard]] std::uint32_t owner_channel_of(std::uint32_t b) const {
+    return b < switch_buffer_count_
+               ? channel_of_switch_idx_[b / config_.vcs]
+               : channel_of_nic_idx_[b - switch_buffer_count_];
+  }
 
   FlitBufferPool pool_;
   PacketPool packets_;
@@ -333,6 +354,9 @@ class FlowSim {
   std::uint64_t flits_in_system_ = 0;
   std::uint64_t flits_moved_epoch_ = 0;
   bool deadlocked_ = false;
+  /// Conservation-audit scratch, indexed by pool slot id; hoisted out of
+  /// credit_conservation_holds so epoch audits do not allocate.
+  mutable std::vector<std::uint64_t> audit_in_flight_;
 
   // Observability (never feeds back into simulation state).
   std::vector<std::uint64_t> link_busy_flits_;
@@ -360,6 +384,12 @@ class FlowSim {
 /// field-for-field identical at any thread count.
 [[nodiscard]] std::vector<FlowResult> flow_load_sweep(
     const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const sim::TrafficPattern& traffic, const FlowConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool);
+
+/// RouteSource-generic sweep (the cache overload wraps and delegates).
+[[nodiscard]] std::vector<FlowResult> flow_load_sweep(
+    const std::shared_ptr<const RouteSource>& routes,
     const sim::TrafficPattern& traffic, const FlowConfig& base,
     const std::vector<double>& rates, ThreadPool* pool);
 

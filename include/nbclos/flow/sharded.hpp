@@ -48,8 +48,9 @@
 ///      across ALL shards before deciding (per-shard verdicts would
 ///      miss deadlocks whose cycle spans the cut).
 ///
-/// Determinism contract: pure `ShardRouter`-free routing through the
-/// shared read-only `ChannelRouteCache`, counter-based injection, exact
+/// Determinism contract: routing through the shared read-only
+/// `RouteSource` (a `ChannelRouteCache` table or a pure arithmetic
+/// router — both deterministic), counter-based injection, exact
 /// integer statistic merges, and per-executor ascending channel order
 /// (all cross-channel interaction within a cycle — claims, credit
 /// consumption — is confined to channels sharing a downstream vertex,
@@ -87,6 +88,12 @@ class ShardedFlowSim {
   /// schedule is applied to every copy at the same cycles, so they never
   /// diverge).  Injection always uses the counter-based RNG; pinning and
   /// first-touch arena placement follow `FlowConfig::pin_shards`.
+  ShardedFlowSim(std::shared_ptr<const RouteSource> routes,
+                 const sim::TrafficPattern& traffic, FlowConfig config,
+                 std::uint32_t shards,
+                 const fault::DegradedView* degraded = nullptr,
+                 std::vector<fault::FaultEvent> fault_events = {});
+  /// Historical entry point: wrap the route cache in a CacheRouteSource.
   ShardedFlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
                  const sim::TrafficPattern& traffic, FlowConfig config,
                  std::uint32_t shards,
@@ -116,6 +123,9 @@ class ShardedFlowSim {
   }
   /// Resident bytes of the per-shard flit/credit arenas.
   [[nodiscard]] std::size_t arena_bytes() const noexcept;
+  /// Flit/packet arena accounting summed over shards (FlowSim parity).
+  /// Valid after run() — pools live until the engine is destroyed.
+  [[nodiscard]] ArenaStats arena_stats() const noexcept;
 
   /// The per-epoch time-series recorder (inactive unless
   /// FlowConfig::record_timeseries).  Every shard samples the same
@@ -188,7 +198,9 @@ class ShardedFlowSim {
   void note_unblocked(Shard& sh, std::uint32_t global_b, std::uint64_t now);
   [[nodiscard]] bool backpressure_ok(const Shard& sh, std::uint32_t local_b,
                                      std::uint32_t reservation) const;
-  [[nodiscard]] bool local_credit_conservation_holds(const Shard& sh) const;
+  /// Audits live slots only (never-activated buffers hold full credits
+  /// trivially); uses the shard's hoisted audit scratch, hence non-const.
+  [[nodiscard]] bool local_credit_conservation_holds(Shard& sh) const;
   [[nodiscard]] FlowResult merge_results();
   void flush_obs(double wall_seconds);
   void arm_recorder();
@@ -197,7 +209,7 @@ class ShardedFlowSim {
   /// have joined) into one global forensics report.
   void capture_forensics();
 
-  std::shared_ptr<const routing::ChannelRouteCache> routes_;
+  std::shared_ptr<const RouteSource> routes_;
   const Network* net_;
   const sim::TrafficPattern* traffic_;
   FlowConfig config_;
@@ -216,6 +228,10 @@ class ShardedFlowSim {
   std::vector<std::uint32_t> channel_dst_;
   std::vector<std::uint8_t> dst_is_terminal_;
   std::vector<std::uint8_t> channel_executor_;  ///< shard_of(dst(c))
+  /// Dense index of c among its executor's executed channels (ascending
+  /// c) — per-shard link-busy tallies are executor-local so their size
+  /// tracks channels / S, not S full copies of the fabric.
+  std::vector<std::uint32_t> exec_index_;
   std::vector<std::uint32_t> buf_local_of_global_;
   std::uint32_t switch_buffer_count_ = 0;
   std::uint64_t switch_channel_count_ = 0;

@@ -2,11 +2,9 @@
 
 namespace nbclos::flow {
 
-CreditLedger::CreditLedger(std::uint32_t switch_buffers,
-                           std::uint32_t capacity, std::uint32_t delay)
-    : capacity_(capacity), delay_(delay),
-      credits_(switch_buffers, capacity), delay_line_(std::size_t{delay} + 1) {
-  NBCLOS_REQUIRE(capacity >= 1, "credit capacity must be >= 1");
+CreditLedger::CreditLedger(FlitBufferPool& pool, std::uint32_t delay)
+    : pool_(&pool), delay_(delay), delay_line_(std::size_t{delay} + 1) {
+  NBCLOS_REQUIRE(pool.capacity() >= 1, "credit capacity must be >= 1");
   // A zero-delay return would land mid-transmission-phase and make the
   // outcome depend on channel visit order; the delay line also needs
   // delay + 1 > delay buckets so a bucket drains before it refills.
@@ -16,35 +14,21 @@ CreditLedger::CreditLedger(std::uint32_t switch_buffers,
 void CreditLedger::advance(std::uint64_t now) {
   auto& due = delay_line_[now % delay_line_.size()];
   for (const auto b : due) {
-    NBCLOS_ASSERT(credits_[b] < capacity_);
-    ++credits_[b];
+    pool_->apply_credit_return(b);
   }
   due.clear();
 }
 
-std::uint64_t CreditLedger::pending_returns(std::uint32_t b) const {
-  std::uint64_t pending = 0;
-  for (const auto& bucket : delay_line_) {
-    for (const auto id : bucket) {
-      if (id == b) ++pending;
-    }
-  }
-  return pending;
-}
-
-OnOffSignal::OnOffSignal(std::uint32_t switch_buffers,
-                         std::uint32_t off_threshold)
-    : threshold_(off_threshold), off_(switch_buffers, 0),
-      in_dirty_(switch_buffers, 0) {
+OnOffSignal::OnOffSignal(FlitBufferPool& pool, std::uint32_t off_threshold)
+    : pool_(&pool), threshold_(off_threshold) {
   NBCLOS_REQUIRE(off_threshold >= 1,
                  "on/off threshold must leave at least one sendable slot "
                  "(buffer too shallow for this switching mode)");
 }
 
-void OnOffSignal::latch(const FlitBufferPool& pool) {
+void OnOffSignal::latch() {
   for (const auto b : dirty_) {
-    off_[b] = pool.size(b) >= threshold_ ? 1 : 0;
-    in_dirty_[b] = 0;
+    pool_->latch_off_bit(b, threshold_);
   }
   dirty_.clear();
 }

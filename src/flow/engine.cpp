@@ -32,6 +32,14 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
                  const sim::TrafficPattern& traffic, FlowConfig config,
                  const fault::DegradedView* degraded,
                  std::vector<fault::FaultEvent> fault_events)
+    : FlowSim(std::static_pointer_cast<const RouteSource>(
+                  std::make_shared<const CacheRouteSource>(std::move(routes))),
+              traffic, config, degraded, std::move(fault_events)) {}
+
+FlowSim::FlowSim(std::shared_ptr<const RouteSource> routes,
+                 const sim::TrafficPattern& traffic, FlowConfig config,
+                 const fault::DegradedView* degraded,
+                 std::vector<fault::FaultEvent> fault_events)
     : routes_(std::move(routes)),
       net_(&routes_->network()),
       traffic_(&traffic),
@@ -42,7 +50,6 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
       channel_dst_(net_->channel_count(), 0),
       dst_is_terminal_(net_->channel_count(), 0),
       next_vc_(net_->channel_count(), 0),
-      wire_(net_->channel_count()),
       channel_flits_(net_->channel_count(), 0),
       in_active_(net_->channel_count(), 0),
       pool_(count_switch_source_channels(routes_->network()) * config.vcs,
@@ -86,9 +93,13 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
 
   // Buffer id assignment: switch channels take `vcs` consecutive ids in
   // channel order, NIC channels one id each after all switch buffers —
-  // matching the FlitBufferPool address split.
+  // matching the FlitBufferPool address split.  Only the id→channel
+  // decoding tables are materialized (per channel); per-buffer state is
+  // slot-sparse inside the pool.
   switch_buffer_count_ = pool_.switch_buffer_count();
-  owner_channel_.assign(pool_.buffer_count(), 0);
+  channel_of_switch_idx_.assign(switch_buffer_count_ / config.vcs, 0);
+  channel_of_nic_idx_.assign(
+      pool_.buffer_count() - switch_buffer_count_, 0);
   std::uint32_t switch_idx = 0;
   std::uint32_t nic_idx = 0;
   for (std::uint32_t c = 0; c < net_->channel_count(); ++c) {
@@ -97,31 +108,24 @@ FlowSim::FlowSim(std::shared_ptr<const routing::ChannelRouteCache> routes,
         net_->vertex(channel_dst_[c]).kind == VertexKind::kTerminal;
     if (net_->vertex(net_->channel_src(c)).kind == VertexKind::kTerminal) {
       is_nic_[c] = 1;
-      buf_base_[c] = switch_buffer_count_ + nic_idx++;
-      owner_channel_[buf_base_[c]] = c;
+      buf_base_[c] = switch_buffer_count_ + nic_idx;
+      channel_of_nic_idx_[nic_idx++] = c;
     } else {
       buf_base_[c] = switch_idx * config.vcs;
-      for (std::uint32_t v = 0; v < config.vcs; ++v) {
-        owner_channel_[buf_base_[c] + v] = c;
-      }
-      ++switch_idx;
+      channel_of_switch_idx_[switch_idx++] = c;
     }
   }
   switch_channel_count_ = switch_idx;
 
-  out_alloc_.assign(pool_.buffer_count(), kNone);
-  claim_.assign(switch_buffer_count_, kNone);
-  blocked_since_.assign(pool_.buffer_count(), kNotBlocked);
   if (config.backpressure == Backpressure::kCredit) {
-    ledger_ = std::make_unique<CreditLedger>(
-        switch_buffer_count_, config.buffer_flits, config.credit_delay);
+    ledger_ = std::make_unique<CreditLedger>(pool_, config.credit_delay);
   } else {
     NBCLOS_REQUIRE(
         config.buffer_flits >= head_reservation_ + 1,
         "on/off signaling needs one slot of slack beyond the head "
         "reservation (see onoff_off_threshold)");
-    onoff_ = std::make_unique<OnOffSignal>(switch_buffer_count_,
-                                           config.onoff_off_threshold());
+    onoff_ =
+        std::make_unique<OnOffSignal>(pool_, config.onoff_off_threshold());
   }
   peak_per_vc_.assign(config.vcs, 0);
   busy_wires_.reserve(net_->channel_count());
@@ -182,16 +186,17 @@ void FlowSim::note_blocked(std::uint32_t b, bool credit_block) {
   } else {
     ++vc_stall_cycles_;
   }
-  if (blocked_since_[b] == kNotBlocked) {
-    blocked_since_[b] = now_;
+  if (pool_.blocked_since(b) == kNotBlocked) {
+    pool_.set_blocked_since(b, now_);
     ++blocked_heads_;
   }
 }
 
 void FlowSim::note_unblocked(std::uint32_t b) {
-  if (blocked_since_[b] == kNotBlocked) return;
-  const std::uint64_t duration = now_ - blocked_since_[b];
-  blocked_since_[b] = kNotBlocked;
+  const std::uint64_t since = pool_.blocked_since(b);
+  if (since == kNotBlocked) return;
+  const std::uint64_t duration = now_ - since;
+  pool_.clear_blocked_since(b);
   --blocked_heads_;
   stall_stats_.add(static_cast<double>(duration));
   stall_duration_sum_ += duration;
@@ -238,7 +243,7 @@ std::uint32_t FlowSim::allocate_downstream(std::uint32_t from_vc,
   for (std::uint32_t j = 0; j < config_.vcs; ++j) {
     const std::uint32_t nv = (from_vc + j) % config_.vcs;
     const std::uint32_t nb = buf_base_[nc] + nv;
-    if (claim_[nb] != kNone) continue;
+    if (pool_.claim(nb) != kNone) continue;
     if (!backpressure_ok(nb, head_reservation_)) {
       saw_credit_block = true;
       continue;
@@ -265,7 +270,7 @@ bool FlowSim::try_transmit(std::uint32_t c) {
     if (dst_is_terminal_[c]) {
       target = kEject;  // the terminal sink always accepts
     } else if (flit.flit_index == 0) {
-      NBCLOS_ASSERT(out_alloc_[b] == kNone);
+      NBCLOS_ASSERT(pool_.out_alloc(b) == kNone);
       bool credit_block = false;
       const std::uint32_t nb =
           allocate_downstream(vc, packet, channel_dst_[c], &credit_block);
@@ -273,11 +278,11 @@ bool FlowSim::try_transmit(std::uint32_t c) {
         note_blocked(b, credit_block);
         continue;  // this VC stalls; the next may still use the channel
       }
-      claim_[nb] = flit.packet_slot;
-      out_alloc_[b] = nb;
+      pool_.set_claim(nb, flit.packet_slot);
+      pool_.set_out_alloc(b, nb);
       target = nb;
     } else {
-      target = out_alloc_[b];
+      target = pool_.out_alloc(b);
       NBCLOS_ASSERT(target != kNone);
       // Wormhole body flits re-check backpressure every cycle; VCT
       // reserved the whole packet at the head, so bodies stream freely.
@@ -294,12 +299,14 @@ bool FlowSim::try_transmit(std::uint32_t c) {
       if (onoff_ != nullptr) onoff_->mark_dirty(b);
     }
     if (target != kEject && ledger_ != nullptr) ledger_->consume(target);
-    if (flit.flit_index + 1 == packet.size_flits) out_alloc_[b] = kNone;
-    wire_[c] = Wire{flit, target, true};
-    busy_wires_.push_back(c);
+    if (flit.flit_index + 1 == packet.size_flits) {
+      pool_.set_out_alloc(b, kNone);
+    }
+    busy_wires_.push_back(BusyWire{c, target, flit});
     link_busy_flits_[c] += 1;
     ++flits_moved_epoch_;
     note_unblocked(b);
+    pool_.maybe_release(b);  // drained + unblocked: recycle the slot
     next_vc_[c] = (vc + 1) % vc_count;
     return true;
   }
@@ -332,15 +339,16 @@ void FlowSim::step_arrivals() {
   // Sorting fixes the ejection order, so the latency accumulators see
   // deliveries in ascending channel order — the same order PacketSim's
   // sorted flying_ sweep produces (bit-reproducibility of Welford sums).
-  std::sort(busy_wires_.begin(), busy_wires_.end());
-  for (const auto c : busy_wires_) {
-    Wire& w = wire_[c];
-    NBCLOS_ASSERT(w.valid);
+  std::sort(busy_wires_.begin(), busy_wires_.end(),
+            [](const BusyWire& a, const BusyWire& b) {
+              return a.channel < b.channel;
+            });
+  for (const auto& w : busy_wires_) {
     if (w.target == kEject) {
       eject(w.flit);
     } else {
       pool_.push(w.target, w.flit);
-      const std::uint32_t oc = owner_channel_[w.target];
+      const std::uint32_t oc = owner_channel_of(w.target);
       ++channel_flits_[oc];
       activate(oc);
       if (onoff_ != nullptr) onoff_->mark_dirty(w.target);
@@ -351,11 +359,10 @@ void FlowSim::step_arrivals() {
       const sim::Packet& packet = packets_.at(w.flit.packet_slot);
       if (w.flit.flit_index + 1 == packet.size_flits) {
         // Tail landed: the VC is whole again and accepts a new claimant.
-        NBCLOS_ASSERT(claim_[w.target] == w.flit.packet_slot);
-        claim_[w.target] = kNone;
+        NBCLOS_ASSERT(pool_.claim(w.target) == w.flit.packet_slot);
+        pool_.set_claim(w.target, kNone);
       }
     }
-    w.valid = false;
   }
   busy_wires_.clear();
 }
@@ -456,12 +463,18 @@ bool FlowSim::watchdog_tripped() {
 }
 
 void FlowSim::fill_deadlock_diag(FlowResult& result) const {
+  // Live slots iterate in allocation order; collect every occupied
+  // buffer, then sort and truncate so the sample is the 8 smallest ids —
+  // exactly what the dense ascending scan used to produce.
   constexpr std::size_t kMaxSample = 8;
-  for (std::uint32_t b = 0;
-       b < pool_.buffer_count() && result.stuck_buffers.size() < kMaxSample;
-       ++b) {
-    if (pool_.size(b) > 0) result.stuck_buffers.push_back(b);
-  }
+  std::vector<std::uint32_t> occupied;
+  pool_.for_each_live([&](std::uint32_t b, std::uint32_t,
+                          const FlitBufferPool::BufferSlot& sl) {
+    if (sl.size > 0) occupied.push_back(b);
+  });
+  std::sort(occupied.begin(), occupied.end());
+  if (occupied.size() > kMaxSample) occupied.resize(kMaxSample);
+  result.stuck_buffers = std::move(occupied);
 }
 
 namespace detail {
@@ -524,23 +537,27 @@ void FlowSim::capture_forensics() {
   forensics_.valid = true;
   forensics_.trip_cycle = now_;
   forensics_.stuck_flits = flits_in_system_;
-  for (std::uint32_t b = 0; b < pool_.buffer_count(); ++b) {
-    if (blocked_since_[b] == kNotBlocked) continue;
+  // Blocked FIFOs are exactly the live slots with blocked_since set;
+  // collection order is allocation order, which is fine because
+  // finalize_forensics sorts by buffer id.
+  pool_.for_each_live([&](std::uint32_t b, std::uint32_t,
+                          const FlitBufferPool::BufferSlot& sl) {
+    if (sl.blocked_since_plus1 == 0) return;
     BlockedBufferReport report;
     report.buffer = b;
-    report.channel = owner_channel_[b];
-    report.occupancy = pool_.size(b);
-    report.blocked_since = blocked_since_[b];
-    if (pool_.size(b) > 0) {
+    report.channel = owner_channel_of(b);
+    report.occupancy = sl.size;
+    report.blocked_since = sl.blocked_since_plus1 - 1;
+    if (sl.size > 0) {
       const FlitRef head = pool_.front(b);
-      const std::uint32_t c = owner_channel_[b];
+      const std::uint32_t c = report.channel;
       if (head.flit_index > 0) {
         // Body flit: the worm already holds its downstream allocation —
         // that buffer IS the wait edge, exactly.
-        report.waiting_for = out_alloc_[b];
+        report.waiting_for = sl.out_alloc;
       } else if (!dst_is_terminal_[c]) {
         // Head waiting to allocate: name the scan's first candidate —
-        // next channel from the route cache, scan-start VC.
+        // next channel from the route source, scan-start VC.
         const sim::Packet& packet = packets_.at(head.packet_slot);
         const std::uint32_t nc = routes_->next_channel_from(
             channel_dst_[c], packet.src_terminal, packet.dst_terminal);
@@ -551,7 +568,7 @@ void FlowSim::capture_forensics() {
       }
     }
     forensics_.blocked.push_back(report);
-  }
+  });
   forensics_.tail = recorder_.tail(DeadlockForensics::kTailPoints);
   detail::finalize_forensics(forensics_);
 }
@@ -559,17 +576,28 @@ void FlowSim::capture_forensics() {
 bool FlowSim::credit_conservation_holds() const {
   NBCLOS_REQUIRE(ledger_ != nullptr,
                  "credit audit requires credit backpressure mode");
-  std::vector<std::uint64_t> in_flight(switch_buffer_count_, 0);
-  for (const auto c : busy_wires_) {
-    const Wire& w = wire_[c];
-    if (w.valid && w.target != kEject) ++in_flight[w.target];
+  // Never-activated buffers hold full credits and nothing else, so the
+  // identity closes for them trivially; the audit only walks live slots
+  // (in-flight flits always target a live slot — consume pinned it).
+  // Scratch is slot-indexed and hoisted into a member so epoch audits
+  // do not allocate.
+  audit_in_flight_.assign(pool_.peak_slots(), 0);
+  for (const auto& w : busy_wires_) {
+    if (w.target == kEject) continue;
+    const std::uint32_t s = pool_.slot_id(w.target);
+    NBCLOS_ASSERT(s != FlitBufferPool::kNoSlot);
+    ++audit_in_flight_[s];
   }
-  for (std::uint32_t b = 0; b < switch_buffer_count_; ++b) {
-    const std::uint64_t sum = ledger_->credits(b) + pool_.size(b) +
-                              in_flight[b] + ledger_->pending_returns(b);
-    if (sum != config_.buffer_flits) return false;
-  }
-  return true;
+  bool holds = true;
+  pool_.for_each_live([&](std::uint32_t b, std::uint32_t s,
+                          const FlitBufferPool::BufferSlot& sl) {
+    if (b >= switch_buffer_count_) return;  // NIC buffers are untracked
+    const std::uint64_t sum = (config_.buffer_flits - sl.credits_used) +
+                              sl.size + audit_in_flight_[s] +
+                              sl.pending_returns;
+    if (sum != config_.buffer_flits) holds = false;
+  });
+  return holds;
 }
 
 FlowResult FlowSim::run() {
@@ -583,7 +611,7 @@ FlowResult FlowSim::run() {
     step_arrivals();
     step_transmissions();
     step_injection();
-    if (onoff_ != nullptr) onoff_->latch(pool_);
+    if (onoff_ != nullptr) onoff_->latch();
     if (measuring_ && switch_channel_count_ > 0) {
       // Same arithmetic as PacketSim's sample: total flits across switch
       // buffers over the number of switch output channels.
@@ -696,8 +724,18 @@ void FlowSim::flush_obs(double wall_seconds) {
       .add(static_cast<std::uint64_t>(wall_seconds * 1e6));
 }
 
+ArenaStats FlowSim::arena_stats() const {
+  ArenaStats stats;
+  stats.flit_arena_bytes = pool_.bytes();
+  stats.packet_arena_bytes = packets_.bytes();
+  stats.resident_slots = pool_.resident_slots();
+  stats.peak_slots = pool_.peak_slots();
+  stats.spill_bytes = pool_.spill_bytes() + packets_.spill_bytes();
+  return stats;
+}
+
 std::vector<FlowResult> flow_load_sweep(
-    const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const std::shared_ptr<const RouteSource>& routes,
     const sim::TrafficPattern& traffic, const FlowConfig& base,
     const std::vector<double>& rates, ThreadPool* pool) {
   std::vector<FlowResult> results(rates.size());
@@ -715,6 +753,16 @@ std::vector<FlowResult> flow_load_sweep(
     for (std::size_t i = 0; i < rates.size(); ++i) run_at(i);
   }
   return results;
+}
+
+std::vector<FlowResult> flow_load_sweep(
+    const std::shared_ptr<const routing::ChannelRouteCache>& routes,
+    const sim::TrafficPattern& traffic, const FlowConfig& base,
+    const std::vector<double>& rates, ThreadPool* pool) {
+  return flow_load_sweep(
+      std::static_pointer_cast<const RouteSource>(
+          std::make_shared<const CacheRouteSource>(routes)),
+      traffic, base, rates, pool);
 }
 
 }  // namespace nbclos::flow

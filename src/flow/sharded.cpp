@@ -46,14 +46,13 @@ struct ShardedFlowSim::Shard {
   std::uint32_t local_nic_buffers = 0;
 
   // Arena (owner role): flit storage, packets, backpressure state for
-  // every buffer this shard owns, locally indexed.
+  // every buffer this shard owns, locally indexed.  Per-buffer side
+  // state (out_alloc -> GLOBAL nb, claim, blocked_since) lives in the
+  // pool's sparse slots, so resident bytes track the live flit front.
   std::unique_ptr<FlitBufferPool> pool;
   PacketPool packets;
   std::unique_ptr<CreditLedger> ledger;
   std::unique_ptr<OnOffSignal> onoff;
-  std::vector<std::uint32_t> out_alloc;      ///< local buffer -> GLOBAL nb
-  std::vector<std::uint32_t> claim;          ///< local switch buffers
-  std::vector<std::uint64_t> blocked_since;  ///< local buffers
 
   // Per owned channel (plan.channel_local index), except `active` which
   // keeps GLOBAL channel ids so its sorted sweep order equals serial's.
@@ -101,7 +100,9 @@ struct ShardedFlowSim::Shard {
   std::vector<std::uint32_t> rel_by_cycle;  ///< tail ejections
   std::int64_t flits_in_system = 0;  ///< negative when ejecting for others
   std::uint64_t flits_moved_epoch = 0;
-  std::vector<std::uint64_t> link_busy;  ///< per global channel (executor)
+  std::uint32_t executed_channels = 0;   ///< channels with executor == index
+  std::vector<std::uint64_t> link_busy;  ///< per EXECUTED channel (exec_index_)
+  std::vector<std::uint64_t> audit_in_flight;  ///< conservation scratch, slots
   std::uint64_t route_lookups = 0;
   std::uint64_t cross_flits = 0;
   std::uint64_t cross_credits = 0;
@@ -120,6 +121,17 @@ struct ShardedFlowSim::Shard {
 
 ShardedFlowSim::ShardedFlowSim(
     std::shared_ptr<const routing::ChannelRouteCache> routes,
+    const sim::TrafficPattern& traffic, FlowConfig config,
+    std::uint32_t shards, const fault::DegradedView* degraded,
+    std::vector<fault::FaultEvent> fault_events)
+    : ShardedFlowSim(std::static_pointer_cast<const RouteSource>(
+                         std::make_shared<const CacheRouteSource>(
+                             std::move(routes))),
+                     traffic, config, shards, degraded,
+                     std::move(fault_events)) {}
+
+ShardedFlowSim::ShardedFlowSim(
+    std::shared_ptr<const RouteSource> routes,
     const sim::TrafficPattern& traffic, FlowConfig config,
     std::uint32_t shards, const fault::DegradedView* degraded,
     std::vector<fault::FaultEvent> fault_events)
@@ -182,6 +194,8 @@ ShardedFlowSim::ShardedFlowSim(
   channel_dst_.assign(channels, 0);
   dst_is_terminal_.assign(channels, 0);
   channel_executor_.assign(channels, 0);
+  exec_index_.assign(channels, 0);
+  std::vector<std::uint32_t> exec_counts(shard_count, 0);
   std::uint32_t switch_idx = 0;
   std::uint32_t nic_count = 0;
   for (std::uint32_t c = 0; c < channels; ++c) {
@@ -190,6 +204,7 @@ ShardedFlowSim::ShardedFlowSim(
         net_->vertex(channel_dst_[c]).kind == VertexKind::kTerminal;
     channel_executor_[c] =
         static_cast<std::uint8_t>(plan_.shard_of_vertex(channel_dst_[c]));
+    exec_index_[c] = exec_counts[channel_executor_[c]]++;
     if (net_->vertex(net_->channel_src(c)).kind == VertexKind::kTerminal) {
       is_nic_[c] = 1;
       ++nic_count;
@@ -230,6 +245,7 @@ ShardedFlowSim::ShardedFlowSim(
     }
     shard->local_switch_buffers = local_switch;
     shard->local_nic_buffers = local_nic;
+    shard->executed_channels = exec_counts[s];
     shards_.push_back(std::move(shard));
   }
 
@@ -309,17 +325,14 @@ void ShardedFlowSim::init_shard_arena(std::uint32_t s) {
   sh.pool = std::make_unique<FlitBufferPool>(
       sh.local_switch_buffers, sh.local_nic_buffers, config_.buffer_flits);
   if (config_.backpressure == Backpressure::kCredit) {
-    sh.ledger = std::make_unique<CreditLedger>(
-        sh.local_switch_buffers, config_.buffer_flits, config_.credit_delay);
+    sh.ledger =
+        std::make_unique<CreditLedger>(*sh.pool, config_.credit_delay);
   } else {
-    sh.onoff = std::make_unique<OnOffSignal>(sh.local_switch_buffers,
-                                             config_.onoff_off_threshold());
+    sh.onoff =
+        std::make_unique<OnOffSignal>(*sh.pool, config_.onoff_off_threshold());
   }
   const std::uint32_t local_buffers =
       sh.local_switch_buffers + sh.local_nic_buffers;
-  sh.out_alloc.assign(local_buffers, kNone);
-  sh.claim.assign(sh.local_switch_buffers, kNone);
-  sh.blocked_since.assign(local_buffers, kNotBlocked);
   sh.channel_of_local_buf.assign(local_buffers, 0);
   for (const auto c : plan_.shard_channels[s]) {
     const std::uint32_t vcs = is_nic_[c] ? 1u : config_.vcs;
@@ -338,7 +351,7 @@ void ShardedFlowSim::init_shard_arena(std::uint32_t s) {
   sh.depth_sum_by_cycle.assign(total, 0);
   sh.acq_by_cycle.assign(total, 0);
   sh.rel_by_cycle.assign(total, 0);
-  sh.link_busy.assign(net_->channel_count(), 0);
+  sh.link_busy.assign(sh.executed_channels, 0);
   if (degraded_ != nullptr) sh.degraded.emplace(*degraded_);
 }
 
@@ -356,8 +369,8 @@ void ShardedFlowSim::note_blocked(Shard& sh, std::uint32_t global_b,
     ++sh.vc_stall_cycles;
   }
   const std::uint32_t lb = buf_local_of_global_[global_b];
-  if (sh.blocked_since[lb] == kNotBlocked) {
-    sh.blocked_since[lb] = now;
+  if (sh.pool->blocked_since(lb) == kNotBlocked) {
+    sh.pool->set_blocked_since(lb, now);
     ++sh.blocked_heads;
   }
 }
@@ -365,9 +378,10 @@ void ShardedFlowSim::note_blocked(Shard& sh, std::uint32_t global_b,
 void ShardedFlowSim::note_unblocked(Shard& sh, std::uint32_t global_b,
                                     std::uint64_t now) {
   const std::uint32_t lb = buf_local_of_global_[global_b];
-  if (sh.blocked_since[lb] == kNotBlocked) return;
-  const std::uint64_t duration = now - sh.blocked_since[lb];
-  sh.blocked_since[lb] = kNotBlocked;
+  const std::uint64_t since = sh.pool->blocked_since(lb);
+  if (since == kNotBlocked) return;
+  const std::uint64_t duration = now - since;
+  sh.pool->clear_blocked_since(lb);
   --sh.blocked_heads;
   sh.stall_duration_sum += duration;
   ++sh.stall_episode_count;
@@ -421,10 +435,10 @@ void ShardedFlowSim::phase_owner_pre(Shard& sh, std::uint64_t now,
       // Head landed: the packet gets its owner-local slot now, replacing
       // the kClaimPending placeholder set at allocation time.
       slot = sh.packets.acquire(w.packet);
-      NBCLOS_ASSERT(sh.claim[lb] == kClaimPending);
-      sh.claim[lb] = slot;
+      NBCLOS_ASSERT(sh.pool->claim(lb) == kClaimPending);
+      sh.pool->set_claim(lb, slot);
     } else {
-      slot = sh.claim[lb];
+      slot = sh.pool->claim(lb);
       NBCLOS_ASSERT(slot != kNone && slot != kClaimPending);
     }
     sh.pool->push(lb, FlitRef{slot, w.flit_index});
@@ -442,8 +456,8 @@ void ShardedFlowSim::phase_owner_pre(Shard& sh, std::uint64_t now,
     }
     if (w.flit_index + 1 == w.packet.size_flits) {
       // Tail landed: the VC is whole again and accepts a new claimant.
-      NBCLOS_ASSERT(sh.claim[lb] == slot);
-      sh.claim[lb] = kNone;
+      NBCLOS_ASSERT(sh.pool->claim(lb) == slot);
+      sh.pool->set_claim(lb, kNone);
     }
   }
   sh.wires.clear();
@@ -474,7 +488,7 @@ void ShardedFlowSim::phase_owner_pre(Shard& sh, std::uint64_t now,
       FlitProposal p;
       p.channel = c;
       p.flit_index = flit.flit_index;
-      p.out_alloc = sh.out_alloc[lb];
+      p.out_alloc = sh.pool->out_alloc(lb);
       p.packet = sh.packets.at(flit.packet_slot);
       p.vc = static_cast<std::uint8_t>(vc);
       p.start_vc = start;
@@ -513,7 +527,7 @@ std::uint32_t ShardedFlowSim::allocate_downstream(Shard& sh,
     const std::uint32_t nv = (from_vc + j) % config_.vcs;
     const std::uint32_t nb = buf_base_[nc] + nv;
     const std::uint32_t lnb = buf_local_of_global_[nb];
-    if (sh.claim[lnb] != kNone) continue;
+    if (sh.pool->claim(lnb) != kNone) continue;
     if (!backpressure_ok(sh, lnb, head_reservation_)) {
       saw_credit_block = true;
       continue;
@@ -579,7 +593,7 @@ void ShardedFlowSim::phase_execute(Shard& sh, std::uint64_t now) {
           }
           continue;  // this VC stalls; the next may still use the channel
         }
-        sh.claim[buf_local_of_global_[nb]] = kClaimPending;
+        sh.pool->set_claim(buf_local_of_global_[nb], kClaimPending);
         g.new_out_alloc = nb;
         target = nb;
       } else {
@@ -597,7 +611,7 @@ void ShardedFlowSim::phase_execute(Shard& sh, std::uint64_t now) {
         sh.ledger->consume(buf_local_of_global_[target]);
       }
       sh.wires.push_back(Shard::Wire{target, e->flit_index, e->packet});
-      sh.link_busy[c] += 1;
+      sh.link_busy[exec_index_[c]] += 1;
       ++sh.flits_moved_epoch;
       g.winner_vc = static_cast<std::uint8_t>(vc);
       // The freed slot's credit flows back UPSTREAM — opposite to the
@@ -655,16 +669,19 @@ void ShardedFlowSim::apply_grant(Shard& sh, const TransmitGrant& g,
   // (Credit return / on-off dirty for this pop arrive as CreditReturn
   // messages in phase C — the owner does not shortcut them here.)
   if (g.new_out_alloc != kNone) {
-    NBCLOS_ASSERT(flit.flit_index == 0 && sh.out_alloc[lb] == kNone);
-    sh.out_alloc[lb] = g.new_out_alloc;
+    NBCLOS_ASSERT(flit.flit_index == 0 && sh.pool->out_alloc(lb) == kNone);
+    sh.pool->set_out_alloc(lb, g.new_out_alloc);
   }
   if (flit.flit_index + 1 == packet.size_flits) {
-    sh.out_alloc[lb] = kNone;
+    sh.pool->set_out_alloc(lb, kNone);
     // Tail left this hop: the packet's local slot dies with it (FIFO
     // order plus the no-interleave claim guarantee the tail pops last).
     sh.packets.release(flit.packet_slot);
   }
   note_unblocked(sh, b, now);
+  // Drained and unblocked: recycle the slot (pending credit returns or
+  // a live claim keep it pinned — a skipped release is only memory).
+  sh.pool->maybe_release(lb);
   sh.next_vc[li] = (vc + 1) % vc_count;
 }
 
@@ -745,7 +762,7 @@ void ShardedFlowSim::phase_owner_post(Shard& sh, std::uint64_t now) {
     sh.acq_by_cycle[now] += 1;
   }
 
-  if (sh.onoff != nullptr) sh.onoff->latch(*sh.pool);
+  if (sh.onoff != nullptr) sh.onoff->latch();
   sh.depth_sum_by_cycle[now] = sh.pool->switch_flits_total();
   // End-of-cycle sample, the same point serial FlowSim samples at — all
   // shards see want(now) identically (same recorder geometry).
@@ -779,46 +796,54 @@ bool ShardedFlowSim::epoch_watchdog(Shard& sh, std::uint64_t now) {
     sh.deadlock_cycle = now;
     sh.stuck_total = static_cast<std::uint64_t>(in_system);
     // This shard's candidates for the global 8-smallest occupied buffer
-    // sample: owned switch channels ascending then owned NIC channels
-    // ascending visits owned buffers in ascending GLOBAL id order.
+    // sample.  The pool is sparse, so walk live slots (allocation
+    // order), recover global ids, and sort ascending — the same sample
+    // the old dense ascending-global-id channel scan produced.
     constexpr std::size_t kMaxSample = 8;
-    for (const auto c : plan_.shard_channels[sh.index]) {
-      if (is_nic_[c] || sh.stuck_buffers.size() >= kMaxSample) continue;
-      for (std::uint32_t v = 0;
-           v < config_.vcs && sh.stuck_buffers.size() < kMaxSample; ++v) {
-        const std::uint32_t b = buf_base_[c] + v;
-        if (sh.pool->size(buf_local_of_global_[b]) > 0) {
-          sh.stuck_buffers.push_back(b);
-        }
-      }
-    }
-    for (const auto c : plan_.shard_channels[sh.index]) {
-      if (!is_nic_[c] || sh.stuck_buffers.size() >= kMaxSample) continue;
-      const std::uint32_t b = buf_base_[c];
-      if (sh.pool->size(buf_local_of_global_[b]) > 0) {
-        sh.stuck_buffers.push_back(b);
-      }
-    }
+    const auto global_of = [&](std::uint32_t lb) {
+      const std::uint32_t c = sh.channel_of_local_buf[lb];
+      if (is_nic_[c]) return buf_base_[c];
+      return buf_base_[c] + (lb - buf_local_of_global_[buf_base_[c]]);
+    };
+    std::vector<std::uint32_t> occupied;
+    sh.pool->for_each_live([&](std::uint32_t lb, std::uint32_t /*slot*/,
+                               const FlitBufferPool::BufferSlot& sl) {
+      if (sl.size > 0) occupied.push_back(global_of(lb));
+    });
+    std::sort(occupied.begin(), occupied.end());
+    if (occupied.size() > kMaxSample) occupied.resize(kMaxSample);
+    sh.stuck_buffers = std::move(occupied);
     return true;
   }
   sh.flits_moved_epoch = 0;
   return false;
 }
 
-bool ShardedFlowSim::local_credit_conservation_holds(const Shard& sh) const {
-  std::vector<std::uint64_t> in_flight(sh.local_switch_buffers, 0);
+bool ShardedFlowSim::local_credit_conservation_holds(Shard& sh) const {
+  // Audit live slots only: a never-activated buffer holds full credits,
+  // no flits, and nothing in flight (consuming a credit for an in-flight
+  // wire pins the target's slot), so it satisfies the identity
+  // trivially.  The slot-indexed scratch is hoisted into the shard.
+  sh.audit_in_flight.assign(sh.pool->peak_slots(), 0);
   for (const Shard::Wire& w : sh.wires) {
     if (w.target == kEject) continue;
     if (w.target < switch_buffer_count_) {
-      ++in_flight[buf_local_of_global_[w.target]];
+      const std::uint32_t s =
+          sh.pool->slot_id(buf_local_of_global_[w.target]);
+      NBCLOS_ASSERT(s != FlitBufferPool::kNoSlot);  // consume pinned it
+      ++sh.audit_in_flight[s];
     }
   }
-  for (std::uint32_t lb = 0; lb < sh.local_switch_buffers; ++lb) {
-    const std::uint64_t sum = sh.ledger->credits(lb) + sh.pool->size(lb) +
-                              in_flight[lb] + sh.ledger->pending_returns(lb);
-    if (sum != config_.buffer_flits) return false;
-  }
-  return true;
+  bool ok = true;
+  sh.pool->for_each_live([&](std::uint32_t lb, std::uint32_t slot,
+                             const FlitBufferPool::BufferSlot& sl) {
+    if (lb >= sh.local_switch_buffers) return;  // NICs are uncredited
+    const std::uint64_t sum = (config_.buffer_flits - sl.credits_used) +
+                              sl.size + sh.audit_in_flight[slot] +
+                              sl.pending_returns;
+    if (sum != config_.buffer_flits) ok = false;
+  });
+  return ok;
 }
 
 void ShardedFlowSim::run_shard(std::uint32_t s) {
@@ -1025,13 +1050,16 @@ FlowResult ShardedFlowSim::merge_results() {
     result.stuck_buffers = std::move(stuck);
   }
 
+  // Exactly one shard (the executor) tallies each channel, so the merge
+  // is a gather through the executor-local dense index, not a sum.
   merged_link_busy_.assign(net_->channel_count(), 0);
+  for (std::uint32_t c = 0; c < net_->channel_count(); ++c) {
+    merged_link_busy_[c] =
+        shards_[channel_executor_[c]]->link_busy[exec_index_[c]];
+  }
   telemetry_ = Telemetry{};
   for (const auto& shp : shards_) {
     const Shard& sh = *shp;
-    for (std::size_t c = 0; c < sh.link_busy.size(); ++c) {
-      merged_link_busy_[c] += sh.link_busy[c];
-    }
     telemetry_.cross_shard_flits += sh.cross_flits;
     telemetry_.cross_shard_credits += sh.cross_credits;
     telemetry_.mailbox_peak = std::max(telemetry_.mailbox_peak, sh.mailbox_peak);
@@ -1047,34 +1075,36 @@ void ShardedFlowSim::capture_forensics() {
   // reports use serial FlowSim's global buffer ids, so the merged walk
   // (finalize_forensics sorts and follows cross-shard waiting_for edges)
   // names the same chain a serial run would.
+  // A blocked buffer's blocked_since field pins its slot, so walking
+  // live slots sees every blocked FIFO; finalize_forensics sorts the
+  // reports, erasing the allocation-order walk.
   for (const auto& shp : shards_) {
     const Shard& sh = *shp;
-    for (const auto c : plan_.shard_channels[sh.index]) {
-      const std::uint32_t vc_count = is_nic_[c] ? 1u : config_.vcs;
-      for (std::uint32_t v = 0; v < vc_count; ++v) {
-        const std::uint32_t b = buf_base_[c] + v;
-        const std::uint32_t lb = buf_local_of_global_[b];
-        if (sh.blocked_since[lb] == kNotBlocked) continue;
-        BlockedBufferReport report;
-        report.buffer = b;
-        report.channel = c;
-        report.occupancy = sh.pool->size(lb);
-        report.blocked_since = sh.blocked_since[lb];
-        if (sh.pool->size(lb) > 0) {
-          const FlitRef head = sh.pool->front(lb);
-          if (head.flit_index > 0) {
-            report.waiting_for = sh.out_alloc[lb];  // global id already
-          } else if (!dst_is_terminal_[c]) {
-            const sim::Packet& packet = sh.packets.at(head.packet_slot);
-            const std::uint32_t nc = routes_->next_channel_from(
-                channel_dst_[c], packet.src_terminal, packet.dst_terminal);
-            report.waiting_for =
-                buf_base_[nc] + (is_nic_[nc] ? 0u : v % config_.vcs);
-          }
+    sh.pool->for_each_live([&](std::uint32_t lb, std::uint32_t /*slot*/,
+                               const FlitBufferPool::BufferSlot& sl) {
+      if (sl.blocked_since_plus1 == 0) return;
+      const std::uint32_t c = sh.channel_of_local_buf[lb];
+      const std::uint32_t v =
+          is_nic_[c] ? 0u : lb - buf_local_of_global_[buf_base_[c]];
+      BlockedBufferReport report;
+      report.buffer = buf_base_[c] + v;
+      report.channel = c;
+      report.occupancy = sl.size;
+      report.blocked_since = sl.blocked_since_plus1 - 1;
+      if (sl.size > 0) {
+        const FlitRef head = sh.pool->front(lb);
+        if (head.flit_index > 0) {
+          report.waiting_for = sl.out_alloc;  // global id already
+        } else if (!dst_is_terminal_[c]) {
+          const sim::Packet& packet = sh.packets.at(head.packet_slot);
+          const std::uint32_t nc = routes_->next_channel_from(
+              channel_dst_[c], packet.src_terminal, packet.dst_terminal);
+          report.waiting_for =
+              buf_base_[nc] + (is_nic_[nc] ? 0u : v % config_.vcs);
         }
-        forensics_.blocked.push_back(report);
       }
-    }
+      forensics_.blocked.push_back(report);
+    });
   }
   forensics_.tail = recorder_.tail(DeadlockForensics::kTailPoints);
   detail::finalize_forensics(forensics_);
@@ -1085,9 +1115,7 @@ std::size_t ShardedFlowSim::arena_bytes() const noexcept {
   for (const auto& shp : shards_) {
     const Shard& sh = *shp;
     if (sh.pool != nullptr) bytes += sh.pool->bytes();
-    bytes += sh.out_alloc.capacity() * sizeof(std::uint32_t);
-    bytes += sh.claim.capacity() * sizeof(std::uint32_t);
-    bytes += sh.blocked_since.capacity() * sizeof(std::uint64_t);
+    bytes += sh.packets.bytes();
     bytes += sh.channel_flits.capacity() * sizeof(std::uint32_t);
     bytes += sh.depth_sum_by_cycle.capacity() * sizeof(std::uint64_t);
     bytes += (sh.acq_by_cycle.capacity() + sh.rel_by_cycle.capacity()) *
@@ -1095,6 +1123,22 @@ std::size_t ShardedFlowSim::arena_bytes() const noexcept {
     bytes += sh.link_busy.capacity() * sizeof(std::uint64_t);
   }
   return bytes;
+}
+
+ArenaStats ShardedFlowSim::arena_stats() const noexcept {
+  ArenaStats stats;
+  for (const auto& shp : shards_) {
+    const Shard& sh = *shp;
+    if (sh.pool != nullptr) {
+      stats.flit_arena_bytes += sh.pool->bytes();
+      stats.resident_slots += sh.pool->resident_slots();
+      stats.peak_slots += sh.pool->peak_slots();
+      stats.spill_bytes += sh.pool->spill_bytes();
+    }
+    stats.packet_arena_bytes += sh.packets.bytes();
+    stats.spill_bytes += sh.packets.spill_bytes();
+  }
+  return stats;
 }
 
 void ShardedFlowSim::flush_obs(double wall_seconds) {

@@ -36,7 +36,11 @@ field):
     recorder_overhead section (newer benches), its results_identical
     and per-shard-count series identity verdicts are fatal gates and
     the live-vs-paused overhead must stay under a generous cap; older
-    baselines without the section still validate.
+    baselines without the section still validate.  The scale section
+    (sparse lazy arenas on 10-ary trees) is mandatory: every point must
+    stay within the committed arena bytes/terminal budget, must not
+    deadlock, and identity-checked points must match the serial run;
+    scale cycles_per_sec joins the throughput comparison.
 
 The gate is two-level, tuned so scheduler noise on a shared runner
 cannot flap it while a real code regression (which slows *every* case)
@@ -240,6 +244,30 @@ def validate_flow_mt(doc):
                 fail(f"{topo}: {mode} margin verdict regressed (the "
                      "nonblocking routing no longer sustains the probe "
                      "at any depth)")
+    budget = require(doc, "scale.budget_bytes_per_terminal", (int, float))
+    points = require(doc, "scale.points", list)
+    if not points:
+        fail("scale section probed no trees")
+    for point in points:
+        topo = require(point, "topology", str)
+        require(point, "terminals", int)
+        require(point, "cycles_per_sec", (int, float))
+        require(point, "flit_arena_bytes", int)
+        require(point, "packet_arena_bytes", int)
+        bpt = require(point, "bytes_per_terminal", (int, float))
+        require(point, "resident_slots", int)
+        require(point, "peak_slots", int)
+        require(point, "spill_bytes", int)
+        if require(point, "deadlocked", bool):
+            fail(f"scale {topo}: run deadlocked")
+        if not require(point, "within_budget", bool) or bpt > budget:
+            fail(f"scale {topo}: {bpt:.1f} arena bytes/terminal exceed "
+                 f"the committed {budget:.0f}-byte budget "
+                 "(lazy arenas densified)")
+        if require(point, "identity_checked", bool) and \
+                not require(point, "identical_to_serial", bool):
+            fail(f"scale {topo}: sharded run diverged from serial "
+                 "(determinism regression)")
     check_recorder_overhead(doc, "flow_mt")
     require(doc, "manifest.build_type", str)
 
@@ -295,6 +323,9 @@ def flow_mt_metrics(doc):
         for point in case["shard_counts"]:
             out[f"{topo}.shards{point['shards']}.cycles_per_sec"] = \
                 point["cycles_per_sec"]
+    for point in doc["scale"]["points"]:
+        out[f"scale.{point['topology']}.cycles_per_sec"] = \
+            point["cycles_per_sec"]
     return out
 
 

@@ -490,16 +490,18 @@ int cmd_flow_sim(std::vector<std::string> args) {
         nbclos::FtreeParams{topo.n, topo.n * topo.n, topo.r});
     return nbclos::build_network(*ft);
   }();
-  std::shared_ptr<const nbclos::routing::ChannelRouteCache> cache;
+  std::shared_ptr<const nbclos::flow::RouteSource> routes;
   std::string routing_label;
   if (topo.kary) {
     if (routing_name != "dmodk") {
       throw std::invalid_argument(
           "k-ary fabrics support only the dmodk routing");
     }
-    const nbclos::KaryTreeRouter router(net, topo.k, topo.h);
-    cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
-        net, [&](nbclos::SDPair sd) { return router.route(sd); });
+    // Pure O(1) dmodk arithmetic — no per-pair table, so k-ary fabrics
+    // scale to 10^6 terminals where the O(T^2) cache cannot exist.
+    routes = std::make_shared<const nbclos::flow::PureRouteSource>(
+        net, std::make_shared<const nbclos::sim::KaryDmodkRouter>(
+                 net, topo.k, topo.h));
     routing_label = "kary-dmodk";
   } else {
     std::unique_ptr<nbclos::SinglePathRouting> routing;
@@ -510,16 +512,17 @@ int cmd_flow_sim(std::vector<std::string> args) {
     } else {
       throw std::invalid_argument("unknown routing: " + routing_name);
     }
-    cache = std::make_shared<const nbclos::routing::ChannelRouteCache>(
-        net, [&](nbclos::SDPair sd) {
-          nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
-          const auto count = ft->links_into(routing->route(sd), run);
-          std::vector<std::uint32_t> channels;
-          for (std::uint32_t k = 0; k < count; ++k) {
-            channels.push_back(run[k].value);
-          }
-          return channels;
-        });
+    routes = std::make_shared<const nbclos::flow::CacheRouteSource>(
+        std::make_shared<const nbclos::routing::ChannelRouteCache>(
+            net, [&](nbclos::SDPair sd) {
+              nbclos::LinkId run[nbclos::FoldedClos::kMaxPathLinks];
+              const auto count = ft->links_into(routing->route(sd), run);
+              std::vector<std::uint32_t> channels;
+              for (std::uint32_t k = 0; k < count; ++k) {
+                channels.push_back(run[k].value);
+              }
+              return channels;
+            }));
     routing_label = routing->name();
   }
   const auto terminals = static_cast<std::uint32_t>(net.terminals().size());
@@ -530,17 +533,20 @@ int cmd_flow_sim(std::vector<std::string> args) {
   config.record_timeseries = !g_timeseries_out.empty();
   nbclos::flow::FlowResult result;
   nbclos::flow::DeadlockForensics forensics;
+  nbclos::flow::ArenaStats arena{};
   if (shards.has_value()) {
     config.counter_injection = true;  // the sharded engine's only mode
-    nbclos::flow::ShardedFlowSim sim(cache, traffic, config, *shards);
+    nbclos::flow::ShardedFlowSim sim(routes, traffic, config, *shards);
     result = sim.run();
     stash_recorder(sim.recorder());
     forensics = sim.forensics();
+    arena = sim.arena_stats();
   } else {
-    nbclos::flow::FlowSim sim(cache, traffic, config);
+    nbclos::flow::FlowSim sim(routes, traffic, config);
     result = sim.run();
     stash_recorder(sim.recorder());
     forensics = sim.forensics();
+    arena = sim.arena_stats();
   }
 
   const bool vct =
@@ -614,6 +620,17 @@ int cmd_flow_sim(std::vector<std::string> args) {
       jw.end_array();
       jw.end_object();
     }
+    jw.key("arena").begin_object();
+    jw.member("route_source", routes->label());
+    jw.member("route_bytes", static_cast<std::uint64_t>(routes->bytes()));
+    jw.member("flit_arena_bytes",
+              static_cast<std::uint64_t>(arena.flit_arena_bytes));
+    jw.member("packet_arena_bytes",
+              static_cast<std::uint64_t>(arena.packet_arena_bytes));
+    jw.member("resident_slab_slots", arena.resident_slots);
+    jw.member("peak_slab_slots", arena.peak_slots);
+    jw.member("spill_bytes", static_cast<std::uint64_t>(arena.spill_bytes));
+    jw.end_object();
     jw.key("manifest");
     auto manifest = nbclos::obs::RunInfo::current();
     manifest.shards = shards.value_or(0);
